@@ -1,0 +1,58 @@
+"""Ablation: NAKT arity sweep (the binary-optimality claim of Section 3.1).
+
+The paper proves any subscription range splits into at most
+``2(a-1) log_a(R/lc) - 2`` elements, minimized at ``a = 2``.  This bench
+measures the realized worst-case and average cover sizes for a in 2..8
+and confirms binary trees minimize the key count, while also exposing
+the trade-off the formula hides: larger arity shortens derivation paths.
+"""
+
+import random
+
+from repro.core.nakt import NumericKeySpace
+from repro.harness.reporting import format_table
+
+RANGE = 4096
+SPAN = 256
+
+
+def _stats_for_arity(arity: int, samples: int = 400):
+    rng = random.Random(arity)
+    space = NumericKeySpace("v", RANGE, arity=arity)
+    worst = len(space.cover(1, RANGE - 2))
+    total = 0
+    for _ in range(samples):
+        low = rng.randint(0, RANGE - SPAN)
+        total += len(space.cover(low, low + SPAN - 1))
+    return worst, total / samples, space.depth
+
+
+def test_ablation_arity(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: [
+            (arity, *_stats_for_arity(arity)) for arity in range(2, 9)
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "ablation_arity",
+        format_table(
+            ["arity", "worst-case keys", "avg keys", "derive depth"],
+            rows,
+            title=f"Ablation: NAKT arity (R={RANGE}, phi={SPAN})",
+        ),
+    )
+    worst_by_arity = {arity: worst for arity, worst, _avg, _d in rows}
+    average_by_arity = {arity: avg for arity, _w, avg, _d in rows}
+    depth_by_arity = {arity: depth for arity, _w, _a, depth in rows}
+    # Binary minimizes the key count (paper's claim)...
+    assert worst_by_arity[2] == min(worst_by_arity.values())
+    assert average_by_arity[2] == min(average_by_arity.values())
+    # ...at the cost of the deepest derivation chains.
+    assert depth_by_arity[2] == max(depth_by_arity.values())
+    # Average cover size grows with arity (the realized worst case can
+    # wiggle with rounding of the tree depth, but the trend holds).
+    averages = [average_by_arity[a] for a in range(2, 9)]
+    assert all(b >= a for a, b in zip(averages, averages[1:]))
+    assert worst_by_arity[8] > worst_by_arity[2]

@@ -1,0 +1,68 @@
+"""Ablation: the M/M/N analytic model vs. a live churn simulation.
+
+Section 3.2.2's quantitative comparison rests on an M/M/N subscriber
+population.  This bench runs that population as a discrete-event
+simulation against the *real* KDC and group server and checks that
+
+- the active population and join rate land on the closed forms, and
+- the measured key-messaging ratio lands in the regime the analysis
+  predicts (within a small factor -- the analysis is a lower bound).
+"""
+
+import math
+
+from repro.analysis.churn import ChurnSimulation, relative_error
+from repro.analysis.models import MMNPopulation, cost_ratio_lower_bound
+from repro.harness.reporting import format_table
+
+RANGE, SPAN = 1024, 64
+DURATION = 600.0
+
+
+def _run():
+    population = MMNPopulation(
+        total_subscribers=120, arrival_rate=0.05, departure_rate=0.05
+    )
+    simulation = ChurnSimulation(
+        population, range_size=RANGE, subscription_span=SPAN,
+        epoch_length=50.0, seed=31,
+    )
+    result = simulation.run(DURATION)
+    warm = result.active_samples[len(result.active_samples) // 3:]
+    measured_active = sum(warm) / len(warm)
+    group_total = result.group_keys_sent + result.group_epoch_messages
+    measured_ratio = group_total / result.psguard_keys_sent
+    predicted_ratio = cost_ratio_lower_bound(
+        population.active_subscribers, RANGE, SPAN
+    )
+    return population, result, measured_active, measured_ratio, predicted_ratio
+
+
+def test_ablation_churn(benchmark, report):
+    (population, result, measured_active,
+     measured_ratio, predicted_ratio) = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    report(
+        "ablation_churn",
+        format_table(
+            ["quantity", "measured", "analytic"],
+            [
+                ("active subscribers NS", measured_active,
+                 population.active_subscribers),
+                ("join rate (/s)", result.join_rate, population.join_rate),
+                ("PSGuard keys/join",
+                 result.psguard_keys_sent / result.joins,
+                 math.log2(SPAN)),
+                ("C_sg : C_psguard", measured_ratio, predicted_ratio),
+            ],
+            title=f"Ablation: M/M/N churn, {DURATION:.0f}s simulated",
+        ),
+    )
+    assert relative_error(measured_active, population.active_subscribers) < 0.25
+    assert relative_error(result.join_rate, population.join_rate) < 0.25
+    # The analysis is a lower bound on the group approach's cost; the
+    # measured ratio must respect it within stochastic slack and not be
+    # wildly above (same order of magnitude).
+    assert measured_ratio > 0.5 * predicted_ratio
+    assert measured_ratio < 20 * predicted_ratio

@@ -1,0 +1,64 @@
+"""Ablation: the least-count expressiveness/cost trade-off (Section 3.1).
+
+``lc(num)`` is the smallest subscribable interval.  Coarsening it shrinks
+the key tree (fewer keys, shorter derivations) but quantizes what
+subscribers can express: a requested range is snapped outward to lc
+boundaries, over-granting up to ``2 (lc - 1)`` values.
+"""
+
+import random
+
+from repro.core.nakt import NumericKeySpace
+from repro.harness.reporting import format_table
+
+RANGE = 4096
+SPAN = 250
+
+
+def _stats(least_count: int, samples: int = 300):
+    rng = random.Random(least_count)
+    space = NumericKeySpace("v", RANGE, least_count=least_count)
+    total_keys = 0
+    total_overgrant = 0
+    for _ in range(samples):
+        low = rng.randint(0, RANGE - SPAN)
+        high = low + SPAN - 1
+        cover = space.cover(low, high)
+        total_keys += len(cover)
+        granted_low = min(space.node_range(k)[0] for k in cover)
+        granted_high = max(space.node_range(k)[1] for k in cover)
+        total_overgrant += (low - granted_low) + (granted_high - high)
+    return (
+        space.depth,
+        total_keys / samples,
+        total_overgrant / samples,
+    )
+
+
+def test_ablation_least_count(benchmark, report):
+    least_counts = [1, 2, 4, 8, 16, 32]
+    rows = benchmark.pedantic(
+        lambda: [(lc, *_stats(lc)) for lc in least_counts],
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "ablation_leastcount",
+        format_table(
+            ["lc", "tree depth", "avg keys", "avg over-granted values"],
+            rows,
+            title=f"Ablation: least count (R={RANGE}, phi={SPAN})",
+        ),
+    )
+    depths = [depth for _, depth, _, _ in rows]
+    keys = [avg_keys for _, _, avg_keys, _ in rows]
+    overgrants = [over for _, _, _, over in rows]
+    # Coarser lc: shallower trees, fewer keys...
+    assert depths == sorted(depths, reverse=True)
+    assert keys[-1] < keys[0]
+    # ...but strictly worse expressiveness.
+    assert overgrants[0] == 0.0
+    assert overgrants[-1] > overgrants[0]
+    # Over-grant is bounded by 2 (lc - 1).
+    for (lc, _, _, over) in rows:
+        assert over <= 2 * (lc - 1)

@@ -1,0 +1,87 @@
+"""Microbenchmarks of the crypto substrate.
+
+The per-operation costs here drive every time-based experiment (they are
+the measured constants of Tables 1-2 and the simulator's service-time
+model), so they are benchmarked directly.  The pure-Python AES is also
+timed against the optional C backend to document the gap the automatic
+backend selection papers over.
+"""
+
+import os
+
+from repro.crypto.aes import AES
+from repro.crypto.cipher import backend_name, decrypt, encrypt
+from repro.crypto.hashes import H
+from repro.crypto.modes import cbc_encrypt
+from repro.crypto.prf import F, KH
+
+KEY = bytes(range(16))
+PAYLOAD = os.urandom(256)
+
+
+def test_hash_step(benchmark):
+    """One child-key derivation step: H(key || branch)."""
+    benchmark(lambda: H(KEY + b"\x01"))
+
+
+def test_keyed_hash(benchmark):
+    """One KH (HMAC) invocation: topic keys, tree roots, grants."""
+    benchmark(lambda: KH(KEY, b"age"))
+
+
+def test_tokenization_prf(benchmark):
+    """One F invocation: token issue / broker-side token check."""
+    nonce = os.urandom(16)
+    benchmark(lambda: F(KEY, nonce))
+
+
+def test_event_encrypt_default_backend(benchmark):
+    """AES-128-CBC of a 256-byte payload (active backend)."""
+    benchmark(lambda: encrypt(KEY, PAYLOAD))
+
+
+def test_event_decrypt_default_backend(benchmark):
+    ciphertext = encrypt(KEY, PAYLOAD)
+    benchmark(lambda: decrypt(KEY, ciphertext))
+
+
+def test_pure_python_block(benchmark):
+    """One pure-Python AES block (the no-dependency fallback)."""
+    cipher = AES(KEY)
+    block = PAYLOAD[:16]
+    benchmark(lambda: cipher.encrypt_block(block))
+
+
+def test_pure_python_event_encrypt(benchmark, report):
+    """Pure-Python CBC of a 256-byte payload, with a backend comparison."""
+    import time
+
+    result = benchmark.pedantic(
+        lambda: cbc_encrypt(KEY, PAYLOAD), rounds=50, iterations=1
+    )
+    assert result  # ciphertext produced
+
+    iterations = 50
+    start = time.perf_counter()
+    for _ in range(iterations):
+        cbc_encrypt(KEY, PAYLOAD)
+    pure_s = (time.perf_counter() - start) / iterations
+    start = time.perf_counter()
+    for _ in range(iterations):
+        encrypt(KEY, PAYLOAD)
+    active_s = (time.perf_counter() - start) / iterations
+    from repro.harness.reporting import format_table
+
+    report(
+        "crypto_primitives",
+        format_table(
+            ["implementation", "256B encrypt (us)"],
+            [
+                ("pure python", pure_s * 1e6),
+                (f"active backend ({backend_name()})", active_s * 1e6),
+            ],
+            title="AES-128-CBC backends",
+        ),
+    )
+    if backend_name() == "cryptography":
+        assert active_s < pure_s

@@ -1,0 +1,41 @@
+"""Figure 3: keys per subscriber vs. NS.
+
+Paper shape: PSGuard flat (small constant); SubscriberGroup grows with
+NS (log-scale axis in the paper, ~40x PSGuard at NS = 32).
+"""
+
+from repro.harness.keymgmt import run_key_management
+from repro.harness.reporting import format_table
+
+SUBSCRIBER_COUNTS = [2, 4, 8, 16, 32]
+
+
+def test_fig3_keys_per_subscriber(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: run_key_management(SUBSCRIBER_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig3_keys_per_subscriber",
+        format_table(
+            ["NS", "PSGuard", "SubscriberGroup", "SG / PSG"],
+            [
+                (
+                    row.num_subscribers,
+                    row.psguard_keys_per_subscriber,
+                    row.group_keys_per_subscriber,
+                    row.group_keys_per_subscriber
+                    / row.psguard_keys_per_subscriber,
+                )
+                for row in rows
+            ],
+            title="Figure 3: Num Keys per Subscriber",
+        ),
+    )
+    psguard = [row.psguard_keys_per_subscriber for row in rows]
+    group = [row.group_keys_per_subscriber for row in rows]
+    # PSGuard flat; SubscriberGroup growing and eventually far larger.
+    assert max(psguard) <= 1.6 * min(psguard)
+    assert group[-1] > group[0]
+    assert group[-1] > 1.5 * psguard[-1]

@@ -1,0 +1,41 @@
+"""Figure 4: keys per publisher vs. NS.
+
+A PSGuard publisher holds one topic key per topic it publishes on
+(constant in NS); a group-based publisher must hold every group key of
+its topics, since events are encrypted under the recipient group's key.
+"""
+
+from repro.harness.keymgmt import run_key_management
+from repro.harness.reporting import format_table
+
+SUBSCRIBER_COUNTS = [2, 4, 8, 16, 32]
+
+
+def test_fig4_keys_per_publisher(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: run_key_management(SUBSCRIBER_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig4_keys_per_publisher",
+        format_table(
+            ["NS", "PSGuard", "SubscriberGroup", "SG / PSG"],
+            [
+                (
+                    row.num_subscribers,
+                    row.psguard_keys_per_publisher,
+                    row.group_keys_per_publisher,
+                    row.group_keys_per_publisher
+                    / row.psguard_keys_per_publisher,
+                )
+                for row in rows
+            ],
+            title="Figure 4: Num Keys per Publisher",
+        ),
+    )
+    psguard = [row.psguard_keys_per_publisher for row in rows]
+    group = [row.group_keys_per_publisher for row in rows]
+    assert len(set(psguard)) == 1  # exactly one key per topic, any NS
+    assert group == sorted(group)
+    assert group[-1] > 5 * psguard[-1]

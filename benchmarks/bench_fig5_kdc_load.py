@@ -1,0 +1,46 @@
+"""Figure 5: KDC compute (ms) and network (KB) load per join vs. NS.
+
+Paper shape: SubscriberGroup costs explode with NS; PSGuard costs are a
+small constant independent of NS.
+"""
+
+from repro.harness.keymgmt import run_key_management
+from repro.harness.reporting import format_table
+
+SUBSCRIBER_COUNTS = [2, 4, 8, 16, 32]
+
+
+def test_fig5_kdc_load(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: run_key_management(SUBSCRIBER_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig5_kdc_load",
+        format_table(
+            ["NS", "PSG compute (ms)", "SG compute (ms)",
+             "PSG network (KB)", "SG network (KB)"],
+            [
+                (
+                    row.num_subscribers,
+                    row.psguard_kdc_compute_ms,
+                    row.group_kdc_compute_ms,
+                    row.psguard_kdc_network_kb,
+                    row.group_kdc_network_kb,
+                )
+                for row in rows
+            ],
+            title="Figure 5: KDC Load (per subscriber join)",
+        ),
+    )
+    psguard_compute = [row.psguard_kdc_compute_ms for row in rows]
+    group_compute = [row.group_kdc_compute_ms for row in rows]
+    psguard_network = [row.psguard_kdc_network_kb for row in rows]
+    group_network = [row.group_kdc_network_kb for row in rows]
+    assert max(psguard_compute) <= 2.0 * min(psguard_compute)
+    assert max(psguard_network) <= 1.6 * min(psguard_network)
+    assert group_compute[-1] > 2.0 * group_compute[0]
+    assert group_network[-1] > 2.0 * group_network[0]
+    assert group_compute[-1] > psguard_compute[-1]
+    assert group_network[-1] > psguard_network[-1]

@@ -1,0 +1,43 @@
+"""Figure 7: secure routing under a collusive setting.
+
+Coalition entropy vs. fraction of colluding routing nodes.  Paper shape:
+entropy decreases as more nodes collude, collapsing to S_act when all
+collude; at realistic collusion (10-20%) the apparent entropy stays well
+above S_act.
+"""
+
+from repro.harness.reporting import format_table
+from repro.routing.experiment import RoutingExperimentConfig, sweep_collusion
+
+CONFIG = RoutingExperimentConfig(events=8000)
+FRACTIONS = [0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def test_fig7_entropy_collusive(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: sweep_collusion(CONFIG, fractions=FRACTIONS, ind_max=5),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig7_entropy_collusive",
+        format_table(
+            ["colluding fraction", "S_app", "S_act", "S_max"],
+            [
+                (fraction, entropy, result.s_act, result.s_max)
+                for fraction, entropy, result in rows
+            ],
+            title="Figure 7: Collusive Apparent Entropy (ind_max = 5, bits)",
+        ),
+    )
+    baseline = rows[0][1]
+    full_collusion = rows[-1][1]
+    s_act = rows[-1][2].s_act
+    # Full collusion recovers the actual distribution.
+    assert abs(full_collusion - s_act) < 0.15
+    # Collusion strictly hurts relative to the non-collusive view.
+    assert full_collusion < baseline
+    # Overall decreasing trend across the sweep.
+    first_half = sum(entropy for _, entropy, _ in rows[:3]) / 3
+    second_half = sum(entropy for _, entropy, _ in rows[-3:]) / 3
+    assert second_half < first_half

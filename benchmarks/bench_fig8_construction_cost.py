@@ -1,0 +1,66 @@
+"""Figure 8: multi-path network construction cost vs. ind_max.
+
+Normalized to ind_max = 1.  Paper shape: cost at ind_max = 5 is ~3x the
+single-path network, and the curve saturates because only frequent
+tokens earn many paths (at ind_max = 10, only the ~12 most popular of
+128 tokens use all ten paths; ~48 use fewer than two).
+"""
+
+from repro.harness.reporting import format_table
+from repro.routing.experiment import (
+    RoutingExperimentConfig,
+    construction_cost_curve,
+)
+from repro.routing.multipath import ProbabilisticRouter
+from repro.topology.multipath import MultipathNetwork
+from repro.workloads.zipf import zipf_weights
+
+CONFIG = RoutingExperimentConfig()
+
+
+def test_fig8_construction_cost(benchmark, report):
+    curve = benchmark.pedantic(
+        lambda: construction_cost_curve(CONFIG, ind_values=list(range(1, 11))),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig8_construction_cost",
+        format_table(
+            ["ind_max", "normalized construction cost"],
+            curve,
+            title="Figure 8: Multi-Path Construction Cost (vs ind_max = 1)",
+        ),
+    )
+    values = dict(curve)
+    assert values[1] == 1.0
+    # ~3x at ind_max = 5 (paper), with generous tolerance.
+    assert 1.8 <= values[5] <= 4.0
+    # Saturating: the 6..10 increments are smaller than the 1..5 ones.
+    early_growth = values[5] - values[1]
+    late_growth = values[10] - values[5]
+    assert late_growth < early_growth
+
+
+def test_fig8_path_usage_histogram(benchmark, report):
+    """The paper's token-level explanation of the saturation."""
+
+    def histogram():
+        tokens = [f"t{i}" for i in range(128)]
+        frequencies = dict(zip(tokens, zipf_weights(128)))
+        network = MultipathNetwork(depth=2, arity=10, ind=10)
+        router = ProbabilisticRouter(network, frequencies, ind_max=10)
+        return router.path_usage_histogram()
+
+    usage = benchmark.pedantic(histogram, rounds=1, iterations=1)
+    report(
+        "fig8_path_usage",
+        format_table(
+            ["independent paths", "tokens using it"],
+            sorted(usage.items()),
+            title="Figure 8 (inset): path usage at ind_max = 10",
+        ),
+    )
+    # Paper: ~12 of 128 tokens use all 10 paths; ~48 use fewer than two.
+    assert 6 <= usage.get(10, 0) <= 25
+    assert usage.get(1, 0) >= 30

@@ -1,0 +1,54 @@
+"""Figure 9: maximum throughput vs. number of routing nodes.
+
+Paper shape: throughput rises with the node count (in-network matching
+spreads the fan-out work); PSGuard's topic/numeric/string modes sit
+within a few percent of plain Siena, category ~11% below.
+"""
+
+from benchmarks.conftest import ENDTOEND_MODES, ENDTOEND_NODES
+from repro.harness.reporting import format_table
+
+
+def test_fig9_throughput(benchmark, endtoend_sweep, report):
+    results = benchmark.pedantic(
+        lambda: endtoend_sweep, rounds=1, iterations=1
+    )
+    rows = []
+    for nodes in ENDTOEND_NODES:
+        rows.append(
+            (nodes, *(
+                results[(mode, nodes)].throughput_events_per_s
+                for mode in ENDTOEND_MODES
+            ))
+        )
+    report(
+        "fig9_throughput",
+        format_table(
+            ["nodes", *ENDTOEND_MODES],
+            rows,
+            title="Figure 9: Max Throughput (events/s)",
+        ),
+    )
+
+    siena = [results[("siena", n)].throughput_events_per_s
+             for n in ENDTOEND_NODES]
+    # Throughput rises as routing nodes take over the fan-out.
+    assert siena[-1] > 1.5 * siena[0]
+    for nodes in ENDTOEND_NODES[1:]:
+        base = results[("siena", nodes)].throughput_events_per_s
+        for mode, ceiling in (
+            ("topic", 0.10), ("numeric", 0.12), ("string", 0.12),
+            ("category", 0.20),
+        ):
+            drop = 1 - results[(mode, nodes)].throughput_events_per_s / base
+            assert -0.05 <= drop <= ceiling, (mode, nodes, drop)
+    # Category is the costliest attribute type (paper: ~11% drop).
+    category_drop = 1 - (
+        results[("category", 30)].throughput_events_per_s
+        / results[("siena", 30)].throughput_events_per_s
+    )
+    topic_drop = 1 - (
+        results[("topic", 30)].throughput_events_per_s
+        / results[("siena", 30)].throughput_events_per_s
+    )
+    assert category_drop > topic_drop

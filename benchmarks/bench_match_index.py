@@ -1,0 +1,113 @@
+"""Microbenchmark: counting-algorithm index vs. linear-scan matching.
+
+Justifies the sublinear matching model the Fig 9-11 simulation uses
+(Siena's own matching is index-based): per-event match cost with the
+index stays near-flat as the table grows, while the naive scan grows
+linearly.
+"""
+
+import random
+import time
+
+from repro.harness.reporting import format_table
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+from repro.siena.index import MatchIndex
+
+TABLE_SIZES = (32, 128, 512, 2048)
+PROBES = 400
+
+
+def _workload(size: int, seed: int = 3):
+    """Tables grow the way real ones do: with topic diversity.
+
+    Each topic keeps a bounded handful of filters, so the counting
+    index's output-sensitive cost stays flat while the scan pays for the
+    whole table.
+    """
+    rng = random.Random(seed)
+    topics = max(8, size // 8)
+    filters = []
+    for index in range(size):
+        topic = f"topic-{index % topics}"
+        low = rng.randint(0, 200)
+        filters.append(
+            Filter.numeric_range(topic, "v", low, low + rng.randint(1, 50))
+        )
+    events = [
+        Event({"topic": f"topic-{rng.randrange(topics)}",
+               "v": rng.randint(0, 255)})
+        for _ in range(PROBES)
+    ]
+    return filters, events
+
+
+def _time_scan(filters, events) -> float:
+    start = time.perf_counter()
+    hits = 0
+    for event in events:
+        for subscription in filters:
+            if subscription.matches(event):
+                hits += 1
+    elapsed = time.perf_counter() - start
+    return elapsed / len(events)
+
+
+def _time_index(filters, events) -> float:
+    index = MatchIndex()
+    for subscription in filters:
+        index.add(subscription)
+    start = time.perf_counter()
+    for event in events:
+        index.matching(event)
+    return (time.perf_counter() - start) / len(events)
+
+
+def test_match_index_scaling(benchmark, report):
+    def run():
+        rows = []
+        for size in TABLE_SIZES:
+            filters, events = _workload(size)
+            rows.append(
+                (size, _time_scan(filters, events) * 1e6,
+                 _time_index(filters, events) * 1e6)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "match_index",
+        format_table(
+            ["filters", "linear scan (us/event)", "index (us/event)"],
+            rows,
+            title="Match-index scaling",
+        ),
+    )
+    scan_growth = rows[-1][1] / rows[0][1]
+    index_growth = rows[-1][2] / rows[0][2]
+    # The scan grows roughly with the table; the index grows far slower.
+    assert scan_growth > 8
+    assert index_growth < scan_growth / 3
+    # At the largest table the index wins outright.
+    assert rows[-1][2] < rows[-1][1]
+
+
+def test_index_correctness_at_scale(benchmark):
+    filters, events = _workload(512)
+    index = MatchIndex()
+    for subscription in filters:
+        index.add(subscription)
+
+    def verify():
+        mismatches = 0
+        for event in events[:100]:
+            expected = {
+                repr(f) for f in filters if f.matches(event)
+            }
+            actual = {repr(f) for f in index.matching(event)}
+            if expected != actual:
+                mismatches += 1
+        return mismatches
+
+    mismatches = benchmark.pedantic(verify, rounds=1, iterations=1)
+    assert mismatches == 0

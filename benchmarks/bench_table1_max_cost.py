@@ -1,0 +1,76 @@
+"""Table 1: worst-case NAKT costs vs. range size (lc = 1).
+
+Paper row (550 MHz PIII): R=10^2 -> 12 keys, 23.66us gen, 6.37us derive;
+R=10^3 -> 18 / 34.58 / 9.10; R=10^4 -> 26 / 49.14 / 12.74.  Key counts
+must match exactly; microseconds scale with local hash speed.
+"""
+
+import math
+
+from repro.analysis.costs import NAKTCostModel, measure_hash_microseconds
+from repro.core.ktid import KTID
+from repro.core.nakt import NumericKeySpace
+from repro.harness.reporting import format_table
+
+RANGES = [10**2, 10**3, 10**4]
+PAPER_KEYS = {10**2: 12, 10**3: 18, 10**4: 26}
+
+
+def _rows():
+    hash_us = measure_hash_microseconds()
+    rows = []
+    for range_size in RANGES:
+        model = NAKTCostModel(range_size, hash_microseconds=hash_us)
+        rows.append(
+            (
+                range_size,
+                math.ceil(model.max_keys()),
+                PAPER_KEYS[range_size],
+                model.max_keygen_microseconds(),
+                model.max_derive_microseconds(),
+            )
+        )
+    return rows
+
+
+def test_table1_max_cost(benchmark, report):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    report(
+        "table1_max_cost",
+        format_table(
+            ["R", "# Keys", "paper # Keys", "Key Gen (us)", "Key Derive (us)"],
+            rows,
+            title="Table 1: Max Cost (lc = 1, local hardware)",
+        ),
+    )
+    for range_size, keys, paper_keys, gen_us, derive_us in rows:
+        assert keys == paper_keys
+        assert gen_us > derive_us > 0
+
+
+def test_table1_worst_case_matches_real_tree(benchmark):
+    """The formula's worst case is realized by an actual subscription."""
+
+    def worst_case_cover():
+        space = NumericKeySpace("v", 1024)
+        sampled = max(
+            len(space.cover(low, high))
+            for low in range(0, 1024, 17)
+            for high in range(low, 1024, 31)
+        )
+        # The analytic worst case is the almost-full range (1, R-2),
+        # which misaligns at every level on both flanks.
+        return max(sampled, len(space.cover(1, 1022)))
+
+    worst = benchmark.pedantic(worst_case_cover, rounds=1, iterations=1)
+    model = NAKTCostModel(1024)
+    assert worst == model.max_keys()
+
+
+def test_benchmark_key_derivation_throughput(benchmark):
+    """Microbenchmark: one full-depth key derivation (Table 1's unit)."""
+    space = NumericKeySpace("v", 10**4)
+    topic_key = bytes(range(16))
+    root = (KTID.root(), space.node_key(topic_key, KTID.root()))
+    leaf = space.ktid(9_999)
+    benchmark(lambda: NumericKeySpace.derive_encryption_key(root, leaf))

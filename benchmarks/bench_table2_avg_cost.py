@@ -1,0 +1,68 @@
+"""Table 2: average NAKT costs vs. subscription span (R = 10^4, lc = 1).
+
+Paper row: phi=10 -> 3.32 keys, 14.20us gen, 3.02us derive; phi=10^2 ->
+6.64 / 17.22 / 6.04; phi=10^3 -> 9.97 / 20.25 / 9.07.
+"""
+
+import random
+
+from repro.analysis.costs import NAKTCostModel, measure_hash_microseconds
+from repro.core.nakt import NumericKeySpace
+from repro.harness.reporting import format_table
+
+RANGE = 10**4
+SPANS = [10, 10**2, 10**3]
+PAPER_KEYS = {10: 3.32, 10**2: 6.64, 10**3: 9.97}
+
+
+def _analytic_rows():
+    hash_us = measure_hash_microseconds()
+    model = NAKTCostModel(RANGE, hash_microseconds=hash_us)
+    return [
+        (
+            span,
+            model.avg_keys(span),
+            PAPER_KEYS[span],
+            model.avg_keygen_microseconds(span),
+            model.avg_derive_microseconds(span),
+        )
+        for span in SPANS
+    ]
+
+
+def _measured_average_cover(span: int, samples: int = 400) -> float:
+    rng = random.Random(13)
+    space = NumericKeySpace("v", RANGE)
+    total = 0
+    for _ in range(samples):
+        low = rng.randint(0, RANGE - span)
+        total += len(space.cover(low, low + span - 1))
+    return total / samples
+
+
+def test_table2_avg_cost(benchmark, report):
+    rows = benchmark.pedantic(_analytic_rows, rounds=1, iterations=1)
+    report(
+        "table2_avg_cost",
+        format_table(
+            ["phi_R", "# Keys", "paper # Keys", "Key Gen (us)",
+             "Key Derive (us)"],
+            rows,
+            title="Table 2: Avg Cost (R = 10^4, local hardware)",
+        ),
+    )
+    for span, keys, paper_keys, gen_us, derive_us in rows:
+        assert abs(keys - paper_keys) < 0.02
+        assert gen_us > 0 and derive_us > 0
+
+
+def test_table2_formula_matches_simulation(benchmark):
+    """The log2(phi) average is realized by actual random subscriptions."""
+    measured = benchmark.pedantic(
+        lambda: {span: _measured_average_cover(span) for span in SPANS},
+        rounds=1,
+        iterations=1,
+    )
+    model = NAKTCostModel(RANGE)
+    for span in SPANS:
+        assert abs(measured[span] - model.avg_keys(span)) < 2.0

@@ -1,0 +1,73 @@
+"""Table 5: lower bound on C_sg : C_psguard vs. subscription span.
+
+Paper (NS = 10^3, R = 10^4): phi=10 -> 1.81; 10^2 -> 9.04; 10^3 -> 60.18;
+10^4 -> 451.81.  Exact reproduction (closed form), plus a simulated
+confirmation of the trend from the real key servers.
+"""
+
+import pytest
+
+from repro.analysis.models import cost_ratio_lower_bound
+from repro.baseline.groups import GroupKeyServer
+from repro.core.composite import CompositeKeySpace
+from repro.core.kdc import KDC
+from repro.core.nakt import NumericKeySpace
+from repro.harness.reporting import format_table
+from repro.siena.filters import Filter
+
+NS, RANGE = 10**3, 10**4
+PAPER = {10: 1.81, 10**2: 9.04, 10**3: 60.18, 10**4: 451.81}
+
+
+def test_table5_ratio_vs_span(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: [
+            (span, cost_ratio_lower_bound(NS, RANGE, span), PAPER[span])
+            for span in PAPER
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "table5_ratio_phir",
+        format_table(
+            ["phi_R", "C_sg : C_psguard", "paper"],
+            rows,
+            title=f"Table 5: Cost-Ratio Lower Bound (NS={NS}, R={RANGE})",
+        ),
+    )
+    for span, ratio, paper_value in rows:
+        assert ratio == pytest.approx(paper_value, rel=0.01)
+
+
+def test_table5_trend_confirmed_by_simulation(benchmark):
+    """Wider spans widen the measured messaging gap (smaller simulation)."""
+
+    def simulate(span: int, subscribers: int = 60, range_size: int = 2048):
+        import random
+
+        rng = random.Random(span)
+        group = GroupKeyServer(range_size)
+        kdc = KDC(master_key=bytes(16))
+        kdc.register_topic(
+            "t", CompositeKeySpace({"v": NumericKeySpace("v", range_size)})
+        )
+        group_messages = 0
+        psguard_keys = 0
+        for index in range(subscribers):
+            low = rng.randint(0, range_size - span)
+            group_messages += group.join(
+                f"S{index}", low, low + span - 1
+            ).messages
+            psguard_keys += kdc.authorize(
+                f"S{index}", Filter.numeric_range("t", "v", low, low + span - 1)
+            ).key_count()
+        return group_messages / max(1, psguard_keys)
+
+    ratios = benchmark.pedantic(
+        lambda: [simulate(span) for span in (16, 128, 1024)],
+        rounds=1,
+        iterations=1,
+    )
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 3 * ratios[0]

@@ -1,0 +1,48 @@
+"""Shared infrastructure for the table/figure regeneration benches.
+
+Every bench regenerates one table or figure of the paper's evaluation
+(Section 5.2 plus the analytical tables) and both prints the series and
+persists it under ``benchmarks/results/``, so ``pytest benchmarks/
+--benchmark-only`` leaves the regenerated numbers on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: (modes, node counts, events per run) for the Fig 9-10 sweep; reduced
+#: events keep the bench suite in minutes while preserving the shapes.
+ENDTOEND_MODES = ("siena", "topic", "numeric", "category", "string")
+ENDTOEND_NODES = (0, 2, 6, 14, 30)
+ENDTOEND_EVENTS = 300
+
+
+@pytest.fixture(scope="session")
+def endtoend_sweep():
+    """The Fig 9/10 sweep, computed once per bench session."""
+    from repro.harness.endtoend import max_throughput, sample_pipeline_costs
+
+    results = {}
+    for mode in ENDTOEND_MODES:
+        pipeline = sample_pipeline_costs(mode)
+        for nodes in ENDTOEND_NODES:
+            results[(mode, nodes)] = max_throughput(
+                mode, nodes, pipeline=pipeline, events=ENDTOEND_EVENTS
+            )
+    return results
+
+
+@pytest.fixture
+def report():
+    """Print a rendered table and persist it to benchmarks/results/."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _report

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Medical-records dissemination over a full broker network.
+
+Extends the quickstart to the paper's system architecture: sealed events
+route through a hierarchical Siena broker tree with in-network matching,
+multiple wards publish under per-publisher topic keys (Section 3.1
+"Multiple Publishers"), and subscriptions mix numeric ranges with
+category subsumption over a diagnosis ontology.
+
+Run:  python examples/medical_records.py
+"""
+
+from repro.core import (
+    KDC,
+    CategoryKeySpace,
+    CategoryTree,
+    CompositeKeySpace,
+    NumericKeySpace,
+    Publisher,
+    Subscriber,
+)
+from repro.siena import BrokerTree, Constraint, Event, Filter, Op
+
+
+def build_kdc() -> tuple[KDC, CategoryTree]:
+    kdc = KDC()
+    kdc.register_topic(
+        "cancerTrail",
+        CompositeKeySpace({"age": NumericKeySpace("age", 128)}),
+    )
+    ontology = CategoryTree.from_spec(
+        "conditions",
+        {
+            "oncology": {"lung": {}, "skin": {}, "lymphoma": {}},
+            "cardiology": {"arrhythmia": {}, "ischemia": {}},
+        },
+    )
+    kdc.register_topic(
+        "admissions",
+        CompositeKeySpace(
+            {"condition": CategoryKeySpace("condition", ontology)}
+        ),
+        per_publisher=True,
+    )
+    return kdc, ontology
+
+
+def _path(ontology: CategoryTree, label: str) -> str:
+    """Root path string for routing-level subsumption (prefix matching)."""
+    return "/".join(ontology.path(label)) + "/"
+
+
+def main() -> None:
+    kdc, ontology = build_kdc()
+    schema_lookup = lambda topic: kdc.config_for(topic).schema  # noqa: E731
+
+    # A 7-broker tree: the hospital data center publishes at the root,
+    # clinics attach to leaf brokers.
+    tree = BrokerTree(num_brokers=7)
+    sealed_by_seq: dict[int, object] = {}
+    inboxes: dict[str, list] = {}
+
+    def attach(name: str, leaf_index: int, *filters: Filter,
+               subscriber: Subscriber, publisher: str | None = None) -> None:
+        inboxes[name] = []
+
+        def deliver(routable: Event) -> None:
+            sealed = sealed_by_seq[routable["_seq"]]
+            result = subscriber.receive(sealed, schema_lookup)
+            inboxes[name].append((routable, result))
+
+        tree.attach_subscriber(name, tree.leaf_ids()[leaf_index], deliver)
+        for subscription in filters:
+            # Topics with per-publisher keys ("admissions") scope the
+            # grant to one publisher's stream.
+            grant_publisher = (
+                publisher
+                if any(c.value == "admissions" for c in subscription
+                       if c.name == "topic")
+                else None
+            )
+            subscriber.add_grant(
+                kdc.authorize(name, subscription, publisher=grant_publisher)
+            )
+            tree.subscribe(name, subscription)
+
+    # An oncology researcher: adult patients on the cancer trail, plus
+    # every oncology admission (category subsumption).
+    researcher = Subscriber("researcher")
+    attach(
+        "researcher", 0,
+        Filter.numeric_range("cancerTrail", "age", 18, 65),
+        # Category values travel as ontology path strings: brokers match
+        # subsumption as a plain PREFIX test, the key space enforces the
+        # same subtree cryptographically.
+        Filter.of(
+            Constraint("topic", Op.EQ, "admissions"),
+            Constraint("condition", Op.PREFIX, _path(ontology, "oncology")),
+        ),
+        subscriber=researcher,
+        publisher="ward-B",  # admissions grants are per publishing ward
+    )
+
+    # A cardiology ward display: cardiology admissions only.
+    ward = Subscriber("cardio-ward")
+    attach(
+        "cardio-ward", 1,
+        Filter.of(
+            Constraint("topic", Op.EQ, "admissions"),
+            Constraint("condition", Op.PREFIX, _path(ontology, "cardiology")),
+        ),
+        subscriber=ward,
+        publisher="ward-B",
+    )
+
+    # Two publishing wards.  "admissions" uses per-publisher topic keys:
+    # ward A cannot read ward B's publications.
+    ward_a = Publisher("ward-A", kdc)
+    ward_b = Publisher("ward-B", kdc)
+
+    def publish(publisher: Publisher, attributes: dict, secret: set) -> None:
+        seq = len(sealed_by_seq)
+        event = Event(attributes, publisher=publisher.publisher_id)
+        sealed = publisher.publish(event, secret_attributes=secret)
+        sealed_by_seq[seq] = sealed
+        tree.publish(sealed.routable.with_attributes(_seq=seq))
+
+    publish(
+        ward_a,
+        {"topic": "cancerTrail", "age": 42,
+         "patientRecord": "trial cohort 7, responding"},
+        {"patientRecord"},
+    )
+    publish(
+        ward_a,
+        {"topic": "cancerTrail", "age": 77,
+         "patientRecord": "trial cohort 9, stable"},
+        {"patientRecord"},
+    )
+    publish(
+        ward_b,
+        {"topic": "admissions", "condition": _path(ontology, "lung"),
+         "record": "admission #4411"},
+        {"record"},
+    )
+    publish(
+        ward_b,
+        {"topic": "admissions",
+         "condition": _path(ontology, "arrhythmia"),
+         "record": "admission #4412"},
+        {"record"},
+    )
+
+    print("researcher inbox:")
+    for routable, result in inboxes["researcher"]:
+        payload = (
+            result.event.get("patientRecord") or result.event.get("record")
+            if result
+            else "<unreadable>"
+        )
+        print(f"  topic={routable['topic']:<12} -> {payload!r}")
+    print("cardio-ward inbox:")
+    for routable, result in inboxes["cardio-ward"]:
+        payload = result.event.get("record") if result else "<unreadable>"
+        print(f"  topic={routable['topic']:<12} -> {payload!r}")
+
+    # In-network matching delivered only matching events (age 77 filtered
+    # out for the researcher; oncology admission not sent to cardiology),
+    # and every delivered event decrypted.
+    assert len(inboxes["researcher"]) == 2
+    assert all(result is not None for _, result in inboxes["researcher"])
+    assert len(inboxes["cardio-ward"]) == 1
+    assert inboxes["cardio-ward"][0][1].event["record"] == "admission #4412"
+
+    # Per-publisher isolation: ward A's key for "admissions" cannot open
+    # ward B's sealed admission.
+    ward_a_as_subscriber = Subscriber("ward-A")
+    ward_a_as_subscriber.add_grant(
+        kdc.authorize(
+            "ward-A",
+            Filter.of(
+                Constraint("topic", Op.EQ, "admissions"),
+                Constraint("condition", Op.PREFIX, _path(ontology, "conditions")),
+            ),
+            publisher="ward-A",
+        )
+    )
+    stolen = sealed_by_seq[2]  # ward B's lung admission
+    assert ward_a_as_subscriber.receive(stolen, schema_lookup) is None
+    print("\nper-publisher isolation: ward A cannot read ward B's events ✓")
+
+
+if __name__ == "__main__":
+    main()

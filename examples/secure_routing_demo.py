@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Secure content-based routing: tokenization and multi-path smoothing.
+
+Demonstrates Section 4 end to end:
+
+1. brokers match events against subscriptions *without learning the
+   topic* (Song-Wagner-Perrig tokenization);
+2. a curious broker mounts the frequency-inference attack against the
+   token stream and wins when events follow the tree;
+3. probabilistic multi-path routing flattens the apparent frequencies and
+   collapses the attack to near-random guessing.
+
+Run:  python examples/secure_routing_demo.py
+"""
+
+import random
+
+from repro.routing import (
+    ProbabilisticRouter,
+    TokenAuthority,
+    tokenize_event,
+    tokenized_match,
+    tokenized_subscription,
+)
+from repro.routing.attacks import rank_matching_attack, random_guess_accuracy
+from repro.routing.experiment import (
+    RoutingExperimentConfig,
+    run_dissemination,
+)
+from repro.siena import Event
+
+NUM_TOPICS = 64
+
+
+def demo_tokenized_matching() -> None:
+    print("1. tokenized matching -----------------------------------------")
+    authority = TokenAuthority(bytes(range(16)))
+    event = Event({"topic": "cancerTrail"})
+    tokenized = tokenize_event(authority, event, {}, "cancerTrail")
+    print(f"   event on the wire: {dict(tokenized.attributes)}")
+    matching = tokenized_subscription(authority, "cancerTrail")
+    other = tokenized_subscription(authority, "fluTrial")
+    print(f"   matches cancerTrail subscription: "
+          f"{tokenized_match(matching, tokenized)}")
+    print(f"   matches fluTrial subscription:    "
+          f"{tokenized_match(other, tokenized)}")
+    assert tokenized_match(matching, tokenized)
+    assert not tokenized_match(other, tokenized)
+
+
+def demo_frequency_attack() -> None:
+    print("\n2. frequency-inference attack ---------------------------------")
+    config = RoutingExperimentConfig(
+        num_tokens=NUM_TOPICS, tokens_per_subscriber=16, events=6000
+    )
+    rng = random.Random(2)
+    topics = [f"topic-{i}" for i in range(NUM_TOPICS)]
+
+    for ind_max, label in ((1, "single-path (tree) routing"),
+                           (5, "probabilistic multi-path, ind_max = 5")):
+        result = run_dissemination(config, ind_max)
+        # The attacker: one curious node with the full a-priori topic
+        # frequency distribution, observing apparent token frequencies.
+        observed = result.observer.system_apparent_frequencies()
+        prior = dict(zip(topics, [result.router.frequencies[t]
+                                  for t in sorted(result.router.frequencies)]))
+        # Ground truth: token-i hides topic-i (an arbitrary labelling).
+        truth = dict(zip(sorted(result.router.frequencies), topics))
+        attack = rank_matching_attack(observed, prior, truth)
+        print(f"   {label}:")
+        print(f"     S_act={result.s_act:.2f}  S_app={result.s_app:.2f}  "
+              f"S_max={result.s_max:.2f}")
+        print(f"     attack accuracy: {attack.accuracy:.1%} "
+              f"(random guessing: {random_guess_accuracy(NUM_TOPICS):.1%})")
+
+
+def demo_construction_cost() -> None:
+    print("\n3. what the smoothing costs -----------------------------------")
+    from repro.topology.multipath import MultipathNetwork
+    from repro.workloads.zipf import zipf_weights
+
+    frequencies = dict(zip(
+        (f"t{i}" for i in range(128)), zipf_weights(128)
+    ))
+    base = None
+    for ind_max in (1, 2, 5, 10):
+        network = MultipathNetwork(depth=2, arity=10, ind=max(2, ind_max))
+        router = ProbabilisticRouter(network, frequencies, ind_max=ind_max)
+        cost = router.construction_cost()
+        base = base or cost
+        usage = router.path_usage_histogram()
+        print(f"   ind_max={ind_max:>2}: construction cost {cost / base:.2f}x"
+              f"  (tokens on ind_max paths: {usage.get(ind_max, 0)})")
+
+
+def main() -> None:
+    demo_tokenized_matching()
+    demo_frequency_attack()
+    demo_construction_cost()
+
+
+if __name__ == "__main__":
+    main()

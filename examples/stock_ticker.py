@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Stock ticker: temporal locality and the key cache (Section 3.2.3).
+
+The paper motivates key caching with exactly this workload: "Assuming
+that the stock price changes only nominally over small periods of time,
+two consecutive stock quote events are likely to carry prices that are
+numerically very close to one another."  Close prices share long ktid
+prefixes, so cached intermediate keys turn a full tree walk into one or
+two hash steps.
+
+Run:  python examples/stock_ticker.py
+"""
+
+import random
+
+from repro.core import (
+    KDC,
+    CompositeKeySpace,
+    NumericKeySpace,
+    Publisher,
+    Subscriber,
+)
+from repro.siena import Event, Filter
+
+PRICE_RANGE = 1024      # price in cents, 0 .. 10.23 USD
+EVENTS = 2000
+WALK_STEP = 4
+
+
+def run_ticker(cache_bytes: int, seed: int = 5) -> tuple[float, float, float]:
+    """Publish a random-walk quote stream; return per-event hash costs."""
+    kdc = KDC(master_key=bytes(range(16)))
+    kdc.register_topic(
+        "ACME", CompositeKeySpace({"price": NumericKeySpace("price", PRICE_RANGE)})
+    )
+    schema_lookup = lambda topic: kdc.config_for(topic).schema  # noqa: E731
+
+    exchange = Publisher("exchange", kdc, cache_bytes=cache_bytes)
+    trader = Subscriber("trader", cache_bytes=cache_bytes)
+    # The trader watches for prices in the upper half of the band.
+    trader.add_grant(
+        kdc.authorize(
+            "trader",
+            Filter.numeric_range("ACME", "price", PRICE_RANGE // 2,
+                                 PRICE_RANGE - 1),
+        )
+    )
+
+    rng = random.Random(seed)
+    price = 3 * PRICE_RANGE // 4
+    trader_hashes = 0
+    received = 0
+    for tick in range(EVENTS):
+        price = max(0, min(PRICE_RANGE - 1,
+                           price + rng.randint(-WALK_STEP, WALK_STEP)))
+        quote = Event(
+            {"topic": "ACME", "price": price, "message": f"tick {tick}"},
+            publisher="exchange",
+        )
+        sealed = exchange.publish(quote, secret_attributes={"message"})
+        result = trader.receive(sealed, schema_lookup)
+        if result is not None:
+            received += 1
+            trader_hashes += result.hash_operations
+
+    return (
+        exchange.stats.hash_operations / EVENTS,
+        trader_hashes / max(1, received),
+        exchange.cache.hit_rate,
+    )
+
+
+def main() -> None:
+    print(f"{EVENTS} quotes, random walk of step <= {WALK_STEP} cents\n")
+    print(f"{'cache':>8}  {'publisher H/event':>18}  "
+          f"{'subscriber H/event':>19}  {'pub hit rate':>12}")
+    rows = {}
+    for cache_kb in (0, 1, 4, 64):
+        publisher_work, subscriber_work, hit_rate = run_ticker(cache_kb * 1024)
+        rows[cache_kb] = (publisher_work, subscriber_work)
+        print(f"{cache_kb:>6}KB  {publisher_work:>18.2f}  "
+              f"{subscriber_work:>19.2f}  {hit_rate:>12.2f}")
+
+    uncached = rows[0]
+    cached = rows[64]
+    speedup_pub = uncached[0] / max(cached[0], 1e-9)
+    speedup_sub = uncached[1] / max(cached[1], 1e-9)
+    print(f"\n64KB cache cuts derivation work: publisher {speedup_pub:.1f}x,"
+          f" subscriber {speedup_sub:.1f}x")
+    assert cached[0] < uncached[0]
+    assert cached[1] < uncached[1]
+
+
+if __name__ == "__main__":
+    main()

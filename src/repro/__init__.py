@@ -1,0 +1,11 @@
+"""PSGuard: secure event dissemination in publish-subscribe networks.
+
+A from-scratch reproduction of Srivatsa & Liu, ICDCS 2007.  Start with
+:mod:`repro.core` (key management: KDC, publishers, subscribers),
+:mod:`repro.siena` (the content-based pub-sub substrate) and
+:mod:`repro.routing` (tokenized matching and probabilistic multi-path
+routing); ``docs/API.md`` holds a one-page tour and ``python -m repro``
+a command-line interface.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,30 @@
+"""Closed-form cost models (Sections 3.1, 3.2.2).
+
+- :mod:`repro.analysis.costs` -- per-subscription key counts and key
+  generation/derivation costs of the NAKT (Tables 1-2);
+- :mod:`repro.analysis.models` -- the M/M/N subscriber-population model
+  and the PSGuard vs. SubscriberGroup messaging-cost comparison
+  (Tables 3-6).
+"""
+
+from repro.analysis.costs import NAKTCostModel
+from repro.analysis.models import (
+    MMNPopulation,
+    cost_ratio_lower_bound,
+    kdc_cost_table,
+    overlap_probability,
+    psguard_epoch_messaging,
+    subscriber_cost_table,
+    subscriber_group_epoch_messaging,
+)
+
+__all__ = [
+    "MMNPopulation",
+    "NAKTCostModel",
+    "cost_ratio_lower_bound",
+    "kdc_cost_table",
+    "overlap_probability",
+    "psguard_epoch_messaging",
+    "subscriber_cost_table",
+    "subscriber_group_epoch_messaging",
+]

@@ -1,0 +1,121 @@
+"""NAKT cost formulas (Section 3.1, Tables 1-2).
+
+For a binary NAKT over range ``R`` with least count ``lc``:
+
+- **max keys** per subscription: ``2 log2(R/lc) - 2``;
+- **avg keys** for a uniform random range of length ``phi_R``:
+  ``log2(phi_R / lc)``;
+- **max key-generation cost** at the KDC: ``4 log2(R/lc) - 2`` hashes;
+- **avg key-generation cost**: ``log2(R/lc) + log2(phi_R/lc) - 1`` hashes;
+- **max key-derivation cost** at a client: ``log2(R/lc)`` hashes;
+- **avg key-derivation cost**: ``log2(phi_R/lc)`` hashes.
+
+``NAKTCostModel`` also converts hash counts to microseconds using a
+measured per-hash cost, regenerating Tables 1-2 on local hardware.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.crypto.hashes import H
+
+
+def measure_hash_microseconds(iterations: int = 20000) -> float:
+    """Measure the cost of one ``H`` invocation on this machine, in us."""
+    payload = b"\x00" * 17  # key (16B) plus one branch byte
+    start = time.perf_counter()
+    for _ in range(iterations):
+        H(payload)
+    elapsed = time.perf_counter() - start
+    return elapsed / iterations * 1e6
+
+
+@dataclass(frozen=True)
+class NAKTCostModel:
+    """Closed-form NAKT costs, parameterized by range and least count."""
+
+    range_size: int
+    least_count: int = 1
+    hash_microseconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.range_size < 2:
+            raise ValueError("range size must be at least 2")
+        if not 1 <= self.least_count <= self.range_size:
+            raise ValueError("invalid least count")
+
+    @property
+    def levels(self) -> float:
+        """``log2(R / lc)`` -- the NAKT depth as a real number."""
+        return math.log2(self.range_size / self.least_count)
+
+    @property
+    def depth(self) -> int:
+        """The built tree's integer depth, ``ceil(log2(R/lc))``."""
+        return math.ceil(self.levels)
+
+    # -- key counts -------------------------------------------------------------
+
+    def max_keys(self) -> float:
+        """Worst-case authorization keys for any range: ``2 d - 2``.
+
+        ``d`` is the integer tree depth (a real tree has whole levels);
+        this reproduces Table 1's key counts exactly (12 / 18 / 26 for
+        ``R`` of 10^2 / 10^3 / 10^4 at ``lc = 1``).
+        """
+        return max(1.0, 2.0 * self.depth - 2)
+
+    def avg_keys(self, subscription_span: float) -> float:
+        """Average keys for uniform random ranges of length *span*."""
+        span_levels = math.log2(max(2.0, subscription_span / self.least_count))
+        return span_levels
+
+    # -- KDC key generation -------------------------------------------------------
+
+    def max_keygen_hashes(self) -> float:
+        """Worst-case KDC hashes per subscription: ``4 log2(R/lc) - 2``."""
+        return max(1.0, 4 * self.levels - 2)
+
+    def avg_keygen_hashes(self, subscription_span: float) -> float:
+        """Average KDC hashes: ``log2(R/lc) + log2(phi/lc) - 1``."""
+        span_levels = math.log2(max(2.0, subscription_span / self.least_count))
+        return self.levels + span_levels - 1
+
+    # -- client key derivation -------------------------------------------------------
+
+    def max_derive_hashes(self) -> float:
+        """Worst-case derivation cost: ``log2(R/lc)`` hashes."""
+        return self.levels
+
+    def avg_derive_hashes(self, subscription_span: float) -> float:
+        """Average derivation cost: ``log2(phi/lc)`` hashes."""
+        return math.log2(max(2.0, subscription_span / self.least_count))
+
+    # -- microsecond conversion ---------------------------------------------------------
+
+    def _microseconds(self, hashes: float) -> float:
+        if self.hash_microseconds <= 0:
+            raise ValueError(
+                "construct the model with a measured hash_microseconds to "
+                "convert hash counts to time"
+            )
+        return hashes * self.hash_microseconds
+
+    def max_keygen_microseconds(self) -> float:
+        """Table 1's "Key Gen" column on local hardware."""
+        return self._microseconds(self.max_keygen_hashes())
+
+    def max_derive_microseconds(self) -> float:
+        """Table 1's "Key Derive" column on local hardware."""
+        return self._microseconds(self.max_derive_hashes())
+
+    def avg_keygen_microseconds(self, subscription_span: float) -> float:
+        """Table 2's "Key Gen" column on local hardware."""
+        return self._microseconds(self.avg_keygen_hashes(subscription_span))
+
+    def avg_derive_microseconds(self, subscription_span: float) -> float:
+        """Table 2's "Key Derive" column on local hardware."""
+        return self._microseconds(self.avg_derive_hashes(subscription_span))

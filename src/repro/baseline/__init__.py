@@ -1,0 +1,18 @@
+"""The SubscriberGroup baseline (Sections 3.2, 5.2.1).
+
+Group key management applied to pub-sub, after Opyrchal and Prakash
+(USENIX Security '01): the key server partitions each numeric attribute's
+range into maximal intervals whose subscriber sets coincide, keeps one
+group key per interval, and re-keys affected groups whenever a join
+changes a membership set.  Plain topics degenerate to one group per topic.
+
+This is the comparison point for every key-management experiment
+(Figures 3-5, Tables 3-6): its messaging, computation and state costs all
+grow with the number of active subscribers, which is precisely what
+PSGuard's derivation-based design eliminates.
+"""
+
+from repro.baseline.groups import GroupKeyServer, JoinCost
+from repro.baseline.topicgroups import TopicGroupServer
+
+__all__ = ["GroupKeyServer", "JoinCost", "TopicGroupServer"]

@@ -1,0 +1,215 @@
+"""Interval-group key management over one numeric attribute.
+
+State: a partition of the subscribed portion of ``(0, R-1)`` into maximal
+intervals with identical subscriber sets, one group key each.  A join for
+range ``(l, u)`` splits the boundary intervals and re-keys every interval
+whose membership changed (backward secrecy: the newcomer must not read
+events published before its join).  Every re-key costs one key generation
+at the server and one key message per affected member -- the costs the
+paper's quantitative analysis charges to the subscriber-group approach
+(Section 3.2.2): ~2 updated keys per overlapping active subscriber plus
+the newcomer's own key set.
+
+Departures use lazy revocation: groups are re-keyed in bulk at the epoch
+boundary (``rekey_epoch``), matching the paper's fairness assumption that
+the lazy-revocation interval equals one PSGuard epoch.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.crypto.hashes import KEY_BYTES
+
+
+@dataclass
+class JoinCost:
+    """Accounting for one subscription join."""
+
+    key_generations: int = 0
+    keys_to_new_subscriber: int = 0
+    keys_to_existing_subscribers: int = 0
+    subscribers_updated: int = 0
+
+    @property
+    def messages(self) -> int:
+        """Total key-delivery messages (one per key sent)."""
+        return self.keys_to_new_subscriber + self.keys_to_existing_subscribers
+
+    @property
+    def bytes_sent(self) -> int:
+        """Total key bytes shipped."""
+        return self.messages * KEY_BYTES
+
+
+@dataclass
+class _Interval:
+    """One maximal interval with a uniform subscriber set."""
+
+    low: int
+    high: int  # inclusive
+    members: set[str] = field(default_factory=set)
+    key: bytes = field(default_factory=lambda: os.urandom(KEY_BYTES))
+
+    def covers(self, value: int) -> bool:
+        return self.low <= value <= self.high
+
+
+class GroupKeyServer:
+    """The baseline key server for one numeric attribute of one topic."""
+
+    def __init__(self, range_size: int):
+        if range_size < 1:
+            raise ValueError("range size must be positive")
+        self.range_size = range_size
+        self.intervals: list[_Interval] = []
+        #: subscriber -> (low, high) of its active subscription
+        self.subscriptions: dict[str, tuple[int, int]] = {}
+        self.total_key_generations = 0
+        self.total_messages = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def key_count(self) -> int:
+        """Group keys currently held by the server."""
+        return len(self.intervals)
+
+    def keys_of(self, subscriber: str) -> int:
+        """Group keys currently held by one subscriber."""
+        return sum(
+            1 for interval in self.intervals if subscriber in interval.members
+        )
+
+    def active_subscribers(self) -> int:
+        """Number of subscribers with an active subscription."""
+        return len(self.subscriptions)
+
+    def state_size(self) -> int:
+        """Server state entries: one per (interval, member) pair plus keys.
+
+        The paper's point (Table 3): the group server must track every
+        active subscription; PSGuard's KDC tracks nothing.
+        """
+        return self.key_count() + sum(
+            len(interval.members) for interval in self.intervals
+        )
+
+    def _check_range(self, low: int, high: int) -> None:
+        if not 0 <= low <= high < self.range_size:
+            raise ValueError(
+                f"subscription ({low}, {high}) outside (0, {self.range_size - 1})"
+            )
+
+    # -- interval maintenance ----------------------------------------------------
+
+    def _split_at(self, boundary: int) -> None:
+        """Ensure no interval straddles *boundary* (splits become two keys)."""
+        for index, interval in enumerate(self.intervals):
+            if interval.low < boundary <= interval.high:
+                left = _Interval(
+                    interval.low, boundary - 1, set(interval.members),
+                    interval.key,
+                )
+                right = _Interval(
+                    boundary, interval.high, set(interval.members),
+                    interval.key,
+                )
+                self.intervals[index: index + 1] = [left, right]
+                return
+
+    def _coalesce(self) -> None:
+        """Merge neighbours with identical member sets (post-epoch cleanup)."""
+        merged: list[_Interval] = []
+        for interval in sorted(self.intervals, key=lambda i: i.low):
+            if not interval.members:
+                continue
+            if (
+                merged
+                and merged[-1].high + 1 == interval.low
+                and merged[-1].members == interval.members
+            ):
+                merged[-1] = _Interval(
+                    merged[-1].low, interval.high, set(interval.members),
+                    merged[-1].key,
+                )
+            else:
+                merged.append(interval)
+        self.intervals = merged
+
+    # -- joins --------------------------------------------------------------------
+
+    def join(self, subscriber: str, low: int, high: int) -> JoinCost:
+        """Process a subscription join; returns its cost breakdown."""
+        self._check_range(low, high)
+        if subscriber in self.subscriptions:
+            raise ValueError(
+                f"subscriber {subscriber!r} already has an active "
+                "subscription; one range per subscriber per attribute"
+            )
+        cost = JoinCost()
+        self._split_at(low)
+        self._split_at(high + 1)
+
+        # Grow coverage where no interval exists yet.
+        covered = [
+            (interval.low, interval.high)
+            for interval in sorted(self.intervals, key=lambda i: i.low)
+            if interval.low <= high and interval.high >= low
+        ]
+        cursor = low
+        new_intervals: list[_Interval] = []
+        for existing_low, existing_high in covered:
+            if cursor < existing_low:
+                new_intervals.append(_Interval(cursor, existing_low - 1))
+            cursor = max(cursor, existing_high + 1)
+        if cursor <= high:
+            new_intervals.append(_Interval(cursor, high))
+        for interval in new_intervals:
+            cost.key_generations += 1  # fresh group key
+            self.intervals.append(interval)
+        self.intervals.sort(key=lambda i: i.low)
+
+        updated_members: set[str] = set()
+        for interval in self.intervals:
+            if interval.low > high or interval.high < low:
+                continue
+            # Membership changes: re-key the group (backward secrecy) and
+            # push the new key to every existing member.
+            if interval.members:
+                interval.key = os.urandom(KEY_BYTES)
+                cost.key_generations += 1
+                cost.keys_to_existing_subscribers += len(interval.members)
+                updated_members |= interval.members
+            interval.members.add(subscriber)
+            cost.keys_to_new_subscriber += 1
+
+        cost.subscribers_updated = len(updated_members)
+        self.subscriptions[subscriber] = (low, high)
+        self.total_key_generations += cost.key_generations
+        self.total_messages += cost.messages
+        return cost
+
+    # -- epochs ---------------------------------------------------------------------
+
+    def leave(self, subscriber: str) -> None:
+        """Mark a departure; actual re-keying is lazy (epoch boundary)."""
+        self.subscriptions.pop(subscriber, None)
+
+    def rekey_epoch(self) -> tuple[int, int]:
+        """Lazy revocation: drop departed members, re-key every group.
+
+        Returns ``(key_generations, messages)`` for the epoch boundary.
+        """
+        generations = 0
+        messages = 0
+        for interval in self.intervals:
+            interval.members &= set(self.subscriptions)
+            if interval.members:
+                interval.key = os.urandom(KEY_BYTES)
+                generations += 1
+                messages += len(interval.members)
+        self._coalesce()
+        self.total_key_generations += generations
+        self.total_messages += messages
+        return generations, messages

@@ -1,0 +1,210 @@
+"""Group key management across a whole workload of topics.
+
+``TopicGroupServer`` lifts the single-attribute
+:class:`~repro.baseline.groups.GroupKeyServer` to the Section 5.2 workload:
+
+- numeric topics get an interval-group server;
+- category topics get one group per category element (a subscription for a
+  category joins the groups of every element in its subtree -- the group
+  approach has no key derivation, so subsumption must be materialized);
+- string topics get one group per concrete published value a subscription
+  prefix matches (materialized lazily as values appear);
+- plain topics get a single group.
+
+Per-publisher isolation (Section 3.1 "Multiple Publishers") would further
+multiply every group by the publisher count; ``publishers > 1`` models
+that.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.baseline.groups import GroupKeyServer, JoinCost
+from repro.crypto.hashes import KEY_BYTES
+from repro.workloads.generator import Subscription, TopicSpec
+
+
+@dataclass
+class _LabelGroup:
+    """A group keyed by an opaque label (category node, string, topic)."""
+
+    members: set[str] = field(default_factory=set)
+    key: bytes = field(default_factory=lambda: os.urandom(KEY_BYTES))
+
+
+class TopicGroupServer:
+    """Baseline key server covering every topic of a workload."""
+
+    def __init__(self, publishers: int = 1):
+        if publishers < 1:
+            raise ValueError("need at least one publisher")
+        self.publishers = publishers
+        self.numeric_servers: dict[str, GroupKeyServer] = {}
+        #: (topic, label) -> group
+        self.label_groups: dict[tuple[str, str], _LabelGroup] = {}
+        #: subscriber -> set of (topic, label) memberships
+        self._label_memberships: dict[str, set[tuple[str, str]]] = defaultdict(set)
+        self.total_key_generations = 0
+        self.total_messages = 0
+
+    # -- joins ----------------------------------------------------------------
+
+    def join(self, subscription: Subscription) -> JoinCost:
+        """Process one subscription under group key management."""
+        topic = subscription.topic
+        if topic.kind == "numeric":
+            cost = self._join_numeric(subscription)
+        elif topic.kind == "category":
+            cost = self._join_labels(
+                subscription,
+                self._category_labels(topic, subscription),
+            )
+        elif topic.kind == "string":
+            cost = self._join_labels(
+                subscription, self._string_labels(subscription)
+            )
+        else:
+            cost = self._join_labels(subscription, [topic.name])
+        self.total_key_generations += cost.key_generations
+        self.total_messages += cost.messages
+        return cost
+
+    def _join_numeric(self, subscription: Subscription) -> JoinCost:
+        topic = subscription.topic
+        server = self.numeric_servers.get(topic.name)
+        if server is None:
+            space = topic.schema.space_for(topic.attribute)
+            server = GroupKeyServer(space.range_size)
+            self.numeric_servers[topic.name] = server
+        low, high = subscription.numeric_range
+        return server.join(subscription.subscriber, low, high)
+
+    @staticmethod
+    def _category_labels(
+        topic: TopicSpec, subscription: Subscription
+    ) -> list[str]:
+        """Every category element the subscription's subtree contains."""
+        tree = topic.category_tree
+        granted = tree.label_of(
+            str(
+                next(
+                    constraint.value
+                    for constraint in subscription.filter
+                    if constraint.name == "category"
+                )
+            )
+        )
+        return [
+            label for label in tree.labels() if tree.subsumes(granted, label)
+        ]
+
+    @staticmethod
+    def _string_labels(subscription: Subscription) -> list[str]:
+        """The subscription's prefix; concrete values materialize on publish.
+
+        Without key derivation, the group server must place the subscriber
+        in the group of every *published value* matching the prefix; we
+        track prefix membership and expand on demand in
+        :meth:`groups_for_value`.
+        """
+        prefix = next(
+            constraint.value
+            for constraint in subscription.filter
+            if constraint.name == "text"
+        )
+        return [f"prefix:{prefix}"]
+
+    def _join_labels(
+        self, subscription: Subscription, labels: list[str]
+    ) -> JoinCost:
+        cost = JoinCost()
+        for label in labels:
+            for publisher_index in range(self.publishers):
+                group_key = (
+                    subscription.topic.name,
+                    f"{label}#p{publisher_index}"
+                    if self.publishers > 1
+                    else label,
+                )
+                group = self.label_groups.get(group_key)
+                if group is None:
+                    group = _LabelGroup()
+                    self.label_groups[group_key] = group
+                    cost.key_generations += 1
+                if group.members:
+                    group.key = os.urandom(KEY_BYTES)
+                    cost.key_generations += 1
+                    cost.keys_to_existing_subscribers += len(group.members)
+                group.members.add(subscription.subscriber)
+                self._label_memberships[subscription.subscriber].add(group_key)
+                cost.keys_to_new_subscriber += 1
+        return cost
+
+    # -- publication-driven group materialization --------------------------------
+
+    def materialize_for_event(self, topic: TopicSpec, value: object) -> int:
+        """Create (and populate) the group a concrete publication targets.
+
+        Without key derivation, a string-prefix subscription cannot hold a
+        single key for "every value starting with p": the server must
+        place the subscriber in the group of each *published value* the
+        prefix matches, key generation and key messages included.  Returns
+        the number of key messages this publication triggered.
+        """
+        if topic.kind != "string":
+            return 0
+        group_key = (topic.name, f"value:{value}")
+        group = self.label_groups.get(group_key)
+        if group is not None:
+            return 0
+        group = _LabelGroup()
+        self.label_groups[group_key] = group
+        self.total_key_generations += 1
+        messages = 0
+        for subscriber, memberships in self._label_memberships.items():
+            for candidate_topic, label in list(memberships):
+                if candidate_topic != topic.name:
+                    continue
+                if not label.startswith("prefix:"):
+                    continue
+                prefix = label.split(":", 1)[1]
+                if str(value).startswith(prefix):
+                    group.members.add(subscriber)
+                    memberships.add(group_key)
+                    messages += 1
+        self.total_messages += messages
+        return messages
+
+    # -- accounting -------------------------------------------------------------
+
+    def server_key_count(self) -> int:
+        """Keys the server currently maintains across all topics."""
+        return len(self.label_groups) + sum(
+            server.key_count() for server in self.numeric_servers.values()
+        )
+
+    def keys_of(self, subscriber: str) -> int:
+        """Keys one subscriber currently holds across all topics."""
+        label_keys = len(self._label_memberships.get(subscriber, ()))
+        numeric_keys = sum(
+            server.keys_of(subscriber)
+            for server in self.numeric_servers.values()
+        )
+        return label_keys + numeric_keys
+
+    def bytes_sent(self) -> int:
+        """Total key bytes shipped so far."""
+        return self.total_messages * KEY_BYTES
+
+    def state_size(self) -> int:
+        """Server-side state entries (Table 3's 2*NS term, generalized)."""
+        label_state = len(self.label_groups) + sum(
+            len(group.members) for group in self.label_groups.values()
+        )
+        numeric_state = sum(
+            server.state_size() for server in self.numeric_servers.values()
+        )
+        return label_state + numeric_state

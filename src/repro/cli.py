@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives a downstream user one entry point to poke at the system without
+writing code:
+
+- ``demo``           -- the quickstart medical-records flow;
+- ``grant``          -- show the key material the KDC issues for a range
+                        subscription (cover elements, key count, bytes);
+- ``calibrate``      -- measure the crypto primitive costs on this host;
+- ``experiment``     -- regenerate a table/figure series (keys, entropy,
+                        construction-cost, cache);
+- ``topology``       -- generate a transit-stub topology and report its
+                        overlay RTT statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.core import (
+        KDC, CompositeKeySpace, NumericKeySpace, Publisher, Subscriber,
+    )
+    from repro.siena import Event, Filter
+
+    kdc = KDC()
+    kdc.register_topic(
+        "cancerTrail",
+        CompositeKeySpace({"age": NumericKeySpace("age", 128)}),
+    )
+    doctor = Subscriber("doctor")
+    doctor.add_grant(
+        kdc.authorize(
+            "doctor", Filter.numeric_range("cancerTrail", "age", 21, 127)
+        )
+    )
+    outsider = Subscriber("outsider")
+    outsider.add_grant(
+        kdc.authorize(
+            "outsider", Filter.numeric_range("cancerTrail", "age", 31, 127)
+        )
+    )
+    publisher = Publisher("hospital", kdc)
+    sealed = publisher.publish(
+        Event(
+            {"topic": "cancerTrail", "age": 25, "patientRecord": "rec-17"},
+            publisher="hospital",
+        ),
+        secret_attributes={"patientRecord"},
+    )
+    lookup = lambda t: kdc.config_for(t).schema  # noqa: E731
+    opened = doctor.receive(sealed, lookup)
+    denied = outsider.receive(sealed, lookup)
+    print(f"event routable part : {dict(sealed.routable.attributes)}")
+    print(f"doctor (age>20)     : {opened.event['patientRecord']!r}")
+    print(f"outsider (age>30)   : {denied}")
+    return 0
+
+
+def _cmd_grant(args: argparse.Namespace) -> int:
+    from repro.core import KDC, CompositeKeySpace, NumericKeySpace
+    from repro.siena import Filter
+
+    kdc = KDC()
+    kdc.register_topic(
+        args.topic,
+        CompositeKeySpace(
+            {args.attribute: NumericKeySpace(args.attribute, args.range)}
+        ),
+    )
+    grant = kdc.authorize(
+        "cli-subscriber",
+        Filter.numeric_range(args.topic, args.attribute, args.low, args.high),
+    )
+    print(f"subscription: {args.attribute} in [{args.low}, {args.high}] "
+          f"on topic {args.topic!r} (range {args.range})")
+    print(f"epoch {grant.epoch}, expires at t={grant.expires_at:.0f}s")
+    for clause in grant.clauses:
+        for component in clause.components:
+            print(f"  element {str(component.element):>12}  "
+                  f"key {component.key.hex()[:16]}…")
+    print(f"total: {grant.key_count()} keys, {grant.wire_bytes()} bytes, "
+          f"{grant.hash_operations} KDC hash ops")
+    return 0
+
+
+def _cmd_calibrate(_args: argparse.Namespace) -> int:
+    from repro.harness.timing import measure_crypto_costs
+
+    costs = measure_crypto_costs()
+    for name, value in vars(costs).items():
+        print(f"{name:>15}: {value * 1e6:8.3f} us")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.harness.reporting import format_table
+
+    if args.name == "keys":
+        from repro.harness.keymgmt import run_key_management
+
+        rows = run_key_management([2, 4, 8, 16, 32])
+        print(format_table(
+            ["NS", "PSGuard keys/sub", "Group keys/sub"],
+            [(r.num_subscribers, r.psguard_keys_per_subscriber,
+              r.group_keys_per_subscriber) for r in rows],
+            title="Figure 3: keys per subscriber",
+        ))
+    elif args.name == "entropy":
+        from repro.routing.experiment import (
+            RoutingExperimentConfig, sweep_ind_max,
+        )
+
+        results = sweep_ind_max(
+            RoutingExperimentConfig(events=args.events)
+        )
+        print(format_table(
+            ["ind_max", "S_app", "S_act", "S_max"],
+            [(r.ind_max, r.s_app, r.s_act, r.s_max) for r in results],
+            title="Figure 6: non-collusive apparent entropy (bits)",
+        ))
+    elif args.name == "construction":
+        from repro.routing.experiment import construction_cost_curve
+
+        print(format_table(
+            ["ind_max", "normalized cost"],
+            construction_cost_curve(),
+            title="Figure 8: construction cost",
+        ))
+    elif args.name == "cache":
+        from repro.harness.endtoend import measure_cache_effect
+
+        rows = measure_cache_effect()
+        print(format_table(
+            ["cache KB", "pub H/event", "sub H/event", "hit rate"],
+            [(r.cache_kb, r.publisher_hash_per_event,
+              r.subscriber_hash_per_event, r.publisher_hit_rate)
+             for r in rows],
+            title="Figure 11: key-cache effect",
+        ))
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.name)
+    return 0
+
+
+def _cmd_verify(_args: argparse.Namespace) -> int:
+    from repro.harness.verification import (
+        format_verification,
+        run_verification,
+    )
+
+    results = run_verification()
+    print(format_verification(results))
+    return 0 if all(result.passed for result in results) else 1
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.topology import TransitStubTopology
+
+    topology = TransitStubTopology(seed=args.seed)
+    overlay = topology.sample_overlay(args.nodes)
+    stats = topology.overlay_stats(overlay)
+    print(f"{args.nodes}-node overlay on a transit-stub topology "
+          f"(seed {args.seed}):")
+    print(f"  RTT min  {stats.min_rtt * 1e3:6.1f} ms")
+    print(f"  RTT max  {stats.max_rtt * 1e3:6.1f} ms")
+    print(f"  RTT mean {stats.mean_rtt * 1e3:6.1f} ms")
+    print(f"  RTT sd   {stats.std_rtt * 1e3:6.1f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PSGuard: secure event dissemination in pub-sub "
+        "networks (ICDCS 2007 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="run the quickstart flow")
+    demo.set_defaults(handler=_cmd_demo)
+
+    grant = commands.add_parser(
+        "grant", help="show the key material for a range subscription"
+    )
+    grant.add_argument("--topic", default="cancerTrail")
+    grant.add_argument("--attribute", default="age")
+    grant.add_argument("--range", type=int, default=128)
+    grant.add_argument("low", type=int)
+    grant.add_argument("high", type=int)
+    grant.set_defaults(handler=_cmd_grant)
+
+    calibrate = commands.add_parser(
+        "calibrate", help="measure crypto primitive costs on this host"
+    )
+    calibrate.set_defaults(handler=_cmd_calibrate)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one experiment series"
+    )
+    experiment.add_argument(
+        "name", choices=["keys", "entropy", "construction", "cache"]
+    )
+    experiment.add_argument("--events", type=int, default=4000)
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    topology = commands.add_parser(
+        "topology", help="generate a topology and report RTT statistics"
+    )
+    topology.add_argument("--nodes", type=int, default=63)
+    topology.add_argument("--seed", type=int, default=7)
+    topology.set_defaults(handler=_cmd_topology)
+
+    verify = commands.add_parser(
+        "verify",
+        help="fast self-check of the reproduction's headline claims",
+    )
+    verify.set_defaults(handler=_cmd_verify)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

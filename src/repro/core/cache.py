@@ -1,0 +1,111 @@
+"""The key cache of Section 3.2.3.
+
+When a subscriber derives an encryption key ``K_{ktid_alpha}`` from an
+authorization key ``K_{ktid_phi}`` it caches every intermediate key on the
+derivation path.  A later derivation for ``ktid_alpha'`` starts from the
+*deepest cached ancestor* of the target -- the paper's "optimal cached
+key" -- so derivation cost drops from ``H * (|alpha'| - |phi|)`` to
+``H * (|alpha'| - |phi'|)``.  The win is largest when events exhibit
+temporal locality (e.g. consecutive stock quotes; Figure 11 and
+``examples/stock_ticker.py``).
+
+The cache is bounded in bytes and evicts least-recently-used entries,
+matching the cache-size axis of Figure 11.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.crypto.hashes import KEY_BYTES
+
+#: A derivation path: namespace plus branch labels from the tree root.
+CachePath = tuple[Hashable, ...]
+
+
+class KeyCache:
+    """A byte-bounded LRU cache of derived keys, keyed by derivation path."""
+
+    def __init__(self, capacity_bytes: int = 64 * 1024):
+        if capacity_bytes < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[CachePath, bytes] = OrderedDict()
+        self._size_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def entry_cost(path: CachePath) -> int:
+        """Approximate memory footprint of one cache entry, in bytes."""
+        path_cost = sum(
+            len(part) if isinstance(part, (str, bytes)) else 1 for part in path
+        )
+        return KEY_BYTES + path_cost + 8  # key + path + bookkeeping
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        """Current footprint of all cached entries."""
+        return self._size_bytes
+
+    def put(self, path: CachePath, key: bytes) -> None:
+        """Insert (or refresh) a derived key; evicts LRU entries as needed."""
+        cost = self.entry_cost(path)
+        if cost > self.capacity_bytes:
+            return  # entry can never fit
+        if path in self._entries:
+            self._entries.move_to_end(path)
+            self._entries[path] = key
+            return
+        self._entries[path] = key
+        self._size_bytes += cost
+        while self._size_bytes > self.capacity_bytes and self._entries:
+            evicted_path, _ = self._entries.popitem(last=False)
+            self._size_bytes -= self.entry_cost(evicted_path)
+
+    def get(self, path: CachePath) -> bytes | None:
+        """Exact-path lookup; refreshes recency on hit."""
+        key = self._entries.get(path)
+        if key is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(path)
+        self.hits += 1
+        return key
+
+    def deepest_ancestor(
+        self, path: CachePath, floor: int = 0
+    ) -> tuple[CachePath, bytes] | None:
+        """The longest cached prefix of *path* with length >= *floor*.
+
+        This is the optimal starting point for a derivation toward *path*.
+        Recency is refreshed on hit.  ``floor`` lets callers exclude
+        prefixes above their authorization element (keys above it are never
+        cached anyway, but the guard keeps the contract explicit).
+        """
+        for length in range(len(path), floor - 1, -1):
+            candidate = path[:length]
+            key = self._entries.get(candidate)
+            if key is not None:
+                self._entries.move_to_end(candidate)
+                self.hits += 1
+                return candidate, key
+        self.misses += 1
+        return None
+
+    def clear(self) -> None:
+        """Drop all entries and reset hit/miss counters."""
+        self._entries.clear()
+        self._size_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when no lookups)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,176 @@
+"""Category / ontology key space.
+
+Category matching (Sections 3, 5.2): attribute values are drawn from a
+known category tree (an ontology), and a subscription for a category ``c``
+matches every event tagged with ``c`` or any descendant of ``c`` --
+subsumption matching.
+
+The key space mirrors the ontology: each category's key is derived from its
+parent's with ``K(child) = H(K(parent) || label(child))``, so an
+authorization key for ``c`` derives exactly the keys of ``c``'s subtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.crypto.hashes import H
+from repro.core.keyspace import derive_root_key
+
+#: Nested-mapping description of an ontology: ``{"car": {"sedan": {}}}``.
+CategorySpec = Mapping[str, "CategorySpec"]
+
+
+@dataclass
+class CategoryTree:
+    """An ontology: a rooted tree of category labels.
+
+    Labels must be unique across the whole tree (standard for ontologies;
+    lets events carry a bare label instead of a full path).
+    """
+
+    root_label: str
+    _children: dict[str, list[str]] = field(default_factory=dict)
+    _parent: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_spec(cls, root_label: str, spec: CategorySpec) -> "CategoryTree":
+        """Build a tree from a nested mapping of child labels."""
+        tree = cls(root_label)
+        tree._children[root_label] = []
+
+        def add(parent: str, children: CategorySpec) -> None:
+            for label, grandchildren in children.items():
+                tree.add_category(label, parent)
+                add(label, grandchildren)
+
+        add(root_label, spec)
+        return tree
+
+    def add_category(self, label: str, parent: str) -> None:
+        """Insert *label* as a child of *parent*."""
+        if label in self._children:
+            raise ValueError(f"duplicate category label {label!r}")
+        if parent not in self._children:
+            raise KeyError(f"unknown parent category {parent!r}")
+        self._children[label] = []
+        self._children[parent].append(label)
+        self._parent[label] = parent
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def children(self, label: str) -> list[str]:
+        """Immediate sub-categories of *label*."""
+        return list(self._children[label])
+
+    def path(self, label: str) -> tuple[str, ...]:
+        """Labels from the root down to *label*, inclusive."""
+        if label not in self._children:
+            raise KeyError(f"unknown category {label!r}")
+        reversed_path = [label]
+        while label in self._parent:
+            label = self._parent[label]
+            reversed_path.append(label)
+        return tuple(reversed(reversed_path))
+
+    def subsumes(self, ancestor: str, descendant: str) -> bool:
+        """Whether *ancestor* equals or is an ancestor of *descendant*."""
+        ancestor_path = self.path(ancestor)
+        descendant_path = self.path(descendant)
+        return descendant_path[: len(ancestor_path)] == ancestor_path
+
+    def depth(self, label: str) -> int:
+        """Depth of *label* (root at 0)."""
+        return len(self.path(label)) - 1
+
+    def height(self) -> int:
+        """Height of the tree."""
+        return max(self.depth(label) for label in self._children)
+
+    def labels(self) -> Iterator[str]:
+        """All labels, in insertion order (root first)."""
+        return iter(self._children)
+
+    # -- path-string form (used for in-network routing) ---------------------
+
+    def path_string(self, label: str) -> str:
+        """Slash-joined root path with a trailing slash.
+
+        Category subsumption becomes string *prefix* matching on this
+        form, which plain Siena brokers evaluate natively:
+        ``path_string(ancestor)`` is a prefix of ``path_string(label)``
+        iff ``ancestor`` subsumes ``label``.
+        """
+        return "/".join(self.path(label)) + "/"
+
+    def label_of(self, value: str) -> str:
+        """Resolve a bare label or a path string back to its label."""
+        if value in self._children:
+            return value
+        label = value.rstrip("/").rsplit("/", 1)[-1]
+        if label not in self._children:
+            raise KeyError(f"unknown category {value!r}")
+        if self.path_string(label) != (
+            value if value.endswith("/") else value + "/"
+        ):
+            raise KeyError(f"path {value!r} does not match the ontology")
+        return label
+
+    def leaves(self) -> list[str]:
+        """Labels with no sub-categories."""
+        return [label for label, kids in self._children.items() if not kids]
+
+
+@dataclass(frozen=True)
+class CategoryKeySpace:
+    """Hierarchical key derivation over a :class:`CategoryTree`."""
+
+    name: str
+    tree: CategoryTree
+
+    def root_key(self, topic_key: bytes) -> bytes:
+        """Root key of this attribute's key tree."""
+        return derive_root_key(topic_key, self.name)
+
+    def _derive_down(self, key: bytes, labels: tuple[str, ...]) -> tuple[bytes, int]:
+        for label in labels:
+            key = H(key + label.encode("utf-8"))
+        return key, len(labels)
+
+    def node_key(self, topic_key: bytes, category: str) -> bytes:
+        """Key of a category node, derived from the topic key (KDC side)."""
+        path = self.tree.path(category)
+        key, _ = self._derive_down(self.root_key(topic_key), path)
+        return key
+
+    def encryption_key(self, topic_key: bytes, category: str) -> tuple[str, bytes]:
+        """Encryption key for an event tagged with *category*."""
+        return category, self.node_key(topic_key, category)
+
+    def authorization_key(
+        self, topic_key: bytes, category: str
+    ) -> tuple[str, bytes]:
+        """Authorization key for a subscription on *category*'s subtree."""
+        return category, self.node_key(topic_key, category)
+
+    def derive_encryption_key(
+        self, authorization: tuple[str, bytes], event_category: str
+    ) -> tuple[bytes, int]:
+        """Subscriber-side derivation; raises when subsumption fails.
+
+        Returns ``(key, hash_ops)``.
+        """
+        granted_category, granted_key = authorization
+        if not self.tree.subsumes(granted_category, event_category):
+            raise ValueError(
+                f"category {granted_category!r} does not subsume "
+                f"{event_category!r}"
+            )
+        granted_path = self.tree.path(granted_category)
+        full_path = self.tree.path(event_category)
+        return self._derive_down(granted_key, full_path[len(granted_path):])

@@ -1,0 +1,50 @@
+"""Shared machinery for hierarchical key spaces.
+
+Every key space embeds its elements in a tree whose node keys satisfy the
+hierarchical-derivation property (Section 3.1):
+
+- given a parent key, all children keys are easily derived
+  (``K(xi||b) = H(K(xi) || b)``);
+- deriving an ancestor or sibling key is computationally infeasible
+  (one-wayness of ``H``).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashes import H
+from repro.crypto.prf import KH
+from repro.core.ktid import KTID
+
+
+def derive_root_key(topic_key: bytes, attribute_name: str) -> bytes:
+    """Root key of an attribute's key tree: ``K_root = KH_{K(w)}(attr)``.
+
+    E.g. ``K_root(age) = KH_{K(cancerTrail)}("age")``.
+    """
+    return KH(topic_key, attribute_name.encode("utf-8"))
+
+
+def derive_along_path(key: bytes, digits: tuple[int, ...]) -> bytes:
+    """Walk *digits* downward from *key*: repeated ``H(parent || digit)``."""
+    for digit in digits:
+        key = H(key + bytes([digit]))
+    return key
+
+
+def derive_node_key(root_key: bytes, ktid: KTID) -> bytes:
+    """Key of the node named by *ktid*, derived from the tree root."""
+    return derive_along_path(root_key, ktid.digits)
+
+
+def derive_between(
+    ancestor_key: bytes, ancestor: KTID, descendant: KTID
+) -> tuple[bytes, int]:
+    """Derive *descendant*'s key from *ancestor*'s key.
+
+    Returns ``(key, hash_operations)`` so callers can account derivation
+    cost in units of ``H`` (the cost model of Section 3.1).  Raises
+    :class:`ValueError` when *ancestor* is not a prefix of *descendant* --
+    the computationally-infeasible direction.
+    """
+    suffix = descendant.suffix_after(ancestor)
+    return derive_along_path(ancestor_key, suffix), len(suffix)

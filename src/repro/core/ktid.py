@@ -1,0 +1,137 @@
+"""Key tree identifiers (ktids).
+
+A ktid names one element of a hierarchical key tree as the string of branch
+digits on the path from the root (Section 3.1, Figure 1).  For a binary
+NAKT over ``R = (0, 31)`` with least count 4, the value 22 maps to
+``ktid(22) = 101``.  Ktids double as the routing labels ("tokens") of the
+secure content-based routing layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, order=True)
+class KTID:
+    """An element of an ``arity``-ary key tree, identified by branch digits.
+
+    The empty digit tuple names the root (the paper's Ø label).
+    """
+
+    digits: tuple[int, ...] = ()
+    arity: int = 2
+
+    def __post_init__(self) -> None:
+        if self.arity < 2:
+            raise ValueError(f"tree arity must be >= 2, got {self.arity}")
+        if any(not 0 <= digit < self.arity for digit in self.digits):
+            raise ValueError(
+                f"digits {self.digits} out of range for arity {self.arity}"
+            )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def root(cls, arity: int = 2) -> "KTID":
+        """The root identifier Ø."""
+        return cls((), arity)
+
+    @classmethod
+    def from_index(cls, index: int, depth: int, arity: int = 2) -> "KTID":
+        """The ktid of the *index*-th node (left to right) at *depth*.
+
+        >>> KTID.from_index(5, 3).digits
+        (1, 0, 1)
+        """
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        if not 0 <= index < arity**depth:
+            raise ValueError(
+                f"index {index} out of range for depth {depth}, arity {arity}"
+            )
+        digits = []
+        for _ in range(depth):
+            index, digit = divmod(index, arity)
+            digits.append(digit)
+        return cls(tuple(reversed(digits)), arity)
+
+    @classmethod
+    def parse(cls, text: str, arity: int = 2) -> "KTID":
+        """Parse a digit string such as ``"101"`` (empty string = root)."""
+        return cls(tuple(int(ch) for ch in text), arity)
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Distance from the root (number of digits)."""
+        return len(self.digits)
+
+    @property
+    def index(self) -> int:
+        """Left-to-right position of this node within its depth level."""
+        value = 0
+        for digit in self.digits:
+            value = value * self.arity + digit
+        return value
+
+    def child(self, digit: int) -> "KTID":
+        """The *digit*-th child of this node."""
+        if not 0 <= digit < self.arity:
+            raise ValueError(f"child digit {digit} out of range")
+        return KTID(self.digits + (digit,), self.arity)
+
+    def parent(self) -> "KTID":
+        """The parent node; raises at the root."""
+        if not self.digits:
+            raise ValueError("the root ktid has no parent")
+        return KTID(self.digits[:-1], self.arity)
+
+    def ancestors(self) -> Iterator["KTID"]:
+        """All proper ancestors, root first."""
+        for depth in range(len(self.digits)):
+            yield KTID(self.digits[:depth], self.arity)
+
+    def is_prefix_of(self, other: "KTID") -> bool:
+        """Whether this node is *other* or an ancestor of *other*.
+
+        Subscription matching (Section 3.1): a subscriber holding the key
+        for ``ktid_phi`` can derive the key for ``ktid_alpha`` iff
+        ``ktid_phi`` is a prefix of ``ktid_alpha``.
+        """
+        if self.arity != other.arity or len(self.digits) > len(other.digits):
+            return False
+        return other.digits[: len(self.digits)] == self.digits
+
+    def suffix_after(self, prefix: "KTID") -> tuple[int, ...]:
+        """The digits of this ktid below *prefix*; raises if not a prefix."""
+        if not prefix.is_prefix_of(self):
+            raise ValueError(f"{prefix} is not a prefix of {self}")
+        return self.digits[len(prefix.digits):]
+
+    # -- encodings -----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Wire encoding: arity, depth, then one byte per digit."""
+        if self.arity > 255 or len(self.digits) > 255:
+            raise ValueError("ktid too large for wire encoding")
+        return bytes([self.arity, len(self.digits), *self.digits])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "KTID":
+        """Inverse of :meth:`to_bytes`."""
+        if len(data) < 2:
+            raise ValueError("truncated ktid encoding")
+        arity, depth = data[0], data[1]
+        digits = tuple(data[2: 2 + depth])
+        if len(digits) != depth:
+            raise ValueError("truncated ktid digits")
+        return cls(digits, arity)
+
+    def __str__(self) -> str:
+        return "".join(str(digit) for digit in self.digits) or "Ø"
+
+    def __repr__(self) -> str:
+        return f"KTID({str(self)}, arity={self.arity})"

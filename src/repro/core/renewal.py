@@ -1,0 +1,123 @@
+"""Client-side subscription renewal across epochs.
+
+The epoch model (Section 2.1) makes every authorization a lease: "at the
+end of an epoch, the subscriber will have to obtain a new authorization
+permit (authorization key) to read events that match the subscription
+filter in the next epoch."  ``RenewalManager`` automates that client
+obligation:
+
+- it tracks the filters a subscriber wants standing access to,
+- renews each grant shortly before its epoch expires (a configurable
+  lead time, so in-flight events spanning the boundary stay readable),
+- and drops expired grants from the subscriber's key ring.
+
+Renewals are also where a payment-based service would charge the
+subscriber (Section 6); the manager counts them for exactly that reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.kdc import KDC, AuthorizationGrant
+from repro.core.subscriber import Subscriber
+from repro.siena.filters import Filter
+
+
+@dataclass
+class _StandingSubscription:
+    filters: Filter | list[Filter]
+    publisher: str | None
+    current_grant: AuthorizationGrant | None = None
+
+
+@dataclass
+class RenewalStats:
+    """Counters a billing service (or a test) would read."""
+
+    renewals: int = 0
+    keys_fetched: int = 0
+    grants_dropped: int = 0
+
+
+class RenewalManager:
+    """Keeps a subscriber's grants fresh across epoch boundaries."""
+
+    def __init__(
+        self,
+        subscriber: Subscriber,
+        kdc: KDC,
+        renew_lead_time: float = 0.0,
+    ):
+        if renew_lead_time < 0:
+            raise ValueError("lead time must be non-negative")
+        self.subscriber = subscriber
+        self.kdc = kdc
+        self.renew_lead_time = renew_lead_time
+        self._standing: list[_StandingSubscription] = []
+        self.stats = RenewalStats()
+
+    def add_subscription(
+        self,
+        filters: Filter | list[Filter],
+        at_time: float = 0.0,
+        publisher: str | None = None,
+    ) -> AuthorizationGrant:
+        """Register a standing subscription and fetch its first grant."""
+        standing = _StandingSubscription(filters, publisher)
+        self._standing.append(standing)
+        return self._renew(standing, at_time)
+
+    def _renew(
+        self, standing: _StandingSubscription, at_time: float
+    ) -> AuthorizationGrant:
+        grant = self.kdc.authorize(
+            self.subscriber.subscriber_id,
+            standing.filters,
+            at_time=at_time,
+            publisher=standing.publisher,
+        )
+        self.subscriber.add_grant(grant)
+        standing.current_grant = grant
+        self.stats.renewals += 1
+        self.stats.keys_fetched += grant.key_count()
+        return grant
+
+    def next_renewal_at(self) -> float | None:
+        """Earliest instant some standing grant wants renewing."""
+        deadlines = [
+            standing.current_grant.expires_at - self.renew_lead_time
+            for standing in self._standing
+            if standing.current_grant is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def tick(self, at_time: float) -> int:
+        """Advance the clock: renew due grants, drop expired ones.
+
+        Returns how many renewals happened.  Designed to be driven by a
+        timer, an event loop, or a simulation's virtual clock.
+        """
+        renewed = 0
+        for standing in self._standing:
+            grant = standing.current_grant
+            due = (
+                grant is None
+                or at_time >= grant.expires_at - self.renew_lead_time
+            )
+            if due:
+                # Renew *into the epoch at or after at_time*: renewing at
+                # the lead-time margin must target the upcoming epoch.
+                target_time = max(
+                    at_time,
+                    grant.expires_at + 1e-9 if grant else at_time,
+                ) if self.renew_lead_time else at_time
+                self._renew(standing, target_time)
+                renewed += 1
+        self.stats.grants_dropped += self.subscriber.drop_expired(at_time)
+        return renewed
+
+    def cancel_all(self, at_time: float) -> None:
+        """Stop renewing; existing grants lapse at their epoch's end."""
+        self._standing.clear()
+        self.stats.grants_dropped += self.subscriber.drop_expired(at_time)

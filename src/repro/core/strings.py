@@ -1,0 +1,91 @@
+"""String prefix/suffix key space.
+
+String matching (Sections 3, 5.2): a subscription ``<attr, prefix, p>``
+matches every event whose string value starts with ``p`` (suffix matching
+is the mirror image over reversed strings).
+
+The key tree is the trie of characters: ``K(p || c) = H(K(p) || c)``.  An
+authorization key for prefix ``p`` derives the key of every extension of
+``p``; the encryption key of an event value ``s`` is the key of the node
+``s || END`` (a terminator branch, so the key for the *exact* string is
+never an ancestor of a longer string's key -- holding the key for event
+value ``"ab"`` must not let one read events valued ``"abc"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import H
+from repro.core.keyspace import derive_root_key
+
+#: Terminator marker appended below the last character of an event value.
+_END = b"\x00end"
+
+
+@dataclass(frozen=True)
+class StringKeySpace:
+    """Hierarchical key derivation over string prefixes (or suffixes)."""
+
+    name: str
+    suffix_mode: bool = False
+    max_length: int = 256
+
+    def _canonical(self, text: str) -> str:
+        if len(text) > self.max_length:
+            raise ValueError(
+                f"string of length {len(text)} exceeds the key space "
+                f"maximum {self.max_length}"
+            )
+        return text[::-1] if self.suffix_mode else text
+
+    def root_key(self, topic_key: bytes) -> bytes:
+        """Root key of this attribute's key trie."""
+        label = f"{self.name}:{'suffix' if self.suffix_mode else 'prefix'}"
+        return derive_root_key(topic_key, label)
+
+    def _derive_prefix_key(self, root: bytes, prefix: str) -> bytes:
+        key = root
+        for character in prefix:
+            key = H(key + character.encode("utf-8"))
+        return key
+
+    def authorization_key(
+        self, topic_key: bytes, pattern: str
+    ) -> tuple[str, bytes]:
+        """Authorization key for a prefix (or suffix) subscription."""
+        canonical = self._canonical(pattern)
+        key = self._derive_prefix_key(self.root_key(topic_key), canonical)
+        return pattern, key
+
+    def encryption_key(self, topic_key: bytes, value: str) -> tuple[str, bytes]:
+        """Encryption key for an event's exact string value."""
+        canonical = self._canonical(value)
+        key = self._derive_prefix_key(self.root_key(topic_key), canonical)
+        return value, H(key + _END)
+
+    def matches(self, pattern: str, value: str) -> bool:
+        """Plaintext matching predicate (prefix or suffix)."""
+        if self.suffix_mode:
+            return value.endswith(pattern)
+        return value.startswith(pattern)
+
+    def derive_encryption_key(
+        self, authorization: tuple[str, bytes], event_value: str
+    ) -> tuple[bytes, int]:
+        """Subscriber-side derivation; raises when the pattern misses.
+
+        Returns ``(key, hash_ops)`` where ``hash_ops`` counts one ``H`` per
+        remaining character plus the terminator step.
+        """
+        pattern, pattern_key = authorization
+        if not self.matches(pattern, event_value):
+            raise ValueError(
+                f"pattern {pattern!r} does not match value {event_value!r}"
+            )
+        canonical_value = self._canonical(event_value)
+        remaining = canonical_value[len(pattern):]
+        key = pattern_key
+        for character in remaining:
+            key = H(key + character.encode("utf-8"))
+        return H(key + _END), len(remaining) + 1

@@ -1,0 +1,41 @@
+"""Topic (keyword) key space.
+
+The simplest matching type: a subscription ``<topic, EQ, w>`` matches an
+event ``<topic, w>``.  The authorization key *is* the encryption key:
+``K(w) = KH_{rk(KDC)}(w)`` (Section 3.1).  With multiple publishers on a
+common topic, the KDC instead issues per-publisher topic keys
+``K_P(w) = KH_{rk(KDC)}(P || w)`` so publisher ``P'`` cannot read ``P``'s
+events (Section 3.1, "Multiple Publishers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.prf import KH
+
+
+@dataclass(frozen=True)
+class TopicKeySpace:
+    """Key derivation for one topic namespace under a KDC master key."""
+
+    per_publisher: bool = False
+
+    def topic_key(
+        self, master_key: bytes, topic: str, publisher: str | None = None
+    ) -> bytes:
+        """Derive the topic key ``K(w)`` or per-publisher ``K_P(w)``.
+
+        The topic key roots every attribute key tree for events under this
+        topic, and directly encrypts events whose only match constraint is
+        the topic itself.
+        """
+        if self.per_publisher:
+            if not publisher:
+                raise ValueError(
+                    "per-publisher key space requires a publisher identity"
+                )
+            material = f"{publisher}\x00{topic}".encode("utf-8")
+        else:
+            material = topic.encode("utf-8")
+        return KH(master_key, material)

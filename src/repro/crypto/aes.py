@@ -1,0 +1,211 @@
+"""Pure-Python AES block cipher (FIPS-197).
+
+The PSGuard prototype encrypts the secret attributes of every event with
+AES-128-CBC (Section 5.1).  This module implements the AES block cipher from
+scratch so the repository carries no mandatory third-party crypto
+dependency; :mod:`repro.crypto.cipher` transparently switches to the
+``cryptography`` wheel when it is importable, and the test suite
+cross-checks the two implementations against each other and against the
+FIPS-197 vectors.
+
+Supports 128-, 192- and 256-bit keys.  This is a straightforward table
+implementation -- correct and adequately fast for a simulator, not intended
+to be side-channel hardened.
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 16
+
+# ---------------------------------------------------------------------------
+# S-box construction.  The AES S-box is the multiplicative inverse in
+# GF(2^8) (modulo the Rijndael polynomial x^8+x^4+x^3+x+1) followed by an
+# affine transform.  Generating the tables avoids transcription errors in
+# 512 hand-typed constants; the generated values are pinned by test vectors.
+# ---------------------------------------------------------------------------
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) modulo the Rijndael polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sboxes() -> tuple[list[int], list[int]]:
+    # Build the inverse table via the generator 3 (a primitive element).
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = _gf_mul(x, 3)
+    exp[255] = exp[0]
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        inverse = 0 if value == 0 else exp[255 - log[value]]
+        # Affine transform: s = b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+        s = inverse
+        for shift in range(1, 5):
+            s ^= ((inverse << shift) | (inverse >> (8 - shift))) & 0xFF
+        s ^= 0x63
+        sbox[value] = s
+        inv_sbox[s] = value
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sboxes()
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_xtime(_RCON[-1]))
+
+
+_ROUNDS_BY_KEY_LEN = {16: 10, 24: 12, 32: 14}
+
+
+class AES:
+    """The AES block cipher over 16-byte blocks.
+
+    >>> cipher = AES(bytes(16))
+    >>> cipher.decrypt_block(cipher.encrypt_block(bytes(16))) == bytes(16)
+    True
+    """
+
+    def __init__(self, key: bytes):
+        key = bytes(key)
+        if len(key) not in _ROUNDS_BY_KEY_LEN:
+            raise ValueError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self.key = key
+        self.rounds = _ROUNDS_BY_KEY_LEN[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    # -- key schedule -----------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        """FIPS-197 key expansion into (rounds + 1) 16-byte round keys."""
+        nk = len(key) // 4
+        words = [list(key[4 * i: 4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self.rounds + 1)
+        for i in range(nk, total_words):
+            word = list(words[i - 1])
+            if i % nk == 0:
+                word = word[1:] + word[:1]
+                word = [SBOX[b] for b in word]
+                word[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                word = [SBOX[b] for b in word]
+            words.append([w ^ p for w, p in zip(word, words[i - nk])])
+        round_keys = []
+        for round_index in range(self.rounds + 1):
+            key_bytes: list[int] = []
+            for word in words[4 * round_index: 4 * round_index + 4]:
+                key_bytes.extend(word)
+            round_keys.append(key_bytes)
+        return round_keys
+
+    # -- round operations (state is a flat list of 16 ints, column-major) --
+
+    @staticmethod
+    def _add_round_key(state: list[int], round_key: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int], box: list[int]) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        # state[4*col + row]; row r rotates left by r.
+        for row in range(1, 4):
+            column_values = [state[4 * col + row] for col in range(4)]
+            shifted = column_values[row:] + column_values[:row]
+            for col in range(4):
+                state[4 * col + row] = shifted[col]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for row in range(1, 4):
+            column_values = [state[4 * col + row] for col in range(4)]
+            shifted = column_values[-row:] + column_values[:-row]
+            for col in range(4):
+                state[4 * col + row] = shifted[col]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for col in range(4):
+            a0, a1, a2, a3 = state[4 * col: 4 * col + 4]
+            state[4 * col + 0] = _xtime(a0) ^ _xtime(a1) ^ a1 ^ a2 ^ a3
+            state[4 * col + 1] = a0 ^ _xtime(a1) ^ _xtime(a2) ^ a2 ^ a3
+            state[4 * col + 2] = a0 ^ a1 ^ _xtime(a2) ^ _xtime(a3) ^ a3
+            state[4 * col + 3] = _xtime(a0) ^ a0 ^ a1 ^ a2 ^ _xtime(a3)
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for col in range(4):
+            a0, a1, a2, a3 = state[4 * col: 4 * col + 4]
+            state[4 * col + 0] = (
+                _gf_mul(a0, 14) ^ _gf_mul(a1, 11) ^ _gf_mul(a2, 13) ^ _gf_mul(a3, 9)
+            )
+            state[4 * col + 1] = (
+                _gf_mul(a0, 9) ^ _gf_mul(a1, 14) ^ _gf_mul(a2, 11) ^ _gf_mul(a3, 13)
+            )
+            state[4 * col + 2] = (
+                _gf_mul(a0, 13) ^ _gf_mul(a1, 9) ^ _gf_mul(a2, 14) ^ _gf_mul(a3, 11)
+            )
+            state[4 * col + 3] = (
+                _gf_mul(a0, 11) ^ _gf_mul(a1, 13) ^ _gf_mul(a2, 9) ^ _gf_mul(a3, 14)
+            )
+
+    # -- block API ---------------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt a single 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, self.rounds):
+            self._sub_bytes(state, SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state, SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt a single 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for round_index in range(self.rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, INV_SBOX)
+            self._add_round_key(state, self._round_keys[round_index])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

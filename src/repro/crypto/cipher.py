@@ -1,0 +1,56 @@
+"""High-level symmetric encryption used throughout PSGuard.
+
+``encrypt``/``decrypt`` implement AES-CBC with PKCS#7 padding and a random
+IV.  When the ``cryptography`` wheel is importable its C-backed AES is used
+(the pure-Python cipher in :mod:`repro.crypto.aes` costs ~100x more per
+block); otherwise the pure-Python implementation serves.  Both produce and
+accept the identical wire format ``iv || ciphertext`` and the test suite
+cross-validates them.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.crypto.aes import BLOCK_SIZE
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt, pkcs7_pad, pkcs7_unpad
+
+try:  # pragma: no cover - exercised indirectly depending on environment
+    from cryptography.hazmat.primitives.ciphers import Cipher as _Cipher
+    from cryptography.hazmat.primitives.ciphers import algorithms as _algorithms
+    from cryptography.hazmat.primitives.ciphers import modes as _modes
+
+    _HAVE_CRYPTOGRAPHY = True
+except ImportError:  # pragma: no cover
+    _HAVE_CRYPTOGRAPHY = False
+
+
+def backend_name() -> str:
+    """Name of the active AES backend (``"cryptography"`` or ``"pure"``)."""
+    return "cryptography" if _HAVE_CRYPTOGRAPHY else "pure"
+
+
+def encrypt(key: bytes, plaintext: bytes, iv: bytes | None = None) -> bytes:
+    """AES-CBC encrypt *plaintext* under *key*; returns ``iv || ciphertext``."""
+    if not _HAVE_CRYPTOGRAPHY:
+        return cbc_encrypt(key, plaintext, iv)
+    if iv is None:
+        iv = os.urandom(BLOCK_SIZE)
+    encryptor = _Cipher(_algorithms.AES(bytes(key)), _modes.CBC(iv)).encryptor()
+    ciphertext = encryptor.update(pkcs7_pad(plaintext)) + encryptor.finalize()
+    return iv + ciphertext
+
+
+def decrypt(key: bytes, data: bytes) -> bytes:
+    """Inverse of :func:`encrypt`.
+
+    Raises :class:`ValueError` when the ciphertext is malformed or the
+    padding check fails (e.g. wrong key).
+    """
+    if not _HAVE_CRYPTOGRAPHY:
+        return cbc_decrypt(key, data)
+    if len(data) < 2 * BLOCK_SIZE or len(data) % BLOCK_SIZE != 0:
+        raise ValueError("ciphertext too short or not block aligned")
+    iv, ciphertext = data[:BLOCK_SIZE], data[BLOCK_SIZE:]
+    decryptor = _Cipher(_algorithms.AES(bytes(key)), _modes.CBC(iv)).decryptor()
+    return pkcs7_unpad(decryptor.update(ciphertext) + decryptor.finalize())

@@ -1,0 +1,72 @@
+"""CBC mode of operation and PKCS#7 padding for the AES block cipher."""
+
+from __future__ import annotations
+
+import os
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Pad *data* to a multiple of *block_size* per PKCS#7.
+
+    Always appends at least one byte so the padding is unambiguous.
+    """
+    if not 1 <= block_size <= 255:
+        raise ValueError(f"block size must be in [1, 255], got {block_size}")
+    pad_len = block_size - (len(data) % block_size)
+    return bytes(data) + bytes([pad_len] * pad_len)
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip and validate PKCS#7 padding.
+
+    Raises :class:`ValueError` on malformed padding, which doubles as a
+    (coarse) integrity failure signal when decrypting with a wrong key.
+    """
+    if not data or len(data) % block_size != 0:
+        raise ValueError("ciphertext is not a whole number of blocks")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise ValueError("invalid PKCS#7 padding length")
+    if data[-pad_len:] != bytes([pad_len] * pad_len):
+        raise ValueError("invalid PKCS#7 padding bytes")
+    return data[:-pad_len]
+
+
+def cbc_encrypt(key: bytes, plaintext: bytes, iv: bytes | None = None) -> bytes:
+    """AES-CBC encrypt with PKCS#7 padding; returns ``iv || ciphertext``.
+
+    A fresh random IV is drawn when none is supplied.
+    """
+    if iv is None:
+        iv = os.urandom(BLOCK_SIZE)
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    cipher = AES(key)
+    padded = pkcs7_pad(plaintext)
+    blocks = [iv]
+    previous = iv
+    for offset in range(0, len(padded), BLOCK_SIZE):
+        block = bytes(
+            p ^ c for p, c in zip(padded[offset: offset + BLOCK_SIZE], previous)
+        )
+        previous = cipher.encrypt_block(block)
+        blocks.append(previous)
+    return b"".join(blocks)
+
+
+def cbc_decrypt(key: bytes, data: bytes) -> bytes:
+    """Inverse of :func:`cbc_encrypt`; expects ``iv || ciphertext``."""
+    if len(data) < 2 * BLOCK_SIZE or len(data) % BLOCK_SIZE != 0:
+        raise ValueError("ciphertext too short or not block aligned")
+    cipher = AES(key)
+    iv, ciphertext = data[:BLOCK_SIZE], data[BLOCK_SIZE:]
+    plaintext = bytearray()
+    previous = iv
+    for offset in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[offset: offset + BLOCK_SIZE]
+        decrypted = cipher.decrypt_block(block)
+        plaintext.extend(p ^ c for p, c in zip(decrypted, previous))
+        previous = block
+    return pkcs7_unpad(bytes(plaintext))

@@ -1,0 +1,67 @@
+"""Keyed pseudo-random functions.
+
+The paper uses two keyed PRFs:
+
+- ``KH`` -- the keyed hash used for key derivation roots, approximated by
+  HMAC-SHA1 (Section 3.1): ``K(w) = KH_{rk(KDC)}(w)``.
+- ``F`` -- the PRF used by the Song-Wagner-Perrig tokenization scheme
+  (Section 4.1): ``T(w) = F_{rk(KDC)}(w)`` and the routable attribute
+  ``<r, F_{T(w)}(r)>``.
+
+Both are HMAC instances over different domain-separation labels so that a
+token can never collide with a key.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+from repro.crypto.hashes import KEY_BYTES, SUPPORTED_ALGORITHMS
+
+_KH_LABEL = b"psguard:kh:"
+_F_LABEL = b"psguard:f:"
+
+
+def _keyed_hash(key: bytes, label: bytes, message: bytes, algorithm: str) -> bytes:
+    if algorithm not in SUPPORTED_ALGORITHMS:
+        raise ValueError(
+            f"unsupported hash algorithm {algorithm!r}; "
+            f"expected one of {SUPPORTED_ALGORITHMS}"
+        )
+    if not isinstance(key, (bytes, bytearray)):
+        raise TypeError(f"PRF key must be bytes, got {type(key).__name__}")
+    return hmac.new(bytes(key), label + message, algorithm).digest()[:KEY_BYTES]
+
+
+def KH(key: bytes, message: bytes, algorithm: str = "sha1") -> bytes:
+    """The keyed pseudo-random function ``KH`` (HMAC), truncated to key width.
+
+    Used to derive topic keys and key-tree roots, e.g.
+    ``K_root(age) = KH_{K(cancerTrail)}("age")``.
+    """
+    return _keyed_hash(key, _KH_LABEL, message, algorithm)
+
+
+def F(key: bytes, message: bytes, algorithm: str = "sha1") -> bytes:
+    """The tokenization PRF ``F`` (HMAC under a distinct label).
+
+    Domain-separated from :func:`KH` so tokens and keys never coincide even
+    for equal inputs.
+    """
+    return _keyed_hash(key, _F_LABEL, message, algorithm)
+
+
+def derive_key(parent: bytes, branch: bytes, algorithm: str = "sha1") -> bytes:
+    """Derive a child key ``H(parent || branch)`` in the hierarchical key tree.
+
+    Child derivation is one-way: given the child it is computationally
+    infeasible to recover the parent or a sibling.
+    """
+    from repro.crypto.hashes import H
+
+    return H(bytes(parent) + bytes(branch), algorithm)
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe byte-string comparison for token/MAC verification."""
+    return hmac.compare_digest(bytes(a), bytes(b))

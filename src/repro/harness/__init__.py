@@ -1,0 +1,23 @@
+"""Experiment harness: regenerates every table and figure of Section 5.
+
+- :mod:`repro.harness.timing` -- microsecond-scale calibration of the
+  crypto primitives on local hardware (feeds Tables 1-2 and the
+  simulator's service-time model);
+- :mod:`repro.harness.keymgmt` -- the key-management comparison
+  (Figures 3-5);
+- :mod:`repro.harness.endtoend` -- throughput/latency on the simulated
+  testbed (Figures 9-11);
+- :mod:`repro.harness.reporting` -- paper-style table formatting.
+"""
+
+from repro.harness.keymgmt import KeyManagementRow, run_key_management
+from repro.harness.reporting import format_table
+from repro.harness.timing import CryptoCosts, measure_crypto_costs
+
+__all__ = [
+    "CryptoCosts",
+    "KeyManagementRow",
+    "format_table",
+    "measure_crypto_costs",
+    "run_key_management",
+]

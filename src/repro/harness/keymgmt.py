@@ -1,0 +1,117 @@
+"""The key-management comparison of Section 5.2.1 (Figures 3-5).
+
+For a sweep of subscriber counts ``NS``, runs the full Section 5.2
+workload (32 Zipf-chosen subscriptions each over 128 mixed-type topics)
+against both key-management designs:
+
+- **PSGuard**: grants issued by the stateless KDC; per-subscriber keys are
+  the grant key counts, KDC compute is the measured hash work, network is
+  the grant wire bytes.
+- **SubscriberGroup**: interval/label group servers; per-subscriber keys
+  are live group memberships, KDC compute is key generations times the
+  measured key-generation cost, network is key-update bytes.
+
+Publisher keys (Fig 4): a PSGuard publisher holds one topic key per topic
+it publishes; a group-based publisher must hold *every group key* of its
+topics, because the encryption key for an event is the target group's key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.topicgroups import TopicGroupServer
+from repro.core.subscriber import Subscriber
+from repro.harness.timing import CryptoCosts, measure_crypto_costs
+from repro.workloads.generator import PaperWorkload, WorkloadConfig
+
+
+@dataclass(frozen=True)
+class KeyManagementRow:
+    """One NS point of Figures 3-5."""
+
+    num_subscribers: int
+    psguard_keys_per_subscriber: float
+    group_keys_per_subscriber: float
+    psguard_keys_per_publisher: float
+    group_keys_per_publisher: float
+    psguard_kdc_compute_ms: float
+    group_kdc_compute_ms: float
+    psguard_kdc_network_kb: float
+    group_kdc_network_kb: float
+
+
+def run_key_management(
+    subscriber_counts: list[int] | None = None,
+    config: WorkloadConfig | None = None,
+    costs: CryptoCosts | None = None,
+) -> list[KeyManagementRow]:
+    """Run the Figure 3-5 sweep and return one row per NS value."""
+    subscriber_counts = subscriber_counts or [2, 4, 8, 16, 32]
+    costs = costs or measure_crypto_costs()
+    rows = []
+    for count in subscriber_counts:
+        rows.append(_run_one(count, config, costs))
+    return rows
+
+
+def _run_one(
+    num_subscribers: int,
+    config: WorkloadConfig | None,
+    costs: CryptoCosts,
+    publications: int = 512,
+) -> KeyManagementRow:
+    workload = PaperWorkload(config)
+    kdc = workload.build_kdc()
+    group_server = TopicGroupServer()
+
+    psguard_keys = []
+    for index in range(num_subscribers):
+        subscriber_id = f"S{index}"
+        subscriber = Subscriber(subscriber_id)
+        for subscription in workload.subscriptions_for(subscriber_id):
+            grant = kdc.authorize(subscriber_id, subscription.filter)
+            subscriber.add_grant(grant)
+            group_server.join(subscription)
+        psguard_keys.append(subscriber.key_count())
+
+    # Publication stream: materializes the value groups the group approach
+    # needs at runtime (PSGuard needs no key traffic for publications).
+    for _ in range(publications):
+        event = workload.random_event()
+        topic = workload.topic_by_name(event["topic"])
+        if topic.kind == "string":
+            group_server.materialize_for_event(topic, event["text"])
+
+    group_keys = [
+        group_server.keys_of(f"S{index}") for index in range(num_subscribers)
+    ]
+
+    # Publisher key inventories (Fig 4): one publisher covering all topics.
+    psguard_publisher_keys = float(len(workload.topics))
+    group_publisher_keys = float(group_server.server_key_count())
+
+    psguard_compute_ms = kdc.stats.hash_operations * costs.keyed_hash_s * 1e3
+    # Group-server compute: generating fresh group keys plus wrapping each
+    # key update for its recipient.
+    group_compute_ms = (
+        group_server.total_key_generations * costs.keyed_hash_s
+        + group_server.total_messages * costs.encrypt_key_s
+    ) * 1e3
+    return KeyManagementRow(
+        num_subscribers=num_subscribers,
+        psguard_keys_per_subscriber=_mean(psguard_keys),
+        group_keys_per_subscriber=_mean(group_keys),
+        psguard_keys_per_publisher=psguard_publisher_keys,
+        group_keys_per_publisher=group_publisher_keys,
+        psguard_kdc_compute_ms=psguard_compute_ms / num_subscribers,
+        group_kdc_compute_ms=group_compute_ms / num_subscribers,
+        psguard_kdc_network_kb=kdc.stats.bytes_sent / num_subscribers / 1024,
+        group_kdc_network_kb=group_server.bytes_sent()
+        / num_subscribers
+        / 1024,
+    )
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,226 @@
+"""Fast self-verification of the reproduction's headline claims.
+
+``python -m repro verify`` runs a reduced-scale version of every
+experiment family and checks the paper's qualitative claims (and, where
+the paper's numbers are closed-form, the exact values).  It is the
+one-minute counterpart of the full benchmark suite, intended as a smoke
+test after installation or modification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one verification check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _check_table1() -> CheckResult:
+    from repro.analysis.costs import NAKTCostModel
+
+    expected = {10**2: 12, 10**3: 18, 10**4: 26}
+    measured = {
+        size: math.ceil(NAKTCostModel(size).max_keys()) for size in expected
+    }
+    return CheckResult(
+        "Table 1: worst-case key counts",
+        measured == expected,
+        f"{measured} vs paper {expected}",
+    )
+
+
+def _check_table5() -> CheckResult:
+    from repro.analysis.models import cost_ratio_lower_bound
+
+    expected = {10: 1.81, 10**2: 9.04, 10**3: 60.18, 10**4: 451.81}
+    passed = all(
+        abs(cost_ratio_lower_bound(10**3, 10**4, span) - value) / value < 0.01
+        for span, value in expected.items()
+    )
+    return CheckResult(
+        "Table 5: cost-ratio lower bounds",
+        passed,
+        "all four ratios within 1% of the paper",
+    )
+
+
+def _check_matching_iff_derivable() -> CheckResult:
+    from repro.core.nakt import NumericKeySpace
+
+    space = NumericKeySpace("v", 128)
+    topic_key = bytes(range(16))
+    grants = space.authorization_keys(topic_key, 40, 90)
+    failures = 0
+    for value in range(128):
+        leaf, expected_key = space.encryption_key(topic_key, value)
+        ancestors = [g for g in grants if g[0].is_prefix_of(leaf)]
+        derivable = bool(ancestors)
+        if derivable != (40 <= value <= 90):
+            failures += 1
+        elif derivable:
+            derived, _ = NumericKeySpace.derive_encryption_key(
+                ancestors[0], leaf
+            )
+            if derived != expected_key:
+                failures += 1
+    return CheckResult(
+        "Core guarantee: derivable iff matching",
+        failures == 0,
+        f"{failures} disagreements over 128 values",
+    )
+
+
+def _check_key_management_scaling() -> CheckResult:
+    from repro.harness.keymgmt import run_key_management
+
+    rows = run_key_management([2, 8])
+    psguard_flat = (
+        rows[1].psguard_keys_per_subscriber
+        <= 1.6 * rows[0].psguard_keys_per_subscriber
+    )
+    group_grows = (
+        rows[1].group_keys_per_publisher > rows[0].group_keys_per_publisher
+    )
+    return CheckResult(
+        "Figs 3-5: PSGuard flat, groups grow",
+        psguard_flat and group_grows,
+        f"PSGuard {rows[0].psguard_keys_per_subscriber:.0f}->"
+        f"{rows[1].psguard_keys_per_subscriber:.0f} keys/sub, "
+        f"groups {rows[0].group_keys_per_publisher:.0f}->"
+        f"{rows[1].group_keys_per_publisher:.0f} keys/pub",
+    )
+
+
+def _check_entropy_smoothing() -> CheckResult:
+    from repro.routing.experiment import (
+        RoutingExperimentConfig,
+        run_dissemination,
+    )
+
+    config = RoutingExperimentConfig(
+        num_tokens=32, tokens_per_subscriber=8, events=1200
+    )
+    single = run_dissemination(config, 1)
+    smoothed = run_dissemination(config, 5)
+    passed = (
+        smoothed.s_app > single.s_app
+        and smoothed.s_app <= smoothed.s_max + 1e-9
+        and smoothed.s_app >= smoothed.s_act - 0.15
+    )
+    return CheckResult(
+        "Fig 6: multi-path smoothing raises apparent entropy",
+        passed,
+        f"S_app {single.s_app:.2f} -> {smoothed.s_app:.2f} bits "
+        f"(S_act {smoothed.s_act:.2f}, S_max {smoothed.s_max:.2f})",
+    )
+
+
+def _check_construction_saturates() -> CheckResult:
+    from repro.routing.experiment import construction_cost_curve
+
+    curve = dict(construction_cost_curve(ind_values=[1, 5, 10]))
+    passed = (
+        curve[1] == 1.0
+        and 1.5 <= curve[5] <= 4.0
+        and curve[10] - curve[5] < curve[5] - curve[1]
+    )
+    return CheckResult(
+        "Fig 8: construction cost ~3x at ind=5, saturating",
+        passed,
+        f"1.0 / {curve[5]:.2f} / {curve[10]:.2f}",
+    )
+
+
+def _check_cache_effect() -> CheckResult:
+    from repro.harness.endtoend import measure_cache_effect
+
+    rows = measure_cache_effect(cache_sizes_kb=(0, 64), events=250)
+    passed = (
+        rows[1].publisher_hash_per_event
+        < 0.5 * rows[0].publisher_hash_per_event
+    )
+    return CheckResult(
+        "Fig 11: key cache cuts derivation work",
+        passed,
+        f"{rows[0].publisher_hash_per_event:.1f} -> "
+        f"{rows[1].publisher_hash_per_event:.2f} hashes/event",
+    )
+
+
+def _check_end_to_end_confidentiality() -> CheckResult:
+    from repro.core import (
+        KDC, CompositeKeySpace, NumericKeySpace, Publisher, Subscriber,
+    )
+    from repro.siena import Event, Filter
+
+    kdc = KDC()
+    kdc.register_topic(
+        "t", CompositeKeySpace({"v": NumericKeySpace("v", 64)})
+    )
+    publisher = Publisher("P", kdc)
+    sealed = publisher.publish(
+        Event({"topic": "t", "v": 10, "message": "secret"})
+    )
+    allowed = Subscriber("in")
+    allowed.add_grant(kdc.authorize("in", Filter.numeric_range("t", "v", 0, 20)))
+    denied = Subscriber("out")
+    denied.add_grant(kdc.authorize("out", Filter.numeric_range("t", "v", 30, 60)))
+    lookup = lambda name: kdc.config_for(name).schema  # noqa: E731
+    opened = allowed.receive(sealed, lookup)
+    blocked = denied.receive(sealed, lookup)
+    passed = (
+        opened is not None
+        and opened.event["message"] == "secret"
+        and blocked is None
+        and b"secret" not in sealed.ciphertext
+    )
+    return CheckResult(
+        "End to end: matching reads, non-matching locked out",
+        passed,
+        "publish -> seal -> deliver -> derive -> decrypt",
+    )
+
+
+CHECKS: list[Callable[[], CheckResult]] = [
+    _check_table1,
+    _check_table5,
+    _check_matching_iff_derivable,
+    _check_end_to_end_confidentiality,
+    _check_key_management_scaling,
+    _check_entropy_smoothing,
+    _check_construction_saturates,
+    _check_cache_effect,
+]
+
+
+def run_verification() -> list[CheckResult]:
+    """Run every check; exceptions become failures."""
+    results = []
+    for check in CHECKS:
+        try:
+            results.append(check())
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            results.append(
+                CheckResult(check.__name__, False, f"raised {error!r}")
+            )
+    return results
+
+
+def format_verification(results: list[CheckResult]) -> str:
+    """Human-readable verification report."""
+    lines = []
+    for result in results:
+        marker = "PASS" if result.passed else "FAIL"
+        lines.append(f"[{marker}] {result.name}")
+        lines.append(f"       {result.detail}")
+    passed = sum(result.passed for result in results)
+    lines.append(f"{passed}/{len(results)} checks passed")
+    return "\n".join(lines)

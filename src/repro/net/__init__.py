@@ -1,0 +1,21 @@
+"""Discrete-event network simulation substrate.
+
+The paper's evaluation ran on a 64-CPU testbed with WAN delays replayed
+from a GT-ITM topology (Section 5.2).  This package replaces that testbed
+with a discrete-event simulator:
+
+- :mod:`repro.net.sim` -- the virtual clock and event loop;
+- :mod:`repro.net.node` -- single-server FIFO processing nodes (broker
+  CPUs) with queue-growth saturation detection matching the paper's
+  throughput methodology;
+- :mod:`repro.net.links` -- fixed-latency links;
+- :mod:`repro.net.simnet` -- a timed broker overlay combining the Siena
+  routing core with nodes and links.
+"""
+
+from repro.net.links import Link
+from repro.net.node import ProcessingNode
+from repro.net.sim import Simulator
+from repro.net.simnet import SimulatedPubSub
+
+__all__ = ["Link", "ProcessingNode", "SimulatedPubSub", "Simulator"]

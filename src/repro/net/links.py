@@ -1,0 +1,57 @@
+"""Fixed-latency network links.
+
+The experiments replay one-way delays derived from a transit-stub topology
+(RTTs of 24-184 ms, Section 5.2).  A link delivers a payload after its
+one-way latency plus an optional serialization delay ``size / bandwidth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.net.sim import Simulator
+
+
+@dataclass
+class LinkStats:
+    """Traffic counters for one link."""
+
+    messages: int = 0
+    bytes: int = 0
+
+
+class Link:
+    """A unidirectional link with fixed one-way latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: float,
+        bandwidth_bytes_per_s: float | None = None,
+    ):
+        if latency < 0:
+            raise ValueError(f"negative link latency {latency}")
+        if bandwidth_bytes_per_s is not None and bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive when given")
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth = bandwidth_bytes_per_s
+        self.stats = LinkStats()
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Total delay for a message of *size_bytes*."""
+        serialization = (
+            size_bytes / self.bandwidth if self.bandwidth is not None else 0.0
+        )
+        return self.latency + serialization
+
+    def send(
+        self,
+        size_bytes: int,
+        on_arrival: Callable[[], None],
+    ) -> None:
+        """Deliver a message of *size_bytes*; *on_arrival* fires at the far end."""
+        self.stats.messages += 1
+        self.stats.bytes += size_bytes
+        self.sim.schedule(self.transfer_time(size_bytes), on_arrival)

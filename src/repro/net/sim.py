@@ -1,0 +1,100 @@
+"""A minimal, deterministic discrete-event simulator.
+
+Time is a float in seconds.  Callbacks scheduled for the same instant fire
+in scheduling order (a monotonically increasing sequence number breaks
+ties), which keeps runs reproducible for fixed seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (no-op if already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """The virtual time the callback is scheduled for."""
+        return self._event.time
+
+
+class Simulator:
+    """The virtual clock and pending-event queue."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
+        """Run *callback* at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = _ScheduledEvent(self.now + delay, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> EventHandle:
+        """Run *callback* at absolute virtual *time* (>= now)."""
+        return self.schedule(time - self.now, callback)
+
+    def peek_time(self) -> float | None:
+        """Virtual time of the next pending event, or ``None`` if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Fire the next event; returns ``False`` when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> None:
+        """Drain the queue, optionally stopping at time *until* or after
+        *max_events* callbacks.
+
+        With ``until``, the clock is advanced exactly to ``until`` even if
+        the queue drains early, so periodic monitors see a full window.
+        """
+        fired = 0
+        while self._queue:
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if max_events is not None and fired >= max_events:
+                return
+            self.step()
+            fired += 1
+        if until is not None and self.now < until:
+            self.now = until

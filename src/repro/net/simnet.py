@@ -1,0 +1,266 @@
+"""A timed pub-sub overlay: Siena brokers on simulated CPUs and links.
+
+``SimulatedPubSub`` reproduces the experimental setup of Section 5.2: a
+complete ``arity``-ary tree of broker nodes whose links carry the WAN
+latencies of the generated topology, the publisher at the root, and
+subscribers attached to leaf brokers.  Per-message processing costs (event
+matching, tokenized matching, key derivation, encryption/decryption) are
+injected by the harness as cost functions, so the same overlay measures
+plain Siena and every PSGuard variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.net.links import Link
+from repro.net.node import ProcessingNode
+from repro.net.sim import Simulator
+from repro.siena.broker import Broker, MatchPredicate, _plain_match
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+#: Cost (seconds) to process one publication at a broker / subscriber.
+BrokerCostFn = Callable[[Hashable, Event], float]
+SubscriberCostFn = Callable[[Hashable, Event], float]
+
+_SEQ_ATTRIBUTE = "_seq"
+
+
+@dataclass
+class DeliveryRecord:
+    """One event delivered to one subscriber, with timing."""
+
+    seq: int
+    subscriber_id: Hashable
+    published_at: float
+    delivered_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.delivered_at - self.published_at
+
+
+@dataclass
+class _Publication:
+    routable: Event
+    carrier: object
+    size: int
+    published_at: float
+    deliveries: int = 0
+
+
+def _zero_cost(_node: Hashable, _event: Event) -> float:
+    return 0.0
+
+
+class SimulatedPubSub:
+    """The timed broker overlay used by the Fig 9-11 experiments."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_brokers: int,
+        arity: int = 2,
+        link_latency: Callable[[Hashable, Hashable], float] | float = 0.010,
+        client_latency: float = 0.002,
+        match: MatchPredicate = _plain_match,
+        broker_cost: BrokerCostFn = _zero_cost,
+        subscriber_cost: SubscriberCostFn = _zero_cost,
+        per_send_s: float = 0.0,
+    ):
+        if num_brokers < 1:
+            raise ValueError("need at least the root broker")
+        self.sim = sim
+        self.arity = arity
+        self.match = match
+        self.broker_cost = broker_cost
+        self.subscriber_cost = subscriber_cost
+        self.per_send_s = per_send_s
+        self._latency_of = (
+            link_latency
+            if callable(link_latency)
+            else (lambda _a, _b: float(link_latency))
+        )
+        self.client_latency = client_latency
+
+        self.brokers: dict[Hashable, Broker] = {}
+        self.nodes: dict[Hashable, ProcessingNode] = {}
+        self.links: dict[tuple[Hashable, Hashable], Link] = {}
+        self.subscriber_nodes: dict[Hashable, ProcessingNode] = {}
+        self._subscriber_home: dict[Hashable, Hashable] = {}
+        self._inflight: dict[int, _Publication] = {}
+        self._next_seq = 0
+        self.deliveries: list[DeliveryRecord] = []
+        self._monitor_interval: float | None = None
+
+        for index in range(num_brokers):
+            self.brokers[index] = Broker(index, match=match)
+            self.nodes[index] = ProcessingNode(sim, index)
+        for index in range(1, num_brokers):
+            parent = (index - 1) // arity
+            self._connect(parent, index)
+
+    # -- wiring --------------------------------------------------------------
+
+    def _connect(self, parent: Hashable, child: Hashable) -> None:
+        latency = self._latency_of(parent, child)
+        self.links[(parent, child)] = Link(self.sim, latency)
+        self.links[(child, parent)] = Link(self.sim, latency)
+        self.brokers[parent].attach_child(child, self._sender(parent, child))
+        self.brokers[child].attach_parent(parent, self._sender(child, parent))
+
+    def _sender(self, from_id: Hashable, to_id: Hashable):
+        def send(kind: str, payload: object) -> None:
+            if kind in ("subscribe", "unsubscribe"):
+                # Control plane: instantaneous (setup time is not measured).
+                assert isinstance(payload, Filter)
+                if kind == "subscribe":
+                    self.brokers[to_id].subscribe(from_id, payload)
+                else:
+                    self.brokers[to_id].unsubscribe(from_id, payload)
+                return
+            assert isinstance(payload, Event)
+            seq = payload.get(_SEQ_ATTRIBUTE)
+            publication = self._inflight[seq]
+            link = self.links[(from_id, to_id)]
+            # Serialization work for this send occupies the sender's CPU;
+            # it is what makes a 32-way fan-out at a lone publisher more
+            # expensive than a 2-way forward inside the tree.
+            if self.per_send_s > 0:
+                self.nodes[from_id].submit(self.per_send_s, lambda: None)
+
+            def on_arrival() -> None:
+                cost = self.broker_cost(to_id, payload)
+                self.nodes[to_id].submit(
+                    cost,
+                    lambda: self.brokers[to_id].publish(
+                        payload, arrived_from=from_id
+                    ),
+                )
+
+            link.send(publication.size, on_arrival)
+
+        return send
+
+    # -- clients ---------------------------------------------------------------
+
+    def leaf_ids(self) -> list[Hashable]:
+        """Brokers with no children."""
+        return sorted(
+            broker_id
+            for broker_id, broker in self.brokers.items()
+            if not broker.children
+        )
+
+    def attach_subscriber(
+        self, subscriber_id: Hashable, broker_id: Hashable
+    ) -> None:
+        """Attach a subscriber endpoint (own CPU, short client link)."""
+        if subscriber_id in self._subscriber_home:
+            raise ValueError(f"subscriber {subscriber_id!r} already attached")
+        self._subscriber_home[subscriber_id] = broker_id
+        self.subscriber_nodes[subscriber_id] = ProcessingNode(
+            self.sim, subscriber_id
+        )
+        link = Link(self.sim, self.client_latency)
+
+        def deliver(event: Event) -> None:
+            seq = event.get(_SEQ_ATTRIBUTE)
+            publication = self._inflight[seq]
+            if self.per_send_s > 0:
+                self.nodes[broker_id].submit(self.per_send_s, lambda: None)
+
+            def on_arrival() -> None:
+                cost = self.subscriber_cost(subscriber_id, event)
+                self.subscriber_nodes[subscriber_id].submit(
+                    cost, lambda: self._record_delivery(seq, subscriber_id)
+                )
+
+            link.send(publication.size, on_arrival)
+
+        self.brokers[broker_id].attach_client(subscriber_id, deliver)
+
+    def _record_delivery(self, seq: int, subscriber_id: Hashable) -> None:
+        publication = self._inflight[seq]
+        publication.deliveries += 1
+        self.deliveries.append(
+            DeliveryRecord(
+                seq, subscriber_id, publication.published_at, self.sim.now
+            )
+        )
+
+    def subscribe(self, subscriber_id: Hashable, subscription: Filter) -> None:
+        """Issue a subscription from an attached subscriber."""
+        broker_id = self._subscriber_home[subscriber_id]
+        self.brokers[broker_id].subscribe(subscriber_id, subscription)
+
+    # -- publication -------------------------------------------------------------
+
+    def publish(
+        self,
+        routable: Event,
+        carrier: object = None,
+        size: int | None = None,
+        delay: float = 0.0,
+    ) -> int:
+        """Inject a publication at the root after *delay*; returns its seq.
+
+        *carrier* is the full (sealed) message riding along for subscriber-
+        side cost accounting; *size* its wire size in bytes.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        tagged = routable.with_attributes(**{_SEQ_ATTRIBUTE: seq})
+        publication = _Publication(
+            tagged,
+            carrier,
+            size if size is not None else tagged.wire_size(),
+            self.sim.now + delay,
+        )
+        self._inflight[seq] = publication
+
+        def inject() -> None:
+            cost = self.broker_cost(0, tagged)
+            self.nodes[0].submit(
+                cost, lambda: self.brokers[0].publish(tagged, arrived_from=None)
+            )
+
+        self.sim.schedule(delay, inject)
+        return seq
+
+    def carrier_of(self, seq: int) -> object:
+        """The carrier object attached to publication *seq*."""
+        return self._inflight[seq].carrier
+
+    # -- measurement ----------------------------------------------------------------
+
+    def start_backlog_monitor(self, interval: float = 0.05) -> None:
+        """Sample every node's backlog periodically (saturation detection)."""
+        self._monitor_interval = interval
+
+        def sample() -> None:
+            for node in self.nodes.values():
+                node.sample_backlog()
+            for node in self.subscriber_nodes.values():
+                node.sample_backlog()
+            self.sim.schedule(interval, sample)
+
+        self.sim.schedule(interval, sample)
+
+    def any_saturated(self, window: int = 5) -> bool:
+        """Whether any node met the paper's saturation criterion.
+
+        Checks the full backlog history (so overloads that drained after
+        the publishing window still count) on brokers and subscriber
+        endpoints alike -- the paper monitored every node.
+        """
+        nodes = list(self.nodes.values()) + list(self.subscriber_nodes.values())
+        return any(node.was_saturating(window) for node in nodes)
+
+    def mean_latency(self) -> float:
+        """Mean delivery latency over all recorded deliveries."""
+        if not self.deliveries:
+            return float("nan")
+        return sum(d.latency for d in self.deliveries) / len(self.deliveries)

@@ -1,0 +1,168 @@
+"""Curious-node frequency observation (Sections 4.2, 5.2.2).
+
+A curious routing node "observes the frequency of the events that match a
+given subscription filter" (Section 4.1) -- its unit of observation is a
+*flow*: one filter token toward one downstream subscriber.  Probabilistic
+multi-path routing spreads each flow's ``lambda_t`` events over ``ind_t``
+node-disjoint paths, so any single node sees at most ``lambda_t / ind_t``
+of a flow -- constant (``1/tau``) across tokens when ``ind_t = tau *
+lambda_t``.
+
+``NodeObserver`` records per-node, per-flow counts.  A node's apparent
+frequency for a token is its best (highest-rate) flow for that token.
+``CoalitionObserver`` merges colluding nodes' views by *distinct events*:
+a coalition straddling all ``ind_t`` paths of a flow reconstructs the full
+``lambda_t`` (Figure 7's collusive setting; with every node colluding the
+apparent entropy collapses to ``S_act``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterable
+
+from repro.routing.entropy import entropy_bits
+
+
+class NodeObserver:
+    """Per-node token-frequency observations, flow by flow."""
+
+    def __init__(self):
+        #: node -> (token, flow) -> event count
+        self.flow_counts: dict[
+            Hashable, dict[tuple[Hashable, Hashable], int]
+        ] = defaultdict(lambda: defaultdict(int))
+        #: node -> (token, flow) -> distinct event ids (coalition merging)
+        self.event_ids: dict[
+            Hashable, dict[tuple[Hashable, Hashable], set[int]]
+        ] = defaultdict(lambda: defaultdict(set))
+        self.total_events = 0
+
+    def observe_path(
+        self,
+        path: Iterable[Hashable],
+        token: Hashable,
+        event_id: int,
+        flow: Hashable = None,
+    ) -> None:
+        """Record one event of one flow traversing *path*.
+
+        Endpoints (publisher, subscriber) are excluded -- they trivially
+        know their own traffic; only intermediate routing nodes are
+        curious-node candidates.
+        """
+        nodes = list(path)
+        for node in nodes[1:-1]:
+            self.flow_counts[node][(token, flow)] += 1
+            self.event_ids[node][(token, flow)].add(event_id)
+
+    def note_event(self) -> None:
+        """Count one published event (denominator for frequencies)."""
+        self.total_events += 1
+
+    # -- single-node (non-collusive) views ---------------------------------
+
+    def node_token_frequencies(
+        self, node: Hashable, aggregate_flows: bool = False
+    ) -> dict[Hashable, int]:
+        """Apparent per-token counts at one node.
+
+        By default, a token's count is its best single flow (flows are not
+        linkable across subscribers).  ``aggregate_flows=True`` models a
+        stronger local attacker who sums all flows sharing a filter token.
+        """
+        frequencies: dict[Hashable, int] = defaultdict(int)
+        for (token, _flow), count in self.flow_counts[node].items():
+            if aggregate_flows:
+                frequencies[token] += count
+            else:
+                frequencies[token] = max(frequencies[token], count)
+        return dict(frequencies)
+
+    def node_entropy(
+        self, node: Hashable, aggregate_flows: bool = False
+    ) -> float:
+        """Entropy of one node's apparent token distribution."""
+        return entropy_bits(self.node_token_frequencies(node, aggregate_flows))
+
+    def observing_nodes(self) -> list[Hashable]:
+        """Nodes that observed at least one event."""
+        return [
+            node for node, counts in self.flow_counts.items() if counts
+        ]
+
+    def mean_node_entropy(self, aggregate_flows: bool = False) -> float:
+        """Average per-node entropy (each node restricted to its own view).
+
+        A *local* variant of ``S_app``: it under-states the system entropy
+        because every node's support is truncated to the tokens its own
+        subscribers carry.  Kept for the observation-model ablation.
+        """
+        nodes = self.observing_nodes()
+        if not nodes:
+            raise ValueError("no observations recorded")
+        return sum(
+            self.node_entropy(node, aggregate_flows) for node in nodes
+        ) / len(nodes)
+
+    # -- system-level apparent distribution (the paper's S_app) --------------
+
+    def system_apparent_frequencies(self) -> dict[Hashable, float]:
+        """The apparent frequency ``lambda'_t`` each token presents.
+
+        For every token, this is the per-flow rate a curious node on one of
+        its paths observes -- empirically, the mean over observing nodes of
+        that node's best-flow count.  Multi-path routing makes this
+        ``lambda_t / ind_t``: with ``ind_t = tau * lambda_t`` the head of
+        the distribution flattens to ``1/tau``.
+        """
+        sums: dict[Hashable, float] = defaultdict(float)
+        counts: dict[Hashable, int] = defaultdict(int)
+        for node in self.observing_nodes():
+            for token, best in self.node_token_frequencies(node).items():
+                sums[token] += best
+                counts[token] += 1
+        return {
+            token: sums[token] / counts[token] for token in sums
+        }
+
+    def system_apparent_entropy(self) -> float:
+        """``S_app``: entropy of the system-wide apparent distribution."""
+        frequencies = self.system_apparent_frequencies()
+        if not frequencies:
+            raise ValueError("no observations recorded")
+        return entropy_bits(frequencies)
+
+
+class CoalitionObserver:
+    """The merged view of a colluding subset of routing nodes."""
+
+    def __init__(self, observer: NodeObserver, coalition: Iterable[Hashable]):
+        self.observer = observer
+        self.coalition = set(coalition)
+
+    def merged_counts(self) -> dict[Hashable, int]:
+        """Per-token apparent counts after pooling observations.
+
+        Colluding nodes compare notes flow by flow: members sitting on
+        different independent paths of the same flow merge their *distinct*
+        event sets, reconstructing up to the flow's full ``lambda_t``.  A
+        token's apparent count is then its best reconstructed flow.  With
+        every node colluding this recovers the actual distribution
+        (``S_app -> S_act``, the Fig 7 limit).
+        """
+        merged: dict[tuple[Hashable, Hashable], set[int]] = defaultdict(set)
+        for node in self.coalition:
+            for flow_key, ids in self.observer.event_ids.get(node, {}).items():
+                merged[flow_key] |= ids
+        best: dict[Hashable, int] = defaultdict(int)
+        for (token, _flow), ids in merged.items():
+            best[token] = max(best[token], len(ids))
+        return dict(best)
+
+    def entropy(self) -> float:
+        """Apparent entropy of the coalition's merged distribution."""
+        counts = self.merged_counts()
+        if not counts:
+            raise ValueError("the coalition observed no events")
+        return entropy_bits(counts)

@@ -1,0 +1,205 @@
+"""Tokenization of routable attributes (Section 4.1).
+
+Based on Song, Wagner and Perrig's searchable encryption:
+
+- the KDC issues the token ``T(w) = F_{rk(KDC)}(w)`` for topic ``w``;
+- a subscriber subscribes with the filter ``<topic, EQ, T(w)>``;
+- a publisher attaches the routable attribute ``<r, F_{T(w)}(r)>`` for a
+  fresh random nonce ``r``;
+- a broker matches by checking ``F_{tok}(r) == match``.
+
+A broker therefore learns only *that* an event matches a subscription it
+carries -- never the topic string.  Because ``r`` is fresh per event, two
+events under the same topic are unlinkable to a broker that carries no
+matching subscription.
+
+Numeric, category and string attributes route by their key-tree element
+identifiers (Section 3.1 "we also use the key tree identifier for
+tokenization"): every prefix of the event's ktid is tokenized the same
+way, and a subscription for a cover element tokenizes that element, so
+prefix containment becomes token equality at the right level.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.crypto.prf import F, constant_time_equal
+from repro.core.ktid import KTID
+from repro.siena.events import Event
+from repro.siena.filters import Constraint, Filter
+from repro.siena.operators import Op
+
+_NONCE_BYTES = 16
+
+
+@dataclass(frozen=True)
+class RoutableToken:
+    """The routable attribute pair ``<r, F_T(r)>`` carried by an event."""
+
+    nonce: bytes
+    proof: bytes
+
+    def encode(self) -> str:
+        """Hex encoding usable as a Siena string attribute value."""
+        return (self.nonce + self.proof).hex()
+
+    @classmethod
+    def decode(cls, text: str) -> "RoutableToken":
+        raw = bytes.fromhex(text)
+        if len(raw) < _NONCE_BYTES + 1:
+            raise ValueError("routable token too short")
+        return cls(raw[:_NONCE_BYTES], raw[_NONCE_BYTES:])
+
+
+def make_routable(token: bytes, nonce: bytes | None = None) -> RoutableToken:
+    """Publisher side: build ``<r, F_{T(w)}(r)>`` for label token ``T(w)``."""
+    if nonce is None:
+        nonce = os.urandom(_NONCE_BYTES)
+    return RoutableToken(nonce, F(token, nonce))
+
+
+def routable_matches(token: bytes, routable: RoutableToken) -> bool:
+    """Broker side: check ``F_{tok}(r) == match`` in constant time."""
+    return constant_time_equal(F(token, routable.nonce), routable.proof)
+
+
+class TokenAuthority:
+    """Derives label tokens from the KDC master key.
+
+    Distinct from decryption keys: compromise of a token reveals which
+    events carry a label, never their contents.
+    """
+
+    def __init__(self, master_key: bytes):
+        self.master_key = master_key
+
+    def topic_token(self, topic: str) -> bytes:
+        """``T(w) = F_{rk}(w)``."""
+        return F(self.master_key, b"topic:" + topic.encode("utf-8"))
+
+    def element_token(self, topic: str, attribute: str, element: object) -> bytes:
+        """Token for one key-tree element of one attribute.
+
+        Numeric elements are ktids; category/string elements are labels.
+        """
+        if isinstance(element, KTID):
+            material = element.to_bytes()
+        elif isinstance(element, str):
+            material = element.encode("utf-8")
+        else:
+            raise TypeError(f"untokenizable element {element!r}")
+        label = b"element:" + topic.encode("utf-8") + b"\x00"
+        label += attribute.encode("utf-8") + b"\x00" + material
+        return F(self.master_key, label)
+
+    def ktid_prefix_tokens(
+        self, topic: str, attribute: str, leaf: KTID
+    ) -> list[bytes]:
+        """Tokens for every prefix of *leaf* (publisher side).
+
+        An event advertises all its prefixes; a cover-element subscription
+        matches at exactly one of them.
+        """
+        prefixes = list(leaf.ancestors()) + [leaf]
+        return [
+            self.element_token(topic, attribute, prefix) for prefix in prefixes
+        ]
+
+
+# -- integration with the Siena broker ------------------------------------------
+
+#: Attribute name carrying the tokenized topic of an event.
+TOPIC_TOKEN_ATTRIBUTE = "_ttok"
+#: Attribute prefix carrying tokenized element labels, one per level.
+ELEMENT_TOKEN_ATTRIBUTE = "_etok"
+
+
+def tokenize_event(
+    authority: TokenAuthority,
+    routable: Event,
+    elements: dict[str, object],
+    topic: str,
+) -> Event:
+    """Replace plaintext routing attributes with tokenized ones.
+
+    The returned event carries only the nonce/proof pairs; brokers with the
+    right subscription tokens can match it, and nothing else.
+    """
+    token_attributes: dict[str, str] = {
+        TOPIC_TOKEN_ATTRIBUTE: make_routable(
+            authority.topic_token(topic)
+        ).encode()
+    }
+    for attribute, element in elements.items():
+        if isinstance(element, KTID):
+            prefixes = list(element.ancestors()) + [element]
+            for level, prefix in enumerate(prefixes):
+                token = authority.element_token(topic, attribute, prefix)
+                name = f"{ELEMENT_TOKEN_ATTRIBUTE}:{attribute}:{level}"
+                token_attributes[name] = make_routable(token).encode()
+        elif isinstance(element, str):
+            token = authority.element_token(topic, attribute, element)
+            name = f"{ELEMENT_TOKEN_ATTRIBUTE}:{attribute}"
+            token_attributes[name] = make_routable(token).encode()
+    stripped = routable.without_attributes(
+        *(set(routable.attributes) - {"_seq"})
+    )
+    return stripped.with_attributes(**token_attributes)
+
+
+def tokenized_subscription(
+    authority: TokenAuthority,
+    topic: str,
+    element_constraints: dict[str, object] | None = None,
+) -> Filter:
+    """Build the tokenized filter a subscriber registers with its broker.
+
+    ``element_constraints`` maps attribute name to the granted cover
+    element (one filter per cover element; a multi-element cover registers
+    several filters).
+    """
+    constraints = [
+        Constraint(
+            TOPIC_TOKEN_ATTRIBUTE,
+            Op.EQ,
+            authority.topic_token(topic).hex(),
+        )
+    ]
+    for attribute, element in (element_constraints or {}).items():
+        token = authority.element_token(topic, attribute, element)
+        if isinstance(element, KTID):
+            name = f"{ELEMENT_TOKEN_ATTRIBUTE}:{attribute}:{element.depth}"
+        else:
+            name = f"{ELEMENT_TOKEN_ATTRIBUTE}:{attribute}"
+        constraints.append(Constraint(name, Op.EQ, token.hex()))
+    return Filter(constraints)
+
+
+def tokenized_match(subscription: Filter, event: Event) -> bool:
+    """Broker match predicate for tokenized subscriptions and events.
+
+    Subscription constraint values are hex label tokens; event attribute
+    values are hex-encoded ``<r, F_T(r)>`` pairs.  A constraint matches
+    when ``F_{tok}(r) == match``.  Non-token constraints fall back to plain
+    matching (mixed plaintext/tokenized deployments).
+    """
+    for constraint in subscription:
+        if not constraint.name.startswith(
+            (TOPIC_TOKEN_ATTRIBUTE, ELEMENT_TOKEN_ATTRIBUTE)
+        ):
+            if not constraint.matches(event):
+                return False
+            continue
+        value = event.get(constraint.name)
+        if not isinstance(value, str):
+            return False
+        try:
+            routable = RoutableToken.decode(value)
+            token = bytes.fromhex(str(constraint.value))
+        except ValueError:
+            return False
+        if not routable_matches(token, routable):
+            return False
+    return True

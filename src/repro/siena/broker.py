@@ -1,0 +1,257 @@
+"""A Siena-style content-based broker.
+
+Each broker maintains a subscription table mapping *interfaces* (its parent
+link, child links, and locally attached clients) to the filters subscribed
+through them.  Subscriptions propagate toward the root, suppressed when a
+previously forwarded filter already covers them; events propagate toward
+the root unconditionally and down every interface with a matching filter
+(in-network matching, Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional
+
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+#: An interface identifier: a neighbouring broker id or a local client id.
+Interface = Hashable
+
+MatchPredicate = Callable[[Filter, Event], bool]
+
+
+def _plain_match(subscription_filter: Filter, event: Event) -> bool:
+    return subscription_filter.matches(event)
+
+
+@dataclass
+class BrokerStats:
+    """Counters a broker keeps for the performance evaluation."""
+
+    events_received: int = 0
+    events_forwarded: int = 0
+    subscriptions_received: int = 0
+    subscriptions_forwarded: int = 0
+    match_tests: int = 0
+    deliveries: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+@dataclass
+class _Subscription:
+    filter: Filter
+    interfaces: set[Interface] = field(default_factory=set)
+
+
+class Broker:
+    """One node of the hierarchical pub-sub overlay.
+
+    The broker is transport-agnostic: ``send`` callables injected by the
+    overlay (:class:`repro.siena.network.BrokerTree` or the discrete-event
+    simulator) move messages between brokers, while ``deliver`` callables
+    hand events to locally attached clients.
+
+    A custom *match predicate* may be supplied; PSGuard substitutes the
+    tokenized match of Section 4.1 so brokers route without learning
+    attribute values.
+    """
+
+    def __init__(
+        self,
+        broker_id: Hashable,
+        match: MatchPredicate = _plain_match,
+        indexed: bool = False,
+    ):
+        self.broker_id = broker_id
+        self.match = match
+        self.parent: Optional[Hashable] = None
+        self.send_parent: Optional[Callable[[str, object], None]] = None
+        self.children: dict[Hashable, Callable[[str, object], None]] = {}
+        self.clients: dict[Hashable, Callable[[Event], None]] = {}
+        self.subscriptions: list[_Subscription] = []
+        self.forwarded_upstream: list[Filter] = []
+        self.stats = BrokerStats()
+        # Optional counting-algorithm index (sublinear matching; only
+        # valid with the default plaintext match predicate).
+        self._index = None
+        self._index_ids: dict[Filter, int] = {}
+        if indexed:
+            if match is not _plain_match:
+                raise ValueError(
+                    "the match index implements plaintext semantics; "
+                    "custom match predicates require the linear scan"
+                )
+            from repro.siena.index import MatchIndex
+
+            self._index = MatchIndex()
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_parent(
+        self, parent_id: Hashable, send: Callable[[str, object], None]
+    ) -> None:
+        """Connect this broker to its parent via the *send* callable."""
+        self.parent = parent_id
+        self.send_parent = send
+
+    def attach_child(
+        self, child_id: Hashable, send: Callable[[str, object], None]
+    ) -> None:
+        """Connect a child broker reachable via the *send* callable."""
+        self.children[child_id] = send
+
+    def attach_client(
+        self, client_id: Hashable, deliver: Callable[[Event], None]
+    ) -> None:
+        """Attach a local client (subscriber endpoint)."""
+        self.clients[client_id] = deliver
+
+    # -- subscription plane --------------------------------------------------
+
+    def subscribe(self, interface: Interface, subscription_filter: Filter) -> None:
+        """Register *subscription_filter* for *interface*; forward if needed.
+
+        The filter is forwarded to the parent only when no previously
+        forwarded filter covers it (Section 2.1).
+        """
+        self.stats.subscriptions_received += 1
+        for existing in self.subscriptions:
+            if existing.filter == subscription_filter:
+                existing.interfaces.add(interface)
+                break
+        else:
+            self.subscriptions.append(
+                _Subscription(subscription_filter, {interface})
+            )
+            if self._index is not None:
+                self._index_ids[subscription_filter] = self._index.add(
+                    subscription_filter
+                )
+
+        if self.send_parent is None:
+            return
+        if any(
+            forwarded.covers(subscription_filter)
+            for forwarded in self.forwarded_upstream
+        ):
+            return
+        # Drop previously forwarded filters that the new one covers; Siena
+        # replaces them to keep the upstream table minimal.
+        self.forwarded_upstream = [
+            forwarded
+            for forwarded in self.forwarded_upstream
+            if not subscription_filter.covers(forwarded)
+        ]
+        self.forwarded_upstream.append(subscription_filter)
+        self.stats.subscriptions_forwarded += 1
+        self.send_parent("subscribe", subscription_filter)
+
+    def unsubscribe(self, interface: Interface, subscription_filter: Filter) -> None:
+        """Remove *interface*'s registration of *subscription_filter*.
+
+        When the removal changes what this broker needs from upstream, the
+        upstream table is recomputed: obsolete forwarded filters are
+        withdrawn and filters that the departed one was covering are
+        announced (Siena's unsubscription semantics).
+        """
+        changed = False
+        for existing in list(self.subscriptions):
+            if existing.filter == subscription_filter:
+                existing.interfaces.discard(interface)
+                if not existing.interfaces:
+                    self.subscriptions.remove(existing)
+                    changed = True
+                    if self._index is not None:
+                        index_id = self._index_ids.pop(
+                            existing.filter, None
+                        )
+                        if index_id is not None:
+                            self._index.remove(index_id)
+        if changed and self.send_parent is not None:
+            self._recompute_upstream()
+
+    def _recompute_upstream(self) -> None:
+        """Re-derive the minimal covering set to forward upstream."""
+        required: list[Filter] = []
+        for candidate in (entry.filter for entry in self.subscriptions):
+            if any(chosen.covers(candidate) for chosen in required):
+                continue
+            required = [
+                chosen for chosen in required
+                if not candidate.covers(chosen)
+            ]
+            required.append(candidate)
+
+        for obsolete in self.forwarded_upstream:
+            if obsolete not in required:
+                self.stats.subscriptions_forwarded += 1
+                self.send_parent("unsubscribe", obsolete)
+        for needed in required:
+            if needed not in self.forwarded_upstream:
+                self.stats.subscriptions_forwarded += 1
+                self.send_parent("subscribe", needed)
+        self.forwarded_upstream = required
+
+    # -- event plane ---------------------------------------------------------
+
+    def publish(self, event: Event, arrived_from: Interface | None = None) -> int:
+        """Route *event*: up to the parent, down every matching interface.
+
+        Returns the number of interfaces the event was forwarded or
+        delivered on (the broker's fan-out for this event).
+        """
+        self.stats.events_received += 1
+        forwarded_to: set[Interface] = set()
+        if self._index is not None:
+            matched = set(self._index.matching(event))
+            candidates = [
+                subscription
+                for subscription in self.subscriptions
+                if subscription.filter in matched
+            ]
+            self.stats.match_tests += len(matched)
+        else:
+            candidates = self.subscriptions
+        for subscription in candidates:
+            if self._index is None:
+                self.stats.match_tests += 1
+                if not self.match(subscription.filter, event):
+                    continue
+            for interface in subscription.interfaces:
+                if interface == arrived_from or interface in forwarded_to:
+                    continue
+                forwarded_to.add(interface)
+                if interface in self.clients:
+                    self.stats.deliveries += 1
+                    self.clients[interface](event)
+                elif interface in self.children:
+                    self.stats.events_forwarded += 1
+                    self.children[interface]("publish", event)
+
+        if (
+            self.send_parent is not None
+            and arrived_from != self.parent
+        ):
+            self.stats.events_forwarded += 1
+            self.send_parent("publish", event)
+            forwarded_to.add(self.parent)
+        return len(forwarded_to)
+
+    # -- introspection ---------------------------------------------------------
+
+    def subscription_count(self) -> int:
+        """Number of distinct filters in the routing table."""
+        return len(self.subscriptions)
+
+    def filters_for(self, interface: Interface) -> list[Filter]:
+        """All filters registered for *interface*."""
+        return [
+            subscription.filter
+            for subscription in self.subscriptions
+            if interface in subscription.interfaces
+        ]

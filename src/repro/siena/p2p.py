@@ -1,0 +1,240 @@
+"""Peer-to-peer (acyclic) Siena overlay.
+
+The paper assumes a hierarchical topology "for the sake of simplicity"
+(Section 2.1); full Siena runs on general acyclic broker graphs with no
+distinguished root, publishers attached anywhere, and reverse-path
+forwarding: subscriptions flood outward (suppressed by covering, per
+interface), events follow the recorded subscription paths backwards.
+
+PSGuard composes with this overlay unchanged -- sealed events route by
+their routable attributes exactly like plain events -- so the
+reproduction also demonstrates the paper's claim that its security layer
+is agnostic to the pub-sub core's topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable
+
+from repro.siena.broker import MatchPredicate, _plain_match
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+Interface = Hashable
+
+
+@dataclass
+class _InterfaceState:
+    """What one neighbour/client has asked for, and what we told it."""
+
+    #: filters this interface subscribed through us
+    wants: list[Filter] = field(default_factory=list)
+    #: filters we have announced to this interface (covering-compressed)
+    announced: list[Filter] = field(default_factory=list)
+
+
+class PeerBroker:
+    """A Siena broker for acyclic peer-to-peer overlays.
+
+    Unlike the hierarchical :class:`~repro.siena.broker.Broker`, there is
+    no parent: subscriptions propagate to *every* neighbour (except where
+    they came from), and events are forwarded only toward recorded
+    interest -- reverse-path forwarding.
+    """
+
+    def __init__(self, broker_id: Hashable, match: MatchPredicate = _plain_match):
+        self.broker_id = broker_id
+        self.match = match
+        self._neighbors: dict[Interface, Callable[[str, object], None]] = {}
+        self._clients: dict[Interface, Callable[[Event], None]] = {}
+        self._state: dict[Interface, _InterfaceState] = {}
+        self.messages_sent = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_neighbor(
+        self, neighbor_id: Interface, send: Callable[[str, object], None]
+    ) -> None:
+        """Connect a neighbouring broker."""
+        self._neighbors[neighbor_id] = send
+        self._state.setdefault(neighbor_id, _InterfaceState())
+
+    def attach_client(
+        self, client_id: Interface, deliver: Callable[[Event], None]
+    ) -> None:
+        """Attach a local client (subscriber and/or publisher endpoint)."""
+        self._clients[client_id] = deliver
+        self._state.setdefault(client_id, _InterfaceState())
+
+    # -- subscription plane ---------------------------------------------------
+
+    def subscribe(self, interface: Interface, subscription: Filter) -> None:
+        """Record interest from *interface*; propagate where not covered."""
+        state = self._state.setdefault(interface, _InterfaceState())
+        if subscription not in state.wants:
+            state.wants.append(subscription)
+        for neighbor_id, send in self._neighbors.items():
+            if neighbor_id == interface:
+                continue
+            neighbor_state = self._state[neighbor_id]
+            if any(
+                announced.covers(subscription)
+                for announced in neighbor_state.announced
+            ):
+                continue
+            neighbor_state.announced = [
+                announced
+                for announced in neighbor_state.announced
+                if not subscription.covers(announced)
+            ]
+            neighbor_state.announced.append(subscription)
+            self.messages_sent += 1
+            send("subscribe", subscription)
+
+    # -- event plane ------------------------------------------------------------
+
+    def publish(self, event: Event, arrived_from: Interface | None = None) -> None:
+        """Reverse-path forward *event* toward recorded interest."""
+        for interface, state in self._state.items():
+            if interface == arrived_from:
+                continue
+            if not any(self.match(f, event) for f in state.wants):
+                continue
+            if interface in self._clients:
+                self._clients[interface](event)
+            elif interface in self._neighbors:
+                self.messages_sent += 1
+                self._neighbors[interface]("publish", event)
+
+    # -- introspection -------------------------------------------------------------
+
+    def interest_of(self, interface: Interface) -> list[Filter]:
+        """Filters recorded for one interface."""
+        state = self._state.get(interface)
+        return list(state.wants) if state else []
+
+
+class AcyclicOverlay:
+    """An acyclic broker graph with synchronous in-process dispatch.
+
+    >>> overlay = AcyclicOverlay.line(3)
+    >>> inbox = []
+    >>> overlay.attach_subscriber("s", 2, inbox.append)
+    >>> overlay.subscribe("s", Filter.topic("news"))
+    >>> overlay.publish(0, Event({"topic": "news"}))
+    >>> len(inbox)
+    1
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[Hashable, Hashable]],
+        match: MatchPredicate = _plain_match,
+    ):
+        self.brokers: dict[Hashable, PeerBroker] = {}
+        self._edges: list[tuple[Hashable, Hashable]] = []
+        self._subscriber_home: dict[Hashable, Hashable] = {}
+        self._match = match
+        seen_components: dict[Hashable, Hashable] = {}
+
+        def find(node: Hashable) -> Hashable:
+            while seen_components.get(node, node) != node:
+                node = seen_components[node]
+            return node
+
+        for first, second in edges:
+            for node in (first, second):
+                if node not in self.brokers:
+                    self.brokers[node] = PeerBroker(node, match=match)
+                    seen_components[node] = node
+            root_a, root_b = find(first), find(second)
+            if root_a == root_b:
+                raise ValueError(
+                    f"edge ({first!r}, {second!r}) closes a cycle; Siena "
+                    "overlays must be acyclic"
+                )
+            seen_components[root_a] = root_b
+            self._edges.append((first, second))
+            self._link(first, second)
+        if not self.brokers:
+            raise ValueError("an overlay needs at least one edge")
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def line(cls, length: int, match: MatchPredicate = _plain_match
+             ) -> "AcyclicOverlay":
+        """A chain of *length* brokers (ids 0..length-1)."""
+        if length < 2:
+            raise ValueError("a line needs at least two brokers")
+        return cls(
+            [(index, index + 1) for index in range(length - 1)], match=match
+        )
+
+    @classmethod
+    def star(cls, leaves: int, match: MatchPredicate = _plain_match
+             ) -> "AcyclicOverlay":
+        """A hub (id 0) with *leaves* spokes (ids 1..leaves)."""
+        if leaves < 1:
+            raise ValueError("a star needs at least one leaf")
+        return cls([(0, index) for index in range(1, leaves + 1)],
+                   match=match)
+
+    @classmethod
+    def random_tree(
+        cls, size: int, seed: int = 7, match: MatchPredicate = _plain_match
+    ) -> "AcyclicOverlay":
+        """A uniformly random labelled tree over *size* brokers."""
+        import random
+
+        if size < 2:
+            raise ValueError("a tree needs at least two brokers")
+        rng = random.Random(seed)
+        edges = [
+            (node, rng.randrange(0, node)) for node in range(1, size)
+        ]
+        return cls(edges, match=match)
+
+    def _link(self, first: Hashable, second: Hashable) -> None:
+        def sender(from_id: Hashable, to_id: Hashable):
+            def send(kind: str, payload: object) -> None:
+                broker = self.brokers[to_id]
+                if kind == "subscribe":
+                    assert isinstance(payload, Filter)
+                    broker.subscribe(from_id, payload)
+                else:
+                    assert isinstance(payload, Event)
+                    broker.publish(payload, arrived_from=from_id)
+
+            return send
+
+        self.brokers[first].attach_neighbor(second, sender(first, second))
+        self.brokers[second].attach_neighbor(first, sender(second, first))
+
+    # -- client API -----------------------------------------------------------
+
+    def attach_subscriber(
+        self,
+        subscriber_id: Hashable,
+        broker_id: Hashable,
+        deliver: Callable[[Event], None],
+    ) -> None:
+        """Attach a subscriber endpoint to any broker."""
+        if subscriber_id in self._subscriber_home:
+            raise ValueError(f"subscriber {subscriber_id!r} already attached")
+        self.brokers[broker_id].attach_client(subscriber_id, deliver)
+        self._subscriber_home[subscriber_id] = broker_id
+
+    def subscribe(self, subscriber_id: Hashable, subscription: Filter) -> None:
+        """Issue a subscription from an attached subscriber."""
+        broker_id = self._subscriber_home[subscriber_id]
+        self.brokers[broker_id].subscribe(subscriber_id, subscription)
+
+    def publish(self, broker_id: Hashable, event: Event) -> None:
+        """Inject an event at any broker (publishers live anywhere)."""
+        self.brokers[broker_id].publish(event, arrived_from=None)
+
+    def total_messages(self) -> int:
+        """Broker-to-broker messages sent so far."""
+        return sum(broker.messages_sent for broker in self.brokers.values())

@@ -1,0 +1,19 @@
+"""Internet topology substrate.
+
+Replaces the GT-ITM topology generator the paper used (Section 5.2):
+
+- :mod:`repro.topology.transit_stub` -- a transit-stub Internet model that
+  reproduces the paper's link statistics (RTTs 24-184 ms, mean ~74 ms,
+  standard deviation ~50 ms);
+- :mod:`repro.topology.tree` -- embedding of the complete ``a``-ary broker
+  tree onto topology nodes, yielding per-link latencies;
+- :mod:`repro.topology.multipath` -- the multi-path dissemination network
+  ``G_ind`` of Section 4.2.1 (sibling-of-parent edges, independent path
+  construction per Theorem 4.2, construction-cost accounting for Fig 8).
+"""
+
+from repro.topology.multipath import MultipathNetwork
+from repro.topology.transit_stub import TransitStubTopology
+from repro.topology.tree import DisseminationTree
+
+__all__ = ["DisseminationTree", "MultipathNetwork", "TransitStubTopology"]

@@ -1,0 +1,29 @@
+"""Synthetic workloads (Section 5.2).
+
+No real traces exist for this domain (the paper says as much), so the
+evaluation uses a synthetic workload: 128 topics under a Zipf-like
+popularity distribution, split evenly into numeric, category, string and
+plain-topic attribute types, with Gaussian numeric subscription ranges and
+Zipf-distributed string lengths.
+
+- :mod:`repro.workloads.zipf` -- Zipf sampling;
+- :mod:`repro.workloads.generator` -- the full Section 5.2 workload
+  (topics, subscriptions, publications).
+"""
+
+from repro.workloads.generator import (
+    PaperWorkload,
+    Subscription,
+    TopicSpec,
+    WorkloadConfig,
+)
+from repro.workloads.zipf import ZipfSampler, zipf_weights
+
+__all__ = [
+    "PaperWorkload",
+    "Subscription",
+    "TopicSpec",
+    "WorkloadConfig",
+    "ZipfSampler",
+    "zipf_weights",
+]

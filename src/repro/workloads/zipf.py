@@ -1,0 +1,77 @@
+"""Zipf-like popularity sampling.
+
+The workload uses a Zipf-like distribution (the paper cites the Gnutella
+measurement study [16]): item at popularity rank ``k`` has weight
+``1 / k^s``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> list[float]:
+    """Normalized Zipf weights for ranks ``1..count``.
+
+    >>> weights = zipf_weights(4)
+    >>> round(sum(weights), 10)
+    1.0
+    >>> weights[0] > weights[-1]
+    True
+    """
+    if count < 1:
+        raise ValueError("need at least one rank")
+    if exponent < 0:
+        raise ValueError("Zipf exponent must be non-negative")
+    raw = [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+class ZipfSampler:
+    """Samples items from a ranked population under Zipf weights."""
+
+    def __init__(
+        self,
+        items: Sequence[T],
+        exponent: float = 1.0,
+        rng: random.Random | None = None,
+    ):
+        if not items:
+            raise ValueError("cannot sample from an empty population")
+        self.items = list(items)
+        self.weights = zipf_weights(len(self.items), exponent)
+        self.rng = rng or random.Random()
+
+    def sample(self) -> T:
+        """One item, drawn with Zipf probability by rank."""
+        return self.rng.choices(self.items, weights=self.weights, k=1)[0]
+
+    def sample_distinct(self, count: int) -> list[T]:
+        """*count* distinct items, drawn by iterated Zipf rejection.
+
+        Models a subscriber picking several topics of interest: popular
+        topics are chosen first, but each at most once.
+        """
+        if count > len(self.items):
+            raise ValueError(
+                f"cannot draw {count} distinct items from "
+                f"{len(self.items)}"
+            )
+        chosen: list[T] = []
+        chosen_set: set[int] = set()
+        while len(chosen) < count:
+            index = self.rng.choices(
+                range(len(self.items)), weights=self.weights, k=1
+            )[0]
+            if index not in chosen_set:
+                chosen_set.add(index)
+                chosen.append(self.items[index])
+        return chosen
+
+    def frequency_of(self, item: T) -> float:
+        """The a-priori sampling probability of *item*."""
+        return self.weights[self.items.index(item)]

@@ -1,0 +1,83 @@
+"""M/M/N churn simulation vs. the closed-form model."""
+
+import pytest
+
+from repro.analysis.churn import ChurnSimulation, relative_error
+from repro.analysis.models import MMNPopulation
+
+
+@pytest.fixture(scope="module")
+def churn_run():
+    population = MMNPopulation(
+        total_subscribers=120, arrival_rate=0.05, departure_rate=0.05
+    )
+    simulation = ChurnSimulation(
+        population,
+        range_size=1024,
+        subscription_span=64,
+        epoch_length=50.0,
+        seed=31,
+    )
+    result = simulation.run(duration=600.0)
+    return population, simulation, result
+
+
+def test_active_population_matches_mmn(churn_run):
+    """NS = N lambda / (lambda + mu), within stochastic tolerance."""
+    population, _, result = churn_run
+    # Ignore the warm-up third of the samples.
+    warm = result.active_samples[len(result.active_samples) // 3:]
+    measured = sum(warm) / len(warm)
+    assert relative_error(measured, population.active_subscribers) < 0.25
+
+
+def test_join_rate_matches_mmn(churn_run):
+    population, _, result = churn_run
+    assert relative_error(result.join_rate, population.join_rate) < 0.25
+
+
+def test_population_conservation(churn_run):
+    _, simulation, result = churn_run
+    assert result.joins - result.leaves == len(simulation._active)
+    assert 0 <= len(simulation._active) <= 120
+
+
+def test_psguard_messaging_tracks_log_span(churn_run):
+    """PSGuard ships ~log2(span) keys per join, nothing else."""
+    import math
+
+    _, _, result = churn_run
+    per_join = result.psguard_keys_sent / result.joins
+    assert per_join <= 2 * math.log2(64)
+    assert per_join >= 0.5 * math.log2(64)
+
+
+def test_group_messaging_exceeds_psguard(churn_run):
+    """The measured counterpart of the Table 5/6 ratios."""
+    _, _, result = churn_run
+    group_total = result.group_keys_sent + result.group_epoch_messages
+    assert group_total > result.psguard_keys_sent
+
+
+def test_epochs_completed(churn_run):
+    _, _, result = churn_run
+    assert result.epochs_completed == pytest.approx(600.0 / 50.0, abs=1)
+
+
+def test_group_epoch_rekey_generates_traffic(churn_run):
+    _, _, result = churn_run
+    assert result.group_epoch_messages > 0
+
+
+def test_span_validation():
+    population = MMNPopulation(10, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        ChurnSimulation(population, range_size=100, subscription_span=0)
+    with pytest.raises(ValueError):
+        ChurnSimulation(population, range_size=100, subscription_span=101)
+
+
+def test_relative_error_guard():
+    with pytest.raises(ValueError):
+        relative_error(1.0, 0.0)
+    assert relative_error(11.0, 10.0) == pytest.approx(0.1)

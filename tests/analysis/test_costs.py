@@ -1,0 +1,128 @@
+"""NAKT cost formulas against the paper's Tables 1-2."""
+
+import math
+
+import pytest
+
+from repro.analysis.costs import NAKTCostModel, measure_hash_microseconds
+from repro.core.nakt import NumericKeySpace
+
+
+class TestTable1MaxCosts:
+    """Table 1 reports, for lc=1: R=10^2 -> 12 keys; 10^3 -> 18; 10^4 -> 26.
+
+    Those are ceil(2 log2 R - 2).
+    """
+
+    @pytest.mark.parametrize(
+        "range_size,expected_keys",
+        [(10**2, 12), (10**3, 18), (10**4, 26)],
+    )
+    def test_max_keys(self, range_size, expected_keys):
+        model = NAKTCostModel(range_size)
+        assert math.ceil(model.max_keys()) == expected_keys
+
+    @pytest.mark.parametrize("range_size", [10**2, 10**3, 10**4])
+    def test_max_keygen_is_4log_minus_2(self, range_size):
+        model = NAKTCostModel(range_size)
+        assert model.max_keygen_hashes() == pytest.approx(
+            4 * math.log2(range_size) - 2
+        )
+
+    @pytest.mark.parametrize("range_size", [10**2, 10**3, 10**4])
+    def test_max_derive_is_tree_depth(self, range_size):
+        model = NAKTCostModel(range_size)
+        assert model.max_derive_hashes() == pytest.approx(
+            math.log2(range_size)
+        )
+
+    def test_paper_microsecond_scale(self):
+        """The paper's us figures imply ~0.96us per hash; any sane host
+        is within two orders of magnitude of that."""
+        measured = measure_hash_microseconds(2000)
+        assert 0.01 < measured < 100
+
+
+class TestTable2AverageCosts:
+    """Table 2 (R=10^4): phi=10 -> 3.32 keys; 10^2 -> 6.64; 10^3 -> 9.97."""
+
+    @pytest.mark.parametrize(
+        "span,expected", [(10, 3.32), (10**2, 6.64), (10**3, 9.97)]
+    )
+    def test_avg_keys(self, span, expected):
+        model = NAKTCostModel(10**4)
+        assert model.avg_keys(span) == pytest.approx(expected, abs=0.01)
+
+    @pytest.mark.parametrize("span", [10, 10**2, 10**3])
+    def test_avg_derive_is_log_span(self, span):
+        model = NAKTCostModel(10**4)
+        assert model.avg_derive_hashes(span) == pytest.approx(
+            math.log2(span)
+        )
+
+    def test_avg_keygen_formula(self):
+        model = NAKTCostModel(10**4)
+        assert model.avg_keygen_hashes(100) == pytest.approx(
+            math.log2(10**4) + math.log2(100) - 1
+        )
+
+
+class TestModelValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NAKTCostModel(1)
+        with pytest.raises(ValueError):
+            NAKTCostModel(100, least_count=0)
+        with pytest.raises(ValueError):
+            NAKTCostModel(100, least_count=200)
+
+    def test_microseconds_require_measurement(self):
+        model = NAKTCostModel(100)
+        with pytest.raises(ValueError):
+            model.max_keygen_microseconds()
+
+    def test_microsecond_conversion(self):
+        model = NAKTCostModel(100, hash_microseconds=1.0)
+        assert model.max_derive_microseconds() == pytest.approx(
+            model.max_derive_hashes()
+        )
+        assert model.avg_keygen_microseconds(10) == pytest.approx(
+            model.avg_keygen_hashes(10)
+        )
+        assert model.avg_derive_microseconds(10) == pytest.approx(
+            model.avg_derive_hashes(10)
+        )
+
+    def test_least_count_reduces_costs(self):
+        fine = NAKTCostModel(256, least_count=1)
+        coarse = NAKTCostModel(256, least_count=4)
+        assert coarse.max_keys() < fine.max_keys()
+        assert coarse.max_derive_hashes() < fine.max_derive_hashes()
+
+
+class TestModelAgreesWithImplementation:
+    """The closed-form bounds must hold for the real NAKT."""
+
+    def test_max_keys_bounds_every_cover(self):
+        model = NAKTCostModel(256)
+        space = NumericKeySpace("v", 256)
+        worst = max(
+            len(space.cover(low, high))
+            for low in range(0, 256, 7)
+            for high in range(low, 256, 13)
+        )
+        assert worst <= math.ceil(model.max_keys())
+
+    def test_avg_keys_approximates_measured_average(self):
+        import random
+
+        rng = random.Random(5)
+        model = NAKTCostModel(1024)
+        space = NumericKeySpace("v", 1024)
+        span = 64
+        sizes = []
+        for _ in range(300):
+            low = rng.randint(0, 1023 - span)
+            sizes.append(len(space.cover(low, low + span - 1)))
+        measured = sum(sizes) / len(sizes)
+        assert measured == pytest.approx(model.avg_keys(span), rel=0.5)

@@ -1,0 +1,162 @@
+"""The Section 3.2.2 analytical comparison against Tables 3-6."""
+
+import pytest
+
+from repro.analysis.models import (
+    MMNPopulation,
+    cost_ratio_lower_bound,
+    heavy_tail_overlap_multiplier,
+    kdc_cost_table,
+    overlap_probability,
+    psguard_epoch_messaging,
+    psguard_join_keys,
+    subscriber_cost_table,
+    subscriber_group_epoch_messaging,
+    subscriber_group_join_keys,
+)
+
+
+class TestMMN:
+    def test_active_subscribers(self):
+        population = MMNPopulation(1000, arrival_rate=1.0, departure_rate=3.0)
+        assert population.active_subscribers == pytest.approx(250.0)
+
+    def test_join_rate_balances(self):
+        population = MMNPopulation(1000, arrival_rate=2.0, departure_rate=2.0)
+        # join rate = departure rate in steady state = NS * mu.
+        assert population.join_rate == pytest.approx(
+            population.active_subscribers * 2.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMNPopulation(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            MMNPopulation(10, 0.0, 1.0)
+
+
+class TestOverlap:
+    def test_formula(self):
+        assert overlap_probability(100, 10) == pytest.approx(0.2)
+
+    def test_saturates_at_one(self):
+        assert overlap_probability(100, 80) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            overlap_probability(0, 1)
+
+
+class TestTable5:
+    """NS = 10^3, R = 10^4: the paper's ratio column."""
+
+    @pytest.mark.parametrize(
+        "span,expected",
+        [(10, 1.81), (10**2, 9.04), (10**3, 60.18), (10**4, 451.81)],
+    )
+    def test_ratio(self, span, expected):
+        ratio = cost_ratio_lower_bound(10**3, 10**4, span)
+        assert ratio == pytest.approx(expected, rel=0.01)
+
+
+class TestTable6:
+    """phi = 100, R = 10^4: ratio scales linearly with NS."""
+
+    @pytest.mark.parametrize(
+        "active,expected",
+        [(10, 0.09), (10**2, 0.90), (10**3, 9.04), (10**4, 90.36)],
+    )
+    def test_ratio(self, active, expected):
+        ratio = cost_ratio_lower_bound(active, 10**4, 100)
+        assert ratio == pytest.approx(expected, rel=0.01)
+
+    def test_group_approach_wins_only_for_tiny_populations(self):
+        """Ratio < 1 below ~NS=100 (the paper's break-even discussion)."""
+        assert cost_ratio_lower_bound(10, 10**4, 100) < 1.0
+        assert cost_ratio_lower_bound(1000, 10**4, 100) > 1.0
+
+
+class TestEpochMessaging:
+    def test_ratio_consistency(self):
+        """The two epoch costs reproduce the tabulated ratio."""
+        population = MMNPopulation(10_000, 1.0, 9.0)
+        group = subscriber_group_epoch_messaging(population, 100.0, 10**4, 100)
+        psguard = psguard_epoch_messaging(population, 100.0, 100)
+        assert group / psguard == pytest.approx(
+            cost_ratio_lower_bound(
+                population.active_subscribers, 10**4, 100
+            ),
+            rel=1e-9,
+        )
+
+    def test_psguard_cost_independent_of_population(self):
+        small = MMNPopulation(100, 1.0, 1.0)
+        large = MMNPopulation(100_000, 1.0, 1.0)
+        per_join_small = psguard_epoch_messaging(small, 1.0, 64) / small.join_rate
+        per_join_large = psguard_epoch_messaging(large, 1.0, 64) / large.join_rate
+        assert per_join_small == pytest.approx(per_join_large)
+
+    def test_group_cost_scales_with_population(self):
+        small = MMNPopulation(100, 1.0, 1.0)
+        large = MMNPopulation(10_000, 1.0, 1.0)
+        per_join_small = (
+            subscriber_group_epoch_messaging(small, 1.0, 10**4, 100)
+            / small.join_rate
+        )
+        per_join_large = (
+            subscriber_group_epoch_messaging(large, 1.0, 10**4, 100)
+            / large.join_rate
+        )
+        assert per_join_large == pytest.approx(100 * per_join_small)
+
+
+class TestJoinKeys:
+    def test_psguard_is_log_span(self):
+        assert psguard_join_keys(1024) == pytest.approx(10.0)
+
+    def test_group_is_three_overlaps(self):
+        assert subscriber_group_join_keys(1000, 10**4, 100) == pytest.approx(
+            3 * 1000 * 0.02
+        )
+
+
+class TestHeavyTail:
+    def test_uniform_is_the_minimum(self):
+        uniform = heavy_tail_overlap_multiplier([1.0] * 100, 10)
+        assert uniform == pytest.approx(1.0)
+
+    def test_concentration_inflates_overlap(self):
+        concentrated = [10.0] * 10 + [0.1] * 90
+        assert heavy_tail_overlap_multiplier(concentrated, 10) > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heavy_tail_overlap_multiplier([], 10)
+        with pytest.raises(ValueError):
+            heavy_tail_overlap_multiplier([0.0], 10)
+
+
+class TestTables3And4:
+    def test_kdc_table_statelessness(self):
+        table = kdc_cost_table(1000, 10**4, 100)
+        assert table["psguard"]["stateless"] is True
+        assert table["subscriber_group"]["stateless"] is False
+
+    def test_kdc_storage_scaling(self):
+        table = kdc_cost_table(1000, 10**4, 100)
+        assert table["psguard"]["storage_keys"] == 1.0
+        assert table["subscriber_group"]["storage_keys"] == 2000.0
+
+    def test_subscriber_table_event_processing(self):
+        table = subscriber_cost_table(1000, 10**4, 100, hash_cost=1,
+                                      decrypt_cost=10)
+        psguard = table["psguard"]["event_processing"]
+        group = table["subscriber_group"]["event_processing"]
+        # PSGuard pays D + H log(phi); the group approach only D.
+        assert psguard > group
+        assert psguard - group == pytest.approx(psguard_join_keys(100))
+
+    def test_subscriber_table_join_traffic(self):
+        table = subscriber_cost_table(1000, 10**4, 100)
+        assert table["psguard"]["join_keys_active_subscribers"] == 0.0
+        assert table["subscriber_group"]["join_keys_active_subscribers"] > 0

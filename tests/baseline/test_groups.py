@@ -1,0 +1,149 @@
+"""Interval-group key management baseline."""
+
+import pytest
+
+from repro.baseline.groups import GroupKeyServer
+
+
+def test_first_join_creates_one_group():
+    server = GroupKeyServer(100)
+    cost = server.join("S1", 20, 30)
+    assert server.key_count() == 1
+    assert server.keys_of("S1") == 1
+    assert cost.key_generations == 1
+    assert cost.keys_to_new_subscriber == 1
+    assert cost.keys_to_existing_subscribers == 0
+
+
+def test_paper_overlap_example():
+    """Section 3.2.1: S1 (20,30) then S2 (25,40) yields three groups."""
+    server = GroupKeyServer(100)
+    server.join("S1", 20, 30)
+    cost = server.join("S2", 25, 40)
+    assert server.key_count() == 3
+    assert server.keys_of("S1") == 2   # (20,24) and (25,30)
+    assert server.keys_of("S2") == 2   # (25,30) and (31,40)
+    # S1 must be re-keyed for the shared interval.
+    assert cost.keys_to_existing_subscribers == 1
+    assert cost.subscribers_updated == 1
+
+
+def test_disjoint_joins_do_not_interact():
+    server = GroupKeyServer(100)
+    server.join("S1", 0, 10)
+    cost = server.join("S2", 50, 60)
+    assert cost.keys_to_existing_subscribers == 0
+    assert server.key_count() == 2
+
+
+def test_nested_subscription_splits_outer():
+    server = GroupKeyServer(100)
+    server.join("outer", 0, 99)
+    server.join("inner", 40, 60)
+    assert server.keys_of("outer") == 3
+    assert server.keys_of("inner") == 1
+
+
+def test_identical_ranges_share_groups():
+    server = GroupKeyServer(100)
+    server.join("S1", 10, 20)
+    cost = server.join("S2", 10, 20)
+    assert server.key_count() == 1
+    assert cost.keys_to_existing_subscribers == 1
+
+
+def test_rekey_on_membership_change_rotates_key():
+    server = GroupKeyServer(100)
+    server.join("S1", 10, 20)
+    old_key = server.intervals[0].key
+    server.join("S2", 10, 20)
+    assert server.intervals[0].key != old_key
+
+
+def test_join_cost_properties():
+    server = GroupKeyServer(100)
+    server.join("S1", 0, 50)
+    cost = server.join("S2", 25, 75)
+    assert cost.messages == (
+        cost.keys_to_new_subscriber + cost.keys_to_existing_subscribers
+    )
+    assert cost.bytes_sent == cost.messages * 16
+
+
+def test_duplicate_subscriber_rejected():
+    server = GroupKeyServer(100)
+    server.join("S", 0, 10)
+    with pytest.raises(ValueError):
+        server.join("S", 20, 30)
+
+
+def test_range_validation():
+    server = GroupKeyServer(100)
+    with pytest.raises(ValueError):
+        server.join("S", -1, 10)
+    with pytest.raises(ValueError):
+        server.join("S", 0, 100)
+    with pytest.raises(ValueError):
+        GroupKeyServer(0)
+
+
+def test_state_grows_with_subscribers():
+    server = GroupKeyServer(1000)
+    sizes = []
+    for index in range(10):
+        server.join(f"S{index}", index * 5, index * 5 + 200)
+        sizes.append(server.state_size())
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > sizes[0]
+
+
+def test_leave_is_lazy():
+    server = GroupKeyServer(100)
+    server.join("S1", 10, 20)
+    server.join("S2", 10, 20)
+    server.leave("S1")
+    # S1 still holds group membership until the epoch re-key.
+    assert server.keys_of("S1") == 1
+
+
+def test_epoch_rekey_evicts_departed():
+    server = GroupKeyServer(100)
+    server.join("S1", 10, 20)
+    server.join("S2", 15, 30)
+    server.leave("S1")
+    generations, messages = server.rekey_epoch()
+    assert server.keys_of("S1") == 0
+    assert server.keys_of("S2") >= 1
+    assert generations >= 1
+    assert messages >= 1
+
+
+def test_epoch_rekey_coalesces_intervals():
+    server = GroupKeyServer(100)
+    server.join("S1", 10, 20)
+    server.join("S2", 15, 30)
+    server.leave("S1")
+    server.rekey_epoch()
+    # Only S2's (15, 30) remains and is stored as one interval.
+    assert server.key_count() == 1
+    assert server.keys_of("S2") == 1
+
+
+def test_totals_accumulate():
+    server = GroupKeyServer(100)
+    server.join("S1", 0, 50)
+    server.join("S2", 25, 75)
+    assert server.total_key_generations >= 3
+    assert server.total_messages >= 3
+    assert server.active_subscribers() == 2
+
+
+def test_messaging_grows_with_overlap_density():
+    """The paper's core scaling claim: cost grows with overlapping NS."""
+    sparse = GroupKeyServer(10_000)
+    dense = GroupKeyServer(10_000)
+    for index in range(20):
+        sparse.join(f"S{index}", index * 500, index * 500 + 10)
+    for index in range(20):
+        dense.join(f"S{index}", 4_000 + index * 10, 6_000 + index * 10)
+    assert dense.total_messages > sparse.total_messages

@@ -1,0 +1,106 @@
+"""Property-based invariants of the interval-group server."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline.groups import GroupKeyServer
+
+RANGE = 64
+
+_JOINS = st.lists(
+    st.tuples(st.integers(0, RANGE - 1), st.integers(0, RANGE - 1)),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _normalized(joins):
+    return [
+        (min(low, high), max(low, high)) for low, high in joins
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(joins=_JOINS)
+def test_intervals_partition_the_subscribed_space(joins):
+    """Intervals are disjoint and cover exactly the union of ranges."""
+    server = GroupKeyServer(RANGE)
+    for index, (low, high) in enumerate(_normalized(joins)):
+        server.join(f"S{index}", low, high)
+
+    covered = set()
+    for interval in server.intervals:
+        assert interval.low <= interval.high
+        points = set(range(interval.low, interval.high + 1))
+        assert not points & covered, "intervals overlap"
+        covered |= points
+
+    expected = set()
+    for low, high in _normalized(joins):
+        expected |= set(range(low, high + 1))
+    assert covered == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(joins=_JOINS)
+def test_membership_matches_subscriptions(joins):
+    """Every interval's member set is exactly the subscribers covering it."""
+    server = GroupKeyServer(RANGE)
+    ranges = {}
+    for index, (low, high) in enumerate(_normalized(joins)):
+        name = f"S{index}"
+        server.join(name, low, high)
+        ranges[name] = (low, high)
+
+    for interval in server.intervals:
+        expected_members = {
+            name
+            for name, (low, high) in ranges.items()
+            if low <= interval.low and interval.high <= high
+        }
+        assert interval.members == expected_members
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    joins=_JOINS,
+    leavers=st.sets(st.integers(0, 11), max_size=6),
+)
+def test_epoch_rekey_restores_invariants(joins, leavers):
+    """After departures and an epoch re-key, state is consistent again."""
+    server = GroupKeyServer(RANGE)
+    active = {}
+    for index, (low, high) in enumerate(_normalized(joins)):
+        name = f"S{index}"
+        server.join(name, low, high)
+        active[name] = (low, high)
+    for index in leavers:
+        name = f"S{index}"
+        if name in active:
+            server.leave(name)
+            del active[name]
+    server.rekey_epoch()
+
+    covered = set()
+    for interval in server.intervals:
+        assert interval.members, "empty groups must be dropped"
+        points = set(range(interval.low, interval.high + 1))
+        assert not points & covered
+        covered |= points
+        for member in interval.members:
+            low, high = active[member]
+            assert low <= interval.low and interval.high <= high
+
+    expected = set()
+    for low, high in active.values():
+        expected |= set(range(low, high + 1))
+    assert covered == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(joins=_JOINS)
+def test_key_count_bounded_by_fragmentation(joins):
+    """At most 2k-1 intervals can arise from k interval insertions."""
+    server = GroupKeyServer(RANGE)
+    for index, (low, high) in enumerate(_normalized(joins)):
+        server.join(f"S{index}", low, high)
+    assert server.key_count() <= 2 * len(joins) - 1 + len(joins)

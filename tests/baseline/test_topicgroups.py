@@ -1,0 +1,118 @@
+"""Workload-wide group key management."""
+
+import pytest
+
+from repro.baseline.topicgroups import TopicGroupServer
+from repro.workloads.generator import PaperWorkload, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def workload() -> PaperWorkload:
+    return PaperWorkload(WorkloadConfig(seed=3))
+
+
+def _topic_of_kind(workload, kind):
+    return next(t for t in workload.topics if t.kind == kind)
+
+
+def test_plain_topic_single_group(workload):
+    server = TopicGroupServer()
+    topic = _topic_of_kind(workload, "plain")
+    subscription = workload.subscription_for("S", topic)
+    cost = server.join(subscription)
+    assert cost.keys_to_new_subscriber == 1
+    assert server.keys_of("S") == 1
+
+
+def test_numeric_uses_interval_server(workload):
+    server = TopicGroupServer()
+    topic = _topic_of_kind(workload, "numeric")
+    subscription = workload.subscription_for("S", topic)
+    server.join(subscription)
+    assert topic.name in server.numeric_servers
+    assert server.keys_of("S") >= 1
+
+
+def test_category_joins_whole_subtree(workload):
+    server = TopicGroupServer()
+    topic = _topic_of_kind(workload, "category")
+    subscription = workload.subscription_for("S", topic)
+    granted = topic.category_tree.label_of(
+        str(next(
+            c.value for c in subscription.filter if c.name == "category"
+        ))
+    )
+    cost = server.join(subscription)
+    subtree_size = sum(
+        1
+        for label in topic.category_tree.labels()
+        if topic.category_tree.subsumes(granted, label)
+    )
+    assert cost.keys_to_new_subscriber == subtree_size
+    assert server.keys_of("S") == subtree_size
+
+
+def test_string_prefix_single_group_until_publications(workload):
+    server = TopicGroupServer()
+    topic = _topic_of_kind(workload, "string")
+    subscription = workload.subscription_for("S", topic)
+    server.join(subscription)
+    assert server.keys_of("S") == 1
+
+
+def test_string_value_groups_materialize_on_publish(workload):
+    server = TopicGroupServer()
+    topic = _topic_of_kind(workload, "string")
+    subscription = workload.subscription_for("S", topic)
+    prefix = next(
+        c.value for c in subscription.filter if c.name == "text"
+    )
+    server.join(subscription)
+    before = server.keys_of("S")
+    messages = server.materialize_for_event(topic, prefix + "x")
+    assert messages == 1
+    assert server.keys_of("S") == before + 1
+    # Re-publishing the same value creates nothing new.
+    assert server.materialize_for_event(topic, prefix + "x") == 0
+
+
+def test_non_matching_value_does_not_join(workload):
+    server = TopicGroupServer()
+    topic = _topic_of_kind(workload, "string")
+    subscription = workload.subscription_for("S", topic)
+    server.join(subscription)
+    before = server.keys_of("S")
+    server.materialize_for_event(topic, "zz-no-such-prefix")
+    assert server.keys_of("S") == before
+
+
+def test_per_publisher_groups_multiply(workload):
+    single = TopicGroupServer(publishers=1)
+    multi = TopicGroupServer(publishers=3)
+    topic = _topic_of_kind(workload, "plain")
+    subscription = workload.subscription_for("S", topic)
+    single.join(subscription)
+    multi.join(subscription)
+    assert multi.keys_of("S") == 3 * single.keys_of("S")
+
+
+def test_server_key_count_spans_topics(workload):
+    server = TopicGroupServer()
+    for kind in ("plain", "numeric", "category"):
+        topic = _topic_of_kind(workload, kind)
+        server.join(workload.subscription_for("S", topic))
+    assert server.server_key_count() >= 3
+    assert server.state_size() >= server.server_key_count()
+
+
+def test_bytes_sent_tracks_messages(workload):
+    server = TopicGroupServer()
+    topic = _topic_of_kind(workload, "plain")
+    server.join(workload.subscription_for("S1", topic))
+    server.join(workload.subscription_for("S2", topic))
+    assert server.bytes_sent() == server.total_messages * 16
+
+
+def test_publisher_count_validated():
+    with pytest.raises(ValueError):
+        TopicGroupServer(publishers=0)

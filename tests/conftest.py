@@ -1,0 +1,38 @@
+"""Shared fixtures for the PSGuard test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.composite import CompositeKeySpace
+from repro.core.kdc import KDC
+from repro.core.nakt import NumericKeySpace
+
+
+@pytest.fixture
+def master_key() -> bytes:
+    """A fixed KDC master key for reproducible derivations."""
+    return bytes(range(16))
+
+
+@pytest.fixture
+def topic_key() -> bytes:
+    """A fixed topic key."""
+    return bytes(range(16, 32))
+
+
+@pytest.fixture
+def age_space() -> NumericKeySpace:
+    """The paper's running example: an age attribute over (0, 127)."""
+    return NumericKeySpace("age", 128)
+
+
+@pytest.fixture
+def medical_kdc(master_key: bytes) -> KDC:
+    """A KDC with the paper's cancerTrail topic registered."""
+    kdc = KDC(master_key=master_key)
+    kdc.register_topic(
+        "cancerTrail",
+        CompositeKeySpace({"age": NumericKeySpace("age", 128)}),
+    )
+    return kdc

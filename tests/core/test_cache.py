@@ -1,0 +1,122 @@
+"""The key cache: LRU eviction, byte budget, deepest-ancestor lookup."""
+
+import pytest
+
+from repro.core.cache import KeyCache
+
+KEY = bytes(16)
+
+
+def _path(*parts):
+    return tuple(parts)
+
+
+def test_put_get():
+    cache = KeyCache(1024)
+    cache.put(_path("ns", 1, 0), KEY)
+    assert cache.get(_path("ns", 1, 0)) == KEY
+
+
+def test_miss_returns_none_and_counts():
+    cache = KeyCache(1024)
+    assert cache.get(_path("missing")) is None
+    assert cache.misses == 1
+    assert cache.hits == 0
+
+
+def test_hit_rate():
+    cache = KeyCache(1024)
+    cache.put(_path("a"), KEY)
+    cache.get(_path("a"))
+    cache.get(_path("b"))
+    assert cache.hit_rate == 0.5
+
+
+def test_zero_capacity_accepts_nothing():
+    cache = KeyCache(0)
+    cache.put(_path("a"), KEY)
+    assert len(cache) == 0
+
+
+def test_eviction_under_byte_budget():
+    cache = KeyCache(KeyCache.entry_cost(_path("x", 0)) * 3)
+    for index in range(5):
+        cache.put(_path("x", index), bytes([index] * 16))
+    assert len(cache) <= 3
+    assert cache.size_bytes <= cache.capacity_bytes
+
+
+def test_lru_order_eviction():
+    capacity = KeyCache.entry_cost(_path("x", 0)) * 2
+    cache = KeyCache(capacity)
+    cache.put(_path("x", 0), KEY)
+    cache.put(_path("x", 1), KEY)
+    cache.get(_path("x", 0))          # refresh 0
+    cache.put(_path("x", 2), KEY)     # evicts 1
+    assert cache.get(_path("x", 0)) == KEY
+    assert cache.get(_path("x", 1)) is None
+
+
+def test_size_bytes_tracks_contents():
+    cache = KeyCache(10_000)
+    assert cache.size_bytes == 0
+    cache.put(_path("a", 1), KEY)
+    first = cache.size_bytes
+    assert first == KeyCache.entry_cost(_path("a", 1))
+    cache.put(_path("a", 1), KEY)  # refresh, not growth
+    assert cache.size_bytes == first
+
+
+def test_deepest_ancestor_prefers_longest():
+    cache = KeyCache(10_000)
+    cache.put(_path("ns", 1), b"k1" * 8)
+    cache.put(_path("ns", 1, 0), b"k2" * 8)
+    found = cache.deepest_ancestor(_path("ns", 1, 0, 1))
+    assert found == (_path("ns", 1, 0), b"k2" * 8)
+
+
+def test_deepest_ancestor_exact_hit():
+    cache = KeyCache(10_000)
+    cache.put(_path("ns", 1, 0), KEY)
+    found = cache.deepest_ancestor(_path("ns", 1, 0))
+    assert found == (_path("ns", 1, 0), KEY)
+
+
+def test_deepest_ancestor_floor_excludes_shallow_entries():
+    cache = KeyCache(10_000)
+    cache.put(_path("ns",), KEY)
+    assert cache.deepest_ancestor(_path("ns", 1, 0), floor=2) is None
+
+
+def test_deepest_ancestor_counts_hits_and_misses():
+    cache = KeyCache(10_000)
+    cache.put(_path("ns", 1), KEY)
+    cache.deepest_ancestor(_path("ns", 1, 0, 1))
+    cache.deepest_ancestor(_path("other", 9))
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_clear_resets_everything():
+    cache = KeyCache(10_000)
+    cache.put(_path("a"), KEY)
+    cache.get(_path("a"))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.size_bytes == 0
+    assert cache.hits == 0
+    assert cache.hit_rate == 0.0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        KeyCache(-1)
+
+
+def test_oversized_entry_skipped_without_evicting():
+    small = KeyCache(KeyCache.entry_cost(_path("a")) + 1)
+    small.put(_path("a"), KEY)
+    huge_path = _path("x" * 1000)
+    small.put(huge_path, KEY)
+    assert small.get(_path("a")) == KEY
+    assert small.get(huge_path) is None

@@ -1,0 +1,87 @@
+"""Model-based testing of the key cache against a reference model."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.cache import KeyCache
+
+_PATHS = st.tuples(
+    st.sampled_from(["ns-a", "ns-b"]),
+    st.integers(0, 3),
+    st.integers(0, 1),
+)
+
+
+class CacheMachine(RuleBasedStateMachine):
+    """The cache must behave like an LRU dict under a byte budget."""
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = KeyCache.entry_cost(("ns-a", 0, 0)) * 4
+        self.cache = KeyCache(self.capacity)
+        #: reference model: insertion/recency-ordered dict
+        self.model: dict[tuple, bytes] = {}
+
+    def _model_evict(self):
+        while (
+            sum(KeyCache.entry_cost(path) for path in self.model)
+            > self.capacity
+        ):
+            oldest = next(iter(self.model))
+            del self.model[oldest]
+
+    @rule(path=_PATHS, payload=st.binary(min_size=16, max_size=16))
+    def put(self, path, payload):
+        self.cache.put(path, payload)
+        if path in self.model:
+            del self.model[path]
+        self.model[path] = payload
+        self._model_evict()
+
+    @rule(path=_PATHS)
+    def get(self, path):
+        expected = self.model.get(path)
+        actual = self.cache.get(path)
+        assert actual == expected
+        if expected is not None:  # refresh recency in the model
+            del self.model[path]
+            self.model[path] = expected
+
+    @rule(path=_PATHS)
+    def deepest_ancestor(self, path):
+        found = self.cache.deepest_ancestor(path)
+        # The model's answer: longest prefix present.
+        expected = None
+        for length in range(len(path), -1, -1):
+            candidate = path[:length]
+            if candidate in self.model:
+                expected = (candidate, self.model[candidate])
+                break
+        assert found == expected
+        if expected is not None:
+            del self.model[expected[0]]
+            self.model[expected[0]] = expected[1]
+
+    @rule()
+    def clear(self):
+        self.cache.clear()
+        self.model.clear()
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.cache) == len(self.model)
+        assert self.cache.size_bytes == sum(
+            KeyCache.entry_cost(path) for path in self.model
+        )
+        assert self.cache.size_bytes <= self.capacity
+
+
+TestCacheMachine = CacheMachine.TestCase
+TestCacheMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,114 @@
+"""Category trees and subsumption key derivation."""
+
+import pytest
+
+from repro.core.category import CategoryKeySpace, CategoryTree
+
+TOPIC_KEY = bytes(range(16))
+
+
+@pytest.fixture
+def vehicle_tree() -> CategoryTree:
+    return CategoryTree.from_spec(
+        "vehicle",
+        {
+            "car": {"sedan": {}, "suv": {}},
+            "bike": {"road": {}, "mountain": {}},
+        },
+    )
+
+
+class TestCategoryTree:
+    def test_membership_and_size(self, vehicle_tree):
+        assert "sedan" in vehicle_tree
+        assert "boat" not in vehicle_tree
+        assert len(vehicle_tree) == 7
+
+    def test_path(self, vehicle_tree):
+        assert vehicle_tree.path("sedan") == ("vehicle", "car", "sedan")
+        assert vehicle_tree.path("vehicle") == ("vehicle",)
+
+    def test_path_unknown_label(self, vehicle_tree):
+        with pytest.raises(KeyError):
+            vehicle_tree.path("boat")
+
+    def test_subsumption(self, vehicle_tree):
+        assert vehicle_tree.subsumes("vehicle", "sedan")
+        assert vehicle_tree.subsumes("car", "sedan")
+        assert vehicle_tree.subsumes("sedan", "sedan")
+        assert not vehicle_tree.subsumes("bike", "sedan")
+        assert not vehicle_tree.subsumes("sedan", "car")
+
+    def test_depth_and_height(self, vehicle_tree):
+        assert vehicle_tree.depth("vehicle") == 0
+        assert vehicle_tree.depth("sedan") == 2
+        assert vehicle_tree.height() == 2
+
+    def test_children_and_leaves(self, vehicle_tree):
+        assert vehicle_tree.children("car") == ["sedan", "suv"]
+        assert set(vehicle_tree.leaves()) == {
+            "sedan", "suv", "road", "mountain",
+        }
+
+    def test_duplicate_label_rejected(self, vehicle_tree):
+        with pytest.raises(ValueError):
+            vehicle_tree.add_category("sedan", "bike")
+
+    def test_unknown_parent_rejected(self, vehicle_tree):
+        with pytest.raises(KeyError):
+            vehicle_tree.add_category("kayak", "boat")
+
+    def test_incremental_build(self):
+        tree = CategoryTree.from_spec("root", {})
+        tree.add_category("a", "root")
+        tree.add_category("b", "a")
+        assert tree.path("b") == ("root", "a", "b")
+
+
+class TestCategoryKeySpace:
+    def test_subsumption_derives_key(self, vehicle_tree):
+        space = CategoryKeySpace("kind", vehicle_tree)
+        _, sedan_key = space.encryption_key(TOPIC_KEY, "sedan")
+        grant = space.authorization_key(TOPIC_KEY, "car")
+        derived, operations = space.derive_encryption_key(grant, "sedan")
+        assert derived == sedan_key
+        assert operations == 1
+
+    def test_root_grant_derives_everything(self, vehicle_tree):
+        space = CategoryKeySpace("kind", vehicle_tree)
+        grant = space.authorization_key(TOPIC_KEY, "vehicle")
+        for label in vehicle_tree.labels():
+            derived, _ = space.derive_encryption_key(grant, label)
+            assert derived == space.node_key(TOPIC_KEY, label)
+
+    def test_non_subsuming_grant_refused(self, vehicle_tree):
+        space = CategoryKeySpace("kind", vehicle_tree)
+        grant = space.authorization_key(TOPIC_KEY, "bike")
+        with pytest.raises(ValueError):
+            space.derive_encryption_key(grant, "sedan")
+
+    def test_descendant_grant_cannot_reach_ancestor(self, vehicle_tree):
+        space = CategoryKeySpace("kind", vehicle_tree)
+        grant = space.authorization_key(TOPIC_KEY, "sedan")
+        with pytest.raises(ValueError):
+            space.derive_encryption_key(grant, "car")
+
+    def test_sibling_keys_differ(self, vehicle_tree):
+        space = CategoryKeySpace("kind", vehicle_tree)
+        assert (
+            space.node_key(TOPIC_KEY, "car")
+            != space.node_key(TOPIC_KEY, "bike")
+        )
+
+    def test_keys_scoped_by_topic_key(self, vehicle_tree):
+        space = CategoryKeySpace("kind", vehicle_tree)
+        assert (
+            space.node_key(TOPIC_KEY, "sedan")
+            != space.node_key(bytes(16), "sedan")
+        )
+
+    def test_exact_match_zero_extra_hashes(self, vehicle_tree):
+        space = CategoryKeySpace("kind", vehicle_tree)
+        grant = space.authorization_key(TOPIC_KEY, "sedan")
+        _, operations = space.derive_encryption_key(grant, "sedan")
+        assert operations == 0

@@ -1,0 +1,149 @@
+"""Composite key space: schemas, combination, grants for clauses."""
+
+import pytest
+
+from repro.core.composite import (
+    CompositeKeySpace,
+    combine_keys,
+    filter_as_clauses,
+)
+from repro.core.ktid import KTID
+from repro.core.nakt import NumericKeySpace
+from repro.core.strings import StringKeySpace
+from repro.siena.filters import Constraint, Filter
+from repro.siena.operators import Op
+
+TOPIC_KEY = bytes(range(16))
+
+
+class TestCombineKeys:
+    def test_single_component_is_identity(self):
+        assert combine_keys({"a": b"k" * 8}) == b"k" * 8
+
+    def test_order_independent(self):
+        keys = {"a": bytes(16), "b": bytes(range(16))}
+        assert combine_keys(keys) == combine_keys(dict(reversed(keys.items())))
+
+    def test_name_sensitive(self):
+        assert combine_keys(
+            {"a": bytes(16), "b": bytes(range(16))}
+        ) != combine_keys({"a": bytes(16), "c": bytes(range(16))})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_keys({})
+
+    def test_combined_differs_from_components(self):
+        keys = {"a": bytes(16), "b": bytes(range(16))}
+        combined = combine_keys(keys)
+        assert combined not in keys.values()
+
+
+class TestSchema:
+    def test_name_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeKeySpace({"age": NumericKeySpace("salary", 10)})
+
+    def test_attribute_names(self):
+        schema = CompositeKeySpace(
+            {
+                "age": NumericKeySpace("age", 128),
+                "name": StringKeySpace("name"),
+            }
+        )
+        assert schema.attribute_names() == {"age", "name"}
+
+    def test_space_for_unknown_raises(self):
+        schema = CompositeKeySpace({})
+        with pytest.raises(KeyError):
+            schema.space_for("age")
+
+    def test_event_component_type_checks(self):
+        schema = CompositeKeySpace({"age": NumericKeySpace("age", 128)})
+        with pytest.raises(TypeError):
+            schema.event_component(TOPIC_KEY, "age", "not-a-number")
+
+
+class TestAuthorizationComponents:
+    def test_numeric_range_constraints_merged(self):
+        schema = CompositeKeySpace({"age": NumericKeySpace("age", 128)})
+        clause = Filter.of(
+            Constraint("topic", Op.EQ, "t"),
+            Constraint("age", Op.GE, 16),
+            Constraint("age", Op.LE, 31),
+        )
+        components, hash_ops = schema.authorization_components(
+            TOPIC_KEY, clause
+        )
+        assert len(components) == 1
+        assert isinstance(components[0].element, KTID)
+        assert hash_ops > 0
+
+    def test_eq_constraint_becomes_point_range(self):
+        schema = CompositeKeySpace({"age": NumericKeySpace("age", 128)})
+        clause = Filter.of(
+            Constraint("topic", Op.EQ, "t"), Constraint("age", Op.EQ, 25)
+        )
+        components, _ = schema.authorization_components(TOPIC_KEY, clause)
+        space = schema.space_for("age")
+        assert components[0].element == space.ktid(25)
+
+    def test_strict_inequalities_tightened_by_least_count(self):
+        schema = CompositeKeySpace(
+            {"age": NumericKeySpace("age", 128, least_count=4)}
+        )
+        clause = Filter.of(
+            Constraint("topic", Op.EQ, "t"),
+            Constraint("age", Op.GT, 16),
+            Constraint("age", Op.LT, 64),
+        )
+        components, _ = schema.authorization_components(TOPIC_KEY, clause)
+        space = schema.space_for("age")
+        covered = [space.node_range(c.element) for c in components]
+        assert min(low for low, _ in covered) >= 20
+        assert max(high for _, high in covered) <= 63
+
+    def test_unsupported_numeric_operator_rejected(self):
+        schema = CompositeKeySpace({"age": NumericKeySpace("age", 128)})
+        clause = Filter.of(
+            Constraint("topic", Op.EQ, "t"), Constraint("age", Op.NE, 25)
+        )
+        with pytest.raises(ValueError, match="not securable"):
+            schema.authorization_components(TOPIC_KEY, clause)
+
+    def test_string_wrong_operator_rejected(self):
+        schema = CompositeKeySpace({"name": StringKeySpace("name")})
+        clause = Filter.of(
+            Constraint("topic", Op.EQ, "t"),
+            Constraint("name", Op.SUFFIX, "x"),
+        )
+        with pytest.raises(ValueError):
+            schema.authorization_components(TOPIC_KEY, clause)
+
+    def test_undeclared_attribute_constraints_skipped(self):
+        schema = CompositeKeySpace({"age": NumericKeySpace("age", 128)})
+        clause = Filter.of(
+            Constraint("topic", Op.EQ, "t"),
+            Constraint("age", Op.GE, 0),
+            Constraint("region", Op.EQ, "EU"),
+        )
+        components, _ = schema.authorization_components(TOPIC_KEY, clause)
+        assert {c.attribute for c in components} == {"age"}
+
+
+class TestClauses:
+    def test_single_filter_is_one_clause(self):
+        subscription = Filter.topic("t")
+        assert filter_as_clauses(subscription) == [subscription]
+
+    def test_list_preserved(self):
+        filters = [Filter.topic("t"), Filter.topic("t")]
+        assert filter_as_clauses(filters) == filters
+
+    def test_empty_disjunction_rejected(self):
+        with pytest.raises(ValueError):
+            filter_as_clauses([])
+
+    def test_non_filter_clause_rejected(self):
+        with pytest.raises(TypeError):
+            filter_as_clauses([Filter.topic("t"), "not a filter"])

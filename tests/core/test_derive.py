@@ -1,0 +1,129 @@
+"""Cache-aware derivation walks."""
+
+import pytest
+
+from repro.core.cache import KeyCache
+from repro.core.category import CategoryKeySpace, CategoryTree
+from repro.core.derive import (
+    STRING_END,
+    cache_namespace,
+    cached_walk,
+    derivation_step,
+    element_path,
+    value_path,
+)
+from repro.core.ktid import KTID
+from repro.core.nakt import NumericKeySpace
+from repro.core.strings import StringKeySpace
+
+TOPIC_KEY = bytes(range(16))
+
+
+def test_derivation_step_matches_nakt():
+    space = NumericKeySpace("age", 128)
+    root = space.root_key(TOPIC_KEY)
+    expected = space.node_key(TOPIC_KEY, KTID.parse("01"))
+    assert derivation_step(derivation_step(root, 0), 1) == expected
+
+
+def test_derivation_step_rejects_garbage():
+    with pytest.raises(TypeError):
+        derivation_step(bytes(16), 3.14)
+
+
+def test_value_path_matches_all_spaces():
+    numeric = NumericKeySpace("age", 128)
+    assert value_path(numeric, 25) == tuple(numeric.ktid(25).digits)
+    tree = CategoryTree.from_spec("r", {"a": {"b": {}}})
+    category = CategoryKeySpace("kind", tree)
+    assert value_path(category, "b") == ("r", "a", "b")
+    strings = StringKeySpace("s")
+    assert value_path(strings, "ab") == ("a", "b", STRING_END)
+    suffixes = StringKeySpace("s", suffix_mode=True)
+    assert value_path(suffixes, "ab") == ("b", "a", STRING_END)
+
+
+def test_element_path_for_grants():
+    numeric = NumericKeySpace("age", 128)
+    element = numeric.cover(0, 63)[0]
+    assert element_path(numeric, element) == tuple(element.digits)
+    strings = StringKeySpace("s")
+    assert element_path(strings, "ab") == ("a", "b")
+
+
+def test_cached_walk_without_cache_matches_direct():
+    space = NumericKeySpace("age", 128)
+    root = space.root_key(TOPIC_KEY)
+    leaf = space.ktid(99)
+    key, operations = cached_walk(
+        None, ("ns",), (), root, tuple(leaf.digits)
+    )
+    assert key == space.node_key(TOPIC_KEY, leaf)
+    assert operations == space.depth
+
+
+def test_cached_walk_reuses_intermediates():
+    space = NumericKeySpace("age", 128)
+    root = space.root_key(TOPIC_KEY)
+    cache = KeyCache(64 * 1024)
+    namespace = cache_namespace("t", "age", 0)
+    first, cold_ops = cached_walk(
+        cache, namespace, (), root, tuple(space.ktid(64).digits)
+    )
+    second, warm_ops = cached_walk(
+        cache, namespace, (), root, tuple(space.ktid(65).digits)
+    )
+    assert cold_ops == space.depth
+    assert warm_ops < cold_ops
+    assert second == space.node_key(TOPIC_KEY, space.ktid(65))
+
+
+def test_cached_walk_exact_hit_is_free():
+    space = NumericKeySpace("age", 128)
+    root = space.root_key(TOPIC_KEY)
+    cache = KeyCache(64 * 1024)
+    namespace = cache_namespace("t", "age", 0)
+    target = tuple(space.ktid(5).digits)
+    cached_walk(cache, namespace, (), root, target)
+    _, operations = cached_walk(cache, namespace, (), root, target)
+    assert operations == 0
+
+
+def test_cached_walk_from_mid_tree_grant():
+    space = NumericKeySpace("age", 128)
+    grants = space.authorization_keys(TOPIC_KEY, 32, 63)
+    (element, key), = grants
+    leaf = space.ktid(40)
+    derived, operations = cached_walk(
+        None,
+        ("ns",),
+        tuple(element.digits),
+        key,
+        tuple(leaf.digits),
+    )
+    assert derived == space.node_key(TOPIC_KEY, leaf)
+    assert operations == leaf.depth - element.depth
+
+
+def test_cached_walk_rejects_non_prefix_start():
+    with pytest.raises(ValueError):
+        cached_walk(None, ("ns",), (1,), bytes(16), (0, 1))
+
+
+def test_namespace_separates_epochs():
+    assert cache_namespace("t", "age", 0) != cache_namespace("t", "age", 1)
+    assert cache_namespace("t", "age", b"abcdef") == cache_namespace(
+        "t", "age", b"abcd"
+    )
+
+
+def test_namespaces_do_not_collide_across_attributes():
+    cache = KeyCache(64 * 1024)
+    cache.put(cache_namespace("t", "age", 0) + (1,), b"A" * 16)
+    assert (
+        cache.deepest_ancestor(
+            cache_namespace("t", "salary", 0) + (1, 0),
+            floor=len(cache_namespace("t", "salary", 0)),
+        )
+        is None
+    )

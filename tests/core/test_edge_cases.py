@@ -1,0 +1,221 @@
+"""Edge cases across the core package."""
+
+import pytest
+
+from repro.core import (
+    KDC,
+    CompositeKeySpace,
+    NumericKeySpace,
+    Publisher,
+    StringKeySpace,
+    Subscriber,
+)
+from repro.core.nakt import NumericKeySpace as NKS
+from repro.siena.events import Event
+from repro.siena.filters import Constraint, Filter
+from repro.siena.operators import Op
+
+
+class TestNumericFloats:
+    def test_float_values_map_to_blocks(self):
+        space = NKS("price", 100, least_count=5)
+        assert space.ktid(22.9) == space.ktid(20)
+        assert space.ktid(24.999) == space.ktid(20)
+        assert space.ktid(25.0) != space.ktid(24.9)
+
+    def test_float_bounds_rejected_outside_range(self):
+        space = NKS("price", 100)
+        with pytest.raises(ValueError):
+            space.ktid(100.0)
+        assert space.ktid(99.999) == space.ktid(99)
+
+    def test_float_subscription_ranges(self):
+        space = NKS("price", 100)
+        cover = space.cover(10.5, 20.5)
+        lows = min(space.node_range(k)[0] for k in cover)
+        highs = max(space.node_range(k)[1] for k in cover)
+        assert lows <= 10.5 and highs >= 20
+
+
+class TestSuffixThroughKDC:
+    @pytest.fixture
+    def kdc(self, master_key):
+        kdc = KDC(master_key=master_key)
+        kdc.register_topic(
+            "files",
+            CompositeKeySpace(
+                {"name": StringKeySpace("name", suffix_mode=True)}
+            ),
+        )
+        return kdc
+
+    def test_suffix_grant_opens_matching_event(self, kdc):
+        subscriber = Subscriber("S")
+        subscriber.add_grant(
+            kdc.authorize(
+                "S",
+                Filter.of(
+                    Constraint("topic", Op.EQ, "files"),
+                    Constraint("name", Op.SUFFIX, ".pdf"),
+                ),
+            )
+        )
+        publisher = Publisher("P", kdc)
+        sealed = publisher.publish(
+            Event({"topic": "files", "name": "report.pdf", "message": "m"})
+        )
+        result = subscriber.receive(
+            sealed, lambda t: kdc.config_for(t).schema
+        )
+        assert result.event["message"] == "m"
+
+    def test_suffix_grant_rejects_other_extension(self, kdc):
+        subscriber = Subscriber("S")
+        subscriber.add_grant(
+            kdc.authorize(
+                "S",
+                Filter.of(
+                    Constraint("topic", Op.EQ, "files"),
+                    Constraint("name", Op.SUFFIX, ".pdf"),
+                ),
+            )
+        )
+        publisher = Publisher("P", kdc)
+        sealed = publisher.publish(
+            Event({"topic": "files", "name": "report.docx", "message": "m"})
+        )
+        assert subscriber.receive(
+            sealed, lambda t: kdc.config_for(t).schema
+        ) is None
+
+    def test_prefix_constraint_on_suffix_space_rejected(self, kdc):
+        with pytest.raises(ValueError):
+            kdc.authorize(
+                "S",
+                Filter.of(
+                    Constraint("topic", Op.EQ, "files"),
+                    Constraint("name", Op.PREFIX, "report"),
+                ),
+            )
+
+
+class TestSubscriberGrantSets:
+    @pytest.fixture
+    def kdc(self, master_key):
+        kdc = KDC(master_key=master_key)
+        kdc.register_topic(
+            "t", CompositeKeySpace({"v": NumericKeySpace("v", 64)})
+        )
+        return kdc
+
+    def test_overlapping_grants_any_suffices(self, kdc):
+        subscriber = Subscriber("S")
+        subscriber.add_grant(
+            kdc.authorize("S", Filter.numeric_range("t", "v", 0, 31))
+        )
+        subscriber.add_grant(
+            kdc.authorize("S", Filter.numeric_range("t", "v", 16, 63))
+        )
+        publisher = Publisher("P", kdc)
+        lookup = lambda n: kdc.config_for(n).schema  # noqa: E731
+        for value in (5, 20, 50):
+            sealed = publisher.publish(
+                Event({"topic": "t", "v": value, "message": f"m{value}"})
+            )
+            assert subscriber.receive(sealed, lookup) is not None
+
+    def test_stats_track_rejections_separately(self, kdc):
+        subscriber = Subscriber("S")
+        subscriber.add_grant(
+            kdc.authorize("S", Filter.numeric_range("t", "v", 0, 10))
+        )
+        publisher = Publisher("P", kdc)
+        lookup = lambda n: kdc.config_for(n).schema  # noqa: E731
+        subscriber.receive(
+            publisher.publish(Event({"topic": "t", "v": 5, "message": "a"})),
+            lookup,
+        )
+        subscriber.receive(
+            publisher.publish(Event({"topic": "t", "v": 50, "message": "b"})),
+            lookup,
+        )
+        assert subscriber.stats.events_received == 2
+        assert subscriber.stats.events_opened == 1
+        assert subscriber.stats.events_unreadable == 1
+
+    def test_non_securable_constraint_checked_in_plaintext(self, kdc):
+        """A constraint on a plain routable attribute gates decryption."""
+        subscriber = Subscriber("S")
+        subscriber.add_grant(
+            kdc.authorize(
+                "S",
+                Filter.of(
+                    Constraint("topic", Op.EQ, "t"),
+                    Constraint("v", Op.GE, 0),
+                    Constraint("v", Op.LE, 63),
+                    Constraint("region", Op.EQ, "EU"),
+                ),
+            )
+        )
+        publisher = Publisher("P", kdc)
+        lookup = lambda n: kdc.config_for(n).schema  # noqa: E731
+        matching = publisher.publish(
+            Event({"topic": "t", "v": 5, "region": "EU", "message": "in"})
+        )
+        wrong_region = publisher.publish(
+            Event({"topic": "t", "v": 5, "region": "US", "message": "out"})
+        )
+        assert subscriber.receive(matching, lookup) is not None
+        assert subscriber.receive(wrong_region, lookup) is None
+
+
+class TestEnvelopeEdges:
+    def test_everything_but_topic_secret(self, master_key):
+        kdc = KDC(master_key=master_key)
+        kdc.register_topic("t", CompositeKeySpace({}))
+        publisher = Publisher("P", kdc)
+        sealed = publisher.publish(
+            Event({"topic": "t", "a": 1, "b": "x", "message": "m"}),
+            secret_attributes={"a", "b", "message"},
+        )
+        assert set(sealed.routable.attributes) == {"topic"}
+        subscriber = Subscriber("S")
+        subscriber.add_grant(kdc.authorize("S", Filter.topic("t")))
+        result = subscriber.receive(
+            sealed, lambda n: kdc.config_for(n).schema
+        )
+        assert result.event["a"] == 1
+        assert result.event["b"] == "x"
+
+    def test_empty_message_payload(self, medical_kdc):
+        publisher = Publisher("P", medical_kdc)
+        sealed = publisher.publish(
+            Event({"topic": "cancerTrail", "age": 5, "message": ""})
+        )
+        subscriber = Subscriber("S")
+        subscriber.add_grant(
+            medical_kdc.authorize(
+                "S", Filter.numeric_range("cancerTrail", "age", 0, 127)
+            )
+        )
+        result = subscriber.receive(
+            sealed, lambda n: medical_kdc.config_for(n).schema
+        )
+        assert result.event["message"] == ""
+
+    def test_large_payload(self, medical_kdc):
+        payload = "x" * 50_000
+        publisher = Publisher("P", medical_kdc)
+        sealed = publisher.publish(
+            Event({"topic": "cancerTrail", "age": 5, "message": payload})
+        )
+        subscriber = Subscriber("S")
+        subscriber.add_grant(
+            medical_kdc.authorize(
+                "S", Filter.numeric_range("cancerTrail", "age", 0, 127)
+            )
+        )
+        result = subscriber.receive(
+            sealed, lambda n: medical_kdc.config_for(n).schema
+        )
+        assert result.event["message"] == payload

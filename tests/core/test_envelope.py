@@ -1,0 +1,183 @@
+"""Event sealing and opening: confidentiality semantics."""
+
+import pytest
+
+from repro.core.category import CategoryKeySpace, CategoryTree
+from repro.core.composite import CompositeKeySpace
+from repro.core.envelope import open_event, seal_event
+from repro.core.nakt import NumericKeySpace
+from repro.core.strings import StringKeySpace
+from repro.siena.events import Event
+
+TOPIC_KEY = bytes(range(16))
+
+
+@pytest.fixture
+def schema():
+    return CompositeKeySpace({"age": NumericKeySpace("age", 128)})
+
+
+@pytest.fixture
+def sealed_record(schema):
+    event = Event(
+        {"topic": "cancerTrail", "age": 25, "patientRecord": "record-17"},
+        publisher="P",
+    )
+    return seal_event(event, schema, TOPIC_KEY, {"patientRecord"})
+
+
+def test_secret_attribute_stripped_from_routable(sealed_record):
+    assert "patientRecord" not in sealed_record.routable
+    assert "patientRecord" not in repr(sealed_record.routable.attributes)
+
+
+def test_routable_attributes_preserved(sealed_record):
+    assert sealed_record.routable["topic"] == "cancerTrail"
+    assert sealed_record.routable["age"] == 25
+
+
+def test_single_attribute_seals_direct(sealed_record):
+    assert sealed_record.direct
+    assert len(sealed_record.locks) == 1
+    assert sealed_record.locks[0].attributes == ("age",)
+
+
+def test_open_with_correct_leaf_key(schema, sealed_record):
+    space = schema.space_for("age")
+    _, leaf_key = space.encryption_key(TOPIC_KEY, 25)
+    result = open_event(sealed_record, schema, {"age": leaf_key})
+    assert result.event["patientRecord"] == "record-17"
+    assert result.event["age"] == 25
+    assert result.event.publisher == "P"
+    assert result.decrypt_operations == 1
+
+
+def test_open_with_wrong_key_fails(schema, sealed_record):
+    space = schema.space_for("age")
+    _, wrong_key = space.encryption_key(TOPIC_KEY, 26)
+    with pytest.raises(ValueError):
+        open_event(sealed_record, schema, {"age": wrong_key})
+
+
+def test_open_with_missing_component_fails(schema, sealed_record):
+    with pytest.raises(ValueError):
+        open_event(sealed_record, schema, {})
+
+
+def test_ciphertext_hides_payload(sealed_record):
+    assert b"record-17" not in sealed_record.ciphertext
+
+
+def test_missing_secret_attribute_rejected(schema):
+    event = Event({"topic": "t", "age": 1})
+    with pytest.raises(ValueError, match="absent"):
+        seal_event(event, schema, TOPIC_KEY, {"nonexistent"})
+
+
+def test_plain_topic_event_sealed_under_topic_key():
+    schema = CompositeKeySpace({})
+    event = Event({"topic": "news", "message": "m"})
+    sealed = seal_event(event, schema, TOPIC_KEY, {"message"})
+    assert sealed.locks[0].attributes == ("topic",)
+    result = open_event(sealed, schema, {"topic": TOPIC_KEY})
+    assert result.event["message"] == "m"
+
+
+def test_plain_event_without_topic_rejected():
+    schema = CompositeKeySpace({})
+    with pytest.raises(ValueError):
+        seal_event(Event({"message": "m"}), schema, TOPIC_KEY, {"message"})
+
+
+def test_multi_attribute_conjunction_lock():
+    schema = CompositeKeySpace(
+        {
+            "age": NumericKeySpace("age", 128),
+            "salary": NumericKeySpace("salary", 1024),
+        }
+    )
+    event = Event(
+        {"topic": "t", "age": 30, "salary": 500, "message": "m"}
+    )
+    sealed = seal_event(event, schema, TOPIC_KEY, {"message"})
+    assert sealed.locks[0].attributes == ("age", "salary")
+    age_key = schema.space_for("age").encryption_key(TOPIC_KEY, 30)[1]
+    salary_key = schema.space_for("salary").encryption_key(TOPIC_KEY, 500)[1]
+    result = open_event(
+        sealed, schema, {"age": age_key, "salary": salary_key}
+    )
+    assert result.event["message"] == "m"
+    # One component alone cannot open a conjunction lock.
+    with pytest.raises(ValueError):
+        open_event(sealed, schema, {"age": age_key})
+
+
+def test_extra_lock_subsets_enable_disjunctive_access():
+    schema = CompositeKeySpace(
+        {
+            "age": NumericKeySpace("age", 128),
+            "salary": NumericKeySpace("salary", 1024),
+        }
+    )
+    event = Event(
+        {"topic": "t", "age": 30, "salary": 500, "message": "m"}
+    )
+    sealed = seal_event(
+        event, schema, TOPIC_KEY, {"message"},
+        extra_lock_subsets=[("age",)],
+    )
+    assert not sealed.direct
+    assert len(sealed.locks) == 2
+    age_key = schema.space_for("age").encryption_key(TOPIC_KEY, 30)[1]
+    result = open_event(sealed, schema, {"age": age_key})
+    assert result.event["message"] == "m"
+    assert result.decrypt_operations == 2  # unwrap + payload
+
+
+def test_invalid_lock_subset_rejected():
+    schema = CompositeKeySpace({"age": NumericKeySpace("age", 128)})
+    event = Event({"topic": "t", "age": 1, "message": "m"})
+    with pytest.raises(ValueError):
+        seal_event(
+            event, schema, TOPIC_KEY, {"message"},
+            extra_lock_subsets=[("salary",)],
+        )
+
+
+def test_multiple_secret_attributes():
+    schema = CompositeKeySpace({"age": NumericKeySpace("age", 128)})
+    event = Event(
+        {"topic": "t", "age": 5, "message": "m", "diagnosis": "d"}
+    )
+    sealed = seal_event(event, schema, TOPIC_KEY, {"message", "diagnosis"})
+    assert "diagnosis" not in sealed.routable
+    key = schema.space_for("age").encryption_key(TOPIC_KEY, 5)[1]
+    result = open_event(sealed, schema, {"age": key})
+    assert result.event["diagnosis"] == "d"
+    assert result.event["message"] == "m"
+
+
+def test_wire_size_reports_reasonable_total(sealed_record):
+    assert sealed_record.wire_size() > len(sealed_record.ciphertext)
+
+
+def test_category_and_string_components_seal():
+    tree = CategoryTree.from_spec("root", {"a": {"aa": {}}, "b": {}})
+    schema = CompositeKeySpace(
+        {
+            "kind": CategoryKeySpace("kind", tree),
+            "name": StringKeySpace("name"),
+        }
+    )
+    event = Event(
+        {"topic": "t", "kind": "aa", "name": "widget", "message": "m"}
+    )
+    sealed = seal_event(event, schema, TOPIC_KEY, {"message"})
+    kind_key = schema.space_for("kind").encryption_key(TOPIC_KEY, "aa")[1]
+    name_key = schema.space_for("name").encryption_key(
+        TOPIC_KEY, "widget"
+    )[1]
+    result = open_event(
+        sealed, schema, {"kind": kind_key, "name": name_key}
+    )
+    assert result.event["message"] == "m"

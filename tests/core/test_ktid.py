@@ -1,0 +1,120 @@
+"""Key tree identifiers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ktid import KTID
+
+
+def test_root():
+    root = KTID.root()
+    assert root.depth == 0
+    assert str(root) == "Ø"
+
+
+def test_from_index_matches_paper_figure():
+    # Figure 1: leaf for blocks of value 22 with lc=4 has ktid 101.
+    assert str(KTID.from_index(5, 3)) == "101"
+
+
+def test_from_index_bounds():
+    with pytest.raises(ValueError):
+        KTID.from_index(8, 3)  # only 8 nodes at depth 3 (0..7)
+    with pytest.raises(ValueError):
+        KTID.from_index(-1, 3)
+    with pytest.raises(ValueError):
+        KTID.from_index(0, -1)
+
+
+def test_parse_and_str_roundtrip():
+    ktid = KTID.parse("0110")
+    assert str(ktid) == "0110"
+    assert ktid.digits == (0, 1, 1, 0)
+
+
+def test_index_inverts_from_index():
+    for index in range(16):
+        assert KTID.from_index(index, 4).index == index
+
+
+def test_digit_validation():
+    with pytest.raises(ValueError):
+        KTID((0, 2), arity=2)
+    with pytest.raises(ValueError):
+        KTID((0,), arity=1)
+
+
+def test_child_and_parent():
+    node = KTID.parse("10")
+    assert node.child(1) == KTID.parse("101")
+    assert node.child(1).parent() == node
+    with pytest.raises(ValueError):
+        KTID.root().parent()
+    with pytest.raises(ValueError):
+        node.child(2)
+
+
+def test_ancestors_root_first():
+    ancestors = list(KTID.parse("101").ancestors())
+    assert [str(a) for a in ancestors] == ["Ø", "1", "10"]
+
+
+def test_prefix_semantics():
+    assert KTID.parse("1").is_prefix_of(KTID.parse("101"))
+    assert KTID.parse("101").is_prefix_of(KTID.parse("101"))
+    assert not KTID.parse("101").is_prefix_of(KTID.parse("1"))
+    assert not KTID.parse("0").is_prefix_of(KTID.parse("101"))
+    assert KTID.root().is_prefix_of(KTID.parse("101"))
+
+
+def test_prefix_requires_matching_arity():
+    assert not KTID((1,), arity=2).is_prefix_of(KTID((1, 0), arity=3))
+
+
+def test_suffix_after():
+    assert KTID.parse("101").suffix_after(KTID.parse("1")) == (0, 1)
+    assert KTID.parse("101").suffix_after(KTID.parse("101")) == ()
+    with pytest.raises(ValueError):
+        KTID.parse("101").suffix_after(KTID.parse("0"))
+
+
+def test_wire_roundtrip():
+    ktid = KTID((2, 0, 1), arity=3)
+    assert KTID.from_bytes(ktid.to_bytes()) == ktid
+
+
+def test_wire_rejects_truncation():
+    data = KTID.parse("1010").to_bytes()
+    with pytest.raises(ValueError):
+        KTID.from_bytes(data[:-1])
+    with pytest.raises(ValueError):
+        KTID.from_bytes(b"\x02")
+
+
+def test_ordering_is_consistent():
+    assert KTID.parse("0") < KTID.parse("1")
+
+
+@given(
+    depth=st.integers(0, 10),
+    arity=st.integers(2, 5),
+    data=st.data(),
+)
+def test_from_index_roundtrip_property(depth, arity, data):
+    index = data.draw(st.integers(0, arity**depth - 1))
+    ktid = KTID.from_index(index, depth, arity)
+    assert ktid.depth == depth
+    assert ktid.index == index
+    assert KTID.from_bytes(ktid.to_bytes()) == ktid
+
+
+@given(
+    arity=st.integers(2, 4),
+    prefix_digits=st.lists(st.integers(0, 1), max_size=5),
+    extra_digits=st.lists(st.integers(0, 1), max_size=5),
+)
+def test_prefix_transitivity_property(arity, prefix_digits, extra_digits):
+    prefix = KTID(tuple(prefix_digits), arity)
+    full = KTID(tuple(prefix_digits + extra_digits), arity)
+    assert prefix.is_prefix_of(full)
+    assert full.suffix_after(prefix) == tuple(extra_digits)

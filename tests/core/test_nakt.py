@@ -1,0 +1,210 @@
+"""The numeric attribute key tree: covers, keys, and security properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ktid import KTID
+from repro.core.nakt import NumericKeySpace
+
+TOPIC_KEY = bytes(range(16))
+
+
+class TestGeometry:
+    def test_paper_figure_1(self):
+        """R = (0, 31), lc = 4: depth 3 and ktid(22) = 101."""
+        space = NumericKeySpace("num", 32, least_count=4)
+        assert space.depth == 3
+        assert str(space.ktid(22)) == "101"
+
+    def test_section_52_workload_tree(self):
+        """Range 256, least count 4: height 6 (Section 5.2)."""
+        space = NumericKeySpace("value", 256, least_count=4)
+        assert space.depth == 6
+        assert space.leaf_count == 64
+
+    def test_value_bounds(self):
+        space = NumericKeySpace("num", 32)
+        with pytest.raises(ValueError):
+            space.ktid(32)
+        with pytest.raises(ValueError):
+            space.ktid(-1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NumericKeySpace("n", 0)
+        with pytest.raises(ValueError):
+            NumericKeySpace("n", 10, least_count=0)
+        with pytest.raises(ValueError):
+            NumericKeySpace("n", 10, least_count=11)
+        with pytest.raises(ValueError):
+            NumericKeySpace("n", 10, arity=1)
+
+    def test_node_range(self):
+        space = NumericKeySpace("num", 32)
+        assert space.node_range(KTID.root()) == (0, 31)
+        assert space.node_range(KTID.parse("1")) == (16, 31)
+        assert space.node_range(KTID.parse("01")) == (8, 15)
+
+    def test_node_range_with_least_count(self):
+        space = NumericKeySpace("num", 32, least_count=4)
+        assert space.node_range(space.ktid(22)) == (20, 23)
+
+    def test_node_range_rejects_foreign_ktid(self):
+        space = NumericKeySpace("num", 32)
+        with pytest.raises(ValueError):
+            space.node_range(KTID((0,), arity=3))
+
+
+class TestCover:
+    def test_paper_example_8_19(self):
+        """Section 3.1: SS for (8, 19) is {(8, 15), (16, 19)}."""
+        space = NumericKeySpace("num", 32)
+        ranges = [space.node_range(k) for k in space.cover(8, 19)]
+        assert ranges == [(8, 15), (16, 19)]
+
+    def test_full_range_is_root(self):
+        space = NumericKeySpace("num", 32)
+        assert space.cover(0, 31) == [KTID.root()]
+
+    def test_single_value(self):
+        space = NumericKeySpace("num", 32)
+        cover = space.cover(5, 5)
+        assert len(cover) == 1
+        assert space.node_range(cover[0]) == (5, 5)
+
+    def test_empty_range_rejected(self):
+        space = NumericKeySpace("num", 32)
+        with pytest.raises(ValueError):
+            space.cover(10, 5)
+
+    def test_exhaustive_correctness_small_tree(self):
+        """Every cover exactly spans its range, disjointly, within bound."""
+        space = NumericKeySpace("num", 32)
+        for low in range(32):
+            for high in range(low, 32):
+                cover = space.cover(low, high)
+                ranges = sorted(space.node_range(k) for k in cover)
+                # Contiguous, disjoint, exactly spanning [low, high].
+                assert ranges[0][0] == low
+                assert ranges[-1][1] == high
+                for previous, following in zip(ranges, ranges[1:]):
+                    assert following[0] == previous[1] + 1
+                assert len(cover) <= space.max_cover_size()
+
+    def test_bound_formula(self):
+        space = NumericKeySpace("num", 1024)
+        assert space.max_cover_size() == 2 * 10 - 2
+
+    def test_least_count_snaps_outward(self):
+        space = NumericKeySpace("num", 32, least_count=4)
+        ranges = [space.node_range(k) for k in space.cover(5, 9)]
+        assert ranges[0][0] == 4
+        assert ranges[-1][1] == 11
+
+
+class TestKeys:
+    def test_encryption_key_is_leaf_key(self):
+        space = NumericKeySpace("age", 128)
+        leaf, key = space.encryption_key(TOPIC_KEY, 25)
+        assert leaf == space.ktid(25)
+        assert key == space.node_key(TOPIC_KEY, leaf)
+
+    def test_matching_subscription_derives_encryption_key(self):
+        space = NumericKeySpace("age", 128)
+        grants = space.authorization_keys(TOPIC_KEY, 20, 60)
+        leaf, expected = space.encryption_key(TOPIC_KEY, 33)
+        derivable = [
+            NumericKeySpace.derive_encryption_key(grant, leaf)[0]
+            for grant in grants
+            if grant[0].is_prefix_of(leaf)
+        ]
+        assert derivable == [expected]
+
+    def test_non_matching_subscription_has_no_ancestor_element(self):
+        space = NumericKeySpace("age", 128)
+        grants = space.authorization_keys(TOPIC_KEY, 20, 60)
+        leaf, _ = space.encryption_key(TOPIC_KEY, 61)
+        assert not any(k.is_prefix_of(leaf) for k, _ in grants)
+
+    def test_derivation_refused_for_non_ancestor(self):
+        space = NumericKeySpace("age", 128)
+        grant = (space.ktid(20).parent(), b"\x00" * 16)
+        with pytest.raises(ValueError):
+            NumericKeySpace.derive_encryption_key(grant, space.ktid(120))
+
+    def test_sibling_keys_differ(self):
+        space = NumericKeySpace("age", 128)
+        _, first = space.encryption_key(TOPIC_KEY, 0)
+        _, second = space.encryption_key(TOPIC_KEY, 1)
+        assert first != second
+
+    def test_keys_differ_across_topics(self):
+        space = NumericKeySpace("age", 128)
+        _, first = space.encryption_key(TOPIC_KEY, 25)
+        _, second = space.encryption_key(bytes(16), 25)
+        assert first != second
+
+    def test_keys_differ_across_attributes(self):
+        first = NumericKeySpace("age", 128)
+        second = NumericKeySpace("salary", 128)
+        assert (
+            first.encryption_key(TOPIC_KEY, 25)[1]
+            != second.encryption_key(TOPIC_KEY, 25)[1]
+        )
+
+    def test_derivation_cost_counts_levels(self):
+        space = NumericKeySpace("age", 128)
+        root_grant = (KTID.root(), space.node_key(TOPIC_KEY, KTID.root()))
+        leaf = space.ktid(25)
+        _, operations = NumericKeySpace.derive_encryption_key(
+            root_grant, leaf
+        )
+        assert operations == space.depth
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    range_exp=st.integers(3, 9),
+    low=st.integers(0, 400),
+    span=st.integers(0, 400),
+    value=st.integers(0, 511),
+)
+def test_matching_iff_derivable_property(range_exp, low, span, value):
+    """The central security property of Section 3.1.
+
+    ``K(e)`` is derivable from the grant iff ``low <= v <= high``.
+    """
+    size = 2**range_exp
+    space = NumericKeySpace("num", size)
+    low = min(low, size - 1)
+    high = min(low + span, size - 1)
+    value = min(value, size - 1)
+    grants = space.authorization_keys(TOPIC_KEY, low, high)
+    leaf, expected = space.encryption_key(TOPIC_KEY, value)
+    ancestors = [g for g in grants if g[0].is_prefix_of(leaf)]
+    if low <= value <= high:
+        assert len(ancestors) == 1
+        derived, _ = NumericKeySpace.derive_encryption_key(
+            ancestors[0], leaf
+        )
+        assert derived == expected
+    else:
+        assert not ancestors
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arity=st.integers(2, 4),
+    low=st.integers(0, 80),
+    span=st.integers(0, 80),
+)
+def test_cover_within_bound_for_any_arity(arity, low, span):
+    space = NumericKeySpace("num", 81, arity=arity)
+    high = min(low + span, 80)
+    low = min(low, 80)
+    if low > high:
+        low, high = high, low
+    cover = space.cover(low, high)
+    assert len(cover) <= 2 * (arity - 1) * space.depth + 1
+    ranges = sorted(space.node_range(k) for k in cover)
+    assert ranges[0][0] <= low and ranges[-1][1] >= high

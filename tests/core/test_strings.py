@@ -1,0 +1,116 @@
+"""String prefix/suffix key space."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.strings import StringKeySpace
+
+TOPIC_KEY = bytes(range(16))
+
+
+class TestPrefixMode:
+    def test_prefix_grant_derives_value_key(self):
+        space = StringKeySpace("symbol")
+        _, value_key = space.encryption_key(TOPIC_KEY, "GOOG")
+        grant = space.authorization_key(TOPIC_KEY, "GO")
+        derived, operations = space.derive_encryption_key(grant, "GOOG")
+        assert derived == value_key
+        assert operations == 3  # 'O', 'G', terminator
+
+    def test_exact_value_grant(self):
+        space = StringKeySpace("symbol")
+        grant = space.authorization_key(TOPIC_KEY, "GOOG")
+        derived, operations = space.derive_encryption_key(grant, "GOOG")
+        assert derived == space.encryption_key(TOPIC_KEY, "GOOG")[1]
+        assert operations == 1  # terminator only
+
+    def test_non_prefix_refused(self):
+        space = StringKeySpace("symbol")
+        grant = space.authorization_key(TOPIC_KEY, "MS")
+        with pytest.raises(ValueError):
+            space.derive_encryption_key(grant, "GOOG")
+
+    def test_empty_prefix_matches_everything(self):
+        space = StringKeySpace("symbol")
+        grant = space.authorization_key(TOPIC_KEY, "")
+        derived, _ = space.derive_encryption_key(grant, "ANY")
+        assert derived == space.encryption_key(TOPIC_KEY, "ANY")[1]
+
+    def test_value_key_is_not_prefix_node_key(self):
+        """Holding the exact-value key for "ab" must not cover "abc".
+
+        The terminator branch separates the exact string's key from the
+        prefix node's key.
+        """
+        space = StringKeySpace("s")
+        _, ab_value_key = space.encryption_key(TOPIC_KEY, "ab")
+        _, ab_prefix_key = space.authorization_key(TOPIC_KEY, "ab")
+        assert ab_value_key != ab_prefix_key
+
+    def test_distinct_values_distinct_keys(self):
+        space = StringKeySpace("s")
+        assert (
+            space.encryption_key(TOPIC_KEY, "abc")[1]
+            != space.encryption_key(TOPIC_KEY, "abd")[1]
+        )
+
+
+class TestSuffixMode:
+    def test_suffix_grant_derives(self):
+        space = StringKeySpace("s", suffix_mode=True)
+        grant = space.authorization_key(TOPIC_KEY, "Trail")
+        derived, _ = space.derive_encryption_key(grant, "cancerTrail")
+        assert derived == space.encryption_key(TOPIC_KEY, "cancerTrail")[1]
+
+    def test_suffix_mismatch_refused(self):
+        space = StringKeySpace("s", suffix_mode=True)
+        grant = space.authorization_key(TOPIC_KEY, "cancer")
+        with pytest.raises(ValueError):
+            space.derive_encryption_key(grant, "cancerTrail")
+
+    def test_prefix_and_suffix_spaces_are_disjoint(self):
+        prefix_space = StringKeySpace("s")
+        suffix_space = StringKeySpace("s", suffix_mode=True)
+        assert (
+            prefix_space.encryption_key(TOPIC_KEY, "abc")[1]
+            != suffix_space.encryption_key(TOPIC_KEY, "abc")[1]
+        )
+
+
+def test_max_length_enforced():
+    space = StringKeySpace("s", max_length=4)
+    with pytest.raises(ValueError):
+        space.encryption_key(TOPIC_KEY, "toolong")
+
+
+def test_matches_helper():
+    prefix_space = StringKeySpace("s")
+    suffix_space = StringKeySpace("s", suffix_mode=True)
+    assert prefix_space.matches("ab", "abc")
+    assert not prefix_space.matches("bc", "abc")
+    assert suffix_space.matches("bc", "abc")
+    assert not suffix_space.matches("ab", "abc")
+
+
+@given(
+    value=st.text(alphabet="abcd", max_size=8),
+    prefix_length=st.integers(0, 8),
+)
+def test_derivation_iff_prefix_property(value, prefix_length):
+    space = StringKeySpace("s")
+    prefix = value[: min(prefix_length, len(value))]
+    grant = space.authorization_key(TOPIC_KEY, prefix)
+    derived, _ = space.derive_encryption_key(grant, value)
+    assert derived == space.encryption_key(TOPIC_KEY, value)[1]
+
+
+@given(
+    value=st.text(alphabet="abcd", min_size=1, max_size=8),
+    other=st.text(alphabet="abcd", min_size=1, max_size=8),
+)
+def test_non_matching_pattern_raises_property(value, other):
+    space = StringKeySpace("s")
+    if not value.startswith(other):
+        grant = space.authorization_key(TOPIC_KEY, other)
+        with pytest.raises(ValueError):
+            space.derive_encryption_key(grant, value)

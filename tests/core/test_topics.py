@@ -1,0 +1,47 @@
+"""Topic key space, including per-publisher isolation."""
+
+import pytest
+
+from repro.core.topics import TopicKeySpace
+
+MASTER = bytes(range(16))
+
+
+def test_shared_topic_key_deterministic():
+    space = TopicKeySpace()
+    assert space.topic_key(MASTER, "w") == space.topic_key(MASTER, "w")
+
+
+def test_topic_key_differs_by_topic():
+    space = TopicKeySpace()
+    assert space.topic_key(MASTER, "a") != space.topic_key(MASTER, "b")
+
+
+def test_per_publisher_keys_isolate_publishers():
+    """Section 3.1 "Multiple Publishers": K_P(w) != K_Q(w)."""
+    space = TopicKeySpace(per_publisher=True)
+    key_p = space.topic_key(MASTER, "w", publisher="P")
+    key_q = space.topic_key(MASTER, "w", publisher="Q")
+    assert key_p != key_q
+
+
+def test_per_publisher_requires_identity():
+    space = TopicKeySpace(per_publisher=True)
+    with pytest.raises(ValueError):
+        space.topic_key(MASTER, "w")
+
+
+def test_per_publisher_key_differs_from_shared():
+    shared = TopicKeySpace().topic_key(MASTER, "w")
+    scoped = TopicKeySpace(per_publisher=True).topic_key(
+        MASTER, "w", publisher="P"
+    )
+    assert shared != scoped
+
+
+def test_separator_prevents_identity_splicing():
+    """K_{"ab"}("c") must differ from K_{"a"}("bc")."""
+    space = TopicKeySpace(per_publisher=True)
+    assert space.topic_key(MASTER, "c", publisher="ab") != space.topic_key(
+        MASTER, "bc", publisher="a"
+    )

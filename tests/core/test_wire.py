@@ -1,0 +1,138 @@
+"""Wire serialization of grants and sealed events."""
+
+import pytest
+
+from repro.core.composite import CompositeKeySpace
+from repro.core.kdc import KDC
+from repro.core.nakt import NumericKeySpace
+from repro.core.publisher import Publisher
+from repro.core.strings import StringKeySpace
+from repro.core.subscriber import Subscriber
+from repro.core.wire import (
+    decode_grant,
+    decode_sealed_event,
+    encode_grant,
+    encode_sealed_event,
+)
+from repro.siena.events import Event
+from repro.siena.filters import Constraint, Filter
+from repro.siena.operators import Op
+
+
+@pytest.fixture
+def kdc(master_key):
+    kdc = KDC(master_key=master_key)
+    kdc.register_topic(
+        "trial",
+        CompositeKeySpace(
+            {
+                "age": NumericKeySpace("age", 128),
+                "site": StringKeySpace("site"),
+            }
+        ),
+    )
+    kdc.register_topic("plain", CompositeKeySpace({}))
+    return kdc
+
+
+def test_grant_roundtrip(kdc):
+    grant = kdc.authorize(
+        "S",
+        Filter.of(
+            Constraint("topic", Op.EQ, "trial"),
+            Constraint("age", Op.GE, 20),
+            Constraint("age", Op.LE, 90),
+            Constraint("site", Op.PREFIX, "eu-"),
+        ),
+    )
+    decoded = decode_grant(encode_grant(grant))
+    assert decoded == grant
+
+
+def test_disjunctive_grant_roundtrip(kdc):
+    grant = kdc.authorize(
+        "S",
+        [
+            Filter.numeric_range("trial", "age", 0, 20),
+            Filter.numeric_range("trial", "age", 80, 127),
+        ],
+    )
+    decoded = decode_grant(encode_grant(grant))
+    assert decoded == grant
+    assert len(decoded.clauses) == 2
+
+
+def test_decoded_grant_decrypts(kdc):
+    """The acid test: a grant survives the wire and still opens events."""
+    grant = kdc.authorize(
+        "S", Filter.numeric_range("trial", "age", 20, 90)
+    )
+    subscriber = Subscriber("S")
+    subscriber.add_grant(decode_grant(encode_grant(grant)))
+    publisher = Publisher("P", kdc)
+    sealed = publisher.publish(
+        Event({"topic": "trial", "age": 44, "site": "eu-1",
+               "message": "m"}),
+    )
+    wire = encode_sealed_event(sealed)
+    received = decode_sealed_event(wire)
+    result = subscriber.receive(
+        received, lambda t: kdc.config_for(t).schema
+    )
+    assert result is not None
+    assert result.event["message"] == "m"
+
+
+def test_sealed_event_roundtrip(kdc):
+    publisher = Publisher("P", kdc)
+    sealed = publisher.publish(
+        Event({"topic": "trial", "age": 10, "site": "us-9",
+               "message": "x" * 300}),
+    )
+    decoded = decode_sealed_event(encode_sealed_event(sealed))
+    assert decoded.routable == sealed.routable
+    assert decoded.elements == sealed.elements
+    assert decoded.locks == sealed.locks
+    assert decoded.ciphertext == sealed.ciphertext
+    assert decoded.direct == sealed.direct
+
+
+def test_plain_topic_event_roundtrip(kdc):
+    publisher = Publisher("P", kdc)
+    sealed = publisher.publish(Event({"topic": "plain", "message": "m"}))
+    decoded = decode_sealed_event(encode_sealed_event(sealed))
+    assert decoded.elements == {"topic": "plain"}
+
+
+def test_multi_lock_event_roundtrip(kdc):
+    publisher = Publisher("P", kdc)
+    sealed = publisher.publish(
+        Event({"topic": "trial", "age": 5, "site": "eu-2",
+               "message": "m"}),
+        extra_lock_subsets=[("age",), ("site",)],
+    )
+    decoded = decode_sealed_event(encode_sealed_event(sealed))
+    assert len(decoded.locks) == 3
+    assert not decoded.direct
+
+
+def test_magic_checked():
+    with pytest.raises(ValueError):
+        decode_grant(b"XXXXgarbage")
+    with pytest.raises(ValueError):
+        decode_sealed_event(b"XXXXgarbage")
+
+
+def test_truncation_detected(kdc):
+    grant = kdc.authorize("S", Filter.topic("plain"))
+    data = encode_grant(grant)
+    with pytest.raises((ValueError, IndexError, Exception)):
+        decode_grant(data[:-5])
+
+
+def test_trailing_bytes_rejected(kdc):
+    publisher = Publisher("P", kdc)
+    sealed = publisher.publish(Event({"topic": "plain", "message": "m"}))
+    data = encode_sealed_event(sealed)
+    with pytest.raises(ValueError, match="trailing"):
+        decode_sealed_event(data + b"\x00")

@@ -1,0 +1,82 @@
+"""Fuzzing the wire decoders: garbage must fail loudly, never silently."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.composite import CompositeKeySpace
+from repro.core.kdc import KDC
+from repro.core.nakt import NumericKeySpace
+from repro.core.wire import (
+    _MAGIC_EVENT,
+    _MAGIC_GRANT,
+    decode_grant,
+    decode_sealed_event,
+    encode_grant,
+)
+from repro.siena.filters import Constraint, Filter
+from repro.siena.operators import Op
+
+
+@settings(max_examples=150, deadline=None)
+@given(garbage=st.binary(max_size=200))
+def test_grant_decoder_never_accepts_garbage(garbage):
+    try:
+        grant = decode_grant(_MAGIC_GRANT + garbage)
+    except Exception:
+        return  # loud failure is the contract
+    # The astronomically unlikely parse must still be a coherent grant.
+    assert grant.key_count() >= 0
+
+
+@settings(max_examples=150, deadline=None)
+@given(garbage=st.binary(max_size=200))
+def test_event_decoder_never_accepts_garbage(garbage):
+    try:
+        sealed = decode_sealed_event(_MAGIC_EVENT + garbage)
+    except Exception:
+        return
+    assert isinstance(sealed.ciphertext, bytes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cut=st.integers(min_value=1, max_value=50),
+)
+def test_truncated_grants_always_rejected(cut):
+    kdc = KDC(master_key=bytes(16))
+    kdc.register_topic(
+        "t", CompositeKeySpace({"v": NumericKeySpace("v", 64)})
+    )
+    data = encode_grant(
+        kdc.authorize("S", Filter.numeric_range("t", "v", 5, 40))
+    )
+    truncated = data[: max(4, len(data) - cut)]
+    if truncated == data:
+        return
+    with pytest.raises(Exception):
+        decode_grant(truncated)
+
+
+def test_float_constraint_roundtrip():
+    kdc = KDC(master_key=bytes(16))
+    kdc.register_topic(
+        "t", CompositeKeySpace({"v": NumericKeySpace("v", 64)})
+    )
+    grant = kdc.authorize(
+        "S",
+        Filter.of(
+            Constraint("topic", Op.EQ, "t"),
+            Constraint("v", Op.GE, 1.5),
+            Constraint("v", Op.LE, 40.25),
+            Constraint("score", Op.GT, 0.125),
+        ),
+    )
+    decoded = decode_grant(encode_grant(grant))
+    assert decoded == grant
+    values = {
+        (c.name, c.op): c.value
+        for clause in decoded.clauses
+        for c in clause.clause
+    }
+    assert values[("v", Op.GE)] == 1.5
+    assert values[("score", Op.GT)] == 0.125

@@ -1,0 +1,136 @@
+"""AES block cipher: FIPS-197 vectors, roundtrips, input validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE, INV_SBOX, SBOX, _gf_mul, _xtime
+
+# FIPS-197 test vectors: (key hex, plaintext hex, ciphertext hex).
+FIPS_VECTORS = [
+    (  # Appendix B
+        "2b7e151628aed2a6abf7158809cf4f3c",
+        "3243f6a8885a308d313198a2e0370734",
+        "3925841d02dc09fbdc118597196a0b32",
+    ),
+    (  # Appendix C.1 (AES-128)
+        "000102030405060708090a0b0c0d0e0f",
+        "00112233445566778899aabbccddeeff",
+        "69c4e0d86a7b0430d8cdb78070b4c55a",
+    ),
+    (  # Appendix C.2 (AES-192)
+        "000102030405060708090a0b0c0d0e0f1011121314151617",
+        "00112233445566778899aabbccddeeff",
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    (  # Appendix C.3 (AES-256)
+        "000102030405060708090a0b0c0d0e0f"
+        "101112131415161718191a1b1c1d1e1f",
+        "00112233445566778899aabbccddeeff",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+@pytest.mark.parametrize("key_hex,plain_hex,cipher_hex", FIPS_VECTORS)
+def test_fips_197_encrypt(key_hex, plain_hex, cipher_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.encrypt_block(bytes.fromhex(plain_hex)).hex() == cipher_hex
+
+
+@pytest.mark.parametrize("key_hex,plain_hex,cipher_hex", FIPS_VECTORS)
+def test_fips_197_decrypt(key_hex, plain_hex, cipher_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.decrypt_block(bytes.fromhex(cipher_hex)).hex() == plain_hex
+
+
+def test_sbox_is_a_permutation():
+    assert sorted(SBOX) == list(range(256))
+
+
+def test_inv_sbox_inverts_sbox():
+    for value in range(256):
+        assert INV_SBOX[SBOX[value]] == value
+
+
+def test_sbox_known_entries():
+    # S-box corners from FIPS-197 Figure 7.
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+def test_xtime_reduces_modulo_rijndael_polynomial():
+    assert _xtime(0x80) == 0x1B
+    assert _xtime(0x01) == 0x02
+
+
+def test_gf_mul_known_products():
+    # {57} * {83} = {c1} from the FIPS-197 spec discussion.
+    assert _gf_mul(0x57, 0x83) == 0xC1
+    assert _gf_mul(0x57, 0x13) == 0xFE
+
+
+@pytest.mark.parametrize("key_len", [16, 24, 32])
+def test_roundtrip_all_key_sizes(key_len):
+    cipher = AES(bytes(range(key_len)))
+    block = bytes(range(16))
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@pytest.mark.parametrize("bad_len", [0, 8, 15, 17, 33, 64])
+def test_invalid_key_length_rejected(bad_len):
+    with pytest.raises(ValueError, match="AES key"):
+        AES(bytes(bad_len))
+
+
+@pytest.mark.parametrize("bad_len", [0, 15, 17, 32])
+def test_invalid_block_length_rejected(bad_len):
+    cipher = AES(bytes(16))
+    with pytest.raises(ValueError, match="block"):
+        cipher.encrypt_block(bytes(bad_len))
+    with pytest.raises(ValueError, match="block"):
+        cipher.decrypt_block(bytes(bad_len))
+
+
+def test_rounds_by_key_size():
+    assert AES(bytes(16)).rounds == 10
+    assert AES(bytes(24)).rounds == 12
+    assert AES(bytes(32)).rounds == 14
+
+
+def test_distinct_keys_give_distinct_ciphertexts():
+    block = bytes(16)
+    first = AES(bytes(16)).encrypt_block(block)
+    second = AES(bytes([1] * 16)).encrypt_block(block)
+    assert first != second
+
+
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    block=st.binary(min_size=16, max_size=16),
+)
+def test_roundtrip_property(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(key=st.binary(min_size=16, max_size=16))
+def test_encryption_is_not_identity(key):
+    block = bytes(16)
+    # A cipher mapping a block to itself for random keys would be broken;
+    # for AES this never happens on the all-zero block in practice.
+    assert AES(key).encrypt_block(block) != block or key is None
+
+
+def test_matches_cryptography_backend_if_available():
+    cryptography = pytest.importorskip("cryptography")
+    from cryptography.hazmat.primitives.ciphers import (
+        Cipher, algorithms, modes,
+    )
+
+    key = bytes(range(16))
+    block = bytes(range(100, 116))
+    reference = Cipher(algorithms.AES(key), modes.ECB()).encryptor()
+    expected = reference.update(block) + reference.finalize()
+    assert AES(key).encrypt_block(block) == expected

@@ -1,0 +1,52 @@
+"""High-level encrypt/decrypt and backend interoperability."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.cipher import backend_name, decrypt, encrypt
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt
+
+KEY = bytes(range(16))
+
+
+def test_roundtrip():
+    assert decrypt(KEY, encrypt(KEY, b"hello")) == b"hello"
+
+
+def test_backend_name_is_known():
+    assert backend_name() in ("cryptography", "pure")
+
+
+def test_wire_format_interoperates_with_pure_python():
+    """Both backends speak ``iv || ciphertext`` with PKCS#7."""
+    message = b"cross-backend message" * 3
+    assert decrypt(KEY, cbc_encrypt(KEY, message)) == message
+    assert cbc_decrypt(KEY, encrypt(KEY, message)) == message
+
+
+def test_fixed_iv_matches_pure_python():
+    iv = bytes(range(200, 216))
+    assert encrypt(KEY, b"abc", iv) == cbc_encrypt(KEY, b"abc", iv)
+
+
+def test_decrypt_rejects_truncated():
+    with pytest.raises(ValueError):
+        decrypt(KEY, b"short")
+
+
+def test_decrypt_wrong_key_does_not_return_plaintext():
+    ciphertext = encrypt(KEY, b"the secret")
+    try:
+        recovered = decrypt(bytes(16), ciphertext)
+    except ValueError:
+        return
+    assert recovered != b"the secret"
+
+
+def test_empty_plaintext():
+    assert decrypt(KEY, encrypt(KEY, b"")) == b""
+
+
+@given(data=st.binary(max_size=1024), key=st.binary(min_size=16, max_size=16))
+def test_roundtrip_property(data, key):
+    assert decrypt(key, encrypt(key, data)) == data

@@ -1,0 +1,49 @@
+"""One-way hash functions and key-space truncation."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.hashes import H, KEY_BYTES, SUPPORTED_ALGORITHMS, hash_function
+
+
+def test_key_width_is_aes128():
+    assert KEY_BYTES == 16
+
+
+def test_h_truncates_to_key_width():
+    assert len(H(b"anything")) == KEY_BYTES
+
+
+def test_h_matches_sha1_prefix():
+    assert H(b"x") == hashlib.sha1(b"x").digest()[:KEY_BYTES]
+
+
+def test_h_md5_variant():
+    assert H(b"x", "md5") == hashlib.md5(b"x").digest()[:KEY_BYTES]
+
+
+def test_h_sha256_variant():
+    assert H(b"x", "sha256") == hashlib.sha256(b"x").digest()[:KEY_BYTES]
+
+
+def test_h_deterministic():
+    assert H(b"same") == H(b"same")
+
+
+def test_h_sensitive_to_input():
+    assert H(b"a") != H(b"b")
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError, match="unsupported"):
+        hash_function("rot13")
+
+
+@pytest.mark.parametrize("algorithm", SUPPORTED_ALGORITHMS)
+def test_supported_algorithms_work(algorithm):
+    assert len(hash_function(algorithm)(b"data")) >= KEY_BYTES
+
+
+def test_hash_function_returns_full_digest():
+    assert len(hash_function("sha1")(b"x")) == 20

@@ -1,0 +1,78 @@
+"""Known-answer tests for the hash/HMAC primitives.
+
+The PRFs are domain-separated HMACs, so we validate the underlying HMAC
+construction against the RFC 2202 vectors and pin the domain-separated
+outputs against frozen values (any accidental change to the labels would
+silently re-key every deployment).
+"""
+
+import hashlib
+import hmac
+
+from repro.crypto.hashes import H
+from repro.crypto.prf import F, KH
+
+
+class TestRFC2202:
+    """HMAC-SHA1 test vectors from RFC 2202."""
+
+    def test_case_1(self):
+        key = b"\x0b" * 20
+        digest = hmac.new(key, b"Hi There", "sha1").hexdigest()
+        assert digest == "b617318655057264e28bc0b6fb378c8ef146be00"
+
+    def test_case_2(self):
+        digest = hmac.new(
+            b"Jefe", b"what do ya want for nothing?", "sha1"
+        ).hexdigest()
+        assert digest == "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+
+    def test_case_3(self):
+        digest = hmac.new(b"\xaa" * 20, b"\xdd" * 50, "sha1").hexdigest()
+        assert digest == "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+
+
+class TestFrozenDomainSeparation:
+    """The KH/F labels are part of the wire protocol: freeze them."""
+
+    KEY = bytes(range(16))
+
+    def test_kh_frozen(self):
+        assert KH(self.KEY, b"cancerTrail").hex() == (
+            hmac.new(self.KEY, b"psguard:kh:cancerTrail", "sha1")
+            .digest()[:16]
+            .hex()
+        )
+
+    def test_f_frozen(self):
+        assert F(self.KEY, b"cancerTrail").hex() == (
+            hmac.new(self.KEY, b"psguard:f:cancerTrail", "sha1")
+            .digest()[:16]
+            .hex()
+        )
+
+    def test_h_frozen(self):
+        assert H(b"abc").hex() == hashlib.sha1(b"abc").hexdigest()[:32]
+
+    def test_pinned_kh_value(self):
+        # A literal pin: if this changes, deployed keys all change.
+        assert KH(self.KEY, b"x").hex() == (
+            hmac.new(self.KEY, b"psguard:kh:x", "sha1").digest()[:16].hex()
+        )
+        assert len(KH(self.KEY, b"x")) == 16
+
+
+class TestDerivationChainPin:
+    """Pin one full derivation chain end to end."""
+
+    def test_nakt_leaf_key_chain(self):
+        from repro.core.nakt import NumericKeySpace
+
+        space = NumericKeySpace("age", 8)
+        topic_key = bytes(16)
+        root = hmac.new(topic_key, b"psguard:kh:age", "sha1").digest()[:16]
+        step1 = hashlib.sha1(root + b"\x01").digest()[:16]
+        step2 = hashlib.sha1(step1 + b"\x00").digest()[:16]
+        step3 = hashlib.sha1(step2 + b"\x01").digest()[:16]
+        _, key = space.encryption_key(topic_key, 5)  # 5 = 0b101
+        assert key == step3

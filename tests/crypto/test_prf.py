@@ -1,0 +1,82 @@
+"""Keyed PRFs ``KH`` and ``F``: determinism, separation, key derivation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashes import KEY_BYTES
+from repro.crypto.prf import F, KH, constant_time_equal, derive_key
+
+KEY = bytes(range(16))
+
+
+def test_kh_deterministic():
+    assert KH(KEY, b"age") == KH(KEY, b"age")
+
+
+def test_kh_key_sensitivity():
+    assert KH(KEY, b"age") != KH(bytes(16), b"age")
+
+
+def test_kh_message_sensitivity():
+    assert KH(KEY, b"age") != KH(KEY, b"salary")
+
+
+def test_kh_output_width():
+    assert len(KH(KEY, b"m")) == KEY_BYTES
+    assert len(F(KEY, b"m")) == KEY_BYTES
+
+
+def test_kh_and_f_are_domain_separated():
+    """A token must never equal a key for the same input (Section 4.1)."""
+    assert KH(KEY, b"cancerTrail") != F(KEY, b"cancerTrail")
+
+
+def test_f_deterministic_and_sensitive():
+    assert F(KEY, b"w") == F(KEY, b"w")
+    assert F(KEY, b"w") != F(KEY, b"w2")
+
+
+def test_prf_rejects_non_bytes_key():
+    with pytest.raises(TypeError):
+        KH("not-bytes", b"m")
+
+
+def test_prf_rejects_unknown_algorithm():
+    with pytest.raises(ValueError):
+        KH(KEY, b"m", algorithm="whirlpool")
+
+
+def test_derive_key_is_one_way_chain():
+    parent = KH(KEY, b"root")
+    child0 = derive_key(parent, b"\x00")
+    child1 = derive_key(parent, b"\x01")
+    assert child0 != child1
+    assert child0 != parent
+    # Deriving the same branch twice is deterministic.
+    assert derive_key(parent, b"\x00") == child0
+
+
+def test_derive_key_depends_on_parent():
+    assert derive_key(KH(KEY, b"a"), b"\x00") != derive_key(
+        KH(KEY, b"b"), b"\x00"
+    )
+
+
+def test_constant_time_equal():
+    assert constant_time_equal(b"abc", b"abc")
+    assert not constant_time_equal(b"abc", b"abd")
+    assert not constant_time_equal(b"abc", b"abcd")
+
+
+@given(message=st.binary(max_size=64))
+def test_kh_stable_under_bytearray_keys(message):
+    assert KH(bytearray(KEY), message) == KH(KEY, message)
+
+
+@given(
+    first=st.binary(max_size=32),
+    second=st.binary(max_size=32),
+)
+def test_no_trivial_collisions(first, second):
+    if first != second:
+        assert KH(KEY, first) != KH(KEY, second)

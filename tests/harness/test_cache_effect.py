@@ -1,0 +1,44 @@
+"""The cache-effect measurement behind Figure 11."""
+
+import pytest
+
+from repro.harness.endtoend import measure_cache_effect
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return measure_cache_effect(
+        cache_sizes_kb=(0, 1, 64), events=300
+    )
+
+
+def test_one_row_per_cache_size(rows):
+    assert [row.cache_kb for row in rows] == [0, 1, 64]
+
+
+def test_uncached_pays_full_tree_walks(rows):
+    uncached = rows[0]
+    # Depth-8 tree (range 256): the publisher re-derives root + walk,
+    # the subscriber walks from its authorization element.
+    assert uncached.publisher_hash_per_event >= 6
+    assert uncached.subscriber_hash_per_event >= 5
+    assert uncached.publisher_hit_rate == 0.0
+
+
+def test_cache_cuts_derivations(rows):
+    uncached, small, large = rows
+    assert small.publisher_hash_per_event < uncached.publisher_hash_per_event
+    assert large.publisher_hash_per_event <= small.publisher_hash_per_event
+    assert large.subscriber_hash_per_event < 1.0
+
+
+def test_hit_rates_rise(rows):
+    hit_rates = [row.publisher_hit_rate for row in rows]
+    assert hit_rates == sorted(hit_rates)
+    assert hit_rates[-1] > 0.9
+
+
+def test_crypto_cost_decreases(rows):
+    costs = [row.crypto_per_event_s for row in rows]
+    assert costs[-1] < costs[0]
+    assert all(cost > 0 for cost in costs)

@@ -1,0 +1,93 @@
+"""End-to-end harness (Figures 9-11), at reduced scale for test speed."""
+
+import pytest
+
+from repro.harness.endtoend import (
+    MODES,
+    _ExperimentNetwork,
+    max_throughput,
+    sample_pipeline_costs,
+)
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    return {mode: sample_pipeline_costs(mode, samples=40) for mode in MODES}
+
+
+def test_siena_pipeline_is_free(pipelines):
+    siena = pipelines["siena"]
+    assert siena.seal_s == 0.0
+    assert siena.open_s == 0.0
+    assert siena.per_event_crypto_s == 0.0
+
+
+def test_psguard_pipelines_measured(pipelines):
+    for mode in ("topic", "numeric", "category", "string"):
+        pipeline = pipelines[mode]
+        assert pipeline.seal_s > 0
+        assert pipeline.open_s > 0
+        assert pipeline.per_event_crypto_s > 0
+
+
+def test_category_has_highest_match_overhead(pipelines):
+    crypto = {m: pipelines[m].per_event_crypto_s for m in
+              ("topic", "numeric", "category", "string")}
+    assert crypto["category"] == max(crypto.values())
+    assert crypto["topic"] == min(crypto.values())
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        sample_pipeline_costs("quantum")
+
+
+def test_network_builds_all_node_counts(pipelines):
+    for nodes in (0, 2, 6):
+        network = _ExperimentNetwork("siena", nodes, pipelines["siena"])
+        assert len(network.net.brokers) == nodes + 1
+
+
+def test_saturation_monotone_in_rate(pipelines):
+    network_factory = lambda: _ExperimentNetwork(  # noqa: E731
+        "siena", 2, pipelines["siena"]
+    )
+    low_saturated, low_latency = network_factory().run_at_rate(
+        200, events=150
+    )
+    high_saturated, _ = network_factory().run_at_rate(500_000, events=150)
+    assert not low_saturated
+    assert high_saturated
+    assert low_latency > 0
+
+
+def test_max_throughput_brackets_saturation(pipelines):
+    result = max_throughput(
+        "siena", 2, pipelines["siena"], events=150
+    )
+    assert result.throughput_events_per_s > 100
+    assert result.latency_s > 0
+    network = _ExperimentNetwork("siena", 2, pipelines["siena"])
+    saturated, _ = network.run_at_rate(
+        result.throughput_events_per_s * 4, events=150
+    )
+    assert saturated
+
+
+def test_throughput_rises_with_routing_nodes(pipelines):
+    """Fig 9's shape: offloading fan-out raises the saturation rate."""
+    lone = max_throughput("siena", 0, pipelines["siena"], events=150)
+    spread = max_throughput("siena", 6, pipelines["siena"], events=150)
+    assert (
+        spread.throughput_events_per_s
+        > 1.3 * lone.throughput_events_per_s
+    )
+
+
+def test_psguard_throughput_slightly_below_siena(pipelines):
+    siena = max_throughput("siena", 2, pipelines["siena"], events=150)
+    topic = max_throughput("topic", 2, pipelines["topic"], events=150)
+    drop = 1 - (
+        topic.throughput_events_per_s / siena.throughput_events_per_s
+    )
+    assert 0.0 <= drop < 0.15

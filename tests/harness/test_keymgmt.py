@@ -1,0 +1,66 @@
+"""Key-management comparison harness (Figures 3-5), small scale."""
+
+import pytest
+
+from repro.harness.keymgmt import run_key_management
+from repro.workloads.generator import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_key_management(
+        [2, 8, 16],
+        config=WorkloadConfig(seed=41),
+    )
+
+
+def test_row_per_population(rows):
+    assert [row.num_subscribers for row in rows] == [2, 8, 16]
+
+
+def test_psguard_keys_flat_in_ns(rows):
+    """Fig 3: PSGuard per-subscriber keys independent of NS."""
+    values = [row.psguard_keys_per_subscriber for row in rows]
+    assert max(values) <= 1.6 * min(values)
+
+
+def test_group_keys_grow_with_ns(rows):
+    """Fig 3: SubscriberGroup keys grow with NS."""
+    assert (
+        rows[-1].group_keys_per_subscriber
+        > rows[0].group_keys_per_subscriber
+    )
+
+
+def test_group_worse_than_psguard_at_scale(rows):
+    last = rows[-1]
+    assert last.group_keys_per_subscriber > last.psguard_keys_per_subscriber
+
+
+def test_publisher_keys(rows):
+    """Fig 4: PSGuard publishers hold one key per topic; group publishers
+    hold every group key."""
+    for row in rows:
+        assert row.psguard_keys_per_publisher == 128.0
+    assert (
+        rows[-1].group_keys_per_publisher
+        > rows[0].group_keys_per_publisher
+    )
+    assert (
+        rows[-1].group_keys_per_publisher
+        > rows[-1].psguard_keys_per_publisher
+    )
+
+
+def test_kdc_compute_flat_vs_growing(rows):
+    """Fig 5: PSGuard per-join compute constant; group compute grows."""
+    psguard = [row.psguard_kdc_compute_ms for row in rows]
+    group = [row.group_kdc_compute_ms for row in rows]
+    assert max(psguard) <= 2.0 * min(psguard)
+    assert group[-1] > group[0]
+
+
+def test_kdc_network_flat_vs_growing(rows):
+    psguard = [row.psguard_kdc_network_kb for row in rows]
+    assert max(psguard) <= 1.6 * min(psguard)
+    assert rows[-1].group_kdc_network_kb > rows[0].group_kdc_network_kb

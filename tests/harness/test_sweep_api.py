@@ -1,0 +1,53 @@
+"""The public sweep APIs behind Figures 9-10 (reduced scale)."""
+
+import pytest
+
+from repro.harness.endtoend import throughput_latency_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return throughput_latency_sweep(
+        modes=("siena", "topic"), node_counts=(0, 6), events=100
+    )
+
+
+def test_one_result_per_cell(sweep):
+    cells = {(r.mode, r.routing_nodes) for r in sweep}
+    assert cells == {
+        ("siena", 0), ("siena", 6), ("topic", 0), ("topic", 6),
+    }
+
+
+def test_results_are_physical(sweep):
+    for result in sweep:
+        assert result.throughput_events_per_s > 0
+        assert result.latency_s > 0
+
+
+def test_fig9_shape_holds_at_reduced_scale(sweep):
+    by_cell = {(r.mode, r.routing_nodes): r for r in sweep}
+    # Routing nodes raise throughput.
+    assert (
+        by_cell[("siena", 6)].throughput_events_per_s
+        > by_cell[("siena", 0)].throughput_events_per_s
+    )
+    # PSGuard stays within a modest factor of Siena.
+    drop = 1 - (
+        by_cell[("topic", 6)].throughput_events_per_s
+        / by_cell[("siena", 6)].throughput_events_per_s
+    )
+    assert -0.05 <= drop <= 0.15
+
+
+def test_fig10_shape_holds_at_reduced_scale(sweep):
+    by_cell = {(r.mode, r.routing_nodes): r for r in sweep}
+    # Deeper trees pay more WAN hops.
+    assert (
+        by_cell[("siena", 6)].latency_s > by_cell[("siena", 0)].latency_s
+    )
+    # Crypto is invisible next to the WAN.
+    ratio = (
+        by_cell[("topic", 6)].latency_s / by_cell[("siena", 6)].latency_s
+    )
+    assert ratio == pytest.approx(1.0, abs=0.08)

@@ -1,0 +1,34 @@
+"""Crypto cost calibration."""
+
+from repro.harness.timing import CryptoCosts, measure_crypto_costs
+
+
+def test_measurement_returns_positive_costs():
+    costs = measure_crypto_costs(iterations=500)
+    for name in (
+        "hash_s",
+        "keyed_hash_s",
+        "encrypt_256_s",
+        "decrypt_256_s",
+        "encrypt_key_s",
+        "plain_match_s",
+        "token_match_s",
+        "serialize_s",
+    ):
+        assert getattr(costs, name) > 0, name
+
+
+def test_measurement_cached_per_process():
+    assert measure_crypto_costs(500) is measure_crypto_costs(500)
+
+
+def test_all_costs_sub_millisecond():
+    """Every primitive is microsecond scale on any modern host."""
+    costs = measure_crypto_costs(500)
+    for name, value in vars(costs).items():
+        assert value < 1e-3, (name, value)
+
+
+def test_hash_us_conversion():
+    costs = CryptoCosts(1e-6, 2e-6, 3e-6, 4e-6, 5e-6, 6e-6, 7e-6, 8e-6)
+    assert costs.hash_us == 1.0

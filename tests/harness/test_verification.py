@@ -1,0 +1,57 @@
+"""The self-verification harness."""
+
+import pytest
+
+from repro.harness.verification import (
+    CheckResult,
+    format_verification,
+    run_verification,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_verification()
+
+
+def test_all_checks_pass(results):
+    failing = [result for result in results if not result.passed]
+    assert not failing, format_verification(failing)
+
+
+def test_every_check_reports_detail(results):
+    assert all(result.detail for result in results)
+    assert len(results) == 8
+
+
+def test_formatting():
+    rendered = format_verification(
+        [
+            CheckResult("good", True, "fine"),
+            CheckResult("bad", False, "broken"),
+        ]
+    )
+    assert "[PASS] good" in rendered
+    assert "[FAIL] bad" in rendered
+    assert "1/2 checks passed" in rendered
+
+
+def test_exceptions_become_failures(monkeypatch):
+    import repro.harness.verification as verification
+
+    def explode():
+        raise RuntimeError("boom")
+
+    monkeypatch.setattr(verification, "CHECKS", [explode])
+    results = verification.run_verification()
+    assert len(results) == 1
+    assert not results[0].passed
+    assert "boom" in results[0].detail
+
+
+def test_cli_verify(capsys):
+    from repro.cli import main
+
+    assert main(["verify"]) == 0
+    output = capsys.readouterr().out
+    assert "8/8 checks passed" in output

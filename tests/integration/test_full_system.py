@@ -1,0 +1,202 @@
+"""Whole-system integration: the paper's architecture end to end.
+
+Publisher -> sealed events -> tokenized content-based routing over a
+broker tree -> subscriber-side key derivation and decryption, with the
+KDC issuing all key material.
+"""
+
+import pytest
+
+from repro.core import KDC, Publisher, Subscriber
+from repro.core.composite import CompositeKeySpace
+from repro.core.nakt import NumericKeySpace
+from repro.routing.tokens import (
+    TokenAuthority,
+    tokenize_event,
+    tokenized_match,
+    tokenized_subscription,
+)
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+from repro.siena.network import BrokerTree
+from repro.workloads.generator import PaperWorkload, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def system():
+    kdc = KDC(master_key=bytes(range(16)))
+    kdc.register_topic(
+        "cancerTrail",
+        CompositeKeySpace({"age": NumericKeySpace("age", 128)}),
+    )
+    return kdc
+
+
+def test_secure_dissemination_over_broker_tree(system):
+    """Sealed events route through plain Siena brokers untouched.
+
+    "A unique feature of our design is that the nodes in the pub-sub
+    network can route messages as if they were original Siena messages"
+    (Section 5.1).
+    """
+    kdc = system
+    tree = BrokerTree(num_brokers=7)
+    publisher = Publisher("P", kdc)
+    lookup = lambda t: kdc.config_for(t).schema  # noqa: E731
+
+    inboxes = {"in-range": [], "out-of-range": []}
+    subscribers = {
+        "in-range": Subscriber("in-range"),
+        "out-of-range": Subscriber("out-of-range"),
+    }
+    filters = {
+        "in-range": Filter.numeric_range("cancerTrail", "age", 20, 60),
+        "out-of-range": Filter.numeric_range("cancerTrail", "age", 90, 120),
+    }
+    sealed_by_seq = {}
+
+    for index, name in enumerate(inboxes):
+        subscribers[name].add_grant(kdc.authorize(name, filters[name]))
+        leaf = tree.leaf_ids()[index]
+
+        def deliver(routable, name=name):
+            sealed = sealed_by_seq[routable["_seq"]]
+            result = subscribers[name].receive(sealed, lookup)
+            inboxes[name].append(result)
+
+        tree.attach_subscriber(name, leaf, deliver)
+        tree.subscribe(name, filters[name])
+
+    for seq, age in enumerate([25, 45, 95]):
+        event = Event(
+            {"topic": "cancerTrail", "age": age,
+             "message": f"record-{age}"},
+            publisher="P",
+        )
+        sealed = publisher.publish(event)
+        sealed_by_seq[seq] = sealed
+        tree.publish(sealed.routable.with_attributes(_seq=seq))
+
+    # Routing delivered exactly the matching events...
+    assert len(inboxes["in-range"]) == 2
+    assert len(inboxes["out-of-range"]) == 1
+    # ... and every delivered event decrypted successfully.
+    assert [r.event["message"] for r in inboxes["in-range"]] == [
+        "record-25", "record-45",
+    ]
+    assert inboxes["out-of-range"][0].event["message"] == "record-95"
+
+
+def test_defense_in_depth_routing_overdelivery(system):
+    """Even if routing over-delivers, crypto denies unauthorized reads.
+
+    Routing is an optimization; confidentiality rests on key derivation
+    alone (the semi-honest network may misroute without harm).
+    """
+    kdc = system
+    publisher = Publisher("P", kdc)
+    lookup = lambda t: kdc.config_for(t).schema  # noqa: E731
+    narrow = Subscriber("narrow")
+    narrow.add_grant(
+        kdc.authorize("narrow", Filter.numeric_range("cancerTrail", "age", 30, 40))
+    )
+    sealed = publisher.publish(
+        Event(
+            {"topic": "cancerTrail", "age": 25, "message": "m"},
+            publisher="P",
+        )
+    )
+    # Deliver it anyway (as a misbehaving broker might).
+    assert narrow.receive(sealed, lookup) is None
+
+
+def test_tokenized_routing_matches_plaintext_routing(system):
+    """Tokenized matching must agree exactly with plaintext matching."""
+    kdc = system
+    authority = TokenAuthority(kdc.master_key)
+    space = kdc.config_for("cancerTrail").schema.space_for("age")
+    subscription_range = (32, 63)
+    cover = space.cover(*subscription_range)
+    token_filters = [
+        tokenized_subscription(authority, "cancerTrail", {"age": element})
+        for element in cover
+    ]
+    plain_filter = Filter.numeric_range(
+        "cancerTrail", "age", *subscription_range
+    )
+    for age in range(0, 128, 5):
+        event = Event({"topic": "cancerTrail", "age": age})
+        tokenized = tokenize_event(
+            authority, event, {"age": space.ktid(age)}, "cancerTrail"
+        )
+        token_result = any(
+            tokenized_match(f, tokenized) for f in token_filters
+        )
+        assert token_result == plain_filter.matches(event)
+
+
+def test_full_workload_authorization_round(system):
+    """Every subscription of a workload subscriber yields a working grant."""
+    workload = PaperWorkload(WorkloadConfig(seed=77))
+    kdc = workload.build_kdc(master_key=bytes(range(16)))
+    lookup = lambda t: kdc.config_for(t).schema  # noqa: E731
+    publisher = Publisher("P", kdc)
+    subscriber = Subscriber("S")
+    subscriptions = workload.subscriptions_for("S")
+    for subscription in subscriptions:
+        subscriber.add_grant(kdc.authorize("S", subscription.filter))
+
+    opened = 0
+    attempts = 0
+    for subscription in subscriptions[:12]:
+        # Publish an event guaranteed to match this subscription.
+        topic = subscription.topic
+        event = workload.random_event(topic=topic)
+        if topic.kind == "numeric":
+            low, high = subscription.numeric_range
+            event = event.with_attributes(value=(low + high) // 2)
+        elif topic.kind == "category":
+            tree = topic.category_tree
+            granted = tree.label_of(
+                str(next(
+                    c.value
+                    for c in subscription.filter
+                    if c.name == "category"
+                ))
+            )
+            leaf = next(
+                label for label in tree.leaves()
+                if tree.subsumes(granted, label)
+            )
+            event = event.with_attributes(category=tree.path_string(leaf))
+        elif topic.kind == "string":
+            prefix = next(
+                c.value for c in subscription.filter if c.name == "text"
+            )
+            event = event.with_attributes(text=str(prefix) + "a")
+        sealed = publisher.publish(event)
+        attempts += 1
+        result = subscriber.receive(sealed, lookup)
+        assert result is not None, subscription
+        assert result.event["message"] == event["message"]
+        opened += 1
+    assert opened == attempts
+
+
+def test_stateless_kdc_replica_serves_existing_subscribers(system):
+    """A replica spun up later serves decryption-compatible grants."""
+    kdc = system
+    replica = kdc.replicate()
+    publisher = Publisher("P", kdc)
+    lookup = lambda t: kdc.config_for(t).schema  # noqa: E731
+    subscriber = Subscriber("S")
+    subscriber.add_grant(
+        replica.authorize("S", Filter.numeric_range("cancerTrail", "age", 0, 127))
+    )
+    sealed = publisher.publish(
+        Event(
+            {"topic": "cancerTrail", "age": 55, "message": "via-replica"},
+            publisher="P",
+        )
+    )
+    assert subscriber.receive(sealed, lookup).event["message"] == "via-replica"

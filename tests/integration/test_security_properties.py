@@ -1,0 +1,201 @@
+"""Adversarial security properties, checked over randomized workloads.
+
+These tests play the attacker: every way a principal could hold the
+*wrong* key material must fail to decrypt.  They encode the paper's
+threat model (Section 2.2) as executable properties.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    KDC,
+    CompositeKeySpace,
+    NumericKeySpace,
+    Publisher,
+    Subscriber,
+)
+from repro.core.envelope import open_event
+from repro.crypto.cipher import decrypt
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+RANGE = 256
+
+
+def _system(master_key=bytes(range(16))):
+    kdc = KDC(master_key=master_key)
+    kdc.register_topic(
+        "t", CompositeKeySpace({"v": NumericKeySpace("v", RANGE)})
+    )
+    return kdc
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    low=st.integers(0, RANGE - 1),
+    span=st.integers(0, RANGE - 1),
+    value=st.integers(0, RANGE - 1),
+)
+def test_decryption_iff_match(low, span, value):
+    """The paper's core guarantee, for arbitrary ranges and values."""
+    high = min(low + span, RANGE - 1)
+    kdc = _system()
+    subscriber = Subscriber("S")
+    subscriber.add_grant(
+        kdc.authorize("S", Filter.numeric_range("t", "v", low, high))
+    )
+    publisher = Publisher("P", kdc)
+    sealed = publisher.publish(
+        Event({"topic": "t", "v": value, "message": "secret"})
+    )
+    result = subscriber.receive(sealed, lambda n: kdc.config_for(n).schema)
+    if low <= value <= high:
+        assert result is not None and result.event["message"] == "secret"
+    else:
+        assert result is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(value=st.integers(0, RANGE - 1), offset=st.integers(1, RANGE - 1))
+def test_sibling_keys_never_decrypt(value, offset):
+    """Holding the key for a *different* leaf never opens an event."""
+    kdc = _system()
+    schema = kdc.config_for("t").schema
+    topic_key = kdc.topic_key("t")
+    space = schema.space_for("v")
+    publisher = Publisher("P", kdc)
+    sealed = publisher.publish(
+        Event({"topic": "t", "v": value, "message": "secret"})
+    )
+    other = (value + offset) % RANGE
+    _, wrong_key = space.encryption_key(topic_key, other)
+    with pytest.raises(ValueError):
+        open_event(sealed, schema, {"v": wrong_key})
+
+
+def test_kdc_master_key_isolation():
+    """Two KDCs with different master keys share no key material."""
+    first = _system(master_key=bytes(16))
+    second = _system(master_key=bytes([1] * 16))
+    publisher = Publisher("P", first)
+    sealed = publisher.publish(
+        Event({"topic": "t", "v": 7, "message": "secret"})
+    )
+    subscriber = Subscriber("S")
+    subscriber.add_grant(
+        second.authorize("S", Filter.numeric_range("t", "v", 0, RANGE - 1))
+    )
+    assert subscriber.receive(
+        sealed, lambda n: first.config_for(n).schema
+    ) is None
+
+
+def test_broker_view_reveals_no_payload_bytes():
+    """What a curious broker sees contains no plaintext payload bytes."""
+    kdc = _system()
+    publisher = Publisher("P", kdc)
+    payload = "extremely-identifiable-plaintext-marker"
+    sealed = publisher.publish(
+        Event({"topic": "t", "v": 99, "message": payload})
+    )
+    broker_view = sealed.routable.to_bytes() + sealed.ciphertext
+    for lock in sealed.locks:
+        broker_view += lock.wrapped
+    assert payload.encode() not in broker_view
+
+
+def test_ciphertexts_of_identical_events_differ():
+    """Random IVs: equal plaintexts produce unequal ciphertexts."""
+    kdc = _system()
+    publisher = Publisher("P", kdc)
+    event = Event({"topic": "t", "v": 5, "message": "same"})
+    first = publisher.publish(event)
+    second = publisher.publish(event)
+    assert first.ciphertext != second.ciphertext
+
+
+def test_epoch_forward_security():
+    """Old-epoch grants cannot open next-epoch events and vice versa."""
+    kdc = _system()
+    publisher = Publisher("P", kdc)
+    lookup = lambda n: kdc.config_for(n).schema  # noqa: E731
+    epoch_length = kdc.config_for("t").epoch_length
+    old_grant = kdc.authorize(
+        "S", Filter.numeric_range("t", "v", 0, RANGE - 1), at_time=0.0
+    )
+    late = old_grant.expires_at + epoch_length / 2
+
+    new_publisher = Publisher("P2", kdc)
+    future_sealed = new_publisher.publish(
+        Event({"topic": "t", "v": 5, "message": "future"}), at_time=late
+    )
+    subscriber = Subscriber("S")
+    subscriber.add_grant(old_grant)
+    # Even ignoring expiry bookkeeping, the keys simply do not match.
+    assert subscriber.receive(future_sealed, lookup, at_time=0.0) is None
+
+    # And the converse: a fresh grant cannot open old-epoch events.
+    old_sealed = publisher.publish(
+        Event({"topic": "t", "v": 5, "message": "past"}), at_time=0.0
+    )
+    fresh = Subscriber("S2")
+    fresh.add_grant(
+        kdc.authorize(
+            "S2", Filter.numeric_range("t", "v", 0, RANGE - 1), at_time=late
+        )
+    )
+    assert fresh.receive(old_sealed, lookup, at_time=late) is None
+
+
+def test_grant_keys_do_not_reveal_siblings():
+    """A grant's keys derive only the granted subtrees.
+
+    One-wayness means the subscriber cannot walk up or sideways; here we
+    verify that the keys it holds genuinely differ from the sibling keys
+    it would need for out-of-range events.
+    """
+    kdc = _system()
+    topic_key = kdc.topic_key("t")
+    space = kdc.config_for("t").schema.space_for("v")
+    grant = kdc.authorize("S", Filter.numeric_range("t", "v", 64, 127))
+    granted_keys = {
+        component.key
+        for clause in grant.clauses
+        for component in clause.components
+        if component.attribute == "v"
+    }
+    for value in (0, 32, 63, 128, 200, 255):
+        _, leaf_key = space.encryption_key(topic_key, value)
+        assert leaf_key not in granted_keys
+
+
+def test_tampered_ciphertext_never_yields_plaintext():
+    kdc = _system()
+    publisher = Publisher("P", kdc)
+    sealed = publisher.publish(
+        Event({"topic": "t", "v": 40, "message": "intact"})
+    )
+    subscriber = Subscriber("S")
+    subscriber.add_grant(
+        kdc.authorize("S", Filter.numeric_range("t", "v", 0, RANGE - 1))
+    )
+    from dataclasses import replace
+
+    corrupted = bytearray(sealed.ciphertext)
+    corrupted[len(corrupted) // 2] ^= 0x01
+    tampered = replace(sealed, ciphertext=bytes(corrupted))
+    result = subscriber.receive(
+        tampered, lambda n: kdc.config_for(n).schema
+    )
+    assert result is None or result.event.get("message") != "intact"
+
+
+def test_nonce_reuse_does_not_link_tokens():
+    """Routable tokens with fresh nonces are pairwise distinct."""
+    from repro.routing.tokens import TokenAuthority, make_routable
+
+    authority = TokenAuthority(bytes(range(16)))
+    token = authority.topic_token("w")
+    seen = {make_routable(token).encode() for _ in range(64)}
+    assert len(seen) == 64

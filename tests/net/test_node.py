@@ -1,0 +1,116 @@
+"""Processing nodes: FIFO service, backlog accounting, saturation."""
+
+import pytest
+
+from repro.net.node import ProcessingNode
+from repro.net.sim import Simulator
+
+
+def test_single_job_completes_after_cost():
+    sim = Simulator()
+    node = ProcessingNode(sim)
+    done = []
+    node.submit(0.5, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [0.5]
+
+
+def test_fifo_queueing():
+    sim = Simulator()
+    node = ProcessingNode(sim)
+    done = []
+    node.submit(1.0, lambda: done.append(("a", sim.now)))
+    node.submit(1.0, lambda: done.append(("b", sim.now)))
+    sim.run()
+    assert done == [("a", 1.0), ("b", 2.0)]
+
+
+def test_server_idles_between_arrivals():
+    sim = Simulator()
+    node = ProcessingNode(sim)
+    done = []
+    node.submit(0.5, lambda: done.append(sim.now))
+    sim.schedule(2.0, lambda: node.submit(0.5, lambda: done.append(sim.now)))
+    sim.run()
+    assert done == [0.5, 2.5]
+
+
+def test_negative_cost_rejected():
+    node = ProcessingNode(Simulator())
+    with pytest.raises(ValueError):
+        node.submit(-1.0, lambda: None)
+
+
+def test_outstanding_and_peak_backlog():
+    sim = Simulator()
+    node = ProcessingNode(sim)
+    for _ in range(4):
+        node.submit(1.0, lambda: None)
+    assert node.outstanding == 4
+    assert node.stats.peak_backlog == 4
+    sim.run()
+    assert node.outstanding == 0
+
+
+def test_stats_after_completion():
+    sim = Simulator()
+    node = ProcessingNode(sim)
+    node.submit(0.25, lambda: None)
+    node.submit(0.75, lambda: None)
+    sim.run()
+    assert node.stats.messages_processed == 2
+    assert node.stats.busy_time == pytest.approx(1.0)
+    assert node.stats.work_submitted == pytest.approx(1.0)
+
+
+def test_utilization():
+    sim = Simulator()
+    node = ProcessingNode(sim)
+    node.submit(1.0, lambda: None)
+    sim.run(until=4.0)
+    assert node.utilization(4.0) == pytest.approx(0.25)
+    assert node.utilization(0.0) == 0.0
+
+
+def test_is_saturating_live_criterion():
+    node = ProcessingNode(Simulator())
+    node.stats.backlog_samples = [1, 2, 3, 4, 5, 6]
+    assert node.is_saturating()
+    node.stats.backlog_samples = [1, 2, 3, 3, 5, 6]
+    assert not node.is_saturating()
+
+
+def test_was_saturating_detects_drained_overload():
+    node = ProcessingNode(Simulator())
+    node.stats.backlog_samples = (
+        [2, 4, 8, 12, 18, 24, 30, 36, 44, 50] + [20, 5, 0, 0]
+    )
+    assert node.was_saturating()
+
+
+def test_was_saturating_ignores_transient_spike():
+    node = ProcessingNode(Simulator())
+    node.stats.backlog_samples = [0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0]
+    assert not node.was_saturating()
+
+
+def test_was_saturating_ignores_stable_low_backlog():
+    node = ProcessingNode(Simulator())
+    node.stats.backlog_samples = [1, 0, 2, 1, 0, 1, 2, 0, 1, 1, 0, 2]
+    assert not node.was_saturating()
+
+
+def test_demand_exceeds():
+    sim = Simulator()
+    node = ProcessingNode(sim)
+    node.submit(3.0, lambda: None)
+    assert node.demand_exceeds(2.0)
+    assert not node.demand_exceeds(4.0)
+
+
+def test_sample_backlog_records():
+    sim = Simulator()
+    node = ProcessingNode(sim)
+    node.submit(1.0, lambda: None)
+    assert node.sample_backlog() == 1
+    assert node.stats.backlog_samples == [1]

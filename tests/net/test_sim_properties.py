@@ -1,0 +1,71 @@
+"""Property-based invariants of the discrete-event engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.node import ProcessingNode
+from repro.net.sim import Simulator
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(0, 100, allow_nan=False), max_size=30))
+def test_time_never_goes_backwards(delays):
+    sim = Simulator()
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert all(time >= 0 for time in observed)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    jobs=st.lists(
+        st.tuples(
+            st.floats(0, 50, allow_nan=False),   # arrival
+            st.floats(0.001, 5, allow_nan=False),  # cost
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_fifo_server_conservation(jobs):
+    """Work conservation and FIFO order for arbitrary arrival patterns."""
+    sim = Simulator()
+    node = ProcessingNode(sim)
+    completions = []
+    for arrival, cost in jobs:
+        sim.schedule(
+            arrival,
+            lambda cost=cost: node.submit(
+                cost, lambda: completions.append(sim.now)
+            ),
+        )
+    sim.run()
+    # Everything completes, in non-decreasing completion order.
+    assert len(completions) == len(jobs)
+    assert completions == sorted(completions)
+    assert node.outstanding == 0
+    # Work conservation: total busy time equals total submitted work.
+    total_cost = sum(cost for _, cost in jobs)
+    assert abs(node.stats.busy_time - total_cost) < 1e-6
+    # The server finishes no earlier than the total work requires.
+    assert completions[-1] >= total_cost - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrivals=st.lists(st.floats(0, 10, allow_nan=False), min_size=2,
+                      max_size=20),
+    cost=st.floats(0.5, 2.0, allow_nan=False),
+)
+def test_backlogged_server_spacing(arrivals, cost):
+    """Under backlog, completions are spaced exactly one service apart."""
+    sim = Simulator()
+    node = ProcessingNode(sim)
+    completions = []
+    for _ in arrivals:
+        node.submit(cost, lambda: completions.append(sim.now))
+    sim.run()
+    gaps = [b - a for a, b in zip(completions, completions[1:])]
+    assert all(abs(gap - cost) < 1e-9 for gap in gaps)

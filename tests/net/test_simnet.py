@@ -1,0 +1,132 @@
+"""The timed pub-sub overlay."""
+
+import pytest
+
+from repro.net.sim import Simulator
+from repro.net.simnet import SimulatedPubSub
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+
+def _network(num_brokers=3, **kwargs):
+    sim = Simulator()
+    net = SimulatedPubSub(sim, num_brokers, **kwargs)
+    return sim, net
+
+
+def test_delivery_includes_link_latencies():
+    sim, net = _network(3, link_latency=0.050, client_latency=0.005)
+    net.attach_subscriber("s", net.leaf_ids()[0])
+    net.subscribe("s", Filter.topic("t"))
+    net.publish(Event({"topic": "t"}))
+    sim.run(until=1.0)
+    assert len(net.deliveries) == 1
+    # root -> leaf link + client link.
+    assert net.deliveries[0].latency == pytest.approx(0.055)
+
+
+def test_processing_cost_adds_to_latency():
+    sim, net = _network(
+        1,
+        client_latency=0.0,
+        broker_cost=lambda n, e: 0.020,
+        subscriber_cost=lambda s, e: 0.030,
+    )
+    net.attach_subscriber("s", 0)
+    net.subscribe("s", Filter.topic("t"))
+    net.publish(Event({"topic": "t"}))
+    sim.run(until=1.0)
+    assert net.deliveries[0].latency == pytest.approx(0.050)
+
+
+def test_only_matching_subscribers_receive():
+    sim, net = _network(7)
+    leaves = net.leaf_ids()
+    net.attach_subscriber("yes", leaves[0])
+    net.attach_subscriber("no", leaves[1])
+    net.subscribe("yes", Filter.topic("t"))
+    net.subscribe("no", Filter.topic("other"))
+    net.publish(Event({"topic": "t"}))
+    sim.run(until=1.0)
+    assert [d.subscriber_id for d in net.deliveries] == ["yes"]
+
+
+def test_publication_delay_offsets_timing():
+    sim, net = _network(1, client_latency=0.0)
+    net.attach_subscriber("s", 0)
+    net.subscribe("s", Filter.topic("t"))
+    net.publish(Event({"topic": "t"}), delay=0.5)
+    sim.run(until=1.0)
+    record = net.deliveries[0]
+    assert record.published_at == pytest.approx(0.5)
+    assert record.latency == pytest.approx(0.0)
+
+
+def test_carrier_rides_along():
+    sim, net = _network(1)
+    net.attach_subscriber("s", 0)
+    net.subscribe("s", Filter.topic("t"))
+    seq = net.publish(Event({"topic": "t"}), carrier={"sealed": True})
+    assert net.carrier_of(seq) == {"sealed": True}
+
+
+def test_mean_latency_nan_when_no_deliveries():
+    _, net = _network(1)
+    assert net.mean_latency() != net.mean_latency()  # NaN
+
+
+def test_backlog_monitor_samples_all_nodes():
+    sim, net = _network(3)
+    net.attach_subscriber("s", net.leaf_ids()[0])
+    net.start_backlog_monitor(interval=0.1)
+    sim.run(until=0.55)
+    assert len(net.nodes[0].stats.backlog_samples) == 5
+    assert len(net.subscriber_nodes["s"].stats.backlog_samples) == 5
+
+
+def test_saturation_flagged_under_overload():
+    sim, net = _network(
+        1, broker_cost=lambda n, e: 0.100, client_latency=0.0
+    )
+    net.attach_subscriber("s", 0)
+    net.subscribe("s", Filter.topic("t"))
+    net.start_backlog_monitor(interval=0.05)
+    for index in range(100):
+        net.publish(Event({"topic": "t", "n": index}), delay=index * 0.01)
+    sim.run(until=1.2)
+    assert net.any_saturated()
+
+
+def test_no_saturation_under_light_load():
+    sim, net = _network(
+        1, broker_cost=lambda n, e: 0.001, client_latency=0.0
+    )
+    net.attach_subscriber("s", 0)
+    net.subscribe("s", Filter.topic("t"))
+    net.start_backlog_monitor(interval=0.05)
+    for index in range(50):
+        net.publish(Event({"topic": "t", "n": index}), delay=index * 0.02)
+    sim.run(until=2.0)
+    assert not net.any_saturated()
+    assert len(net.deliveries) == 50
+
+
+def test_per_send_cost_charged_to_sender():
+    sim, net = _network(3, per_send_s=0.010)
+    net.attach_subscriber("s", net.leaf_ids()[0])
+    net.subscribe("s", Filter.topic("t"))
+    net.publish(Event({"topic": "t"}))
+    sim.run(until=1.0)
+    assert net.nodes[0].stats.work_submitted >= 0.010
+
+
+def test_duplicate_subscriber_rejected():
+    _, net = _network(3)
+    net.attach_subscriber("s", 1)
+    with pytest.raises(ValueError):
+        net.attach_subscriber("s", 2)
+
+
+def test_rejects_empty_network():
+    with pytest.raises(ValueError):
+        SimulatedPubSub(Simulator(), 0)

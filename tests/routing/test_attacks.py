@@ -1,0 +1,77 @@
+"""The frequency-inference attack and its mitigation."""
+
+import random
+
+import pytest
+
+from repro.routing.attacks import (
+    rank_matching_attack,
+    random_guess_accuracy,
+)
+from repro.workloads.zipf import zipf_weights
+
+
+def _setup(num_tokens=16, seed=5):
+    rng = random.Random(seed)
+    topics = [f"topic{i}" for i in range(num_tokens)]
+    tokens = [f"token{i}" for i in range(num_tokens)]
+    rng.shuffle(tokens)
+    truth = dict(zip(tokens, topics))
+    prior = dict(zip(topics, zipf_weights(num_tokens)))
+    return tokens, topics, truth, prior
+
+
+def test_attack_succeeds_on_unprotected_frequencies():
+    """Observing true lambda_t, rank matching de-anonymizes every token."""
+    tokens, topics, truth, prior = _setup()
+    observed = {token: prior[truth[token]] for token in tokens}
+    result = rank_matching_attack(observed, prior, truth)
+    assert result.accuracy == 1.0
+
+
+def test_attack_collapses_on_flattened_frequencies():
+    """After multi-path smoothing the ranking carries no signal."""
+    tokens, topics, truth, prior = _setup()
+    rng = random.Random(9)
+    observed = {token: 1.0 + rng.random() * 1e-6 for token in tokens}
+    result = rank_matching_attack(observed, prior, truth)
+    assert result.accuracy < 0.3
+
+
+def test_partial_smoothing_partially_protects():
+    tokens, topics, truth, prior = _setup(num_tokens=32)
+    # Head tokens flattened (ind_t ~ tau lambda_t), tail unprotected;
+    # tiny noise models sampling jitter and breaks rank ties randomly.
+    rng = random.Random(11)
+    cap = sorted(
+        (prior[truth[token]] for token in tokens), reverse=True
+    )[8]
+    observed = {
+        token: min(prior[truth[token]], cap) * (1 + rng.random() * 1e-9)
+        for token in tokens
+    }
+    result = rank_matching_attack(observed, prior, truth)
+    full = rank_matching_attack(
+        {token: prior[truth[token]] for token in tokens}, prior, truth
+    )
+    assert result.correct < full.correct
+
+
+def test_unobserved_tokens_excluded():
+    tokens, topics, truth, prior = _setup()
+    observed = {tokens[0]: 1.0}
+    result = rank_matching_attack(observed, prior, truth)
+    assert result.total == 1
+
+
+def test_empty_observation_scores_zero():
+    _, _, truth, prior = _setup()
+    result = rank_matching_attack({}, prior, truth)
+    assert result.total == 0
+    assert result.accuracy == 0.0
+
+
+def test_random_guess_accuracy():
+    assert random_guess_accuracy(128) == pytest.approx(1 / 128)
+    with pytest.raises(ValueError):
+        random_guess_accuracy(0)

@@ -1,0 +1,99 @@
+"""Entropy metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.routing.entropy import (
+    apparent_frequencies,
+    entropy_bits,
+    entropy_gap,
+    max_entropy_bits,
+    mean,
+    normalize,
+)
+
+
+def test_uniform_distribution_attains_maximum():
+    uniform = {f"t{i}": 1.0 for i in range(8)}
+    assert entropy_bits(uniform) == pytest.approx(3.0)
+    assert max_entropy_bits(8) == pytest.approx(3.0)
+
+
+def test_point_mass_has_zero_entropy():
+    assert entropy_bits({"t": 5.0}) == pytest.approx(0.0)
+
+
+def test_skew_reduces_entropy():
+    skewed = {"a": 0.9, "b": 0.05, "c": 0.05}
+    assert entropy_bits(skewed) < entropy_bits({"a": 1, "b": 1, "c": 1})
+
+
+def test_normalize_sums_to_one():
+    normalized = normalize({"a": 2.0, "b": 6.0})
+    assert sum(normalized.values()) == pytest.approx(1.0)
+    assert normalized["b"] == pytest.approx(0.75)
+
+
+def test_normalize_drops_zeros():
+    assert "b" not in normalize({"a": 1.0, "b": 0.0})
+
+
+def test_normalize_rejects_empty():
+    with pytest.raises(ValueError):
+        normalize({})
+    with pytest.raises(ValueError):
+        normalize({"a": 0.0})
+
+
+def test_zipf_entropy_matches_formula():
+    weights = {f"t{k}": 1.0 / k for k in range(1, 129)}
+    total = sum(weights.values())
+    expected = -sum(
+        (w / total) * math.log2(w / total) for w in weights.values()
+    )
+    assert entropy_bits(weights) == pytest.approx(expected)
+
+
+def test_apparent_frequencies_flatten_head():
+    actual = {"hot": 8.0, "cold": 1.0}
+    apparent = apparent_frequencies(actual, {"hot": 8, "cold": 1})
+    assert apparent["hot"] == pytest.approx(1.0)
+    assert apparent["cold"] == pytest.approx(1.0)
+    assert entropy_bits(apparent) > entropy_bits(actual)
+
+
+def test_apparent_frequencies_defaults_to_one_path():
+    apparent = apparent_frequencies({"t": 4.0}, {})
+    assert apparent["t"] == 4.0
+
+
+def test_entropy_gap():
+    uniform = {f"t{i}": 1.0 for i in range(4)}
+    assert entropy_gap(uniform, 4) == pytest.approx(0.0)
+    assert entropy_gap({"a": 1.0}, 4) == pytest.approx(2.0)
+
+
+def test_max_entropy_requires_tokens():
+    with pytest.raises(ValueError):
+        max_entropy_bits(0)
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(ValueError):
+        mean([])
+
+
+@given(
+    counts=st.dictionaries(
+        st.integers(0, 30),
+        st.floats(min_value=0.001, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_entropy_bounded_by_log_support(counts):
+    entropy = entropy_bits(counts)
+    assert -1e-9 <= entropy <= math.log2(len(counts)) + 1e-9

@@ -1,0 +1,99 @@
+"""Fault-tolerant parallel multi-path dissemination."""
+
+import pytest
+
+from repro.routing.faulttolerance import (
+    DroppingNetwork,
+    RedundantRouter,
+    analytic_delivery_rate,
+)
+from repro.topology.multipath import MultipathNetwork
+from repro.workloads.zipf import zipf_weights
+
+
+def _router(redundancy=2, ind=4, depth=3, tokens=16):
+    network = MultipathNetwork(depth=depth, arity=max(ind, 2), ind=ind)
+    frequencies = dict(zip(
+        (f"t{i}" for i in range(tokens)), zipf_weights(tokens)
+    ))
+    return network, RedundantRouter(
+        network, frequencies, redundancy=redundancy, ind_max=ind
+    )
+
+
+def test_redundant_paths_are_disjoint():
+    network, router = _router(redundancy=3)
+    subscriber = network.subscribers()[0]
+    paths = router.route_redundant("t0", subscriber)
+    assert len(paths) == 3
+    assert network.paths_independent(paths)
+    assert all(network.path_edges_exist(path) for path in paths)
+
+
+def test_redundancy_validation():
+    network, _ = _router()
+    frequencies = {"t": 1.0}
+    with pytest.raises(ValueError):
+        RedundantRouter(network, frequencies, redundancy=0)
+    with pytest.raises(ValueError):
+        RedundantRouter(network, frequencies, redundancy=99)
+
+
+def test_redundancy_raises_apparent_frequency():
+    """The privacy cost of fault tolerance is explicit."""
+    _, single = _router(redundancy=1)
+    _, double = _router(redundancy=2)
+    assert double.expected_apparent_frequency(
+        "t0"
+    ) == pytest.approx(2 * single.expected_apparent_frequency("t0"))
+
+
+def test_no_droppers_is_lossless():
+    network, router = _router()
+    clean = DroppingNetwork(network, dropper_fraction=0.0)
+    stats = clean.run(router, events=200)
+    assert stats.delivery_rate == 1.0
+    assert stats.overhead == pytest.approx(2.0, abs=0.2)
+
+
+def test_all_droppers_blocks_everything():
+    network, router = _router()
+    hostile = DroppingNetwork(network, dropper_fraction=1.0)
+    stats = hostile.run(router, events=100)
+    assert stats.delivery_rate == 0.0
+
+
+def test_redundancy_improves_delivery_under_droppers():
+    """The paper's extension claim: parallel paths defeat droppers."""
+    network, single = _router(redundancy=1, ind=4)
+    _, triple = _router(redundancy=3, ind=4)
+    adversary = DroppingNetwork(network, dropper_fraction=0.25, seed=5)
+    single_stats = adversary.run(single, events=600)
+    triple_stats = adversary.run(triple, events=600)
+    assert triple_stats.delivery_rate > single_stats.delivery_rate
+    assert triple_stats.overhead > single_stats.overhead
+
+
+def test_measured_rate_tracks_analytic():
+    network, router = _router(redundancy=2, ind=4, depth=3)
+    adversary = DroppingNetwork(network, dropper_fraction=0.2, seed=9)
+    stats = adversary.run(router, events=1500)
+    predicted = analytic_delivery_rate(0.2, path_interior_length=3,
+                                       redundancy=2)
+    assert stats.delivery_rate == pytest.approx(predicted, abs=0.12)
+
+
+def test_analytic_rate_properties():
+    assert analytic_delivery_rate(0.0, 5, 1) == 1.0
+    assert analytic_delivery_rate(1.0, 5, 3) == 0.0
+    assert analytic_delivery_rate(0.3, 4, 3) > analytic_delivery_rate(
+        0.3, 4, 1
+    )
+    with pytest.raises(ValueError):
+        analytic_delivery_rate(1.5, 4, 2)
+
+
+def test_dropper_fraction_validated():
+    network, _ = _router()
+    with pytest.raises(ValueError):
+        DroppingNetwork(network, dropper_fraction=-0.1)

@@ -1,0 +1,97 @@
+"""Batching mixes and the timing-linkage attack."""
+
+import pytest
+
+from repro.routing.mix import (
+    BatchingMix,
+    interleaved_trace,
+    timing_linkage_attack,
+)
+
+
+def _two_publisher_trace(count=40):
+    schedules = {
+        "P1": [i * 1.0 for i in range(count)],           # every second
+        "P2": [0.5 + i * 1.0 for i in range(count)],     # offset by 500ms
+    }
+    tokens = {"P1": ["a1", "a2"], "P2": ["b1", "b2"]}
+    return interleaved_trace(schedules, tokens), schedules
+
+
+def test_zero_window_is_passthrough():
+    (arrivals, _truth), _ = _two_publisher_trace(5)
+    released = BatchingMix(0.0).process(arrivals)
+    assert [event.release_time for event in released] == sorted(
+        time for time, _ in arrivals
+    )
+
+
+def test_window_quantizes_release_times():
+    mix = BatchingMix(2.0)
+    released = mix.process([(0.1, "x"), (0.9, "y"), (2.5, "z")])
+    assert [event.release_time for event in released] == [2.0, 2.0, 4.0]
+
+
+def test_batch_order_is_shuffled():
+    mix = BatchingMix(100.0, seed=1)
+    arrivals = [(float(i) / 10, f"t{i}") for i in range(32)]
+    released = mix.process(arrivals)
+    assert {event.token for event in released} == {f"t{i}" for i in range(32)}
+    assert [event.token for event in released] != [f"t{i}" for i in range(32)]
+
+
+def test_negative_arrival_rejected():
+    with pytest.raises(ValueError):
+        BatchingMix(1.0).process([(-1.0, "x")])
+    with pytest.raises(ValueError):
+        BatchingMix(-1.0)
+
+
+def test_added_latency():
+    assert BatchingMix(4.0).added_latency() == 2.0
+
+
+def test_attack_wins_without_mixing():
+    (arrivals, truth), schedules = _two_publisher_trace()
+    released = BatchingMix(0.0).process(arrivals)
+    result = timing_linkage_attack(released, schedules, truth)
+    assert result.accuracy == 1.0
+
+
+def test_attack_collapses_with_wide_windows():
+    (arrivals, truth), schedules = _two_publisher_trace()
+    released = BatchingMix(8.0, seed=3).process(arrivals)
+    result = timing_linkage_attack(released, schedules, truth)
+    assert result.accuracy <= 0.75  # toward the 0.5 chance level
+
+
+def test_narrow_window_barely_helps():
+    """A window smaller than the schedule offset leaks everything."""
+    (arrivals, truth), schedules = _two_publisher_trace()
+    released = BatchingMix(0.25, seed=3).process(arrivals)
+    result = timing_linkage_attack(released, schedules, truth)
+    assert result.accuracy == 1.0
+
+
+def test_attack_accuracy_monotone_in_window():
+    (arrivals, truth), schedules = _two_publisher_trace()
+    accuracies = []
+    for window in (0.0, 1.0, 4.0, 16.0):
+        released = BatchingMix(window, seed=5).process(arrivals)
+        accuracies.append(
+            timing_linkage_attack(released, schedules, truth).accuracy
+        )
+    assert accuracies[0] >= accuracies[-1]
+    assert accuracies[-1] < 1.0
+
+
+def test_trace_requires_tokens():
+    with pytest.raises(ValueError):
+        interleaved_trace({"P": [0.0]}, {"P": []})
+
+
+def test_attack_counts_tokens_once():
+    (arrivals, truth), schedules = _two_publisher_trace()
+    released = BatchingMix(0.0).process(arrivals)
+    result = timing_linkage_attack(released, schedules, truth)
+    assert result.total == 4

@@ -1,0 +1,118 @@
+"""Frequency observation: per-node views and coalitions."""
+
+import pytest
+
+from repro.routing.observer import CoalitionObserver, NodeObserver
+
+
+def _observe(observer, path, token, event_id, flow="f"):
+    observer.observe_path(path, token, event_id, flow=flow)
+
+
+def test_endpoints_excluded():
+    observer = NodeObserver()
+    _observe(observer, ["P", "n1", "n2", "S"], "t", 0)
+    assert set(observer.observing_nodes()) == {"n1", "n2"}
+
+
+def test_flow_counts_accumulate():
+    observer = NodeObserver()
+    for event_id in range(3):
+        _observe(observer, ["P", "n", "S"], "t", event_id)
+    assert observer.node_token_frequencies("n") == {"t": 3}
+
+
+def test_best_flow_not_sum_across_flows():
+    """Flows are unlinkable: a node cannot add up two subscribers' flows."""
+    observer = NodeObserver()
+    _observe(observer, ["P", "n", "S1"], "t", 0, flow="S1")
+    _observe(observer, ["P", "n", "S1"], "t", 1, flow="S1")
+    _observe(observer, ["P", "n", "S2"], "t", 2, flow="S2")
+    assert observer.node_token_frequencies("n") == {"t": 2}
+    assert observer.node_token_frequencies("n", aggregate_flows=True) == {
+        "t": 3
+    }
+
+
+def test_node_entropy_uniform_flows():
+    observer = NodeObserver()
+    for index, token in enumerate(["a", "b", "c", "d"]):
+        _observe(observer, ["P", "n", "S"], token, index)
+    assert observer.node_entropy("n") == pytest.approx(2.0)
+
+
+def test_mean_node_entropy_requires_observations():
+    with pytest.raises(ValueError):
+        NodeObserver().mean_node_entropy()
+
+
+def test_system_apparent_frequencies_average_over_nodes():
+    observer = NodeObserver()
+    # Token t splits over two paths: each node sees half the events.
+    for event_id in range(4):
+        node = "n1" if event_id % 2 else "n2"
+        _observe(observer, ["P", node, "S"], "t", event_id)
+    _observe(observer, ["P", "n1", "S"], "u", 99, flow="g")
+    frequencies = observer.system_apparent_frequencies()
+    assert frequencies["t"] == pytest.approx(2.0)
+    assert frequencies["u"] == pytest.approx(1.0)
+
+
+def test_system_apparent_entropy_requires_observations():
+    with pytest.raises(ValueError):
+        NodeObserver().system_apparent_entropy()
+
+
+def test_coalition_merges_distinct_events_per_flow():
+    observer = NodeObserver()
+    # Flow S: events 0,1 via n1; events 2,3 via n2 (two independent paths).
+    _observe(observer, ["P", "n1", "S"], "t", 0, flow="S")
+    _observe(observer, ["P", "n1", "S"], "t", 1, flow="S")
+    _observe(observer, ["P", "n2", "S"], "t", 2, flow="S")
+    _observe(observer, ["P", "n2", "S"], "t", 3, flow="S")
+    single = CoalitionObserver(observer, ["n1"])
+    assert single.merged_counts() == {"t": 2}
+    both = CoalitionObserver(observer, ["n1", "n2"])
+    assert both.merged_counts() == {"t": 4}
+
+
+def test_coalition_does_not_double_count_shared_events():
+    observer = NodeObserver()
+    _observe(observer, ["P", "n1", "n2", "S"], "t", 0, flow="S")
+    coalition = CoalitionObserver(observer, ["n1", "n2"])
+    assert coalition.merged_counts() == {"t": 1}
+
+
+def test_coalition_takes_best_flow_per_token():
+    observer = NodeObserver()
+    _observe(observer, ["P", "n1", "S1"], "t", 0, flow="S1")
+    _observe(observer, ["P", "n1", "S2"], "t", 0, flow="S2")
+    _observe(observer, ["P", "n1", "S2"], "t", 1, flow="S2")
+    coalition = CoalitionObserver(observer, ["n1"])
+    assert coalition.merged_counts() == {"t": 2}
+
+
+def test_empty_coalition_has_no_view():
+    observer = NodeObserver()
+    _observe(observer, ["P", "n", "S"], "t", 0)
+    with pytest.raises(ValueError):
+        CoalitionObserver(observer, []).entropy()
+
+
+def test_full_collusion_recovers_actual_distribution():
+    observer = NodeObserver()
+    # Token "hot": 8 events over 2 paths; token "cold": 2 events, 1 path.
+    for event_id in range(8):
+        node = "n1" if event_id % 2 else "n2"
+        _observe(observer, ["P", node, "S"], "hot", event_id, flow="S")
+    for event_id in range(8, 10):
+        _observe(observer, ["P", "n3", "S"], "cold", event_id, flow="S")
+    coalition = CoalitionObserver(observer, ["n1", "n2", "n3"])
+    assert coalition.merged_counts() == {"hot": 8, "cold": 2}
+
+
+def test_note_event_counts():
+    observer = NodeObserver()
+    observer.note_event()
+    observer.note_event()
+    assert observer.total_events == 2

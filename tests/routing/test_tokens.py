@@ -1,0 +1,177 @@
+"""Tokenization: correctness of encrypted matching, secrecy of labels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ktid import KTID
+from repro.core.nakt import NumericKeySpace
+from repro.routing.tokens import (
+    RoutableToken,
+    TokenAuthority,
+    make_routable,
+    routable_matches,
+    tokenize_event,
+    tokenized_match,
+    tokenized_subscription,
+)
+from repro.siena.events import Event
+
+MASTER = bytes(range(16))
+
+
+@pytest.fixture
+def authority() -> TokenAuthority:
+    return TokenAuthority(MASTER)
+
+
+class TestPrimitives:
+    def test_match_correctness(self, authority):
+        token = authority.topic_token("cancerTrail")
+        routable = make_routable(token)
+        assert routable_matches(token, routable)
+
+    def test_wrong_token_rejects(self, authority):
+        routable = make_routable(authority.topic_token("cancerTrail"))
+        assert not routable_matches(
+            authority.topic_token("other"), routable
+        )
+
+    def test_fresh_nonce_each_time(self, authority):
+        token = authority.topic_token("w")
+        assert make_routable(token) != make_routable(token)
+
+    def test_fixed_nonce_is_deterministic(self, authority):
+        token = authority.topic_token("w")
+        nonce = bytes(16)
+        assert make_routable(token, nonce) == make_routable(token, nonce)
+
+    def test_encode_decode_roundtrip(self, authority):
+        routable = make_routable(authority.topic_token("w"))
+        assert RoutableToken.decode(routable.encode()) == routable
+
+    def test_decode_rejects_short(self):
+        with pytest.raises(ValueError):
+            RoutableToken.decode("0011")
+
+    def test_element_tokens_scoped(self, authority):
+        ktid = KTID.parse("101")
+        assert authority.element_token(
+            "t", "age", ktid
+        ) != authority.element_token("t2", "age", ktid)
+        assert authority.element_token(
+            "t", "age", ktid
+        ) != authority.element_token("t", "salary", ktid)
+
+    def test_ktid_prefix_tokens_one_per_level(self, authority):
+        leaf = KTID.parse("1010")
+        tokens = authority.ktid_prefix_tokens("t", "age", leaf)
+        assert len(tokens) == 5  # root + 4 levels
+        assert len(set(tokens)) == 5
+
+
+class TestEventTokenization:
+    def test_plaintext_attributes_removed(self, authority):
+        space = NumericKeySpace("age", 128)
+        event = Event({"topic": "trial", "age": 25, "region": "EU"})
+        tokenized = tokenize_event(
+            authority, event, {"age": space.ktid(25)}, "trial"
+        )
+        for name in ("topic", "age", "region"):
+            assert name not in tokenized
+
+    def test_matching_at_every_cover_level(self, authority):
+        space = NumericKeySpace("age", 128)
+        event = Event({"topic": "trial", "age": 25})
+        tokenized = tokenize_event(
+            authority, event, {"age": space.ktid(25)}, "trial"
+        )
+        for low, high, expected in [(0, 127, True), (16, 31, True),
+                                    (24, 25, True), (60, 90, False)]:
+            filters = [
+                tokenized_subscription(authority, "trial", {"age": element})
+                for element in space.cover(low, high)
+            ]
+            assert any(
+                tokenized_match(f, tokenized) for f in filters
+            ) is expected
+
+    def test_string_element_tokenization(self, authority):
+        event = Event({"topic": "t", "name": "GOOG"})
+        tokenized = tokenize_event(authority, event, {"name": "GOOG"}, "t")
+        matching = tokenized_subscription(authority, "t", {"name": "GOOG"})
+        non_matching = tokenized_subscription(authority, "t", {"name": "MSFT"})
+        assert tokenized_match(matching, tokenized)
+        assert not tokenized_match(non_matching, tokenized)
+
+    def test_topic_only_subscription(self, authority):
+        event = Event({"topic": "w"})
+        tokenized = tokenize_event(authority, event, {}, "w")
+        assert tokenized_match(
+            tokenized_subscription(authority, "w"), tokenized
+        )
+        assert not tokenized_match(
+            tokenized_subscription(authority, "other"), tokenized
+        )
+
+    def test_same_topic_events_unlinkable_without_token(self, authority):
+        """Two events under one topic share no common attribute values."""
+        first = tokenize_event(
+            authority, Event({"topic": "w"}), {}, "w"
+        )
+        second = tokenize_event(
+            authority, Event({"topic": "w"}), {}, "w"
+        )
+        shared = {
+            name
+            for name in first.attributes
+            if first.get(name) == second.get(name) and name != "_seq"
+        }
+        assert not shared
+
+    def test_malformed_event_value_rejected_by_match(self, authority):
+        subscription = tokenized_subscription(authority, "w")
+        garbage = Event({"_ttok": "zz-not-hex"})
+        assert not tokenized_match(subscription, garbage)
+
+    def test_missing_token_attribute_rejects(self, authority):
+        subscription = tokenized_subscription(authority, "w")
+        assert not tokenized_match(subscription, Event({"other": 1}))
+
+    def test_mixed_plain_constraints_still_checked(self, authority):
+        from repro.siena.filters import Constraint, Filter
+        from repro.siena.operators import Op
+
+        event = tokenize_event(
+            authority, Event({"topic": "w"}), {}, "w"
+        ).with_attributes(region="EU")
+        base = tokenized_subscription(authority, "w")
+        with_region = Filter(
+            list(base.constraints) + [Constraint("region", Op.EQ, "EU")]
+        )
+        wrong_region = Filter(
+            list(base.constraints) + [Constraint("region", Op.EQ, "US")]
+        )
+        assert tokenized_match(with_region, event)
+        assert not tokenized_match(wrong_region, event)
+
+    def test_seq_attribute_preserved_for_simulator(self, authority):
+        event = Event({"topic": "w", "_seq": 42})
+        tokenized = tokenize_event(authority, event, {}, "w")
+        assert tokenized["_seq"] == 42
+
+
+@given(topic=st.text(min_size=1, max_size=12))
+def test_authority_topic_token_deterministic(topic):
+    first = TokenAuthority(MASTER).topic_token(topic)
+    second = TokenAuthority(MASTER).topic_token(topic)
+    assert first == second
+
+
+@given(
+    first=st.text(min_size=1, max_size=8),
+    second=st.text(min_size=1, max_size=8),
+)
+def test_distinct_topics_distinct_tokens(first, second):
+    authority = TokenAuthority(MASTER)
+    if first != second:
+        assert authority.topic_token(first) != authority.topic_token(second)

@@ -1,0 +1,112 @@
+"""Covering-compression must never change delivery semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+from repro.siena.network import BrokerTree
+
+RANGE = 64
+
+_SUBSCRIPTIONS = st.lists(
+    st.tuples(
+        st.integers(0, RANGE - 1),   # low
+        st.integers(0, RANGE - 1),   # high (swapped if needed)
+        st.integers(0, 3),           # leaf choice
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+_EVENTS = st.lists(st.integers(-5, RANGE + 5), min_size=1, max_size=8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(subscriptions=_SUBSCRIPTIONS, values=_EVENTS)
+def test_tree_delivery_equals_direct_matching(subscriptions, values):
+    """Every subscriber gets exactly the events its filter matches.
+
+    Whatever covering compression does to the internal routing tables,
+    end-to-end delivery must coincide with direct filter evaluation.
+    """
+    tree = BrokerTree(num_brokers=7)
+    leaves = tree.leaf_ids()
+    inboxes = {}
+    filters = {}
+    for index, (low, high, leaf_choice) in enumerate(subscriptions):
+        low, high = min(low, high), max(low, high)
+        name = f"s{index}"
+        inboxes[name] = []
+        filters[name] = Filter.numeric_range("t", "v", low, high)
+        tree.attach_subscriber(
+            name, leaves[leaf_choice % len(leaves)],
+            inboxes[name].append,
+        )
+        tree.subscribe(name, filters[name])
+
+    events = [Event({"topic": "t", "v": value}) for value in values]
+    for event in events:
+        tree.publish(event)
+
+    for name, subscription in filters.items():
+        expected = [e["v"] for e in events if subscription.matches(e)]
+        assert [e["v"] for e in inboxes[name]] == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(subscriptions=_SUBSCRIPTIONS, values=_EVENTS, drop=st.integers(0, 9))
+def test_delivery_correct_after_unsubscription(subscriptions, values, drop):
+    """Unsubscription mid-stream leaves everyone else's semantics intact."""
+    tree = BrokerTree(num_brokers=7)
+    leaves = tree.leaf_ids()
+    inboxes = {}
+    filters = {}
+    for index, (low, high, leaf_choice) in enumerate(subscriptions):
+        low, high = min(low, high), max(low, high)
+        name = f"s{index}"
+        inboxes[name] = []
+        filters[name] = Filter.numeric_range("t", "v", low, high)
+        tree.attach_subscriber(
+            name, leaves[leaf_choice % len(leaves)],
+            inboxes[name].append,
+        )
+        tree.subscribe(name, filters[name])
+
+    dropped = f"s{drop % len(subscriptions)}"
+    tree.unsubscribe(dropped, filters[dropped])
+
+    events = [Event({"topic": "t", "v": value}) for value in values]
+    for event in events:
+        tree.publish(event)
+
+    for name, subscription in filters.items():
+        if name == dropped:
+            assert inboxes[name] == []
+        else:
+            expected = [e["v"] for e in events if subscription.matches(e)]
+            assert [e["v"] for e in inboxes[name]] == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(subscriptions=_SUBSCRIPTIONS)
+def test_upstream_tables_are_minimal(subscriptions):
+    """No forwarded filter is covered by another forwarded filter."""
+    tree = BrokerTree(num_brokers=7)
+    leaves = tree.leaf_ids()
+    for index, (low, high, leaf_choice) in enumerate(subscriptions):
+        low, high = min(low, high), max(low, high)
+        name = f"s{index}"
+        tree.attach_subscriber(
+            name, leaves[leaf_choice % len(leaves)], lambda e: None
+        )
+        tree.subscribe(name, Filter.numeric_range("t", "v", low, high))
+
+    for broker in tree.brokers.values():
+        forwarded = broker.forwarded_upstream
+        for first in forwarded:
+            for second in forwarded:
+                if first is second:
+                    continue
+                assert not (
+                    first.covers(second) and first != second
+                ), (first, second)

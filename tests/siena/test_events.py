@@ -1,0 +1,106 @@
+"""Event construction, access, and wire encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.siena.events import Event
+
+
+def test_attribute_access():
+    event = Event({"topic": "cancerTrail", "age": 25})
+    assert event["age"] == 25
+    assert event.get("missing") is None
+    assert "topic" in event
+    assert len(event) == 2
+
+
+def test_iteration_is_sorted():
+    event = Event({"z": 1, "a": 2})
+    assert [name for name, _ in event] == ["a", "z"]
+
+
+def test_equality_and_hash():
+    first = Event({"a": 1, "b": "x"}, publisher="P")
+    second = Event({"b": "x", "a": 1}, publisher="P")
+    assert first == second
+    assert hash(first) == hash(second)
+
+
+def test_publisher_distinguishes_events():
+    assert Event({"a": 1}, publisher="P") != Event({"a": 1}, publisher="Q")
+
+
+def test_with_attributes_returns_new_event():
+    event = Event({"a": 1})
+    extended = event.with_attributes(b=2)
+    assert "b" not in event
+    assert extended["b"] == 2
+    assert extended["a"] == 1
+
+
+def test_without_attributes():
+    event = Event({"a": 1, "secret": "s"}, publisher="P")
+    stripped = event.without_attributes("secret")
+    assert "secret" not in stripped
+    assert stripped.publisher == "P"
+    assert "secret" in event
+
+
+def test_wire_roundtrip_basic():
+    event = Event(
+        {"topic": "t", "age": 25, "score": 1.5, "blob": b"\x00\x01"},
+        publisher="P",
+    )
+    assert Event.from_bytes(event.to_bytes()) == event
+
+
+def test_wire_roundtrip_no_publisher():
+    event = Event({"k": "v"})
+    decoded = Event.from_bytes(event.to_bytes())
+    assert decoded.publisher is None
+    assert decoded == event
+
+
+def test_wire_size_positive():
+    assert Event({"a": 1}).wire_size() > 0
+
+
+def test_negative_integers_roundtrip():
+    event = Event({"delta": -12345})
+    assert Event.from_bytes(event.to_bytes())["delta"] == -12345
+
+
+def test_unicode_values_roundtrip():
+    event = Event({"name": "Grüße-日本"})
+    assert Event.from_bytes(event.to_bytes())["name"] == "Grüße-日本"
+
+
+def test_boolean_attribute_rejected_on_encode():
+    event = Event({"flag": True})
+    with pytest.raises(TypeError):
+        event.to_bytes()
+
+
+def test_truncated_wire_data_rejected():
+    data = Event({"a": "value"}).to_bytes()
+    with pytest.raises((ValueError, IndexError, Exception)):
+        Event.from_bytes(data[: len(data) - 3])
+
+
+_VALUES = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+
+@given(
+    attributes=st.dictionaries(
+        st.text(min_size=1, max_size=10), _VALUES, min_size=1, max_size=6
+    ),
+    publisher=st.one_of(st.none(), st.text(min_size=1, max_size=8)),
+)
+def test_wire_roundtrip_property(attributes, publisher):
+    event = Event(attributes, publisher=publisher)
+    assert Event.from_bytes(event.to_bytes()) == event

@@ -1,0 +1,139 @@
+"""Filters: matching semantics and the covering relation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.siena.events import Event
+from repro.siena.filters import Constraint, Filter
+from repro.siena.operators import Op
+
+
+def test_constraint_requires_name():
+    with pytest.raises(ValueError):
+        Constraint("", Op.EQ, 1)
+
+
+def test_constraint_validates_operand():
+    with pytest.raises(ValueError):
+        Constraint("age", Op.PREFIX, 5)
+
+
+def test_constraint_matching_needs_attribute_present():
+    constraint = Constraint("age", Op.GT, 20)
+    assert constraint.matches(Event({"age": 25}))
+    assert not constraint.matches(Event({"other": 25}))
+
+
+def test_filter_needs_constraints():
+    with pytest.raises(ValueError):
+        Filter([])
+
+
+def test_paper_example_matching():
+    """f = <<topic, EQ, cancerTrail>, <age, >, 20>> from Section 1."""
+    subscription = Filter.of(
+        Constraint("topic", Op.EQ, "cancerTrail"),
+        Constraint("age", Op.GT, 20),
+    )
+    assert subscription.matches(
+        Event({"topic": "cancerTrail", "age": 25, "patientRecord": "r"})
+    )
+    assert not subscription.matches(Event({"topic": "cancerTrail", "age": 18}))
+    assert not subscription.matches(Event({"topic": "other", "age": 25}))
+
+
+def test_conjunction_over_same_attribute():
+    in_range = Filter.numeric_range("t", "age", 20, 30)
+    assert in_range.matches(Event({"topic": "t", "age": 25}))
+    assert not in_range.matches(Event({"topic": "t", "age": 31}))
+    assert not in_range.matches(Event({"topic": "t", "age": 19}))
+
+
+def test_numeric_range_rejects_empty():
+    with pytest.raises(ValueError):
+        Filter.numeric_range("t", "age", 30, 20)
+
+
+def test_topic_shorthand():
+    assert Filter.topic("news").matches(Event({"topic": "news"}))
+
+
+def test_paper_covering_example():
+    """<age, >, 20> covers <age, >, 30> (Section 2.1)."""
+    wide = Filter.of(Constraint("age", Op.GT, 20))
+    narrow = Filter.of(Constraint("age", Op.GT, 30))
+    assert wide.covers(narrow)
+    assert not narrow.covers(wide)
+
+
+def test_range_covering():
+    outer = Filter.numeric_range("t", "age", 10, 90)
+    inner = Filter.numeric_range("t", "age", 20, 30)
+    assert outer.covers(inner)
+    assert not inner.covers(outer)
+
+
+def test_covering_requires_topic_agreement():
+    first = Filter.numeric_range("t1", "age", 0, 100)
+    second = Filter.numeric_range("t2", "age", 20, 30)
+    assert not first.covers(second)
+
+
+def test_every_filter_covers_itself():
+    subscription = Filter.numeric_range("t", "age", 20, 30)
+    assert subscription.covers(subscription)
+
+
+def test_fewer_constraints_is_more_general():
+    general = Filter.topic("t")
+    specific = Filter.numeric_range("t", "age", 20, 30)
+    assert general.covers(specific)
+    assert not specific.covers(general)
+
+
+def test_filter_equality_ignores_order():
+    first = Filter.of(
+        Constraint("a", Op.GT, 1), Constraint("b", Op.LT, 2)
+    )
+    second = Filter.of(
+        Constraint("b", Op.LT, 2), Constraint("a", Op.GT, 1)
+    )
+    assert first == second
+    assert hash(first) == hash(second)
+
+
+def test_attribute_names():
+    subscription = Filter.numeric_range("t", "age", 0, 1)
+    assert subscription.attribute_names() == {"topic", "age"}
+
+
+@given(
+    outer_low=st.integers(0, 50),
+    outer_span=st.integers(0, 50),
+    inner_offset=st.integers(0, 20),
+    inner_span=st.integers(0, 20),
+    sample=st.integers(-10, 130),
+)
+def test_covering_soundness_property(
+    outer_low, outer_span, inner_offset, inner_span, sample
+):
+    """If outer covers inner, every event matching inner matches outer."""
+    inner_low = outer_low + inner_offset
+    outer = Filter.numeric_range("t", "v", outer_low, outer_low + outer_span)
+    inner = Filter.numeric_range(
+        "t", "v", inner_low, inner_low + inner_span
+    )
+    event = Event({"topic": "t", "v": sample})
+    if outer.covers(inner) and inner.matches(event):
+        assert outer.matches(event)
+
+
+@given(
+    low=st.integers(0, 100),
+    span=st.integers(0, 40),
+    sample=st.integers(0, 150),
+)
+def test_range_matching_property(low, span, sample):
+    subscription = Filter.numeric_range("t", "v", low, low + span)
+    event = Event({"topic": "t", "v": sample})
+    assert subscription.matches(event) == (low <= sample <= low + span)

@@ -1,0 +1,204 @@
+"""The counting-algorithm match index vs. naive matching."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.siena.broker import Broker
+from repro.siena.events import Event
+from repro.siena.filters import Constraint, Filter
+from repro.siena.index import MatchIndex
+from repro.siena.operators import Op
+
+
+def _index_of(*filters):
+    index = MatchIndex()
+    ids = [index.add(f) for f in filters]
+    return index, ids
+
+
+class TestBasicOperators:
+    def test_equality(self):
+        index, _ = _index_of(Filter.topic("news"))
+        assert index.matches(Event({"topic": "news"}))
+        assert not index.matches(Event({"topic": "sports"}))
+
+    def test_range(self):
+        index, _ = _index_of(Filter.numeric_range("t", "v", 10, 20))
+        assert index.matches(Event({"topic": "t", "v": 15}))
+        assert index.matches(Event({"topic": "t", "v": 10}))
+        assert index.matches(Event({"topic": "t", "v": 20}))
+        assert not index.matches(Event({"topic": "t", "v": 9}))
+        assert not index.matches(Event({"topic": "t", "v": 21}))
+
+    def test_strict_inequalities(self):
+        index, _ = _index_of(
+            Filter.of(Constraint("v", Op.GT, 10), Constraint("v", Op.LT, 20))
+        )
+        assert index.matches(Event({"v": 11}))
+        assert not index.matches(Event({"v": 10}))
+        assert not index.matches(Event({"v": 20}))
+
+    def test_prefix_and_suffix(self):
+        index, _ = _index_of(
+            Filter.of(Constraint("s", Op.PREFIX, "can")),
+            Filter.of(Constraint("s", Op.SUFFIX, "ail")),
+        )
+        assert len(index.matching(Event({"s": "cancerTrail"}))) == 2
+        assert len(index.matching(Event({"s": "candle"}))) == 1
+        assert index.matching(Event({"s": "nope"})) == []
+
+    def test_substring_fallback(self):
+        index, _ = _index_of(
+            Filter.of(Constraint("s", Op.SUBSTRING, "err"))
+        )
+        assert index.matches(Event({"s": "terrible"}))
+        assert not index.matches(Event({"s": "fine"}))
+
+    def test_ne_fallback(self):
+        index, _ = _index_of(Filter.of(Constraint("v", Op.NE, 5)))
+        assert index.matches(Event({"v": 6}))
+        assert not index.matches(Event({"v": 5}))
+
+    def test_any_operator(self):
+        index, _ = _index_of(Filter.of(Constraint("v", Op.ANY, None)))
+        assert index.matches(Event({"v": 123}))
+        assert not index.matches(Event({"other": 123}))
+
+    def test_string_inequality_fallback(self):
+        index, _ = _index_of(Filter.of(Constraint("s", Op.GE, "m")))
+        assert index.matches(Event({"s": "zebra"}))
+        assert not index.matches(Event({"s": "apple"}))
+
+    def test_missing_attribute_never_matches(self):
+        index, _ = _index_of(Filter.numeric_range("t", "v", 0, 10))
+        assert not index.matches(Event({"topic": "t"}))
+
+    def test_cross_type_values(self):
+        index, _ = _index_of(Filter.of(Constraint("v", Op.GT, 10)))
+        assert not index.matches(Event({"v": "not a number"}))
+
+
+class TestMaintenance:
+    def test_remove(self):
+        index, ids = _index_of(
+            Filter.topic("a"), Filter.topic("b")
+        )
+        index.remove(ids[0])
+        assert not index.matches(Event({"topic": "a"}))
+        assert index.matches(Event({"topic": "b"}))
+        assert len(index) == 1
+
+    def test_remove_unknown_is_noop(self):
+        index, _ = _index_of(Filter.topic("a"))
+        index.remove(999)
+        assert len(index) == 1
+
+    def test_remove_covers_all_operator_kinds(self):
+        complex_filter = Filter.of(
+            Constraint("topic", Op.EQ, "t"),
+            Constraint("v", Op.GE, 0),
+            Constraint("v", Op.LT, 10),
+            Constraint("s", Op.PREFIX, "a"),
+            Constraint("s", Op.SUBSTRING, "b"),
+            Constraint("w", Op.ANY, None),
+        )
+        index = MatchIndex()
+        filter_id = index.add(complex_filter)
+        index.remove(filter_id)
+        assert not index.matches(
+            Event({"topic": "t", "v": 5, "s": "ab", "w": 1})
+        )
+
+
+class TestBrokerIntegration:
+    def test_indexed_broker_routes_identically(self):
+        plain = Broker("plain")
+        fast = Broker("fast", indexed=True)
+        filters = [
+            Filter.numeric_range("stock", "price", 10, 50),
+            Filter.topic("news"),
+            Filter.of(
+                Constraint("topic", Op.EQ, "stock"),
+                Constraint("symbol", Op.PREFIX, "GO"),
+            ),
+        ]
+        inboxes = {"plain": [], "fast": []}
+        plain.attach_client("c", inboxes["plain"].append)
+        fast.attach_client("c", inboxes["fast"].append)
+        for subscription in filters:
+            plain.subscribe("c", subscription)
+            fast.subscribe("c", subscription)
+        events = [
+            Event({"topic": "stock", "price": 30, "symbol": "GOOG"}),
+            Event({"topic": "stock", "price": 90, "symbol": "MSFT"}),
+            Event({"topic": "news"}),
+            Event({"topic": "other"}),
+        ]
+        for event in events:
+            plain.publish(event)
+            fast.publish(event)
+        assert inboxes["plain"] == inboxes["fast"]
+
+    def test_indexed_broker_unsubscribe(self):
+        broker = Broker("b", indexed=True)
+        received = []
+        broker.attach_client("c", received.append)
+        broker.subscribe("c", Filter.topic("t"))
+        broker.unsubscribe("c", Filter.topic("t"))
+        broker.publish(Event({"topic": "t"}))
+        assert received == []
+
+    def test_index_requires_plain_matching(self):
+        with pytest.raises(ValueError, match="match index"):
+            Broker("b", match=lambda f, e: True, indexed=True)
+
+
+_OPS = [Op.EQ, Op.LT, Op.LE, Op.GT, Op.GE]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    constraints=st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b"]),
+            st.sampled_from(_OPS),
+            st.integers(0, 20),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    event_values=st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(-5, 25),
+        min_size=1,
+        max_size=3,
+    ),
+)
+def test_index_agrees_with_naive_matching(constraints, event_values):
+    subscription = Filter(
+        [Constraint(name, op, value) for name, op, value in constraints]
+    )
+    event = Event(event_values)
+    index = MatchIndex()
+    index.add(subscription)
+    assert index.matches(event) == subscription.matches(event)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    texts=st.lists(st.text(alphabet="abc", max_size=4), min_size=1,
+                   max_size=5),
+    value=st.text(alphabet="abc", max_size=6),
+)
+def test_index_prefix_agreement(texts, value):
+    filters = [
+        Filter.of(Constraint("s", Op.PREFIX, text)) for text in texts
+    ]
+    index = MatchIndex()
+    for subscription in filters:
+        index.add(subscription)
+    event = Event({"s": value})
+    expected = [f for f in filters if f.matches(event)]
+    assert sorted(map(repr, index.matching(event))) == sorted(
+        map(repr, expected)
+    )

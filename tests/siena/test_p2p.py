@@ -1,0 +1,150 @@
+"""Peer-to-peer acyclic overlays: reverse-path forwarding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+from repro.siena.p2p import AcyclicOverlay
+
+
+def _inbox(overlay, subscriber_id, broker_id, *filters):
+    events = []
+    overlay.attach_subscriber(subscriber_id, broker_id, events.append)
+    for subscription in filters:
+        overlay.subscribe(subscriber_id, subscription)
+    return events
+
+
+def test_line_end_to_end():
+    overlay = AcyclicOverlay.line(5)
+    inbox = _inbox(overlay, "s", 4, Filter.topic("news"))
+    overlay.publish(0, Event({"topic": "news"}))
+    assert len(inbox) == 1
+
+
+def test_publisher_can_sit_anywhere():
+    overlay = AcyclicOverlay.line(5)
+    inbox = _inbox(overlay, "s", 0, Filter.topic("news"))
+    overlay.publish(4, Event({"topic": "news"}))
+    overlay.publish(2, Event({"topic": "news"}))
+    assert len(inbox) == 2
+
+
+def test_non_matching_events_not_flooded():
+    overlay = AcyclicOverlay.line(4)
+    _inbox(overlay, "s", 3, Filter.topic("sports"))
+    before = overlay.total_messages()
+    overlay.publish(0, Event({"topic": "news"}))
+    assert overlay.total_messages() == before
+
+
+def test_events_pruned_at_divergence_point():
+    """A star hub forwards only down the interested spokes."""
+    overlay = AcyclicOverlay.star(4)
+    interested = _inbox(overlay, "a", 1, Filter.topic("news"))
+    bystander = _inbox(overlay, "b", 2, Filter.topic("sports"))
+    overlay.publish(3, Event({"topic": "news"}))
+    assert len(interested) == 1
+    assert bystander == []
+
+
+def test_covering_suppresses_repeat_announcements():
+    overlay = AcyclicOverlay.line(3)
+    _inbox(overlay, "wide", 2, Filter.numeric_range("t", "v", 0, 100))
+    after_wide = overlay.total_messages()
+    _inbox(overlay, "narrow", 2, Filter.numeric_range("t", "v", 20, 30))
+    # The narrow filter is covered; no new announcements travel the line.
+    assert overlay.total_messages() == after_wide
+
+
+def test_local_delivery_same_broker():
+    overlay = AcyclicOverlay.line(2)
+    inbox = _inbox(overlay, "s", 0, Filter.topic("t"))
+    overlay.publish(0, Event({"topic": "t"}))
+    assert len(inbox) == 1
+    assert overlay.total_messages() <= 1  # possibly the announcement only
+
+
+def test_multiple_subscribers_each_served_once():
+    overlay = AcyclicOverlay.random_tree(12, seed=3)
+    inboxes = [
+        _inbox(overlay, f"s{i}", i, Filter.topic("t")) for i in range(6)
+    ]
+    overlay.publish(11, Event({"topic": "t"}))
+    assert all(len(inbox) == 1 for inbox in inboxes)
+
+
+def test_cycle_rejected():
+    with pytest.raises(ValueError, match="cycle"):
+        AcyclicOverlay([(0, 1), (1, 2), (2, 0)])
+
+
+def test_empty_overlay_rejected():
+    with pytest.raises(ValueError):
+        AcyclicOverlay([])
+
+
+def test_constructors_validate():
+    with pytest.raises(ValueError):
+        AcyclicOverlay.line(1)
+    with pytest.raises(ValueError):
+        AcyclicOverlay.star(0)
+    with pytest.raises(ValueError):
+        AcyclicOverlay.random_tree(1)
+
+
+def test_interest_recorded_per_interface():
+    overlay = AcyclicOverlay.line(3)
+    _inbox(overlay, "s", 2, Filter.topic("t"))
+    # Broker 0 learned about the interest via broker 1.
+    assert overlay.brokers[0].interest_of(1) == [Filter.topic("t")]
+
+
+def test_sealed_events_route_unchanged():
+    """PSGuard on the p2p overlay: brokers route sealed routable parts."""
+    from repro.core import (
+        KDC, CompositeKeySpace, NumericKeySpace, Publisher, Subscriber,
+    )
+
+    kdc = KDC(master_key=bytes(range(16)))
+    kdc.register_topic(
+        "t", CompositeKeySpace({"v": NumericKeySpace("v", 64)})
+    )
+    publisher = Publisher("P", kdc)
+    subscriber = Subscriber("S")
+    subscription = Filter.numeric_range("t", "v", 10, 30)
+    subscriber.add_grant(kdc.authorize("S", subscription))
+
+    overlay = AcyclicOverlay.random_tree(8, seed=5)
+    received = []
+    overlay.attach_subscriber(
+        "S", 7, lambda routable: received.append(routable)
+    )
+    overlay.subscribe("S", subscription)
+
+    sealed = publisher.publish(Event({"topic": "t", "v": 20, "message": "m"}))
+    overlay.publish(0, sealed.routable)
+    assert len(received) == 1
+    result = subscriber.receive(sealed, lambda n: kdc.config_for(n).schema)
+    assert result.event["message"] == "m"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(2, 20),
+    seed=st.integers(0, 100),
+    publisher_broker=st.integers(0, 19),
+    subscriber_broker=st.integers(0, 19),
+)
+def test_delivery_on_random_trees_property(
+    size, seed, publisher_broker, subscriber_broker
+):
+    """Exactly-once delivery holds on arbitrary random trees."""
+    overlay = AcyclicOverlay.random_tree(size, seed=seed)
+    publisher_broker %= size
+    subscriber_broker %= size
+    inbox = _inbox(overlay, "s", subscriber_broker, Filter.topic("t"))
+    overlay.publish(publisher_broker, Event({"topic": "t"}))
+    overlay.publish(publisher_broker, Event({"topic": "other"}))
+    assert len(inbox) == 1

@@ -1,0 +1,82 @@
+"""PeerBroker unit behaviour (below the overlay level)."""
+
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+from repro.siena.p2p import PeerBroker
+
+
+def _link(first: PeerBroker, second: PeerBroker):
+    def sender(source, target):
+        def send(kind, payload):
+            if kind == "subscribe":
+                target.subscribe(source.broker_id, payload)
+            else:
+                target.publish(payload, arrived_from=source.broker_id)
+
+        return send
+
+    first.attach_neighbor(second.broker_id, sender(first, second))
+    second.attach_neighbor(first.broker_id, sender(second, first))
+
+
+def test_subscription_floods_to_other_neighbors_only():
+    a, b, c = PeerBroker("a"), PeerBroker("b"), PeerBroker("c")
+    _link(a, b)
+    _link(b, c)
+    c.attach_client("s", lambda e: None)
+    c.subscribe("s", Filter.topic("t"))
+    # b learned from c and told a; a records interest via b.
+    assert a.interest_of("b") == [Filter.topic("t")]
+    # c must not be told its own subscription back.
+    assert c.interest_of("b") == []
+
+
+def test_duplicate_subscription_recorded_once():
+    broker = PeerBroker("b")
+    broker.attach_client("s", lambda e: None)
+    broker.subscribe("s", Filter.topic("t"))
+    broker.subscribe("s", Filter.topic("t"))
+    assert broker.interest_of("s") == [Filter.topic("t")]
+
+
+def test_covering_replaces_narrower_announcement():
+    a, b = PeerBroker("a"), PeerBroker("b")
+    _link(a, b)
+    b.attach_client("s", lambda e: None)
+    narrow = Filter.numeric_range("t", "v", 10, 20)
+    wide = Filter.numeric_range("t", "v", 0, 100)
+    b.subscribe("s", narrow)
+    b.subscribe("s", wide)
+    # a's table through b holds both wants, but b announced minimally:
+    state = b._state[a.broker_id]
+    assert state.announced == [wide]
+
+
+def test_publish_counts_messages():
+    a, b = PeerBroker("a"), PeerBroker("b")
+    _link(a, b)
+    received = []
+    b.attach_client("s", received.append)
+    b.subscribe("s", Filter.topic("t"))
+    before = a.messages_sent
+    a.publish(Event({"topic": "t"}))
+    assert a.messages_sent == before + 1
+    assert len(received) == 1
+
+
+def test_no_interest_no_forwarding():
+    a, b = PeerBroker("a"), PeerBroker("b")
+    _link(a, b)
+    before = a.messages_sent
+    a.publish(Event({"topic": "nobody"}))
+    assert a.messages_sent == before
+
+
+def test_custom_match_predicate_respected():
+    broker = PeerBroker("b", match=lambda f, e: "magic" in e)
+    received = []
+    broker.attach_client("s", received.append)
+    broker.subscribe("s", Filter.topic("ignored"))
+    broker.publish(Event({"magic": 1}))
+    broker.publish(Event({"mundane": 1}))
+    assert len(received) == 1

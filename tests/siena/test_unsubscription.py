@@ -1,0 +1,99 @@
+"""Unsubscription propagation up the hierarchy."""
+
+from repro.siena.broker import Broker
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+from repro.siena.network import BrokerTree
+
+
+def _collecting_sender(log):
+    def send(kind, payload):
+        log.append((kind, payload))
+
+    return send
+
+
+def test_last_interface_withdraws_upstream():
+    upstream = []
+    broker = Broker("b")
+    broker.attach_parent("p", _collecting_sender(upstream))
+    broker.subscribe("c", Filter.topic("news"))
+    broker.unsubscribe("c", Filter.topic("news"))
+    assert upstream == [
+        ("subscribe", Filter.topic("news")),
+        ("unsubscribe", Filter.topic("news")),
+    ]
+    assert broker.forwarded_upstream == []
+
+
+def test_other_interfaces_keep_forwarding_alive():
+    upstream = []
+    broker = Broker("b")
+    broker.attach_parent("p", _collecting_sender(upstream))
+    broker.subscribe("c1", Filter.topic("news"))
+    broker.subscribe("c2", Filter.topic("news"))
+    broker.unsubscribe("c1", Filter.topic("news"))
+    kinds = [kind for kind, _ in upstream]
+    assert "unsubscribe" not in kinds
+    assert broker.forwarded_upstream == [Filter.topic("news")]
+
+
+def test_removing_cover_promotes_covered_filter():
+    """When a wide filter leaves, the narrow one it hid must surface."""
+    wide = Filter.numeric_range("t", "v", 0, 100)
+    narrow = Filter.numeric_range("t", "v", 20, 30)
+    upstream = []
+    broker = Broker("b")
+    broker.attach_parent("p", _collecting_sender(upstream))
+    broker.subscribe("c1", wide)
+    broker.subscribe("c2", narrow)   # suppressed by covering
+    broker.unsubscribe("c1", wide)
+    assert broker.forwarded_upstream == [narrow]
+    assert ("unsubscribe", wide) in upstream
+    assert upstream.count(("subscribe", narrow)) == 1
+
+
+def test_no_parent_no_propagation():
+    broker = Broker("root")
+    broker.subscribe("c", Filter.topic("t"))
+    broker.unsubscribe("c", Filter.topic("t"))  # must not raise
+    assert broker.subscription_count() == 0
+
+
+def test_tree_stops_routing_after_unsubscribe():
+    tree = BrokerTree(num_brokers=7)
+    inbox = []
+    leaf = tree.leaf_ids()[0]
+    tree.attach_subscriber("s", leaf, inbox.append)
+    tree.subscribe("s", Filter.topic("news"))
+    tree.publish(Event({"topic": "news"}))
+    tree.unsubscribe("s", Filter.topic("news"))
+    tree.publish(Event({"topic": "news"}))
+    assert len(inbox) == 1
+    # The root's table is clean again: nothing is forwarded downward.
+    tree.reset_stats()
+    tree.publish(Event({"topic": "news"}))
+    assert tree.message_count == 0
+
+
+def test_unsubscribe_then_resubscribe():
+    tree = BrokerTree(num_brokers=3)
+    inbox = []
+    tree.attach_subscriber("s", tree.leaf_ids()[0], inbox.append)
+    tree.subscribe("s", Filter.topic("t"))
+    tree.unsubscribe("s", Filter.topic("t"))
+    tree.subscribe("s", Filter.topic("t"))
+    tree.publish(Event({"topic": "t"}))
+    assert len(inbox) == 1
+
+
+def test_partial_unsubscribe_keeps_other_filters():
+    tree = BrokerTree(num_brokers=3)
+    inbox = []
+    tree.attach_subscriber("s", tree.leaf_ids()[0], inbox.append)
+    tree.subscribe("s", Filter.topic("a"))
+    tree.subscribe("s", Filter.topic("b"))
+    tree.unsubscribe("s", Filter.topic("a"))
+    tree.publish(Event({"topic": "a"}))
+    tree.publish(Event({"topic": "b"}))
+    assert [event["topic"] for event in inbox] == ["b"]

@@ -1,0 +1,70 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    output = capsys.readouterr().out
+    assert "doctor" in output
+    assert "rec-17" in output
+    assert "None" in output  # the outsider is denied
+
+
+def test_grant(capsys):
+    assert main(["grant", "16", "31"]) == 0
+    output = capsys.readouterr().out
+    assert "keys" in output
+    assert "element" in output
+
+
+def test_grant_with_options(capsys):
+    assert main(
+        ["grant", "--topic", "stocks", "--attribute", "price",
+         "--range", "1024", "100", "900"]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "stocks" in output
+
+
+def test_calibrate(capsys):
+    assert main(["calibrate"]) == 0
+    output = capsys.readouterr().out
+    assert "hash_s" in output
+    assert "us" in output
+
+
+def test_experiment_construction(capsys):
+    assert main(["experiment", "construction"]) == 0
+    output = capsys.readouterr().out
+    assert "Figure 8" in output
+
+
+def test_experiment_cache(capsys):
+    assert main(["experiment", "cache"]) == 0
+    output = capsys.readouterr().out
+    assert "Figure 11" in output
+
+
+def test_experiment_entropy_small(capsys):
+    assert main(["experiment", "entropy", "--events", "600"]) == 0
+    output = capsys.readouterr().out
+    assert "S_app" in output
+
+
+def test_topology(capsys):
+    assert main(["topology", "--nodes", "16"]) == 0
+    output = capsys.readouterr().out
+    assert "RTT mean" in output
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["no-such-command"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,12 @@
+"""CLI experiment subcommands that drive the heavier harnesses."""
+
+from repro.cli import main
+
+
+def test_experiment_keys(capsys):
+    assert main(["experiment", "keys"]) == 0
+    output = capsys.readouterr().out
+    assert "Figure 3" in output
+    assert "PSGuard" in output
+    # Five NS rows plus headers.
+    assert output.count("\n") >= 8

@@ -1,0 +1,36 @@
+"""Run the doctests embedded in public-API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.kdc
+import repro.core.ktid
+import repro.core.nakt
+import repro.core.publisher
+import repro.crypto.aes
+import repro.crypto.hashes
+import repro.siena.network
+import repro.siena.p2p
+import repro.workloads.zipf
+
+MODULES = [
+    repro.core.kdc,
+    repro.core.ktid,
+    repro.core.nakt,
+    repro.core.publisher,
+    repro.crypto.aes,
+    repro.crypto.hashes,
+    repro.siena.network,
+    repro.siena.p2p,
+    repro.workloads.zipf,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[module.__name__ for module in MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module)
+    assert results.attempted > 0, "expected at least one doctest"
+    assert results.failed == 0, f"{results.failed} doctest failures"

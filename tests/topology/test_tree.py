@@ -1,0 +1,54 @@
+"""Dissemination-tree embedding."""
+
+import pytest
+
+from repro.topology.transit_stub import TransitStubTopology
+from repro.topology.tree import DisseminationTree
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return TransitStubTopology(seed=7)
+
+
+def test_heap_parenting(topology):
+    tree = DisseminationTree(7, topology)
+    assert tree.parent_of(0) is None
+    assert tree.parent_of(1) == 0
+    assert tree.parent_of(2) == 0
+    assert tree.parent_of(5) == 2
+    assert tree.parent_of(6) == 2
+
+
+def test_links_count_and_latency(topology):
+    tree = DisseminationTree(7, topology)
+    links = tree.links()
+    assert len(links) == 6
+    for link in links:
+        assert link.latency > 0
+        assert tree.link_latency(link.parent, link.child) == link.latency
+
+
+def test_depth(topology):
+    assert DisseminationTree(1, topology).depth() == 0
+    assert DisseminationTree(3, topology).depth() == 1
+    assert DisseminationTree(31, topology).depth() == 4
+    assert DisseminationTree(4, topology).depth() == 2
+
+
+def test_ternary_tree(topology):
+    tree = DisseminationTree(13, topology, arity=3)
+    assert tree.parent_of(1) == 0
+    assert tree.parent_of(3) == 0
+    assert tree.parent_of(4) == 1
+    assert tree.depth() == 2
+
+
+def test_placement_distinct(topology):
+    tree = DisseminationTree(31, topology)
+    assert len(set(tree.placement.values())) == 31
+
+
+def test_requires_at_least_root(topology):
+    with pytest.raises(ValueError):
+        DisseminationTree(0, topology)

@@ -1,0 +1,157 @@
+"""The Section 5.2 synthetic workload."""
+
+import pytest
+
+from repro.core.nakt import NumericKeySpace
+from repro.workloads.generator import PaperWorkload, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def workload() -> PaperWorkload:
+    return PaperWorkload()
+
+
+def test_topic_population(workload):
+    """128 topics, 32 per attribute kind (Section 5.2)."""
+    assert len(workload.topics) == 128
+    kinds = {}
+    for topic in workload.topics:
+        kinds[topic.kind] = kinds.get(topic.kind, 0) + 1
+    assert kinds == {
+        "numeric": 32, "category": 32, "string": 32, "plain": 32,
+    }
+
+
+def test_kinds_interleaved_across_popularity(workload):
+    head = {topic.kind for topic in workload.topics[:4]}
+    assert head == {"numeric", "category", "string", "plain"}
+
+
+def test_numeric_topics_match_paper_parameters(workload):
+    topic = next(t for t in workload.topics if t.kind == "numeric")
+    space = topic.schema.space_for("value")
+    assert isinstance(space, NumericKeySpace)
+    assert space.range_size == 256
+    assert space.least_count == 4
+    assert space.depth == 6  # "height of the numeric attribute tree was 6"
+
+
+def test_category_trees_match_paper_shape(workload):
+    sizes = []
+    for topic in workload.topics:
+        if topic.kind != "category":
+            continue
+        tree = topic.category_tree
+        assert tree.height() == 4
+        for label in tree.labels():
+            children = tree.children(label)
+            if children:
+                assert 2 <= len(children) <= 4
+        sizes.append(len(tree))
+    average = sum(sizes) / len(sizes)
+    # Paper: "the average number of elements in a category tree was 82".
+    assert 50 <= average <= 130
+
+
+def test_subscriber_interest_set(workload):
+    topics = workload.subscriber_topics("S0")
+    assert len(topics) == 32
+    assert len({t.name for t in topics}) == 32
+
+
+def test_subscriptions_match_their_topics(workload):
+    for subscription in workload.subscriptions_for("S1"):
+        names = subscription.filter.attribute_names()
+        assert "topic" in names
+        if subscription.topic.kind == "numeric":
+            assert subscription.numeric_range is not None
+            low, high = subscription.numeric_range
+            assert 0 <= low <= high <= 255
+
+
+def test_numeric_subscription_gaussian_center(workload):
+    lows, highs = [], []
+    for _ in range(200):
+        topic = next(t for t in workload.topics if t.kind == "numeric")
+        subscription = workload.subscription_for("S", topic)
+        low, high = subscription.numeric_range
+        lows.append(low)
+        highs.append(high)
+    center = (sum(lows) + sum(highs)) / (2 * len(lows))
+    assert 100 <= center <= 156  # mean 128 per the paper
+
+
+def test_events_carry_kind_attributes(workload):
+    for topic in workload.topics[:8]:
+        event = workload.random_event(topic=topic)
+        assert event["topic"] == topic.name
+        assert len(str(event["message"])) == 256
+        if topic.kind == "numeric":
+            assert 0 <= event["value"] <= 255
+        elif topic.kind == "category":
+            label = topic.category_tree.label_of(str(event["category"]))
+            assert label in topic.category_tree.leaves()
+            assert str(event["category"]).endswith("/")
+        elif topic.kind == "string":
+            assert 1 <= len(str(event["text"])) <= 8
+
+
+def test_category_subscription_matches_subtree_events(workload):
+    """Routing-level prefix matching IS ontology subsumption."""
+    topic = next(t for t in workload.topics if t.kind == "category")
+    tree = topic.category_tree
+    subscription = workload.subscription_for("S", topic)
+    granted = tree.label_of(
+        str(next(
+            c.value for c in subscription.filter if c.name == "category"
+        ))
+    )
+    for leaf in tree.leaves():
+        event = workload.random_event(topic=topic).with_attributes(
+            category=tree.path_string(leaf)
+        )
+        assert subscription.filter.matches(event) == tree.subsumes(
+            granted, leaf
+        )
+
+
+def test_zipf_event_topics(workload):
+    counts = {}
+    for _ in range(3000):
+        event = workload.random_event()
+        counts[event["topic"]] = counts.get(event["topic"], 0) + 1
+    most_popular = workload.topics[0].name
+    unpopular = workload.topics[-1].name
+    assert counts.get(most_popular, 0) > counts.get(unpopular, 0)
+
+
+def test_frequencies_sum_to_one(workload):
+    frequencies = workload.frequencies()
+    assert len(frequencies) == 128
+    assert sum(frequencies.values()) == pytest.approx(1.0)
+
+
+def test_build_kdc_registers_every_topic(workload):
+    kdc = workload.build_kdc()
+    for topic in workload.topics:
+        assert kdc.config_for(topic.name).schema is topic.schema
+
+
+def test_topic_lookup(workload):
+    topic = workload.topics[5]
+    assert workload.topic_by_name(topic.name) is topic
+    with pytest.raises(KeyError):
+        workload.topic_by_name("nope")
+
+
+def test_num_topics_must_divide_by_kinds():
+    with pytest.raises(ValueError):
+        PaperWorkload(WorkloadConfig(num_topics=30))
+
+
+def test_deterministic_under_seed():
+    first = PaperWorkload(WorkloadConfig(seed=9))
+    second = PaperWorkload(WorkloadConfig(seed=9))
+    assert [t.name for t in first.subscriber_topics("S")] == [
+        t.name for t in second.subscriber_topics("S")
+    ]

@@ -1,0 +1,72 @@
+"""Statistical sanity of the Section 5.2 workload generator."""
+
+import statistics
+
+import pytest
+
+from repro.workloads.generator import PaperWorkload, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return PaperWorkload(WorkloadConfig(seed=23))
+
+
+def test_numeric_subscription_width_distribution(workload):
+    """Endpoint-pair draws from N(128, 32): mean width ~ 2*sigma/sqrt(pi)."""
+    topic = next(t for t in workload.topics if t.kind == "numeric")
+    widths = []
+    for _ in range(600):
+        low, high = workload.subscription_for("S", topic).numeric_range
+        widths.append(high - low)
+    mean_width = statistics.mean(widths)
+    expected = 2 * 32 / (3.14159**0.5)  # E|X-Y| for iid normals
+    assert mean_width == pytest.approx(expected, rel=0.25)
+
+
+def test_string_length_is_zipf_biased(workload):
+    topic = next(t for t in workload.topics if t.kind == "string")
+    lengths = [
+        len(str(workload.random_event(topic=topic)["text"]))
+        for _ in range(600)
+    ]
+    ones = sum(1 for length in lengths if length == 1)
+    eights = sum(1 for length in lengths if length == 8)
+    assert ones > eights
+    assert min(lengths) >= 1 and max(lengths) <= 8
+
+
+def test_subscription_sets_skew_to_popular_topics(workload):
+    """Zipf interest: the head topic appears in almost every set."""
+    head = workload.topics[0].name
+    tail = workload.topics[-1].name
+    head_hits = tail_hits = 0
+    for index in range(60):
+        names = {t.name for t in workload.subscriber_topics(f"S{index}")}
+        head_hits += head in names
+        tail_hits += tail in names
+    assert head_hits > tail_hits
+    assert head_hits >= 50  # the rank-1 topic is nearly universal
+
+
+def test_publication_frequencies_realized(workload):
+    """Realized topic counts track the declared Zipf frequencies."""
+    frequencies = workload.frequencies()
+    counts = {}
+    samples = 4000
+    for _ in range(samples):
+        topic = workload.random_event()["topic"]
+        counts[topic] = counts.get(topic, 0) + 1
+    head = workload.topics[0].name
+    assert counts.get(head, 0) / samples == pytest.approx(
+        frequencies[head], rel=0.35
+    )
+
+
+def test_category_leaf_publication_only(workload):
+    topic = next(t for t in workload.topics if t.kind == "category")
+    leaves = set(topic.category_tree.leaves())
+    for _ in range(50):
+        event = workload.random_event(topic=topic)
+        label = topic.category_tree.label_of(str(event["category"]))
+        assert label in leaves

@@ -1,0 +1,75 @@
+"""Zipf sampling."""
+
+import random
+
+import pytest
+
+from repro.workloads.zipf import ZipfSampler, zipf_weights
+
+
+def test_weights_normalized():
+    assert sum(zipf_weights(100)) == pytest.approx(1.0)
+
+
+def test_weights_decreasing():
+    weights = zipf_weights(50)
+    assert weights == sorted(weights, reverse=True)
+
+
+def test_classic_ratios():
+    weights = zipf_weights(10, exponent=1.0)
+    assert weights[0] / weights[1] == pytest.approx(2.0)
+    assert weights[0] / weights[9] == pytest.approx(10.0)
+
+
+def test_exponent_zero_is_uniform():
+    weights = zipf_weights(4, exponent=0.0)
+    assert all(w == pytest.approx(0.25) for w in weights)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        zipf_weights(0)
+    with pytest.raises(ValueError):
+        zipf_weights(5, exponent=-1)
+    with pytest.raises(ValueError):
+        ZipfSampler([])
+
+
+def test_sampler_respects_popularity():
+    sampler = ZipfSampler(list(range(20)), rng=random.Random(7))
+    counts = [0] * 20
+    for _ in range(4000):
+        counts[sampler.sample()] += 1
+    assert counts[0] > counts[10] > 0
+
+
+def test_sample_distinct_returns_distinct():
+    sampler = ZipfSampler(list(range(50)), rng=random.Random(7))
+    chosen = sampler.sample_distinct(30)
+    assert len(chosen) == 30
+    assert len(set(chosen)) == 30
+
+
+def test_sample_distinct_biased_to_head():
+    sampler = ZipfSampler(list(range(100)), rng=random.Random(7))
+    head_hits = sum(
+        0 in sampler.sample_distinct(10) for _ in range(100)
+    )
+    tail_hits = sum(
+        99 in sampler.sample_distinct(10) for _ in range(100)
+    )
+    assert head_hits > tail_hits
+
+
+def test_sample_distinct_bounds():
+    sampler = ZipfSampler([1, 2, 3])
+    with pytest.raises(ValueError):
+        sampler.sample_distinct(4)
+    assert sorted(sampler.sample_distinct(3)) == [1, 2, 3]
+
+
+def test_frequency_of():
+    sampler = ZipfSampler(["a", "b"])
+    assert sampler.frequency_of("a") == pytest.approx(2 / 3)
+    assert sampler.frequency_of("b") == pytest.approx(1 / 3)
