@@ -10,7 +10,10 @@ writing code:
 - ``experiment``     -- regenerate a table/figure series (keys, entropy,
                         construction-cost, cache);
 - ``topology``       -- generate a transit-stub topology and report its
-                        overlay RTT statistics.
+                        overlay RTT statistics;
+- ``chaos``          -- run pub-sub workloads under injected broker
+                        crashes and link loss, comparing fire-and-forget
+                        against reliable at-least-once delivery.
 """
 
 from __future__ import annotations
@@ -172,6 +175,32 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.harness.chaos import (
+        ChaosConfig,
+        format_chaos_report,
+        run_chaos,
+    )
+
+    config = ChaosConfig(
+        seed=args.seed,
+        duration=args.duration,
+        publish_rate=args.rate,
+        crash_probability=args.crash_prob,
+        crash_duration=args.crash_duration,
+        link_loss=args.link_loss,
+        redundancy=args.redundancy,
+        num_brokers=args.brokers,
+    )
+    try:
+        report = run_chaos(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_chaos_report(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -220,6 +249,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="fast self-check of the reproduction's headline claims",
     )
     verify.set_defaults(handler=_cmd_verify)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="measure delivery under injected broker crashes and link loss",
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--duration", type=float, default=5.0)
+    chaos.add_argument("--rate", type=float, default=40.0,
+                       help="publications per second")
+    chaos.add_argument("--crash-prob", type=float, default=0.2,
+                       help="per-broker crash probability")
+    chaos.add_argument("--crash-duration", type=float, default=0.5,
+                       help="seconds a crashed broker stays down")
+    chaos.add_argument("--link-loss", type=float, default=0.05,
+                       help="per-transmission link loss probability")
+    chaos.add_argument("--redundancy", type=int, default=2,
+                       help="multipath redundancy k for the reliable run")
+    chaos.add_argument("--brokers", type=int, default=15,
+                       help="tree overlay size")
+    chaos.set_defaults(handler=_cmd_chaos)
     return parser
 
 

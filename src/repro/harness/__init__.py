@@ -7,17 +7,29 @@
   (Figures 3-5);
 - :mod:`repro.harness.endtoend` -- throughput/latency on the simulated
   testbed (Figures 9-11);
+- :mod:`repro.harness.chaos` -- workloads under injected broker crashes
+  and link loss (fault tolerance beyond the static dropper adversary);
 - :mod:`repro.harness.reporting` -- paper-style table formatting.
 """
 
+from repro.harness.chaos import (
+    ChaosConfig,
+    ChaosReport,
+    format_chaos_report,
+    run_chaos,
+)
 from repro.harness.keymgmt import KeyManagementRow, run_key_management
 from repro.harness.reporting import format_table
 from repro.harness.timing import CryptoCosts, measure_crypto_costs
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosReport",
     "CryptoCosts",
     "KeyManagementRow",
+    "format_chaos_report",
     "format_table",
     "measure_crypto_costs",
+    "run_chaos",
     "run_key_management",
 ]

@@ -1,0 +1,394 @@
+"""Chaos harness: workloads under injected faults, measured end to end.
+
+Two complementary experiments, both exactly reproducible for a fixed
+seed, validate the fault-tolerance story of Section 4.2.1 against
+*dynamic* failures rather than the static dropper adversary:
+
+- **Tree chaos** runs the timed Siena overlay
+  (:class:`~repro.net.simnet.SimulatedPubSub`) under a random
+  :class:`~repro.net.faults.FaultPlan` -- broker crashes with restarts
+  plus background link loss -- once with the fire-and-forget transport
+  and once with the reliable at-least-once stack (per-hop acks, retries,
+  heartbeat failure detection, subscription replay).  It reports
+  delivery rate, duplicate rate, dead letters, retry overhead, and the
+  failure detector's detection/recovery latencies.
+
+- **Multipath chaos** drives the paper's redundant multi-path router
+  (:class:`~repro.routing.faulttolerance.RedundantRouter`) hop by hop on
+  the simulator clock through the same dynamic fault state, composing
+  per-hop retries with path redundancy ``k``.  The measured
+  fire-and-forget rate is compared against the paper's
+  ``1 - (1 - (1-f)^d)^k`` loss model evaluated at the plan's effective
+  per-hop failure probability.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Hashable
+
+from repro.harness.reporting import format_table
+from repro.net.faults import FaultInjector, FaultPlan
+from repro.net.sim import Simulator
+from repro.net.simnet import RetryPolicy, SimulatedPubSub
+from repro.routing.faulttolerance import (
+    RedundantRouter,
+    analytic_delivery_rate,
+)
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+from repro.topology.multipath import MultipathNetwork
+from repro.workloads.zipf import zipf_weights
+
+
+@dataclass
+class ChaosConfig:
+    """One chaos run's knobs; every randomness source derives from *seed*."""
+
+    seed: int = 7
+    #: Seconds of publishing; faults are scheduled within this horizon.
+    duration: float = 5.0
+    #: Extra simulated seconds for in-flight retries/replays to settle.
+    drain: float = 3.0
+    publish_rate: float = 40.0
+    crash_probability: float = 0.2
+    crash_duration: float = 0.5
+    link_loss: float = 0.05
+    #: Path redundancy ``k`` for the reliable multipath run.
+    redundancy: int = 2
+    # Tree overlay shape.
+    num_brokers: int = 15
+    arity: int = 2
+    # Multipath overlay shape (``G_ind``).
+    depth: int = 3
+    ind: int = 4
+    tokens: int = 16
+    hop_latency: float = 0.010
+    # Faster heartbeats than the library default: the demo's outages
+    # last ~0.5s, so detection must complete within ~0.3s for the
+    # failure detector (and its parking/recovery path) to participate.
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(heartbeat_interval=0.1)
+    )
+
+    @property
+    def events(self) -> int:
+        return max(1, int(self.publish_rate * self.duration))
+
+
+@dataclass
+class TreeChaosResult:
+    """Outcome of one tree-overlay chaos run."""
+
+    mode: str
+    expected: int
+    delivered: int
+    duplicates: int
+    data_sends: int
+    retries: int
+    dead_letters: int
+    acks_sent: int
+    heartbeats_sent: int
+    failures_detected: int
+    recoveries_detected: int
+    subscriptions_replayed: int
+    mean_detection_latency: float
+    mean_recovery_latency: float
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.expected if self.expected else 0.0
+
+    @property
+    def duplicate_rate(self) -> float:
+        """Duplicate arrivals suppressed, per expected delivery."""
+        return self.duplicates / self.expected if self.expected else 0.0
+
+    @property
+    def retry_overhead(self) -> float:
+        """Fraction of data transmissions that were retransmissions."""
+        return self.retries / self.data_sends if self.data_sends else 0.0
+
+
+@dataclass
+class MultipathChaosResult:
+    """Outcome of one multipath chaos run."""
+
+    mode: str
+    redundancy: int
+    attempted: int
+    delivered: int
+    duplicates: int
+    copies_sent: int
+    hop_sends: int
+    retries: int
+    dead_copies: int
+    #: The paper's loss model at the plan's effective per-hop failure
+    #: probability (fire-and-forget prediction for this redundancy).
+    analytic_rate: float
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.attempted if self.attempted else 0.0
+
+    @property
+    def duplicate_rate(self) -> float:
+        """Redundant copies arriving after the first, per event."""
+        return self.duplicates / self.attempted if self.attempted else 0.0
+
+    @property
+    def retry_overhead(self) -> float:
+        return self.retries / self.hop_sends if self.hop_sends else 0.0
+
+
+def _tree_fault_plan(config: ChaosConfig) -> FaultPlan:
+    # The root hosts the publisher; the paper's model keeps the
+    # publishing site up, so random crashes target brokers 1..n-1.
+    return FaultPlan.random(
+        range(1, config.num_brokers),
+        config.duration,
+        seed=config.seed,
+        crash_probability=config.crash_probability,
+        crash_duration=config.crash_duration,
+        link_loss=config.link_loss,
+    )
+
+
+def run_tree_chaos(config: ChaosConfig, reliable: bool) -> TreeChaosResult:
+    """One tree-overlay workload under the config's fault plan."""
+    sim = Simulator()
+    injector = FaultInjector(sim, _tree_fault_plan(config), seed=config.seed + 1)
+    net = SimulatedPubSub(
+        sim,
+        config.num_brokers,
+        arity=config.arity,
+        link_latency=config.hop_latency,
+        reliability=replace(config.retry) if reliable else None,
+        faults=injector,
+        seed=config.seed + 2,
+    )
+    injector.install()
+    subscription = Filter.topic("chaos")
+    leaves = net.leaf_ids()
+    for index, leaf in enumerate(leaves):
+        subscriber_id = f"sub{index}"
+        net.attach_subscriber(subscriber_id, leaf)
+        net.subscribe(subscriber_id, subscription)
+    for k in range(config.events):
+        net.publish(
+            Event({"topic": "chaos", "k": k}),
+            delay=k / config.publish_rate,
+        )
+    sim.run(until=config.duration + config.drain)
+    stats = net.rstats
+    return TreeChaosResult(
+        mode="reliable" if reliable else "fire-and-forget",
+        expected=config.events * len(leaves),
+        delivered=len(net.deliveries),
+        duplicates=stats.duplicates_suppressed + stats.duplicate_deliveries,
+        data_sends=stats.data_sends,
+        retries=stats.retries,
+        dead_letters=stats.dead_letters,
+        acks_sent=stats.acks_sent,
+        heartbeats_sent=stats.heartbeats_sent,
+        failures_detected=stats.failures_detected,
+        recoveries_detected=stats.recoveries_detected,
+        subscriptions_replayed=stats.subscriptions_replayed,
+        mean_detection_latency=stats.mean_detection_latency(),
+        mean_recovery_latency=stats.mean_recovery_latency(),
+    )
+
+
+def run_multipath_chaos(
+    config: ChaosConfig, reliable: bool, redundancy: int
+) -> MultipathChaosResult:
+    """Redundant multi-path dissemination under dynamic faults.
+
+    Each event travels over ``redundancy`` node-disjoint paths chosen by
+    :class:`RedundantRouter`; every hop is subject to the fault state at
+    traversal time (link loss sampled per transmission, crashed brokers
+    swallow copies).  With *reliable*, a hop that fails is retried with
+    the config's backoff policy up to the retry budget.
+    """
+    sim = Simulator()
+    network = MultipathNetwork(
+        depth=config.depth, arity=max(config.ind, 2), ind=config.ind
+    )
+    interior = [node for node in network.brokers() if len(node) >= 1]
+    plan = FaultPlan.random(
+        interior,
+        config.duration,
+        seed=config.seed,
+        crash_probability=config.crash_probability,
+        crash_duration=config.crash_duration,
+        link_loss=config.link_loss,
+    )
+    injector = FaultInjector(sim, plan, seed=config.seed + 1)
+    injector.install()
+    tokens = [f"t{i}" for i in range(config.tokens)]
+    weights = zipf_weights(config.tokens)
+    router = RedundantRouter(
+        network,
+        dict(zip(tokens, weights)),
+        redundancy=redundancy,
+        ind_max=config.ind,
+        seed=config.seed + 2,
+    )
+    rng = random.Random(config.seed + 3)
+    policy = config.retry
+    subscribers = network.subscribers()
+
+    counters = {
+        "delivered": 0,
+        "duplicates": 0,
+        "copies_sent": 0,
+        "hop_sends": 0,
+        "retries": 0,
+        "dead_copies": 0,
+    }
+    arrivals: dict[int, int] = {}
+
+    def hop_attempt(
+        seq: int, path: list[Hashable], index: int, attempt: int
+    ) -> None:
+        source, target = path[index], path[index + 1]
+        counters["hop_sends"] += 1
+        if attempt > 0:
+            counters["retries"] += 1
+        survives = injector.deliverable(source, target)
+        delay = config.hop_latency + injector.extra_latency(source, target)
+
+        def arrive() -> None:
+            terminal = index + 1 == len(path) - 1
+            if survives and (terminal or injector.broker_up(target)):
+                if terminal:
+                    arrivals[seq] = arrivals.get(seq, 0) + 1
+                    if arrivals[seq] == 1:
+                        counters["delivered"] += 1
+                    else:
+                        counters["duplicates"] += 1
+                else:
+                    hop_attempt(seq, path, index + 1, 0)
+                return
+            # No ack will come back for this copy.
+            if reliable and attempt + 1 < policy.max_attempts:
+                sim.schedule(
+                    policy.timeout_for(attempt, rng),
+                    lambda: hop_attempt(seq, path, index, attempt + 1),
+                )
+            else:
+                counters["dead_copies"] += 1
+
+        sim.schedule(delay, arrive)
+
+    def launch(seq: int) -> None:
+        token = rng.choices(tokens, weights)[0]
+        subscriber = rng.choice(subscribers)
+        paths = router.route_redundant(token, subscriber)
+        counters["copies_sent"] += len(paths)
+        for path in paths:
+            hop_attempt(seq, path, 0, 0)
+
+    for seq in range(config.events):
+        sim.schedule(seq / config.publish_rate, lambda seq=seq: launch(seq))
+    sim.run()
+
+    down_fraction = plan.mean_down_fraction(interior, config.duration)
+    per_hop_failure = (
+        config.link_loss + down_fraction - config.link_loss * down_fraction
+    )
+    return MultipathChaosResult(
+        mode="reliable" if reliable else "fire-and-forget",
+        redundancy=redundancy,
+        attempted=config.events,
+        delivered=counters["delivered"],
+        duplicates=counters["duplicates"],
+        copies_sent=counters["copies_sent"],
+        hop_sends=counters["hop_sends"],
+        retries=counters["retries"],
+        dead_copies=counters["dead_copies"],
+        analytic_rate=analytic_delivery_rate(
+            per_hop_failure, config.depth, redundancy
+        ),
+    )
+
+
+@dataclass
+class ChaosReport:
+    """Everything one ``repro chaos`` invocation measured."""
+
+    config: ChaosConfig
+    tree_baseline: TreeChaosResult
+    tree_reliable: TreeChaosResult
+    multipath_baseline: MultipathChaosResult
+    multipath_reliable: MultipathChaosResult
+
+
+def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
+    """Run all four chaos experiments for *config* (default seeds)."""
+    config = config if config is not None else ChaosConfig()
+    return ChaosReport(
+        config=config,
+        tree_baseline=run_tree_chaos(config, reliable=False),
+        tree_reliable=run_tree_chaos(config, reliable=True),
+        multipath_baseline=run_multipath_chaos(
+            config, reliable=False, redundancy=1
+        ),
+        multipath_reliable=run_multipath_chaos(
+            config, reliable=True, redundancy=config.redundancy
+        ),
+    )
+
+
+def format_chaos_report(report: ChaosReport) -> str:
+    """Render the chaos report as paper-style tables."""
+    config = report.config
+    header = (
+        f"Chaos run: seed {config.seed}, {config.duration:.0f}s x "
+        f"{config.publish_rate:.0f} ev/s, crash p={config.crash_probability}"
+        f" ({config.crash_duration:.1f}s outages), link loss "
+        f"{config.link_loss:.0%}"
+    )
+    tree_rows = [
+        (
+            result.mode,
+            result.delivery_rate,
+            result.duplicate_rate,
+            result.dead_letters,
+            result.retry_overhead,
+            result.failures_detected,
+            result.mean_detection_latency,
+            result.mean_recovery_latency,
+        )
+        for result in (report.tree_baseline, report.tree_reliable)
+    ]
+    tree_table = format_table(
+        ["transport", "delivery", "dup rate", "dead", "retry ovh",
+         "detects", "t_detect", "t_recover"],
+        tree_rows,
+        title=f"Tree overlay ({config.num_brokers} brokers, "
+        f"arity {config.arity})",
+    )
+    multipath_rows = [
+        (
+            result.mode,
+            result.redundancy,
+            result.delivery_rate,
+            result.analytic_rate,
+            result.duplicate_rate,
+            result.retry_overhead,
+            result.dead_copies,
+        )
+        for result in (
+            report.multipath_baseline,
+            report.multipath_reliable,
+        )
+    ]
+    multipath_table = format_table(
+        ["transport", "k", "delivery", "analytic", "dup rate",
+         "retry ovh", "dead copies"],
+        multipath_rows,
+        title=f"Multipath G_ind (depth {config.depth}, ind {config.ind})",
+    )
+    return "\n\n".join([header, tree_table, multipath_table])

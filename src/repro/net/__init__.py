@@ -10,12 +10,35 @@ with a discrete-event simulator:
   throughput methodology;
 - :mod:`repro.net.links` -- fixed-latency links;
 - :mod:`repro.net.simnet` -- a timed broker overlay combining the Siena
-  routing core with nodes and links.
+  routing core with nodes and links, optionally with per-hop acks,
+  retries, and a heartbeat failure detector (at-least-once delivery);
+- :mod:`repro.net.faults` -- seeded fault plans (broker crashes, lossy
+  and partitioned links, latency spikes) replayed deterministically
+  against the simulator.
 """
 
+from repro.net.faults import (
+    ANY,
+    BrokerCrash,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+)
 from repro.net.links import Link
 from repro.net.node import ProcessingNode
 from repro.net.sim import Simulator
-from repro.net.simnet import SimulatedPubSub
+from repro.net.simnet import ReliabilityStats, RetryPolicy, SimulatedPubSub
 
-__all__ = ["Link", "ProcessingNode", "SimulatedPubSub", "Simulator"]
+__all__ = [
+    "ANY",
+    "BrokerCrash",
+    "FaultInjector",
+    "FaultPlan",
+    "Link",
+    "LinkFault",
+    "ProcessingNode",
+    "ReliabilityStats",
+    "RetryPolicy",
+    "SimulatedPubSub",
+    "Simulator",
+]

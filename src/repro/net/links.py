@@ -50,8 +50,17 @@ class Link:
         self,
         size_bytes: int,
         on_arrival: Callable[[], None],
+        extra_delay: float = 0.0,
     ) -> None:
-        """Deliver a message of *size_bytes*; *on_arrival* fires at the far end."""
+        """Deliver a message of *size_bytes*; *on_arrival* fires at the far end.
+
+        *extra_delay* adds transient one-way latency (fault injection's
+        latency spikes) on top of the link's own transfer time.
+        """
+        if extra_delay < 0:
+            raise ValueError(f"negative extra delay {extra_delay}")
         self.stats.messages += 1
         self.stats.bytes += size_bytes
-        self.sim.schedule(self.transfer_time(size_bytes), on_arrival)
+        self.sim.schedule(
+            self.transfer_time(size_bytes) + extra_delay, on_arrival
+        )

@@ -56,6 +56,11 @@ class Simulator:
 
     def schedule_at(self, time: float, callback: Callable[[], Any]) -> EventHandle:
         """Run *callback* at absolute virtual *time* (>= now)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at time {time}, which is before now "
+                f"{self.now}"
+            )
         return self.schedule(time - self.now, callback)
 
     def peek_time(self) -> float | None:

@@ -7,13 +7,36 @@ subscribers attached to leaf brokers.  Per-message processing costs (event
 matching, tokenized matching, key derivation, encryption/decryption) are
 injected by the harness as cost functions, so the same overlay measures
 plain Siena and every PSGuard variant.
+
+The overlay optionally runs a **reliable at-least-once delivery stack**
+on top of a :class:`~repro.net.faults.FaultInjector`:
+
+- per-hop acknowledgements with retransmission on timeout (exponential
+  backoff plus jitter, bounded by a retry budget with dead-letter
+  accounting);
+- hop-level duplicate suppression, so retransmissions never re-enter the
+  routing fabric twice;
+- a heartbeat failure detector: each broker pings its tree neighbours
+  and marks them down after consecutive misses, parking outbound events
+  instead of burning the retry budget against a dead peer;
+- restart recovery: heartbeats carry an incarnation number, so
+  neighbours notice a broker that lost its volatile routing state and
+  replay subscription state (children re-announce their forwarded
+  filter tables; locally attached clients re-subscribe).
+
+With ``reliability=None`` (the default) the overlay is the original
+fire-and-forget transport -- under a fault plan that is the chaos
+baseline.  When the heartbeat loop is running the event queue never
+drains, so drive the simulator with ``sim.run(until=...)``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
+from repro.net.faults import FaultInjector
 from repro.net.links import Link
 from repro.net.node import ProcessingNode
 from repro.net.sim import Simulator
@@ -26,6 +49,8 @@ BrokerCostFn = Callable[[Hashable, Event], float]
 SubscriberCostFn = Callable[[Hashable, Event], float]
 
 _SEQ_ATTRIBUTE = "_seq"
+_ACK_SIZE = 16
+_HEARTBEAT_SIZE = 24
 
 
 @dataclass
@@ -51,12 +76,92 @@ class _Publication:
     deliveries: int = 0
 
 
+@dataclass
+class RetryPolicy:
+    """At-least-once delivery knobs for the reliable overlay."""
+
+    #: Total transmission attempts per hop (first try included).
+    max_attempts: int = 6
+    #: Ack timeout for the first attempt; must exceed one round trip.
+    ack_timeout: float = 0.05
+    #: Multiplier applied to the timeout after every failed attempt.
+    backoff: float = 2.0
+    #: Uniform +-fraction perturbing each timeout (desynchronizes storms).
+    jitter: float = 0.1
+    #: Heartbeat cadence of the failure detector.
+    heartbeat_interval: float = 0.2
+    #: Consecutive missed heartbeats before a neighbour is marked down.
+    miss_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one transmission attempt")
+        if self.ack_timeout <= 0:
+            raise ValueError("ack timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter fraction must be within [0, 1)")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if self.miss_threshold < 1:
+            raise ValueError("miss threshold must be at least one beat")
+
+    def timeout_for(self, attempt: int, rng: random.Random) -> float:
+        """The ack timeout for (0-based) *attempt*, with jitter applied."""
+        timeout = self.ack_timeout * (self.backoff ** attempt)
+        if self.jitter:
+            timeout *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return timeout
+
+
+@dataclass
+class ReliabilityStats:
+    """Counters the reliable overlay keeps for the chaos reports."""
+
+    data_sends: int = 0
+    retries: int = 0
+    acks_sent: int = 0
+    dead_letters: int = 0
+    #: Hop-level duplicate arrivals suppressed by the dedup filter.
+    duplicates_suppressed: int = 0
+    #: Subscriber-level duplicate deliveries suppressed.
+    duplicate_deliveries: int = 0
+    heartbeats_sent: int = 0
+    failures_detected: int = 0
+    recoveries_detected: int = 0
+    #: Events parked while the next hop was marked down, then re-sent.
+    parked: int = 0
+    parked_flushes: int = 0
+    warmup_deferred: int = 0
+    subscriptions_replayed: int = 0
+    detection_latencies: list[float] = field(default_factory=list)
+    recovery_latencies: list[float] = field(default_factory=list)
+
+    def mean_detection_latency(self) -> float:
+        if not self.detection_latencies:
+            return float("nan")
+        return sum(self.detection_latencies) / len(self.detection_latencies)
+
+    def mean_recovery_latency(self) -> float:
+        if not self.recovery_latencies:
+            return float("nan")
+        return sum(self.recovery_latencies) / len(self.recovery_latencies)
+
+
 def _zero_cost(_node: Hashable, _event: Event) -> float:
     return 0.0
 
 
 class SimulatedPubSub:
-    """The timed broker overlay used by the Fig 9-11 experiments."""
+    """The timed broker overlay used by the Fig 9-11 experiments.
+
+    *faults* binds a :class:`~repro.net.faults.FaultInjector` (on the
+    same simulator) whose crash/restart transitions are applied to the
+    brokers and whose link state governs every transmission.  With
+    *reliability* set, the at-least-once stack described in the module
+    docstring is active; *seed* feeds the retry-jitter RNG.
+    """
 
     def __init__(
         self,
@@ -69,6 +174,9 @@ class SimulatedPubSub:
         broker_cost: BrokerCostFn = _zero_cost,
         subscriber_cost: SubscriberCostFn = _zero_cost,
         per_send_s: float = 0.0,
+        reliability: RetryPolicy | None = None,
+        faults: FaultInjector | None = None,
+        seed: int = 0,
     ):
         if num_brokers < 1:
             raise ValueError("need at least the root broker")
@@ -84,23 +192,50 @@ class SimulatedPubSub:
             else (lambda _a, _b: float(link_latency))
         )
         self.client_latency = client_latency
+        self.reliability = reliability
+        self.faults = faults
+        self._rng = random.Random(seed)
 
         self.brokers: dict[Hashable, Broker] = {}
         self.nodes: dict[Hashable, ProcessingNode] = {}
         self.links: dict[tuple[Hashable, Hashable], Link] = {}
         self.subscriber_nodes: dict[Hashable, ProcessingNode] = {}
         self._subscriber_home: dict[Hashable, Hashable] = {}
+        self._client_filters: dict[Hashable, list[Filter]] = {}
         self._inflight: dict[int, _Publication] = {}
         self._next_seq = 0
         self.deliveries: list[DeliveryRecord] = []
+        self._delivered_keys: set[tuple[int, Hashable]] = set()
         self._monitor_interval: float | None = None
+
+        # Reliable-delivery state.
+        self.rstats = ReliabilityStats()
+        self.dead_letters: list[tuple[int, Hashable, Hashable]] = []
+        self._neighbors: dict[Hashable, list[Hashable]] = {}
+        self._hop_seen: set[tuple[Hashable, Hashable, int]] = set()
+        self._hop_queued: set[tuple[Hashable, Hashable, int]] = set()
+        self._pending: dict[tuple[Hashable, Hashable, int], object] = {}
+        self._parked: dict[
+            tuple[Hashable, Hashable], list[tuple[int, Event]]
+        ] = {}
+        self._neighbor_down: set[tuple[Hashable, Hashable]] = set()
+        self._last_heard: dict[tuple[Hashable, Hashable], float] = {}
+        self._known_incarnation: dict[tuple[Hashable, Hashable], int] = {}
+        self._last_crash_at: dict[Hashable, float] = {}
+        self._last_restart_at: dict[Hashable, float] = {}
 
         for index in range(num_brokers):
             self.brokers[index] = Broker(index, match=match)
             self.nodes[index] = ProcessingNode(sim, index)
+            self._neighbors[index] = []
         for index in range(1, num_brokers):
             parent = (index - 1) // arity
             self._connect(parent, index)
+
+        if self.faults is not None:
+            self.faults.on_transition(self._on_fault_transition)
+        if self.reliability is not None:
+            self._start_heartbeats()
 
     # -- wiring --------------------------------------------------------------
 
@@ -108,13 +243,20 @@ class SimulatedPubSub:
         latency = self._latency_of(parent, child)
         self.links[(parent, child)] = Link(self.sim, latency)
         self.links[(child, parent)] = Link(self.sim, latency)
+        self._neighbors[parent].append(child)
+        self._neighbors[child].append(parent)
+        # Every broker starts at incarnation 0; seeding the known value
+        # lets neighbours spot a restart even before the first heartbeat.
+        self._known_incarnation[(parent, child)] = 0
+        self._known_incarnation[(child, parent)] = 0
         self.brokers[parent].attach_child(child, self._sender(parent, child))
         self.brokers[child].attach_parent(parent, self._sender(child, parent))
 
     def _sender(self, from_id: Hashable, to_id: Hashable):
         def send(kind: str, payload: object) -> None:
             if kind in ("subscribe", "unsubscribe"):
-                # Control plane: instantaneous (setup time is not measured).
+                # Control plane: instantaneous (setup time is not measured);
+                # a crashed target drops it (Broker guards on ``alive``).
                 assert isinstance(payload, Filter)
                 if kind == "subscribe":
                     self.brokers[to_id].subscribe(from_id, payload)
@@ -123,26 +265,303 @@ class SimulatedPubSub:
                 return
             assert isinstance(payload, Event)
             seq = payload.get(_SEQ_ATTRIBUTE)
-            publication = self._inflight[seq]
-            link = self.links[(from_id, to_id)]
-            # Serialization work for this send occupies the sender's CPU;
-            # it is what makes a 32-way fan-out at a lone publisher more
-            # expensive than a 2-way forward inside the tree.
-            if self.per_send_s > 0:
-                self.nodes[from_id].submit(self.per_send_s, lambda: None)
-
-            def on_arrival() -> None:
-                cost = self.broker_cost(to_id, payload)
-                self.nodes[to_id].submit(
-                    cost,
-                    lambda: self.brokers[to_id].publish(
-                        payload, arrived_from=from_id
-                    ),
-                )
-
-            link.send(publication.size, on_arrival)
+            if self.reliability is None:
+                self._transmit_once(from_id, to_id, seq, payload)
+            else:
+                self._transmit_reliable(from_id, to_id, seq, payload, 0)
 
         return send
+
+    # -- transport -----------------------------------------------------------
+
+    def _hop_send(
+        self,
+        from_id: Hashable,
+        to_id: Hashable,
+        size: int,
+        on_arrival: Callable[[], None],
+    ) -> bool:
+        """One transmission over a (possibly faulty) broker-broker link.
+
+        Returns whether the message survived the medium; lost messages
+        still count against the link's traffic statistics.
+        """
+        link = self.links[(from_id, to_id)]
+        if self.faults is not None and not self.faults.deliverable(
+            from_id, to_id
+        ):
+            link.stats.messages += 1
+            link.stats.bytes += size
+            return False
+        extra = (
+            self.faults.extra_latency(from_id, to_id)
+            if self.faults is not None
+            else 0.0
+        )
+        link.send(size, on_arrival, extra_delay=extra)
+        return True
+
+    def _transmit_once(
+        self, from_id: Hashable, to_id: Hashable, seq: int, payload: Event
+    ) -> None:
+        """Fire-and-forget forwarding (the pre-fault-tolerance transport)."""
+        self.rstats.data_sends += 1
+        publication = self._inflight[seq]
+        # Serialization work for this send occupies the sender's CPU;
+        # it is what makes a 32-way fan-out at a lone publisher more
+        # expensive than a 2-way forward inside the tree.
+        if self.per_send_s > 0:
+            self.nodes[from_id].submit(self.per_send_s, lambda: None)
+
+        def on_arrival() -> None:
+            if not self.brokers[to_id].alive:
+                return
+            cost = self.broker_cost(to_id, payload)
+            self.nodes[to_id].submit(
+                cost,
+                lambda: self.brokers[to_id].publish(
+                    payload, arrived_from=from_id
+                ),
+            )
+
+        self._hop_send(from_id, to_id, publication.size, on_arrival)
+
+    def _transmit_reliable(
+        self,
+        from_id: Hashable,
+        to_id: Hashable,
+        seq: int,
+        payload: Event,
+        attempt: int,
+    ) -> None:
+        """One acknowledged transmission attempt, with retry on timeout."""
+        if (from_id, to_id) in self._neighbor_down:
+            # The failure detector says the peer is dead: park instead of
+            # burning the retry budget; flushed on detected recovery.
+            self._parked.setdefault((from_id, to_id), []).append(
+                (seq, payload)
+            )
+            self.rstats.parked += 1
+            return
+        self.rstats.data_sends += 1
+        if attempt > 0:
+            self.rstats.retries += 1
+        if self.per_send_s > 0:
+            self.nodes[from_id].submit(self.per_send_s, lambda: None)
+        publication = self._inflight[seq]
+        key = (from_id, to_id, seq)
+
+        def on_processed() -> None:
+            self._hop_queued.discard(key)
+            if not self.brokers[to_id].alive:
+                return  # crashed while queued: drop silently, sender retries
+            self.brokers[to_id].publish(payload, arrived_from=from_id)
+            self._hop_seen.add(key)
+            self._send_ack(to_id, from_id, key)
+
+        def on_arrival() -> None:
+            if not self.brokers[to_id].alive:
+                return  # no ack from a dead broker
+            restarted_at = self._last_restart_at.get(to_id)
+            if (
+                restarted_at is not None
+                and self.sim.now
+                < restarted_at + self.reliability.heartbeat_interval
+            ):
+                # Warm-up after a restart: neighbour replays may still be
+                # in flight (the recovery handshake rides lossy links), so
+                # the filter table can be incomplete.  Acking now would
+                # cancel the sender's retry and silently unsubscribe a
+                # whole subtree; staying silent makes the sender try again
+                # after the table has settled.
+                self.rstats.warmup_deferred += 1
+                return
+            if key in self._hop_seen:
+                # Processed before; the earlier ack was lost. Ack again.
+                self.rstats.duplicates_suppressed += 1
+                self._send_ack(to_id, from_id, key)
+                return
+            if key in self._hop_queued:
+                # A copy is already awaiting the CPU; its completion ack
+                # will cancel the sender's timer.
+                self.rstats.duplicates_suppressed += 1
+                return
+            # The ack is deferred until the broker has actually matched
+            # and forwarded the event: a crash between arrival and
+            # processing must NOT look like a successful handoff, or the
+            # event dies in the wiped CPU queue with the retry already
+            # cancelled.
+            self._hop_queued.add(key)
+            self.nodes[to_id].submit(
+                self.broker_cost(to_id, payload), on_processed
+            )
+
+        self._hop_send(from_id, to_id, publication.size, on_arrival)
+        timeout = self.reliability.timeout_for(attempt, self._rng)
+        handle = self.sim.schedule(
+            timeout,
+            lambda: self._on_ack_timeout(from_id, to_id, seq, payload, attempt),
+        )
+        self._pending[key] = handle
+
+    def _send_ack(
+        self,
+        from_id: Hashable,
+        to_id: Hashable,
+        key: tuple[Hashable, Hashable, int],
+    ) -> None:
+        self.rstats.acks_sent += 1
+
+        def on_ack() -> None:
+            handle = self._pending.pop(key, None)
+            if handle is not None:
+                handle.cancel()
+
+        self._hop_send(from_id, to_id, _ACK_SIZE, on_ack)
+
+    def _on_ack_timeout(
+        self,
+        from_id: Hashable,
+        to_id: Hashable,
+        seq: int,
+        payload: Event,
+        attempt: int,
+    ) -> None:
+        key = (from_id, to_id, seq)
+        if key not in self._pending:
+            return  # acked in the meantime
+        del self._pending[key]
+        if (from_id, to_id) in self._neighbor_down:
+            self._parked.setdefault((from_id, to_id), []).append(
+                (seq, payload)
+            )
+            self.rstats.parked += 1
+            return
+        if attempt + 1 >= self.reliability.max_attempts:
+            self.rstats.dead_letters += 1
+            self.dead_letters.append((seq, from_id, to_id))
+            return
+        self._transmit_reliable(from_id, to_id, seq, payload, attempt + 1)
+
+    # -- failure detection & recovery ---------------------------------------
+
+    def _start_heartbeats(self) -> None:
+        policy = self.reliability
+        interval = policy.heartbeat_interval
+
+        def beat() -> None:
+            now = self.sim.now
+            for broker_id, neighbors in self._neighbors.items():
+                broker = self.brokers[broker_id]
+                if not broker.alive:
+                    continue
+                for neighbor in neighbors:
+                    self._check_neighbor(broker_id, neighbor, now)
+                    self.rstats.heartbeats_sent += 1
+                    self._hop_send(
+                        broker_id,
+                        neighbor,
+                        _HEARTBEAT_SIZE,
+                        lambda s=broker_id, n=neighbor, i=broker.incarnation:
+                            self._on_heartbeat(n, s, i),
+                    )
+            self.sim.schedule(interval, beat)
+
+        self.sim.schedule(interval, beat)
+
+    def _check_neighbor(
+        self, observer: Hashable, neighbor: Hashable, now: float
+    ) -> None:
+        if (observer, neighbor) in self._neighbor_down:
+            return
+        policy = self.reliability
+        last = self._last_heard.get((observer, neighbor), 0.0)
+        if now - last <= policy.miss_threshold * policy.heartbeat_interval:
+            return
+        self._neighbor_down.add((observer, neighbor))
+        self.rstats.failures_detected += 1
+        crash_at = self._last_crash_at.get(neighbor)
+        if crash_at is not None and crash_at <= now:
+            self.rstats.detection_latencies.append(now - crash_at)
+
+    def _on_heartbeat(
+        self, observer: Hashable, sender: Hashable, sender_incarnation: int
+    ) -> None:
+        if not self.brokers[observer].alive:
+            return
+        self._last_heard[(observer, sender)] = self.sim.now
+        known = self._known_incarnation.get((observer, sender))
+        restarted = known is not None and sender_incarnation != known
+        self._known_incarnation[(observer, sender)] = sender_incarnation
+        if (observer, sender) in self._neighbor_down:
+            self._neighbor_down.discard((observer, sender))
+            self.rstats.recoveries_detected += 1
+            restart_at = self._last_restart_at.get(sender)
+            if restart_at is not None:
+                self.rstats.recovery_latencies.append(
+                    self.sim.now - restart_at
+                )
+            restarted = True
+        if restarted:
+            # The peer lost (or may have lost) its volatile routing state:
+            # replay what this broker needs it to know before parked
+            # events flow again.  The replay is an instantaneous control
+            # message, so it lands before any re-sent data message.
+            if sender == self.brokers[observer].parent:
+                self.rstats.subscriptions_replayed += self.brokers[
+                    observer
+                ].replay_upstream()
+            self._flush_parked(observer, sender)
+
+    def _flush_parked(self, from_id: Hashable, to_id: Hashable) -> None:
+        parked = self._parked.pop((from_id, to_id), None)
+        if not parked:
+            return
+        self.rstats.parked_flushes += len(parked)
+        for seq, payload in parked:
+            self._transmit_reliable(from_id, to_id, seq, payload, 0)
+
+    def _on_fault_transition(self, kind: str, broker_id: Hashable) -> None:
+        broker = self.brokers.get(broker_id)
+        if broker is None:
+            return
+        if kind == "crash":
+            broker.crash()
+            self._last_crash_at[broker_id] = self.sim.now
+            return
+        broker.restart()
+        self._last_restart_at[broker_id] = self.sim.now
+        # A restarted broker trusts no stale detector state of its own.
+        for neighbor in self._neighbors.get(broker_id, []):
+            self._last_heard[(broker_id, neighbor)] = self.sim.now
+        if self.reliability is None:
+            return
+        # Recovery handshake: announce the new incarnation immediately
+        # instead of waiting for the next heartbeat tick, so neighbours
+        # replay subscription state before data flows through the empty
+        # tables.  (The announcement rides the lossy link; a lost one is
+        # recovered by the regular heartbeat cadence.)
+        for neighbor in self._neighbors.get(broker_id, []):
+            self.rstats.heartbeats_sent += 1
+            self._hop_send(
+                broker_id,
+                neighbor,
+                _HEARTBEAT_SIZE,
+                lambda n=neighbor, s=broker_id, i=broker.incarnation:
+                    self._on_heartbeat(n, s, i),
+            )
+        # Locally attached clients notice the restart via their keepalive
+        # and re-subscribe after one client round trip.
+        for subscriber_id, home in self._subscriber_home.items():
+            if home != broker_id:
+                continue
+            for subscription in self._client_filters.get(subscriber_id, []):
+                self.rstats.subscriptions_replayed += 1
+                self.sim.schedule(
+                    self.client_latency,
+                    lambda b=broker, s=subscriber_id, f=subscription:
+                        b.subscribe(s, f),
+                )
 
     # -- clients ---------------------------------------------------------------
 
@@ -183,6 +602,11 @@ class SimulatedPubSub:
         self.brokers[broker_id].attach_client(subscriber_id, deliver)
 
     def _record_delivery(self, seq: int, subscriber_id: Hashable) -> None:
+        key = (seq, subscriber_id)
+        if key in self._delivered_keys:
+            self.rstats.duplicate_deliveries += 1
+            return
+        self._delivered_keys.add(key)
         publication = self._inflight[seq]
         publication.deliveries += 1
         self.deliveries.append(
@@ -194,6 +618,9 @@ class SimulatedPubSub:
     def subscribe(self, subscriber_id: Hashable, subscription: Filter) -> None:
         """Issue a subscription from an attached subscriber."""
         broker_id = self._subscriber_home[subscriber_id]
+        self._client_filters.setdefault(subscriber_id, []).append(
+            subscription
+        )
         self.brokers[broker_id].subscribe(subscriber_id, subscription)
 
     # -- publication -------------------------------------------------------------

@@ -114,8 +114,18 @@ class DroppingNetwork:
             raise ValueError("dropper fraction must be within [0, 1]")
         self.network = network
         rng = random.Random(seed)
+        # Candidate droppers are the nodes that actually occupy interior
+        # path positions.  (Selecting on ``len(node)`` would assume sized
+        # node ids and breaks for plain int/str broker ids; iterating
+        # ``network.brokers()`` keeps the seeded sampling order stable.)
+        interior_positions = {
+            node
+            for subscriber in network.subscribers()
+            for path in network.independent_paths(subscriber)
+            for node in path[1:-1]
+        }
         interior = [
-            node for node in network.brokers() if 0 < len(node)
+            node for node in network.brokers() if node in interior_positions
         ]
         dropper_count = round(dropper_fraction * len(interior))
         self.droppers: set[Hashable] = set(

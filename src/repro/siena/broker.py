@@ -36,6 +36,7 @@ class BrokerStats:
     subscriptions_forwarded: int = 0
     match_tests: int = 0
     deliveries: int = 0
+    dropped_while_down: int = 0
 
     def reset(self) -> None:
         for name in vars(self):
@@ -69,6 +70,10 @@ class Broker:
     ):
         self.broker_id = broker_id
         self.match = match
+        self.alive = True
+        #: Bumped on every restart; neighbours use it to detect that a
+        #: broker lost its volatile routing state and needs replays.
+        self.incarnation = 0
         self.parent: Optional[Hashable] = None
         self.send_parent: Optional[Callable[[str, object], None]] = None
         self.children: dict[Hashable, Callable[[str, object], None]] = {}
@@ -111,6 +116,43 @@ class Broker:
         """Attach a local client (subscriber endpoint)."""
         self.clients[client_id] = deliver
 
+    # -- failure lifecycle ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the broker down: every message it receives is dropped."""
+        self.alive = False
+
+    def restart(self) -> None:
+        """Bring the broker back up with *empty* volatile routing state.
+
+        Subscription tables are in-memory state, so a restarted broker
+        remembers nothing; neighbours must replay their filters
+        (:meth:`replay_upstream`) before routing through it works again.
+        """
+        self.alive = True
+        self.incarnation += 1
+        self.subscriptions = []
+        self.forwarded_upstream = []
+        self._index_ids = {}
+        if self._index is not None:
+            from repro.siena.index import MatchIndex
+
+            self._index = MatchIndex()
+
+    def replay_upstream(self) -> int:
+        """Re-announce every forwarded filter to the parent.
+
+        Called when this broker observes its parent restarting; returns
+        the number of filters replayed.  Replays bypass the covering
+        suppression because the parent's table is known to be empty.
+        """
+        if self.send_parent is None:
+            return 0
+        for forwarded in list(self.forwarded_upstream):
+            self.stats.subscriptions_forwarded += 1
+            self.send_parent("subscribe", forwarded)
+        return len(self.forwarded_upstream)
+
     # -- subscription plane --------------------------------------------------
 
     def subscribe(self, interface: Interface, subscription_filter: Filter) -> None:
@@ -119,6 +161,9 @@ class Broker:
         The filter is forwarded to the parent only when no previously
         forwarded filter covers it (Section 2.1).
         """
+        if not self.alive:
+            self.stats.dropped_while_down += 1
+            return
         self.stats.subscriptions_received += 1
         for existing in self.subscriptions:
             if existing.filter == subscription_filter:
@@ -159,6 +204,9 @@ class Broker:
         withdrawn and filters that the departed one was covering are
         announced (Siena's unsubscription semantics).
         """
+        if not self.alive:
+            self.stats.dropped_while_down += 1
+            return
         changed = False
         for existing in list(self.subscriptions):
             if existing.filter == subscription_filter:
@@ -205,6 +253,9 @@ class Broker:
         Returns the number of interfaces the event was forwarded or
         delivered on (the broker's fan-out for this event).
         """
+        if not self.alive:
+            self.stats.dropped_while_down += 1
+            return 0
         self.stats.events_received += 1
         forwarded_to: set[Interface] = set()
         if self._index is not None:

@@ -42,6 +42,7 @@ class BrokerTree:
         self.arity = arity
         self.brokers: dict[Hashable, Broker] = {}
         self._subscriber_home: dict[Hashable, Hashable] = {}
+        self._client_filters: dict[Hashable, list[Filter]] = {}
         self._message_count = 0
 
         for index in range(num_brokers):
@@ -128,6 +129,9 @@ class BrokerTree:
         broker_id = self._subscriber_home.get(subscriber_id)
         if broker_id is None:
             raise KeyError(f"subscriber {subscriber_id!r} is not attached")
+        self._client_filters.setdefault(subscriber_id, []).append(
+            subscription_filter
+        )
         self.brokers[broker_id].subscribe(subscriber_id, subscription_filter)
 
     def unsubscribe(
@@ -137,11 +141,44 @@ class BrokerTree:
         broker_id = self._subscriber_home.get(subscriber_id)
         if broker_id is None:
             raise KeyError(f"subscriber {subscriber_id!r} is not attached")
+        issued = self._client_filters.get(subscriber_id, [])
+        if subscription_filter in issued:
+            issued.remove(subscription_filter)
         self.brokers[broker_id].unsubscribe(subscriber_id, subscription_filter)
 
     def publish(self, event: Event) -> int:
         """Inject *event* at the root; returns the root's fan-out."""
         return self.root.publish(event, arrived_from=None)
+
+    # -- failure lifecycle ---------------------------------------------------
+
+    def crash_broker(self, broker_id: Hashable) -> None:
+        """Take one broker down; messages through it are silently lost."""
+        self.brokers[broker_id].crash()
+
+    def restart_broker(self, broker_id: Hashable, replay: bool = True) -> None:
+        """Restart a crashed broker with empty routing state.
+
+        With *replay* (the default), the recovery protocol runs
+        synchronously: surviving children re-announce their forwarded
+        filter tables and locally attached subscribers re-issue their
+        subscriptions, which the restarted broker re-forwards upstream
+        as usual.  ``replay=False`` models the window before neighbours
+        notice the restart.
+        """
+        broker = self.brokers[broker_id]
+        broker.restart()
+        if not replay:
+            return
+        for child_id in broker.children:
+            self.brokers[child_id].replay_upstream()
+        for subscriber_id, home in self._subscriber_home.items():
+            if home != broker_id:
+                continue
+            for subscription_filter in self._client_filters.get(
+                subscriber_id, []
+            ):
+                broker.subscribe(subscriber_id, subscription_filter)
 
     # -- accounting ----------------------------------------------------------
 

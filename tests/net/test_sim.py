@@ -96,6 +96,22 @@ def test_schedule_at_absolute_time():
     assert sim.now == 5.0
 
 
+def test_schedule_at_past_time_raises():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError, match="time 1.0.*before now 2.0"):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_schedule_at_current_time_is_allowed():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: sim.schedule_at(1.0, lambda: fired.append(1)))
+    sim.run()
+    assert fired == [1]
+
+
 def test_step_returns_false_when_empty():
     assert Simulator().step() is False
 

@@ -93,6 +93,36 @@ def test_analytic_rate_properties():
         analytic_delivery_rate(1.5, 4, 2)
 
 
+class _IntIdNetwork:
+    """A tiny duck-typed overlay whose broker ids are plain ints.
+
+    Regression guard: dropper selection used to probe ``len(node)`` on
+    every broker id, which raises TypeError for unsized ids like these.
+    """
+
+    def brokers(self):
+        return [0, 1, 2, 3, 4]
+
+    def subscribers(self):
+        return ["s"]
+
+    def independent_paths(self, subscriber, count=None):
+        return [["pub", 1, 2, subscriber], ["pub", 3, 4, subscriber]]
+
+
+def test_droppers_selected_for_unsized_node_ids():
+    network = _IntIdNetwork()
+    dropping = DroppingNetwork(network, dropper_fraction=1.0, seed=1)
+    # Every interior path position is a candidate; the publisher (path
+    # head), the subscriber (path tail) and off-path broker 0 are not.
+    assert dropping.droppers == {1, 2, 3, 4}
+    assert not dropping.copy_survives(["pub", 1, 2, "s"])
+    assert dropping.copy_survives(["pub", "s"])
+
+    none = DroppingNetwork(network, dropper_fraction=0.0, seed=1)
+    assert none.droppers == set()
+
+
 def test_dropper_fraction_validated():
     network, _ = _router()
     with pytest.raises(ValueError):

@@ -60,6 +60,17 @@ def test_topology(capsys):
     assert "RTT mean" in output
 
 
+def test_chaos(capsys):
+    assert main(["chaos", "--seed", "7", "--duration", "1",
+                 "--rate", "20"]) == 0
+    output = capsys.readouterr().out
+    assert "Chaos run: seed 7" in output
+    assert "fire-and-forget" in output
+    assert "reliable" in output
+    assert "delivery" in output
+    assert "Multipath G_ind" in output
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["no-such-command"])
