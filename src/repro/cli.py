@@ -13,7 +13,9 @@ writing code:
                         overlay RTT statistics;
 - ``chaos``          -- run pub-sub workloads under injected broker
                         crashes and link loss, comparing fire-and-forget
-                        against reliable at-least-once delivery.
+                        against reliable at-least-once delivery; the
+                        ``kdc`` scenario takes KDC replicas down across
+                        an epoch boundary and measures decrypt success.
 """
 
 from __future__ import annotations
@@ -176,28 +178,50 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.harness.chaos import (
-        ChaosConfig,
-        format_chaos_report,
-        run_chaos,
-    )
-
-    config = ChaosConfig(
-        seed=args.seed,
-        duration=args.duration,
-        publish_rate=args.rate,
-        crash_probability=args.crash_prob,
-        crash_duration=args.crash_duration,
-        link_loss=args.link_loss,
-        redundancy=args.redundancy,
-        num_brokers=args.brokers,
-    )
+    sections = []
     try:
-        report = run_chaos(config)
+        if args.scenario in ("all", "overlay"):
+            from repro.harness.chaos import (
+                ChaosConfig,
+                format_chaos_report,
+                run_chaos,
+            )
+
+            config = ChaosConfig(
+                seed=args.seed,
+                duration=args.duration,
+                publish_rate=args.rate,
+                crash_probability=args.crash_prob,
+                crash_duration=args.crash_duration,
+                link_loss=args.link_loss,
+                redundancy=args.redundancy,
+                num_brokers=args.brokers,
+            )
+            sections.append(format_chaos_report(run_chaos(config)))
+        if args.scenario in ("all", "kdc"):
+            from repro.harness.kdcchaos import (
+                KdcChaosConfig,
+                format_kdc_chaos_report,
+                run_kdc_chaos,
+            )
+
+            kdc_config = KdcChaosConfig(
+                seed=args.seed,
+                duration=args.duration,
+                publish_rate=args.rate,
+                epoch_length=args.epoch_length,
+                replicas=args.kdc_replicas,
+                subscribers=args.subscribers,
+                grace_period=args.grace,
+                outage_duration=args.outage,
+            )
+            sections.append(
+                format_kdc_chaos_report(run_kdc_chaos(kdc_config))
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(format_chaos_report(report))
+    print("\n\n".join(sections))
     return 0
 
 
@@ -254,6 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="measure delivery under injected broker crashes and link loss",
     )
+    chaos.add_argument(
+        "--scenario", choices=["all", "overlay", "kdc"], default="all",
+        help="overlay = broker-crash delivery experiments, "
+        "kdc = key-service outage across an epoch boundary",
+    )
     chaos.add_argument("--seed", type=int, default=7)
     chaos.add_argument("--duration", type=float, default=5.0)
     chaos.add_argument("--rate", type=float, default=40.0,
@@ -268,6 +297,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="multipath redundancy k for the reliable run")
     chaos.add_argument("--brokers", type=int, default=15,
                        help="tree overlay size")
+    chaos.add_argument("--epoch-length", type=float, default=2.0,
+                       help="kdc scenario: topic epoch length in seconds")
+    chaos.add_argument("--kdc-replicas", type=int, default=3,
+                       help="kdc scenario: replicas in the replicated run")
+    chaos.add_argument("--subscribers", type=int, default=8,
+                       help="kdc scenario: subscriber count")
+    chaos.add_argument("--grace", type=float, default=1.0,
+                       help="kdc scenario: post-expiry grace window")
+    chaos.add_argument("--outage", type=float, default=1.0,
+                       help="kdc scenario: outage straddling the boundary")
     chaos.set_defaults(handler=_cmd_chaos)
     return parser
 

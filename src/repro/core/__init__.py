@@ -30,7 +30,14 @@ from repro.core.category import CategoryKeySpace, CategoryTree
 from repro.core.composite import CompositeKeySpace
 from repro.core.envelope import SealedEvent, open_event, seal_event
 from repro.core.epochs import AdaptiveEpochPolicy, StaticEpochPolicy
-from repro.core.kdc import KDC, AuthorizationGrant
+from repro.core.kdc import (
+    KDC,
+    AuthorizationDenied,
+    AuthorizationGrant,
+    KDCUnavailableError,
+)
+from repro.core.kdcclient import ClientRetryPolicy, KDCClient
+from repro.core.kdcservice import KDCCluster, KDCReplica
 from repro.core.ktid import KTID
 from repro.core.nakt import NumericKeySpace
 from repro.core.publisher import Publisher
@@ -49,10 +56,16 @@ __all__ = [
     "KDC",
     "KTID",
     "AdaptiveEpochPolicy",
+    "AuthorizationDenied",
     "AuthorizationGrant",
     "CategoryKeySpace",
     "CategoryTree",
+    "ClientRetryPolicy",
     "CompositeKeySpace",
+    "KDCClient",
+    "KDCCluster",
+    "KDCReplica",
+    "KDCUnavailableError",
     "KeyCache",
     "NumericKeySpace",
     "Publisher",

@@ -38,6 +38,24 @@ from repro.siena.operators import Op
 TOPIC_COMPONENT = "topic"
 
 
+class KDCUnavailableError(RuntimeError):
+    """No KDC (replica) could serve the request.
+
+    Retryable: the caller may try again later.  The networked client
+    raises it only after exhausting replicas, retries, and breakers; a
+    direct in-process binding raises it to model an unreachable KDC.
+    """
+
+
+class AuthorizationDenied(PermissionError):
+    """The KDC refuses to authorize a revoked (subscriber, topic) pair.
+
+    Lazy revocation (Section 3.1): existing grants lapse at their epoch's
+    end, and the denial takes effect at the next renewal attempt.  This
+    error is *terminal* -- clients must not retry it against a replica.
+    """
+
+
 @dataclass
 class TopicConfig:
     """Registration record for one topic namespace.
@@ -136,6 +154,7 @@ class KDC:
         self,
         master_key: bytes | None = None,
         registry: dict[str, TopicConfig] | None = None,
+        revocations: set[tuple[str, str]] | None = None,
     ):
         self.master_key = master_key if master_key is not None else os.urandom(
             KEY_BYTES
@@ -145,6 +164,11 @@ class KDC:
         #: Topic registry -- public configuration, not secret state.
         self.registry: dict[str, TopicConfig] = (
             registry if registry is not None else {}
+        )
+        #: Revoked ``(subscriber, topic)`` pairs (lazy revocation: the
+        #: denial bites at the next renewal, not mid-epoch).
+        self.revocations: set[tuple[str, str]] = (
+            revocations if revocations is not None else set()
         )
         self.stats = KDCStats()
 
@@ -182,9 +206,21 @@ class KDC:
             raise KeyError(f"topic {topic!r} is not registered with the KDC")
         return self.registry[topic]
 
+    def revoke(self, subscriber: str, topic: str) -> None:
+        """Deny future grants for *(subscriber, topic)* (lazy revocation)."""
+        self.revocations.add((subscriber, topic))
+
+    def reinstate(self, subscriber: str, topic: str) -> None:
+        """Lift a revocation."""
+        self.revocations.discard((subscriber, topic))
+
     def replicate(self) -> "KDC":
         """Spin up a replica: shares only ``rk(KDC)`` and the public registry."""
-        return KDC(master_key=self.master_key, registry=self.registry)
+        return KDC(
+            master_key=self.master_key,
+            registry=self.registry,
+            revocations=self.revocations,
+        )
 
     # -- epochs --------------------------------------------------------------
 
@@ -196,16 +232,31 @@ class KDC:
         return fraction * config.epoch_length
 
     def epoch_of(self, topic: str, at_time: float) -> int:
-        """The epoch number containing *at_time* for *topic*."""
+        """The epoch number containing *at_time* for *topic*.
+
+        Epochs are the half-open intervals ``[epoch_start(e),
+        epoch_start(e + 1))``; the fixup below keeps the division
+        consistent with :meth:`epoch_start` when *at_time* is exactly a
+        boundary value (float division can land a hair on either side,
+        which would seal a boundary-instant event under the wrong key).
+        """
         config = self.config_for(topic)
         shifted = at_time - self._epoch_offset(topic)
-        return int(shifted // config.epoch_length)
+        epoch = int(shifted // config.epoch_length)
+        if at_time >= self.epoch_start(topic, epoch + 1):
+            epoch += 1
+        elif at_time < self.epoch_start(topic, epoch):
+            epoch -= 1
+        return epoch
+
+    def epoch_start(self, topic: str, epoch: int) -> float:
+        """Wall-clock start of epoch number *epoch* for *topic*."""
+        config = self.config_for(topic)
+        return epoch * config.epoch_length + self._epoch_offset(topic)
 
     def epoch_end(self, topic: str, at_time: float) -> float:
         """Wall-clock end of the epoch containing *at_time*."""
-        config = self.config_for(topic)
-        epoch = self.epoch_of(topic, at_time)
-        return (epoch + 1) * config.epoch_length + self._epoch_offset(topic)
+        return self.epoch_start(topic, self.epoch_of(topic, at_time) + 1)
 
     # -- key derivation ---------------------------------------------------------
 
@@ -214,14 +265,19 @@ class KDC:
         topic: str,
         at_time: float = 0.0,
         publisher: str | None = None,
+        epoch: int | None = None,
     ) -> bytes:
         """Epoch-scoped topic key ``K(w)`` or per-publisher ``K_P(w)``.
 
         All authorization and encryption keys for the epoch root here, so
-        epoch rollover is the lazy-revocation rekey of Section 3.1.
+        epoch rollover is the lazy-revocation rekey of Section 3.1.  An
+        explicit *epoch* pins the derivation regardless of *at_time* (used
+        by boundary-exact renewals, where float division on ``at_time``
+        could otherwise land in the epoch that is ending).
         """
         config = self.config_for(topic)
-        epoch = self.epoch_of(topic, at_time)
+        if epoch is None:
+            epoch = self.epoch_of(topic, at_time)
         if config.per_publisher:
             if not publisher:
                 raise ValueError(
@@ -259,6 +315,7 @@ class KDC:
         filters: Filter | list[Filter],
         at_time: float = 0.0,
         publisher: str | None = None,
+        min_epoch: int | None = None,
     ) -> AuthorizationGrant:
         """Issue the authorization grant for a subscription filter.
 
@@ -269,13 +326,26 @@ class KDC:
         constrained securable attributes get minimal-cover keys,
         unconstrained ones get root keys, and clauses with no securable
         constraint additionally get the topic component for plain events.
+
+        *min_epoch* floors the granted epoch: a renewal issued at exactly
+        the old grant's ``expires_at`` must target the upcoming epoch even
+        when float division puts *at_time* a hair inside the ending one.
         """
         clauses = filter_as_clauses(filters)
         topic = self._clause_topic(clauses[0])
+        if (subscriber, topic) in self.revocations:
+            raise AuthorizationDenied(
+                f"subscriber {subscriber!r} is revoked on topic {topic!r}"
+            )
         config = self.config_for(topic)
         if config.epoch_policy is not None:
             config.epoch_policy.observe_subscription(at_time)
-        topic_key = self.topic_key(topic, at_time, publisher=publisher)
+        epoch = self.epoch_of(topic, at_time)
+        if min_epoch is not None and epoch < min_epoch:
+            epoch = min_epoch
+        topic_key = self.topic_key(
+            topic, at_time, publisher=publisher, epoch=epoch
+        )
 
         clause_grants: list[ClauseGrant] = []
         total_hash_ops = 1  # the topic-key KH
@@ -307,8 +377,8 @@ class KDC:
         grant = AuthorizationGrant(
             subscriber=subscriber,
             topic=topic,
-            epoch=self.epoch_of(topic, at_time),
-            expires_at=self.epoch_end(topic, at_time),
+            epoch=epoch,
+            expires_at=self.epoch_start(topic, epoch + 1),
             clauses=tuple(clause_grants),
             hash_operations=total_hash_ops,
         )

@@ -1,0 +1,362 @@
+"""Failover client for the replicated KDC service.
+
+``KDCClient`` is what a subscriber's :class:`~repro.core.renewal.RenewalManager`
+(or a publisher) binds instead of an in-process :class:`~repro.core.kdc.KDC`
+when the key service runs as :class:`~repro.core.kdcservice.KDCCluster`
+replicas on the fault-injectable network.  It supplies the client half of
+the availability story:
+
+- **replica failover** -- attempts rotate through the replica list,
+  sticking to the last replica that answered (and following a primary
+  redirect for mutations);
+- **retry with exponential backoff + jitter** -- each attempt's timeout
+  grows by ``backoff`` and is jittered to desynchronize renewal storms
+  at epoch boundaries;
+- **request deduplication** -- every logical request carries one request
+  id across all its attempts, so a replica that already served it (the
+  *reply* was lost, not the request) answers from its dedup cache and a
+  grant is never double-issued or double-billed;
+- **circuit breaker** -- a replica that times out ``breaker_threshold``
+  times in a row is skipped for ``breaker_cooldown`` seconds instead of
+  eating a full timeout on every renewal (half-open probing resumes
+  after the cooldown).
+
+The API is callback-based because the client lives on the simulator
+clock: ``authorize`` *initiates* a request and returns; ``on_grant`` /
+``on_error`` fire when it resolves, possibly several failovers later.
+``on_error`` receives :class:`~repro.core.kdc.KDCUnavailableError` once
+retries are exhausted (retryable) or
+:class:`~repro.core.kdc.AuthorizationDenied` on revocation (terminal).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+from repro.core.kdc import (
+    AuthorizationDenied,
+    AuthorizationGrant,
+    KDCUnavailableError,
+)
+from repro.core.kdcservice import KDCRequest, KDCResponse
+from repro.net.service import ServiceNetwork
+from repro.siena.filters import Filter
+
+
+@dataclass
+class ClientRetryPolicy:
+    """Retry/failover knobs for one :class:`KDCClient`."""
+
+    #: Reply timeout for the first attempt; must exceed one RPC round trip.
+    timeout: float = 0.03
+    #: Total attempts per logical request, across all replicas.
+    max_attempts: int = 8
+    #: Multiplier applied to the timeout after every failed attempt.
+    backoff: float = 1.5
+    #: Uniform +-fraction perturbing each timeout.
+    jitter: float = 0.2
+    #: Consecutive timeouts before a replica's breaker opens.
+    breaker_threshold: int = 3
+    #: Seconds an open breaker skips its replica before half-open probing.
+    breaker_cooldown: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.backoff < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter fraction must be within [0, 1)")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker threshold must be at least one")
+        if self.breaker_cooldown < 0:
+            raise ValueError("breaker cooldown must be non-negative")
+
+    def timeout_for(self, attempt: int, rng: random.Random) -> float:
+        """The reply timeout for (0-based) *attempt*, with jitter."""
+        timeout = self.timeout * (self.backoff ** attempt)
+        if self.jitter:
+            timeout *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return timeout
+
+
+@dataclass
+class KDCClientStats:
+    """What the client's availability machinery did."""
+
+    requests: int = 0
+    successes: int = 0
+    #: Requests that exhausted every attempt (KDC unavailable).
+    failures: int = 0
+    #: Terminal denials (revocation) -- not retried.
+    denied: int = 0
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    #: Attempts that switched to a different replica than the previous one.
+    failovers: int = 0
+    breaker_opens: int = 0
+    #: Candidate replicas skipped because their breaker was open.
+    breaker_skips: int = 0
+    #: Mutation attempts redirected to the view's primary.
+    redirects: int = 0
+    #: Replies that arrived after their attempt had already timed out
+    #: (accepted anyway -- request ids make them safe).
+    late_replies: int = 0
+
+
+class _Breaker:
+    """Per-replica consecutive-failure circuit breaker."""
+
+    def __init__(self) -> None:
+        self.consecutive_failures = 0
+        self.open_until = -math.inf
+
+    def available(self, now: float) -> bool:
+        return now >= self.open_until
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.open_until = -math.inf
+
+    def record_failure(self, now: float, policy: ClientRetryPolicy) -> bool:
+        """Count one failure; returns True when this opens the breaker."""
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= policy.breaker_threshold:
+            self.open_until = now + policy.breaker_cooldown
+            self.consecutive_failures = 0
+            return True
+        return False
+
+
+class _Call:
+    """One logical request's lifecycle across attempts."""
+
+    def __init__(self, request: KDCRequest, on_ok, on_error):
+        self.request = request
+        self.on_ok = on_ok
+        self.on_error = on_error
+        self.done = False
+        self.attempt = 0
+        self.last_replica: Hashable | None = None
+        self.primary_hint: Hashable | None = None
+        self.timer = None
+
+
+class KDCClient:
+    """Replica-failover access to a :class:`~repro.core.kdcservice.KDCCluster`."""
+
+    #: Marks the callback-based API for :class:`RenewalManager` binding.
+    is_async_client = True
+
+    def __init__(
+        self,
+        network: ServiceNetwork,
+        client_id: Hashable,
+        replica_ids: Iterable[Hashable],
+        policy: ClientRetryPolicy | None = None,
+        seed: int = 0,
+    ):
+        self.network = network
+        self.client_id = client_id
+        self.replica_ids = list(replica_ids)
+        if not self.replica_ids:
+            raise ValueError("need at least one replica address")
+        self.policy = policy if policy is not None else ClientRetryPolicy()
+        self.stats = KDCClientStats()
+        self._rng = random.Random(seed)
+        self._counter = itertools.count()
+        self._breakers = {rid: _Breaker() for rid in self.replica_ids}
+        #: Sticky preference: the last replica that answered successfully.
+        self._preferred = self.replica_ids[0]
+
+    def now(self) -> float:
+        """The client's clock (the simulator's virtual time)."""
+        return self.network.sim.now
+
+    # -- public operations -----------------------------------------------------
+
+    def authorize(
+        self,
+        subscriber: str,
+        filters: Filter | list[Filter],
+        at_time: float = 0.0,
+        publisher: str | None = None,
+        min_epoch: int | None = None,
+        on_grant: Callable[[AuthorizationGrant], None] = lambda grant: None,
+        on_error: Callable[[Exception], None] = lambda error: None,
+    ) -> None:
+        """Request an authorization grant (idempotent across retries)."""
+        self._call(
+            KDCRequest(
+                "authorize",
+                self._next_request_id(),
+                {
+                    "subscriber": subscriber,
+                    "filters": filters,
+                    "at_time": at_time,
+                    "publisher": publisher,
+                    "min_epoch": min_epoch,
+                },
+            ),
+            on_grant,
+            on_error,
+        )
+
+    def publisher_key(
+        self,
+        topic: str,
+        publisher: str,
+        at_time: float = 0.0,
+        on_key: Callable[[bytes], None] = lambda key: None,
+        on_error: Callable[[Exception], None] = lambda error: None,
+    ) -> None:
+        """Fetch the epoch's (per-)publisher topic key."""
+        self._call(
+            KDCRequest(
+                "publisher_key",
+                self._next_request_id(),
+                {"topic": topic, "publisher": publisher, "at_time": at_time},
+            ),
+            on_key,
+            on_error,
+        )
+
+    def admin(
+        self,
+        op: str,
+        args: tuple,
+        on_ok: Callable[[object], None] = lambda value: None,
+        on_error: Callable[[Exception], None] = lambda error: None,
+    ) -> None:
+        """Submit a registry mutation (routed/redirected to the primary)."""
+        self._call(
+            KDCRequest(
+                "admin",
+                self._next_request_id(),
+                {"op": op, "args": tuple(args)},
+            ),
+            on_ok,
+            on_error,
+        )
+
+    # -- the retry/failover engine --------------------------------------------
+
+    def _next_request_id(self) -> tuple:
+        return (self.client_id, next(self._counter))
+
+    def _pick_replica(self, call: _Call) -> Hashable:
+        """Next candidate: redirect hint, then ring order, skipping open
+        breakers (unless every breaker is open)."""
+        now = self.now()
+        hint = call.primary_hint
+        call.primary_hint = None
+        if hint in self._breakers and self._breakers[hint].available(now):
+            return hint
+        order = self.replica_ids
+        if call.last_replica in order:
+            start = order.index(call.last_replica) + 1
+        else:
+            start = order.index(self._preferred)
+        for shift in range(len(order)):
+            candidate = order[(start + shift) % len(order)]
+            if self._breakers[candidate].available(now):
+                return candidate
+            self.stats.breaker_skips += 1
+        # All breakers open: probe the one that reopens soonest.
+        return min(order, key=lambda rid: self._breakers[rid].open_until)
+
+    def _call(self, request: KDCRequest, on_ok, on_error) -> None:
+        self.stats.requests += 1
+        self._attempt(_Call(request, on_ok, on_error))
+
+    def _attempt(self, call: _Call) -> None:
+        if call.done:
+            return
+        if call.attempt >= self.policy.max_attempts:
+            call.done = True
+            self.stats.failures += 1
+            call.on_error(
+                KDCUnavailableError(
+                    f"request {call.request.request_id} exhausted "
+                    f"{self.policy.max_attempts} attempts"
+                )
+            )
+            return
+        replica = self._pick_replica(call)
+        if call.attempt > 0:
+            self.stats.retries += 1
+            if replica != call.last_replica:
+                self.stats.failovers += 1
+        call.last_replica = replica
+        attempt = call.attempt
+        call.attempt += 1
+        self.stats.attempts += 1
+
+        def on_reply(reply: object) -> None:
+            self._resolve(call, replica, attempt, reply)
+
+        self.network.request(
+            self.client_id, replica, call.request, on_reply=on_reply
+        )
+        timeout = self.policy.timeout_for(attempt, self._rng)
+        call.timer = self.network.sim.schedule(
+            timeout, lambda: self._on_timeout(call, replica, attempt)
+        )
+
+    def _resolve(
+        self, call: _Call, replica: Hashable, attempt: int, reply: object
+    ) -> None:
+        if call.done or not isinstance(reply, KDCResponse):
+            return
+        if attempt != call.attempt - 1:
+            # A reply from a superseded (timed-out) attempt; the request
+            # id made the work idempotent, so accept it as the answer.
+            self.stats.late_replies += 1
+        if call.timer is not None:
+            call.timer.cancel()
+        if reply.ok:
+            call.done = True
+            self._breakers[replica].record_success()
+            self._preferred = replica
+            self.stats.successes += 1
+            call.on_ok(reply.value)
+            return
+        if reply.retryable:
+            # The replica is alive but cannot serve (recovering, or not
+            # the primary for a mutation): fail over immediately, using
+            # its view of the leadership as a routing hint.
+            if reply.error == "not_primary" and reply.primary is not None:
+                call.primary_hint = reply.primary
+                self.stats.redirects += 1
+            self.network.sim.schedule(0.0, lambda: self._attempt(call))
+            return
+        call.done = True
+        if reply.error == "denied":
+            self.stats.denied += 1
+            call.on_error(
+                AuthorizationDenied(
+                    f"request {call.request.request_id} denied"
+                )
+            )
+            return
+        self.stats.failures += 1
+        call.on_error(
+            ValueError(f"request {call.request.request_id}: {reply.error}")
+        )
+
+    def _on_timeout(
+        self, call: _Call, replica: Hashable, attempt: int
+    ) -> None:
+        if call.done or attempt != call.attempt - 1:
+            return
+        self.stats.timeouts += 1
+        if self._breakers[replica].record_failure(self.now(), self.policy):
+            self.stats.breaker_opens += 1
+        self._attempt(call)

@@ -1,0 +1,537 @@
+"""A highly-available KDC: replicas as nodes on the simulated network.
+
+Section 3.2.1 makes the KDC *stateless*: every key is re-derivable from
+``rk(KDC)``, so it "can be replicated on demand with no consistency
+protocol".  What that sentence glosses over is the small **mutable
+registry** every replica still needs -- topic configurations, epoch
+retunes, and revocations.  This module supplies the missing piece:
+
+- :class:`KDCReplica` -- one service node wrapping a stateless
+  :class:`~repro.core.kdc.KDC` that shares the cluster master key but
+  owns a *private* copy of the registry, reconstructed purely from a
+  replicated command log (replicas never share Python state);
+- :class:`KDCCluster` -- N replicas with **epoch-numbered leadership**
+  (a view counter bumped on every primary change) and a deterministic
+  primary-backup registry log: mutations go to the primary, are
+  replicated to backups, and anti-entropy sync plus **catch-up on
+  restart** bound every replica's staleness;
+- request **deduplication**: every client request carries a request id
+  and replicas memoize their responses, so a retransmitted authorize /
+  renew (the reply was lost, not the request) is answered from the
+  cache instead of being re-issued -- making the client's at-least-once
+  retry loop observably idempotent.
+
+Key derivations (``authorize``, ``publisher_key``) are served by *any*
+alive, caught-up replica -- that is the paper's availability argument.
+Only registry mutations need the primary.  A replica that is down, or
+recovering until its catch-up completes, simply refuses -- the
+:class:`~repro.core.kdcclient.KDCClient` fails over to the next one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.core.composite import CompositeKeySpace
+from repro.core.kdc import (
+    KDC,
+    AuthorizationDenied,
+    TopicConfig,
+)
+from repro.net.faults import FaultInjector
+from repro.net.service import ServiceNetwork
+
+#: How many memoized responses a replica keeps for request dedup.
+DEDUP_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class RegistryCommand:
+    """One replicated registry mutation (1-based *seq* in the log)."""
+
+    seq: int
+    op: str  # "register_topic" | "set_epoch_length" | "revoke" | "reinstate"
+    args: tuple
+
+
+@dataclass(frozen=True)
+class KDCRequest:
+    """One control-plane message to a replica."""
+
+    kind: str  # "authorize" | "publisher_key" | "admin" | "sync" | "replicate"
+    request_id: tuple | None
+    payload: dict
+
+
+@dataclass
+class KDCResponse:
+    """A replica's answer, with its view of the leadership for redirects."""
+
+    ok: bool
+    value: object = None
+    #: "denied" and "bad_request" are terminal; "recovering",
+    #: "not_primary", and "stale" invite a failover to another replica.
+    error: str | None = None
+    view: int = 0
+    primary: Hashable | None = None
+
+    @property
+    def retryable(self) -> bool:
+        return self.error in ("recovering", "not_primary", "stale")
+
+
+@dataclass
+class ReplicaStats:
+    """Per-replica accounting for the chaos reports."""
+
+    requests_served: int = 0
+    authorizations: int = 0
+    publisher_keys: int = 0
+    dedup_hits: int = 0
+    commands_applied: int = 0
+    syncs_served: int = 0
+    catchups_completed: int = 0
+    rejected_recovering: int = 0
+    rejected_not_primary: int = 0
+    denials: int = 0
+
+
+@dataclass
+class ClusterStats:
+    """Cluster-wide leadership accounting."""
+
+    view_changes: int = 0
+    #: ``(time, view, primary)`` leadership history.
+    leadership_log: list[tuple[float, int, Hashable]] = field(
+        default_factory=list
+    )
+
+
+class KDCReplica:
+    """One KDC service node: stateless derivation + replicated registry."""
+
+    def __init__(self, replica_id: Hashable, master_key: bytes):
+        self.replica_id = replica_id
+        self.kdc = KDC(master_key=master_key)
+        #: The replicated registry log this replica has applied, in order.
+        self.log: list[RegistryCommand] = []
+        #: A restarted replica refuses service until caught up.
+        self.recovering = False
+        self.stats = ReplicaStats()
+        self._dedup: dict[tuple, KDCResponse] = {}
+        self._dedup_order: deque[tuple] = deque()
+
+    @property
+    def applied_seq(self) -> int:
+        return len(self.log)
+
+    # -- log ------------------------------------------------------------------
+
+    def append(self, command: RegistryCommand) -> bool:
+        """Apply *command* if it is exactly the next log entry.
+
+        Applies before appending, so a command that fails validation
+        leaves the log untouched.
+        """
+        if command.seq != self.applied_seq + 1:
+            return False
+        self._apply(command)
+        self.log.append(command)
+        self.stats.commands_applied += 1
+        return True
+
+    def _apply(self, command: RegistryCommand) -> None:
+        if command.op == "register_topic":
+            topic, schema, epoch_length, per_publisher = command.args
+            self.kdc.register_topic(
+                topic, schema, epoch_length, per_publisher
+            )
+        elif command.op == "set_epoch_length":
+            topic, length = command.args
+            if length <= 0:
+                raise ValueError("epoch length must be positive")
+            self.kdc.config_for(topic).epoch_length = length
+        elif command.op == "revoke":
+            self.kdc.revoke(*command.args)
+        elif command.op == "reinstate":
+            self.kdc.reinstate(*command.args)
+        else:  # pragma: no cover - commands are constructed internally
+            raise ValueError(f"unknown registry op {command.op!r}")
+
+    # -- request dedup --------------------------------------------------------
+
+    def _remember(self, request_id: tuple | None, response: KDCResponse) -> None:
+        if request_id is None:
+            return
+        if len(self._dedup) >= DEDUP_CAPACITY:
+            evicted = self._dedup_order.popleft()
+            self._dedup.pop(evicted, None)
+        self._dedup[request_id] = response
+        self._dedup_order.append(request_id)
+
+    # -- serving --------------------------------------------------------------
+
+    def serve(self, request: KDCRequest, view: int, primary: Hashable) -> KDCResponse:
+        """Answer one read/derive request (authorize / publisher_key)."""
+        self.stats.requests_served += 1
+        if request.request_id is not None:
+            cached = self._dedup.get(request.request_id)
+            if cached is not None:
+                self.stats.dedup_hits += 1
+                return cached
+        if self.recovering:
+            self.stats.rejected_recovering += 1
+            return KDCResponse(
+                ok=False, error="recovering", view=view, primary=primary
+            )
+        response = self._serve_fresh(request, view, primary)
+        # Retryable outcomes are transient by definition -- memoizing one
+        # would keep answering "stale" after the replica caught up.
+        if not response.retryable:
+            self._remember(request.request_id, response)
+        return response
+
+    def _serve_fresh(
+        self, request: KDCRequest, view: int, primary: Hashable
+    ) -> KDCResponse:
+        payload = request.payload
+        try:
+            if request.kind == "authorize":
+                grant = self.kdc.authorize(
+                    payload["subscriber"],
+                    payload["filters"],
+                    at_time=payload.get("at_time", 0.0),
+                    publisher=payload.get("publisher"),
+                    min_epoch=payload.get("min_epoch"),
+                )
+                self.stats.authorizations += 1
+                return KDCResponse(
+                    ok=True, value=grant, view=view, primary=primary
+                )
+            if request.kind == "publisher_key":
+                key = self.kdc.issue_publisher_key(
+                    payload["topic"],
+                    payload["publisher"],
+                    at_time=payload.get("at_time", 0.0),
+                )
+                self.stats.publisher_keys += 1
+                return KDCResponse(
+                    ok=True, value=key, view=view, primary=primary
+                )
+        except AuthorizationDenied:
+            self.stats.denials += 1
+            return KDCResponse(
+                ok=False, error="denied", view=view, primary=primary
+            )
+        except KeyError:
+            # An unknown topic on a backup is indistinguishable from a
+            # not-yet-replicated registration; only the primary -- the
+            # log authority -- may declare it terminally unregistered.
+            error = "bad_request" if self.replica_id == primary else "stale"
+            return KDCResponse(
+                ok=False, error=error, view=view, primary=primary
+            )
+        except (ValueError, TypeError):
+            return KDCResponse(
+                ok=False, error="bad_request", view=view, primary=primary
+            )
+        return KDCResponse(
+            ok=False, error="bad_request", view=view, primary=primary
+        )
+
+
+class KDCCluster:
+    """N KDC replicas with view-numbered leadership on a service network.
+
+    Replica crash/restart windows come from the *faults* injector (the
+    same one that breaks links), so one seeded
+    :class:`~repro.net.faults.FaultPlan` drives the whole failure
+    timeline.  Leadership is deterministic: the primary changes only
+    when the current primary crashes (or the first replica rejoins an
+    empty cluster), moving to the next alive replica in ring order and
+    bumping the view number.
+    """
+
+    def __init__(
+        self,
+        network: ServiceNetwork,
+        replica_ids: Iterable[Hashable],
+        master_key: bytes,
+        faults: FaultInjector | None = None,
+        sync_interval: float | None = 0.25,
+        catchup_retry: float = 0.1,
+    ):
+        self.network = network
+        self.sim = network.sim
+        self.replica_ids = list(replica_ids)
+        if not self.replica_ids:
+            raise ValueError("need at least one replica")
+        self.replicas = {
+            replica_id: KDCReplica(replica_id, master_key)
+            for replica_id in self.replica_ids
+        }
+        self.view = 0
+        self.primary_id: Hashable | None = self.replica_ids[0]
+        self.stats = ClusterStats()
+        self.catchup_retry = catchup_retry
+        for replica_id in self.replica_ids:
+            network.register(
+                replica_id,
+                lambda src, req, rid=replica_id: self._handle(rid, src, req),
+            )
+        if faults is not None:
+            faults.on_transition(self._on_transition)
+        if sync_interval is not None:
+            self._start_anti_entropy(sync_interval)
+
+    # -- bootstrap -------------------------------------------------------------
+
+    def register_topic(
+        self,
+        topic: str,
+        schema: CompositeKeySpace,
+        epoch_length: float = 3600.0,
+        per_publisher: bool = False,
+    ) -> None:
+        """Provision a topic on every replica (pre-run bootstrap path)."""
+        self._append_everywhere(
+            "register_topic", (topic, schema, epoch_length, per_publisher)
+        )
+
+    def revoke(self, subscriber: str, topic: str) -> None:
+        """Provisioning-path revocation (tests drive the RPC path too)."""
+        self._append_everywhere("revoke", (subscriber, topic))
+
+    def _append_everywhere(self, op: str, args: tuple) -> None:
+        primary = self._primary_replica()
+        if primary is None:
+            raise RuntimeError("no alive replica to accept the mutation")
+        command = RegistryCommand(primary.applied_seq + 1, op, args)
+        primary.append(command)
+        self._replicate(command)
+
+    # -- leadership ------------------------------------------------------------
+
+    def _primary_replica(self) -> KDCReplica | None:
+        if self.primary_id is None:
+            return None
+        return self.replicas[self.primary_id]
+
+    def _alive(self, replica_id: Hashable) -> bool:
+        return self.network.node_up(replica_id)
+
+    def _elect(self, after: Hashable | None) -> None:
+        """Move leadership to the next alive replica in ring order."""
+        order = self.replica_ids
+        start = (order.index(after) + 1) if after in order else 0
+        for shift in range(len(order)):
+            candidate = order[(start + shift) % len(order)]
+            if self._alive(candidate):
+                self.primary_id = candidate
+                break
+        else:
+            self.primary_id = None
+        self.view += 1
+        self.stats.view_changes += 1
+        self.stats.leadership_log.append(
+            (self.sim.now, self.view, self.primary_id)
+        )
+
+    def _on_transition(self, kind: str, node: Hashable) -> None:
+        replica = self.replicas.get(node)
+        if replica is None:
+            return
+        if kind == "crash":
+            if node == self.primary_id:
+                self._elect(after=node)
+            return
+        # Restart: rejoin as a recovering backup and catch up from the
+        # current primary; a lone rejoiner becomes primary outright (its
+        # log is the freshest one that still exists).
+        if self.primary_id is None:
+            self._elect(after=None)
+            return
+        if node == self.primary_id:
+            return
+        replica.recovering = True
+        self._catch_up(replica)
+
+    # -- replication -----------------------------------------------------------
+
+    def _replicate(self, command: RegistryCommand) -> None:
+        primary_id = self.primary_id
+        for replica_id in self.replica_ids:
+            if replica_id == primary_id:
+                continue
+            self.network.request(
+                primary_id,
+                replica_id,
+                KDCRequest("replicate", None, {"command": command}),
+            )
+
+    def _start_anti_entropy(self, interval: float) -> None:
+        """Backups periodically pull the log suffix they are missing.
+
+        This bounds staleness when a ``replicate`` message is lost on a
+        faulty link -- the deterministic stand-in for a retransmitting
+        replication stream.
+        """
+
+        def pull() -> None:
+            for replica_id, replica in self.replicas.items():
+                if (
+                    replica_id != self.primary_id
+                    and self._alive(replica_id)
+                    and not replica.recovering
+                ):
+                    self._sync_once(replica)
+            self.sim.schedule(interval, pull)
+
+        self.sim.schedule(interval, pull)
+
+    def _sync_once(self, replica: KDCReplica) -> None:
+        primary_id = self.primary_id
+        if primary_id is None or primary_id == replica.replica_id:
+            return
+        self.network.request(
+            replica.replica_id,
+            primary_id,
+            KDCRequest("sync", None, {"from_seq": replica.applied_seq}),
+            on_reply=lambda reply: self._absorb_sync(replica, reply),
+        )
+
+    def _absorb_sync(self, replica: KDCReplica, reply: object) -> None:
+        if not isinstance(reply, KDCResponse) or not reply.ok:
+            return
+        for command in reply.value:
+            replica.append(command)
+
+    # -- restart catch-up ------------------------------------------------------
+
+    def _catch_up(self, replica: KDCReplica) -> None:
+        """Pull the missed log suffix; retry until it lands."""
+        if not replica.recovering or not self._alive(replica.replica_id):
+            return
+        primary_id = self.primary_id
+        if primary_id is None or primary_id == replica.replica_id:
+            replica.recovering = False
+            return
+
+        def absorb(reply: object) -> None:
+            if not replica.recovering:
+                return
+            if isinstance(reply, KDCResponse) and reply.ok:
+                for command in reply.value:
+                    replica.append(command)
+                replica.recovering = False
+                replica.stats.catchups_completed += 1
+
+        self.network.request(
+            replica.replica_id,
+            primary_id,
+            KDCRequest("sync", None, {"from_seq": replica.applied_seq}),
+            on_reply=absorb,
+        )
+        # The reply may be lost on a faulty link: keep pulling until the
+        # catch-up completes (each attempt is idempotent).
+        self.sim.schedule(self.catchup_retry, lambda: self._catch_up(replica))
+
+    # -- request dispatch ------------------------------------------------------
+
+    def _handle(
+        self, replica_id: Hashable, src: Hashable, request: object
+    ) -> KDCResponse | None:
+        if not isinstance(request, KDCRequest):
+            return None
+        replica = self.replicas[replica_id]
+        if request.kind in ("authorize", "publisher_key"):
+            return replica.serve(request, self.view, self.primary_id)
+        if request.kind == "admin":
+            return self._handle_admin(replica, request)
+        if request.kind == "sync":
+            replica.stats.syncs_served += 1
+            from_seq = request.payload.get("from_seq", 0)
+            return KDCResponse(
+                ok=True,
+                value=list(replica.log[from_seq:]),
+                view=self.view,
+                primary=self.primary_id,
+            )
+        if request.kind == "replicate":
+            command = request.payload["command"]
+            if not replica.append(command) and command.seq > replica.applied_seq:
+                # A gap: an earlier replicate was lost; pull the suffix.
+                self._sync_once(replica)
+            return None
+        return KDCResponse(
+            ok=False,
+            error="bad_request",
+            view=self.view,
+            primary=self.primary_id,
+        )
+
+    def _handle_admin(
+        self, replica: KDCReplica, request: KDCRequest
+    ) -> KDCResponse:
+        replica.stats.requests_served += 1
+        if request.request_id is not None:
+            cached = replica._dedup.get(request.request_id)
+            if cached is not None:
+                replica.stats.dedup_hits += 1
+                return cached
+        if replica.replica_id != self.primary_id:
+            replica.stats.rejected_not_primary += 1
+            return KDCResponse(
+                ok=False,
+                error="not_primary",
+                view=self.view,
+                primary=self.primary_id,
+            )
+        if replica.recovering:
+            replica.stats.rejected_recovering += 1
+            return KDCResponse(
+                ok=False,
+                error="recovering",
+                view=self.view,
+                primary=self.primary_id,
+            )
+        op = request.payload["op"]
+        args = tuple(request.payload["args"])
+        try:
+            command = RegistryCommand(replica.applied_seq + 1, op, args)
+            replica.append(command)
+        except (KeyError, ValueError, TypeError):
+            response = KDCResponse(
+                ok=False,
+                error="bad_request",
+                view=self.view,
+                primary=self.primary_id,
+            )
+            replica._remember(request.request_id, response)
+            return response
+        self._replicate(command)
+        response = KDCResponse(
+            ok=True,
+            value=command.seq,
+            view=self.view,
+            primary=self.primary_id,
+        )
+        replica._remember(request.request_id, response)
+        return response
+
+    # -- introspection ---------------------------------------------------------
+
+    def registry_of(self, replica_id: Hashable) -> dict[str, TopicConfig]:
+        """A replica's current (private) registry view."""
+        return self.replicas[replica_id].kdc.registry
+
+    def converged(self) -> bool:
+        """Whether every alive replica has applied the same log."""
+        logs = [
+            tuple(replica.log)
+            for replica_id, replica in self.replicas.items()
+            if self._alive(replica_id)
+        ]
+        return len(set(logs)) <= 1

@@ -37,6 +37,9 @@ class SubscriberStats:
     events_unreadable: int = 0
     hash_operations: int = 0
     decrypt_operations: int = 0
+    #: Opens that only succeeded because an expired grant was still
+    #: inside the post-expiry grace window (degraded-mode indicator).
+    grace_opens: int = 0
 
     def reset(self) -> None:
         for name in vars(self):
@@ -44,10 +47,25 @@ class SubscriberStats:
 
 
 class Subscriber:
-    """A subscribing principal holding authorization grants."""
+    """A subscribing principal holding authorization grants.
 
-    def __init__(self, subscriber_id: str, cache_bytes: int = 64 * 1024):
+    *grace_period* keeps an expired grant usable for that many seconds
+    past its epoch's end.  The grant's keys still only open events sealed
+    *in its own epoch*, so grace does not extend read access to new
+    events; it keeps in-flight old-epoch events decryptable when delivery
+    (or a KDC outage delaying the renewal) straddles the boundary.
+    """
+
+    def __init__(
+        self,
+        subscriber_id: str,
+        cache_bytes: int = 64 * 1024,
+        grace_period: float = 0.0,
+    ):
+        if grace_period < 0:
+            raise ValueError("grace period must be non-negative")
         self.subscriber_id = subscriber_id
+        self.grace_period = grace_period
         self.grants: list[AuthorizationGrant] = []
         self.cache = KeyCache(cache_bytes)
         self.stats = SubscriberStats()
@@ -64,8 +82,12 @@ class Subscriber:
         self.grants.append(grant)
 
     def active_grants(self, at_time: float = 0.0) -> list[AuthorizationGrant]:
-        """Grants whose epoch has not ended at *at_time*."""
-        return [g for g in self.grants if at_time < g.expires_at]
+        """Grants usable at *at_time* (epoch unexpired, or within grace)."""
+        return [
+            g
+            for g in self.grants
+            if at_time < g.expires_at + self.grace_period
+        ]
 
     def drop_expired(self, at_time: float) -> int:
         """Discard expired grants; returns how many were dropped."""
@@ -104,6 +126,8 @@ class Subscriber:
                     self.stats.events_opened += 1
                     self.stats.hash_operations += result.hash_operations
                     self.stats.decrypt_operations += result.decrypt_operations
+                    if at_time >= grant.expires_at:
+                        self.stats.grace_opens += 1
                     return result
         self.stats.events_unreadable += 1
         return None

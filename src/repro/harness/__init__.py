@@ -18,6 +18,12 @@ from repro.harness.chaos import (
     format_chaos_report,
     run_chaos,
 )
+from repro.harness.kdcchaos import (
+    KdcChaosConfig,
+    KdcChaosReport,
+    format_kdc_chaos_report,
+    run_kdc_chaos,
+)
 from repro.harness.keymgmt import KeyManagementRow, run_key_management
 from repro.harness.reporting import format_table
 from repro.harness.timing import CryptoCosts, measure_crypto_costs
@@ -26,10 +32,14 @@ __all__ = [
     "ChaosConfig",
     "ChaosReport",
     "CryptoCosts",
+    "KdcChaosConfig",
+    "KdcChaosReport",
     "KeyManagementRow",
     "format_chaos_report",
+    "format_kdc_chaos_report",
     "format_table",
     "measure_crypto_costs",
     "run_chaos",
+    "run_kdc_chaos",
     "run_key_management",
 ]

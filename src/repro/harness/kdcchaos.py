@@ -1,0 +1,321 @@
+"""KDC-outage chaos: epoch continuity through a replicated key service.
+
+The paper's availability claim (Section 3.2.1) is that a stateless KDC
+"can be replicated on demand"; this harness measures the end-to-end
+consequence.  One seeded run publishes a plain-topic workload across an
+epoch boundary while the fault plan takes KDC replicas down exactly when
+subscribers must renew:
+
+- the first replica crashes for a window **straddling the boundary**
+  (the worst instant: every subscriber's renewal lands inside it);
+- the second replica crashes for a nested window around the boundary
+  itself, forcing a second failover;
+- earlier in the run, a partition cuts every client off from the first
+  replica without crashing it (failover must work on silence alone).
+
+The same timeline is replayed twice:
+
+- **baseline** -- a single KDC replica and no grace window: renewals
+  fail for the whole outage, so new-epoch events are undecryptable until
+  the restart, and in-flight old-epoch events die at the boundary;
+- **replicated** -- three replicas behind a
+  :class:`~repro.core.kdcclient.KDCClient` plus a post-expiry grace
+  window: lead-time renewals fail over to the surviving replica before
+  the boundary, and grace keeps late old-epoch arrivals readable.
+
+Success is *cryptographic*: an event counts only when the subscriber
+actually decrypts it with an epoch-correct grant.  For a fixed seed the
+whole run -- fault timeline, retry jitter, every counter -- is exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.composite import CompositeKeySpace
+from repro.core.kdc import KDC
+from repro.core.kdcclient import ClientRetryPolicy, KDCClient
+from repro.core.kdcservice import KDCCluster
+from repro.core.publisher import Publisher
+from repro.core.renewal import RenewalManager
+from repro.core.subscriber import Subscriber
+from repro.harness.reporting import format_table
+from repro.net.faults import ANY, BrokerCrash, FaultInjector, FaultPlan, LinkFault
+from repro.net.service import ServiceNetwork
+from repro.net.sim import Simulator
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+#: Fixed cluster master key -- the experiment compares availability, not
+#: secrecy, and a fixed ``rk(KDC)`` keeps both runs byte-comparable.
+MASTER_KEY = bytes(range(16))
+
+
+@dataclass
+class KdcChaosConfig:
+    """One KDC-outage run's knobs; all randomness derives from *seed*."""
+
+    seed: int = 7
+    #: Seconds of publishing (the outage is centered on the epoch
+    #: boundary nearest half of this horizon).
+    duration: float = 8.0
+    #: Extra simulated seconds for late renewals/ticks to settle.
+    drain: float = 2.0
+    topic: str = "chaos"
+    epoch_length: float = 2.0
+    replicas: int = 3
+    subscribers: int = 8
+    publish_rate: float = 40.0
+    #: One-way latency of the dissemination path (publisher to
+    #: subscriber); old-epoch events in flight for this long after the
+    #: boundary are what the grace window saves.
+    delivery_latency: float = 0.05
+    #: One-way control-plane latency (client to KDC replica).
+    rpc_latency: float = 0.005
+    tick_interval: float = 0.1
+    #: How long before expiry subscribers start renewing.
+    renew_lead_time: float = 0.3
+    #: Post-expiry grace window in the replicated run (baseline gets 0).
+    grace_period: float = 1.0
+    #: Length of the primary's crash window straddling the boundary.
+    outage_duration: float = 1.0
+    #: Earlier client-side partition from the first replica.
+    partition_start: float = 0.6
+    partition_duration: float = 0.5
+
+    @property
+    def events(self) -> int:
+        return max(1, int(self.publish_rate * self.duration))
+
+    def boundary(self) -> float:
+        """The epoch boundary the outage straddles (topic-staggered)."""
+        reference = KDC(master_key=MASTER_KEY)
+        reference.register_topic(
+            self.topic, CompositeKeySpace({}), self.epoch_length
+        )
+        return reference.epoch_end(self.topic, self.duration / 2.0)
+
+
+@dataclass
+class KdcChaosResult:
+    """Outcome of one KDC-outage run (one KDC deployment mode)."""
+
+    mode: str
+    replicas: int
+    grace_period: float
+    attempted: int
+    decrypted: int
+    #: Decrypts that needed the post-expiry grace window.
+    grace_opens: int
+    renewals: int
+    renewal_failures: int
+    late_renewals: int
+    client_failovers: int
+    client_retries: int
+    client_timeouts: int
+    breaker_opens: int
+    view_changes: int
+    #: Control-plane messages lost to crashes/partitions/link loss.
+    messages_lost: int
+    #: Whether every alive replica ended with the same registry log.
+    converged: bool
+
+    @property
+    def decrypt_rate(self) -> float:
+        return self.decrypted / self.attempted if self.attempted else 0.0
+
+
+def _fault_plan(config: KdcChaosConfig, replicas: int) -> FaultPlan:
+    """Crash/partition timeline against the first ``replicas`` KDC nodes."""
+    boundary = config.boundary()
+    # Clamped at t=0 so short horizons (boundary close to the run start)
+    # still yield a schedulable plan.
+    crashes = [
+        BrokerCrash(
+            "kdc0",
+            max(0.0, boundary - config.outage_duration / 2),
+            config.outage_duration,
+        )
+    ]
+    if replicas > 1:
+        # A nested second outage right at the boundary: the client must
+        # fail over twice to keep renewing.
+        crashes.append(
+            BrokerCrash(
+                "kdc1",
+                max(0.0, boundary - config.outage_duration / 4),
+                config.outage_duration / 2,
+            )
+        )
+    link_faults = [
+        LinkFault(
+            ANY,
+            "kdc0",
+            start=config.partition_start,
+            duration=config.partition_duration,
+            partitioned=True,
+        )
+    ]
+    return FaultPlan(crashes=crashes, link_faults=link_faults)
+
+
+def run_kdc_chaos_mode(
+    config: KdcChaosConfig, replicas: int, grace_period: float, mode: str
+) -> KdcChaosResult:
+    """One full workload against a *replicas*-node KDC deployment."""
+    sim = Simulator()
+    injector = FaultInjector(
+        sim, _fault_plan(config, replicas), seed=config.seed + 1
+    )
+    network = ServiceNetwork(sim, injector, latency=config.rpc_latency)
+    replica_ids = [f"kdc{i}" for i in range(replicas)]
+    cluster = KDCCluster(network, replica_ids, MASTER_KEY, faults=injector)
+    cluster.register_topic(
+        config.topic, CompositeKeySpace({}), config.epoch_length
+    )
+    injector.install()
+
+    # The publisher holds prefetched epoch keys (it seals against a local
+    # stateless replica); the measured degradation is the *subscriber*
+    # renewal path, which is where the outage bites.
+    publisher_kdc = KDC(master_key=MASTER_KEY)
+    publisher_kdc.register_topic(
+        config.topic, CompositeKeySpace({}), config.epoch_length
+    )
+    publisher = Publisher("pub", publisher_kdc)
+    schema_lookup = lambda t: publisher_kdc.config_for(t).schema  # noqa: E731
+
+    subscribers: list[Subscriber] = []
+    clients: list[KDCClient] = []
+    managers: list[RenewalManager] = []
+    subscription = Filter.topic(config.topic)
+    for index in range(config.subscribers):
+        subscriber = Subscriber(f"sub{index}", grace_period=grace_period)
+        client = KDCClient(
+            network,
+            f"sub{index}",
+            replica_ids,
+            policy=ClientRetryPolicy(),
+            seed=config.seed + 10 + index,
+        )
+        manager = RenewalManager(
+            subscriber, client, renew_lead_time=config.renew_lead_time
+        )
+        manager.add_subscription(subscription, at_time=0.0)
+        subscribers.append(subscriber)
+        clients.append(client)
+        managers.append(manager)
+
+    counters = {"attempted": 0, "decrypted": 0}
+
+    def deliver(sealed) -> None:
+        for subscriber in subscribers:
+            counters["attempted"] += 1
+            opened = subscriber.receive(sealed, schema_lookup, at_time=sim.now)
+            if opened is not None:
+                counters["decrypted"] += 1
+
+    def publish(k: int) -> None:
+        sealed = publisher.publish(
+            Event(
+                {"topic": config.topic, "k": k, "payload": f"m{k}"},
+                publisher="pub",
+            ),
+            secret_attributes={"payload"},
+            at_time=sim.now,
+        )
+        sim.schedule(config.delivery_latency, lambda: deliver(sealed))
+
+    for k in range(config.events):
+        sim.schedule_at(k / config.publish_rate, lambda k=k: publish(k))
+
+    def tick() -> None:
+        for manager in managers:
+            manager.tick(sim.now)
+        if sim.now < config.duration + config.drain:
+            sim.schedule(config.tick_interval, tick)
+
+    sim.schedule(config.tick_interval, tick)
+    sim.run(until=config.duration + config.drain)
+
+    return KdcChaosResult(
+        mode=mode,
+        replicas=replicas,
+        grace_period=grace_period,
+        attempted=counters["attempted"],
+        decrypted=counters["decrypted"],
+        grace_opens=sum(s.stats.grace_opens for s in subscribers),
+        renewals=sum(m.stats.renewals for m in managers),
+        renewal_failures=sum(m.stats.renewal_failures for m in managers),
+        late_renewals=sum(m.stats.late_renewals for m in managers),
+        client_failovers=sum(c.stats.failovers for c in clients),
+        client_retries=sum(c.stats.retries for c in clients),
+        client_timeouts=sum(c.stats.timeouts for c in clients),
+        breaker_opens=sum(c.stats.breaker_opens for c in clients),
+        view_changes=cluster.stats.view_changes,
+        messages_lost=network.stats.lost,
+        converged=cluster.converged(),
+    )
+
+
+@dataclass
+class KdcChaosReport:
+    """Everything one ``repro chaos --scenario kdc`` invocation measured."""
+
+    config: KdcChaosConfig
+    #: The epoch boundary the outage straddles.
+    boundary: float
+    baseline: KdcChaosResult
+    replicated: KdcChaosResult
+
+
+def run_kdc_chaos(config: KdcChaosConfig | None = None) -> KdcChaosReport:
+    """Baseline (1 replica, no grace) vs replicated (N replicas + grace)."""
+    config = config if config is not None else KdcChaosConfig()
+    return KdcChaosReport(
+        config=config,
+        boundary=config.boundary(),
+        baseline=run_kdc_chaos_mode(
+            config, replicas=1, grace_period=0.0, mode="single-kdc"
+        ),
+        replicated=run_kdc_chaos_mode(
+            config,
+            replicas=config.replicas,
+            grace_period=config.grace_period,
+            mode="replicated",
+        ),
+    )
+
+
+def format_kdc_chaos_report(report: KdcChaosReport) -> str:
+    """Render the KDC chaos report as a paper-style table."""
+    config = report.config
+    header = (
+        f"KDC chaos run: seed {config.seed}, {config.duration:.0f}s x "
+        f"{config.publish_rate:.0f} ev/s to {config.subscribers} "
+        f"subscribers, epoch {config.epoch_length:.1f}s, "
+        f"{config.outage_duration:.1f}s outage straddling the boundary at "
+        f"t={report.boundary:.2f}s"
+    )
+    rows = [
+        (
+            result.mode,
+            result.replicas,
+            result.decrypt_rate,
+            result.grace_opens,
+            result.renewal_failures,
+            result.late_renewals,
+            result.client_failovers,
+            result.view_changes,
+            "yes" if result.converged else "NO",
+        )
+        for result in (report.baseline, report.replicated)
+    ]
+    table = format_table(
+        ["deployment", "N", "decrypt", "grace", "renew fail",
+         "late", "failovers", "views", "converged"],
+        rows,
+        title="End-to-end decrypt success under KDC outage",
+    )
+    return "\n\n".join([header, table])

@@ -26,6 +26,7 @@ from repro.net.faults import (
 )
 from repro.net.links import Link
 from repro.net.node import ProcessingNode
+from repro.net.service import ServiceNetwork, ServiceStats
 from repro.net.sim import Simulator
 from repro.net.simnet import ReliabilityStats, RetryPolicy, SimulatedPubSub
 
@@ -39,6 +40,8 @@ __all__ = [
     "ProcessingNode",
     "ReliabilityStats",
     "RetryPolicy",
+    "ServiceNetwork",
+    "ServiceStats",
     "SimulatedPubSub",
     "Simulator",
 ]

@@ -32,19 +32,26 @@ def zipf_weights(count: int, exponent: float = 1.0) -> list[float]:
 
 
 class ZipfSampler:
-    """Samples items from a ranked population under Zipf weights."""
+    """Samples items from a ranked population under Zipf weights.
+
+    Deterministic by default: without an explicit *rng* the sampler draws
+    from ``random.Random(seed)``, matching the seeded-RNG convention used
+    everywhere else in the repo (two samplers built with the same
+    arguments produce the same stream).
+    """
 
     def __init__(
         self,
         items: Sequence[T],
         exponent: float = 1.0,
         rng: random.Random | None = None,
+        seed: int = 0,
     ):
         if not items:
             raise ValueError("cannot sample from an empty population")
         self.items = list(items)
         self.weights = zipf_weights(len(self.items), exponent)
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else random.Random(seed)
 
     def sample(self) -> T:
         """One item, drawn with Zipf probability by rank."""

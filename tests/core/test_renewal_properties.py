@@ -1,0 +1,126 @@
+"""Property-based renewal continuity: no decrypt coverage holes.
+
+For any epoch length, lead time, and tick schedule whose gaps stay under
+one epoch, a subscriber driven by :class:`RenewalManager` must decrypt
+every event published while it holds a standing subscription -- including
+events landing exactly on epoch boundaries, where the float arithmetic of
+``epoch_of`` is at its most treacherous.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.composite import CompositeKeySpace
+from repro.core.kdc import KDC
+from repro.core.nakt import NumericKeySpace
+from repro.core.publisher import Publisher
+from repro.core.renewal import RenewalManager
+from repro.core.subscriber import Subscriber
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+MASTER = bytes(range(16))
+
+
+def _system(epoch_length):
+    kdc = KDC(master_key=MASTER)
+    kdc.register_topic(
+        "t",
+        CompositeKeySpace({"v": NumericKeySpace("v", 64)}),
+        epoch_length=epoch_length,
+    )
+    return kdc, Publisher("P", kdc), Subscriber("S")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    epoch_length=st.floats(0.5, 100.0, allow_nan=False),
+    lead_fraction=st.floats(0.0, 0.5),
+    gap_fractions=st.lists(
+        # Tick gaps as fractions of the epoch; < 1 means the manager is
+        # never silent for a whole epoch, so continuity must hold.
+        st.floats(0.05, 0.95),
+        min_size=5,
+        max_size=40,
+    ),
+)
+def test_no_coverage_holes_at_any_tick_schedule(
+    epoch_length, lead_fraction, gap_fractions
+):
+    kdc, publisher, subscriber = _system(epoch_length)
+    manager = RenewalManager(
+        subscriber, kdc, renew_lead_time=lead_fraction * epoch_length
+    )
+    manager.add_subscription(
+        Filter.numeric_range("t", "v", 0, 63), at_time=0.0
+    )
+    lookup = lambda name: kdc.config_for(name).schema  # noqa: E731
+    now = 0.0
+    for gap in gap_fractions:
+        now += gap * epoch_length
+        manager.tick(now)
+        sealed = publisher.publish(
+            Event({"topic": "t", "v": 11, "message": "x"}), at_time=now
+        )
+        assert subscriber.receive(sealed, lookup, at_time=now) is not None
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    epoch_length=st.floats(0.5, 100.0, allow_nan=False),
+    epochs=st.integers(1, 12),
+)
+def test_boundary_ticks_walk_epochs_without_duplicates(epoch_length, epochs):
+    """Zero-lead ticks landing exactly on each boundary always install
+    the upcoming epoch's grant (the float-boundary edge case)."""
+    kdc, publisher, subscriber = _system(epoch_length)
+    manager = RenewalManager(subscriber, kdc, renew_lead_time=0.0)
+    grant = manager.add_subscription(
+        Filter.numeric_range("t", "v", 0, 63), at_time=0.0
+    )
+    lookup = lambda name: kdc.config_for(name).schema  # noqa: E731
+    current = grant
+    for _ in range(epochs):
+        boundary = current.expires_at
+        assert manager.tick(boundary) == 1
+        newest = max(subscriber.grants, key=lambda g: g.epoch)
+        assert newest.epoch == current.epoch + 1
+        # The fresh grant opens an event published exactly at the boundary.
+        sealed = publisher.publish(
+            Event({"topic": "t", "v": 5, "message": "b"}), at_time=boundary
+        )
+        assert subscriber.receive(sealed, lookup, at_time=boundary) is not None
+        current = newest
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    epoch_length=st.floats(0.5, 50.0, allow_nan=False),
+    grace_fraction=st.floats(0.05, 0.5),
+    flight_fraction=st.floats(0.0, 1.0),
+)
+def test_grace_window_covers_in_flight_boundary_events(
+    epoch_length, grace_fraction, flight_fraction
+):
+    """An old-epoch event delivered within the grace window after the
+    boundary always opens, however late within the window it lands."""
+    kdc = KDC(master_key=MASTER)
+    kdc.register_topic(
+        "t",
+        CompositeKeySpace({"v": NumericKeySpace("v", 64)}),
+        epoch_length=epoch_length,
+    )
+    publisher = Publisher("P", kdc)
+    grace = grace_fraction * epoch_length
+    subscriber = Subscriber("S", grace_period=grace)
+    manager = RenewalManager(subscriber, kdc)
+    grant = manager.add_subscription(
+        Filter.numeric_range("t", "v", 0, 63), at_time=0.0
+    )
+    sealed = publisher.publish(
+        Event({"topic": "t", "v": 2, "message": "old"}),
+        at_time=grant.expires_at - 0.25 * epoch_length,
+    )
+    arrival = grant.expires_at + flight_fraction * grace * 0.999
+    manager.tick(arrival)
+    lookup = lambda name: kdc.config_for(name).schema  # noqa: E731
+    assert subscriber.receive(sealed, lookup, at_time=arrival) is not None

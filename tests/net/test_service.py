@@ -1,0 +1,131 @@
+"""Control-plane request/response messaging under faults."""
+
+from repro.net.faults import ANY, BrokerCrash, FaultInjector, FaultPlan, LinkFault
+from repro.net.service import ServiceNetwork
+from repro.net.sim import Simulator
+
+
+def _echo_network(faults=None, latency=0.01):
+    sim = Simulator()
+    net = ServiceNetwork(sim, faults, latency=latency)
+    net.register("server", lambda src, payload: ("echo", payload))
+    return sim, net
+
+
+def test_request_reply_round_trip():
+    sim, net = _echo_network()
+    replies = []
+    net.request("client", "server", 42, on_reply=replies.append)
+    sim.run()
+    assert replies == [("echo", 42)]
+    assert sim.now == 0.02  # one RTT at 0.01 each way
+    assert net.stats.requests_delivered == 1
+    assert net.stats.replies_delivered == 1
+
+
+def test_handler_returning_none_suppresses_reply():
+    sim = Simulator()
+    net = ServiceNetwork(sim, latency=0.01)
+    net.register("server", lambda src, payload: None)
+    replies = []
+    net.request("client", "server", 1, on_reply=replies.append)
+    sim.run()
+    assert replies == []
+    assert net.stats.replies_sent == 0
+
+
+def test_unregistered_destination_is_silent_loss():
+    sim = Simulator()
+    net = ServiceNetwork(sim, latency=0.01)
+    replies = []
+    net.request("client", "ghost", 1, on_reply=replies.append)
+    sim.run()
+    assert replies == []
+    assert net.stats.lost == 1
+
+
+def test_crashed_node_swallows_requests_then_recovers():
+    sim = Simulator()
+    plan = FaultPlan(crashes=[BrokerCrash("server", at=0.0, duration=1.0)])
+    faults = FaultInjector(sim, plan, seed=1)
+    net = ServiceNetwork(sim, faults, latency=0.01)
+    net.register("server", lambda src, payload: payload)
+    faults.install()
+    replies = []
+    net.request("client", "server", "early", on_reply=replies.append)
+    sim.schedule(2.0, lambda: net.request(
+        "client", "server", "late", on_reply=replies.append
+    ))
+    sim.run()
+    assert replies == ["late"]
+    assert net.stats.lost == 1
+
+
+def test_partition_blocks_both_directions():
+    sim = Simulator()
+    plan = FaultPlan(link_faults=[
+        LinkFault(ANY, "server", start=0.0, duration=1.0, partitioned=True)
+    ])
+    faults = FaultInjector(sim, plan, seed=1)
+    net = ServiceNetwork(sim, faults, latency=0.01)
+    net.register("server", lambda src, payload: payload)
+    replies = []
+    net.request("client", "server", "cut", on_reply=replies.append)
+    sim.schedule(1.5, lambda: net.request(
+        "client", "server", "healed", on_reply=replies.append
+    ))
+    sim.run()
+    assert replies == ["healed"]
+
+
+def test_reply_can_be_lost_after_handler_ran():
+    """A lossy link can deliver the request but drop the reply -- the
+    handler side effect happens, the caller sees silence."""
+    sim = Simulator()
+    plan = FaultPlan(link_faults=[LinkFault(loss=0.5)])
+    faults = FaultInjector(sim, plan, seed=3)
+    net = ServiceNetwork(sim, faults, latency=0.01)
+    served = []
+    net.register("server", lambda src, payload: served.append(payload) or "ok")
+    replies = []
+    for k in range(40):
+        sim.schedule(k * 0.1, lambda k=k: net.request(
+            "client", "server", k, on_reply=replies.append
+        ))
+    sim.run()
+    assert len(served) < 40  # some requests lost outright
+    assert len(replies) < len(served)  # and some replies lost after serving
+
+
+def test_extra_latency_applies_per_direction():
+    sim = Simulator()
+    plan = FaultPlan(link_faults=[LinkFault(extra_latency=0.1)])
+    faults = FaultInjector(sim, plan, seed=1)
+    net = ServiceNetwork(sim, faults, latency=0.01)
+    net.register("server", lambda src, payload: payload)
+    replies = []
+    net.request("client", "server", 1, on_reply=replies.append)
+    sim.run()
+    assert replies == [1]
+    assert sim.now == 0.22  # (0.01 + 0.1) each way
+
+
+def test_duplicate_registration_rejected():
+    import pytest
+
+    sim = Simulator()
+    net = ServiceNetwork(sim)
+    net.register("a", lambda src, payload: None)
+    with pytest.raises(ValueError):
+        net.register("a", lambda src, payload: None)
+
+
+def test_callable_latency():
+    sim = Simulator()
+    net = ServiceNetwork(sim, latency=lambda src, dst: 0.5)
+    net.register("server", lambda src, payload: payload)
+    replies = []
+    net.request("client", "server", "slow", on_reply=replies.append)
+    sim.run()
+    assert replies == ["slow"]
+    assert sim.now == 1.0

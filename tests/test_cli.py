@@ -71,6 +71,25 @@ def test_chaos(capsys):
     assert "Multipath G_ind" in output
 
 
+def test_chaos_kdc_scenario(capsys):
+    assert main(["chaos", "--scenario", "kdc", "--seed", "7",
+                 "--duration", "4", "--rate", "10",
+                 "--subscribers", "2"]) == 0
+    output = capsys.readouterr().out
+    assert "KDC chaos run: seed 7" in output
+    assert "single-kdc" in output
+    assert "replicated" in output
+    assert "Multipath" not in output  # overlay experiments not run
+
+
+def test_chaos_overlay_scenario_skips_kdc(capsys):
+    assert main(["chaos", "--scenario", "overlay", "--seed", "7",
+                 "--duration", "1", "--rate", "20"]) == 0
+    output = capsys.readouterr().out
+    assert "Chaos run: seed 7" in output
+    assert "KDC chaos run" not in output
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["no-such-command"])

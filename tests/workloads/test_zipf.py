@@ -73,3 +73,22 @@ def test_frequency_of():
     sampler = ZipfSampler(["a", "b"])
     assert sampler.frequency_of("a") == pytest.approx(2 / 3)
     assert sampler.frequency_of("b") == pytest.approx(1 / 3)
+
+
+def test_deterministic_by_default():
+    """Two samplers built with the same arguments draw the same stream
+    (the unseeded-RNG fallback is gone)."""
+    draws = lambda s: [s.sample() for _ in range(50)]  # noqa: E731
+    assert draws(ZipfSampler(list(range(30)))) == draws(
+        ZipfSampler(list(range(30)))
+    )
+    assert draws(ZipfSampler(list(range(30)), seed=1)) == draws(
+        ZipfSampler(list(range(30)), seed=1)
+    )
+    # Distinct seeds diverge, and an explicit rng still wins.
+    assert draws(ZipfSampler(list(range(30)), seed=1)) != draws(
+        ZipfSampler(list(range(30)), seed=2)
+    )
+    assert draws(
+        ZipfSampler(list(range(30)), rng=random.Random(7), seed=1)
+    ) == draws(ZipfSampler(list(range(30)), rng=random.Random(7), seed=2))
