@@ -1,11 +1,53 @@
 """PSGuard: secure event dissemination in publish-subscribe networks.
 
-A from-scratch reproduction of Srivatsa & Liu, ICDCS 2007.  Start with
-:mod:`repro.core` (key management: KDC, publishers, subscribers),
-:mod:`repro.siena` (the content-based pub-sub substrate) and
-:mod:`repro.routing` (tokenized matching and probabilistic multi-path
-routing); ``docs/API.md`` holds a one-page tour and ``python -m repro``
-a command-line interface.
+A from-scratch reproduction of Srivatsa & Liu, ICDCS 2007.  The blessed
+surface is re-exported here: :func:`connect` / :class:`System` stand up
+a fully wired instance in one call, :class:`Event` / :class:`Filter`
+express publications and subscriptions, :class:`KDC` /
+:class:`Publisher` / :class:`Subscriber` are the key-management
+principals, and :class:`Observability` / :class:`MetricsRegistry` /
+:class:`Tracer` the metrics/tracing layer.  Deeper machinery stays in
+its modules -- :mod:`repro.core` (key derivation, epochs, the
+replicated KDC), :mod:`repro.siena` (content-based routing),
+:mod:`repro.routing` (probabilistic multi-path), :mod:`repro.net`
+(the timed fault-injected overlay), :mod:`repro.obs` (instruments and
+exporters); ``docs/API.md`` holds a one-page tour and
+``python -m repro`` a command-line interface.
 """
 
-__version__ = "1.0.0"
+from repro.api import System, SystemBuilder, connect
+from repro.core import (
+    KDC,
+    AuthorizationGrant,
+    CompositeKeySpace,
+    NumericKeySpace,
+    Publisher,
+    SealedEvent,
+    StringKeySpace,
+    Subscriber,
+)
+from repro.obs import MetricsRegistry, Observability, Tracer
+from repro.siena import BrokerTree, Event, Filter
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "AuthorizationGrant",
+    "BrokerTree",
+    "CompositeKeySpace",
+    "Event",
+    "Filter",
+    "KDC",
+    "MetricsRegistry",
+    "NumericKeySpace",
+    "Observability",
+    "Publisher",
+    "SealedEvent",
+    "StringKeySpace",
+    "Subscriber",
+    "System",
+    "SystemBuilder",
+    "Tracer",
+    "connect",
+    "__version__",
+]

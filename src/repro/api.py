@@ -1,0 +1,291 @@
+"""``repro.api`` -- the one-call facade over the PSGuard stack.
+
+Standing up the reproduction by hand means wiring a KDC, topic schemas,
+authorization grants, a broker tree, publisher and subscriber engines,
+and (if you want to see anything) an observability bundle.  The facade
+collapses that into a builder::
+
+    from repro.api import System
+    from repro.siena import Event, Filter
+
+    system = System.builder().topic("news", numeric={"price": 128}).build()
+    watcher = system.subscribe(
+        "watcher", Filter.numeric_range("news", "price", 0, 63))
+    feed = system.publisher("feed")
+    feed.publish(Event({"topic": "news", "price": 10, "body": "hi"},
+                       publisher="feed"))
+    watcher.opened[0].event["body"]   # -> "hi"
+
+Everything the builder wires is reachable afterwards (``system.kdc``,
+``system.tree``, ``system.obs``) so a session can start simple and reach
+into the layers when it needs to.  The facade is synchronous -- events
+flow through the in-process :class:`~repro.siena.network.BrokerTree`;
+the timed/fault-injected variants stay with the harnesses
+(:mod:`repro.harness.chaos`, :mod:`repro.harness.kdcchaos`), which share
+the same observability substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.core.composite import CompositeKeySpace
+from repro.core.envelope import OpenResult, SealedEvent
+from repro.core.kdc import KDC
+from repro.core.nakt import NumericKeySpace
+from repro.core.publisher import Publisher
+from repro.core.subscriber import Subscriber
+from repro.obs import Observability
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+from repro.siena.network import BrokerTree
+
+
+class SessionPublisher:
+    """A publishing principal bound to one :class:`System`."""
+
+    def __init__(self, system: "System", publisher_id: str):
+        self.system = system
+        self.engine = Publisher(publisher_id, system.kdc)
+
+    @property
+    def publisher_id(self) -> str:
+        return self.engine.publisher_id
+
+    def publish(
+        self,
+        event: Event,
+        secret_attributes: set[str] | None = None,
+        at_time: float = 0.0,
+    ) -> SealedEvent:
+        """Seal *event* and disseminate it through the broker tree."""
+        sealed = self.engine.publish(
+            event, secret_attributes=secret_attributes, at_time=at_time
+        )
+        self.system._disseminate(sealed, at_time)
+        return sealed
+
+
+class SessionSubscriber:
+    """A subscribing principal attached to one leaf broker.
+
+    Collects every event the broker tree hands it: decryptable ones land
+    in :attr:`opened` (as :class:`~repro.core.envelope.OpenResult`),
+    cryptographically unreadable ones only bump :attr:`unreadable`.
+    """
+
+    def __init__(
+        self,
+        system: "System",
+        subscriber_id: str,
+        filters: Iterable[Filter],
+        grace_period: float = 0.0,
+    ):
+        self.system = system
+        self.engine = Subscriber(subscriber_id, grace_period=grace_period)
+        self.opened: list[OpenResult] = []
+        self.unreadable = 0
+        self.home = system._next_leaf()
+        system.tree.attach_subscriber(subscriber_id, self.home, self._deliver)
+        for subscription_filter in filters:
+            self.engine.add_grant(
+                system.kdc.authorize(subscriber_id, subscription_filter)
+            )
+            system.tree.subscribe(subscriber_id, subscription_filter)
+
+    @property
+    def subscriber_id(self) -> str:
+        return self.engine.subscriber_id
+
+    def _deliver(self, _routable: Event) -> None:
+        sealed = self.system._current_sealed
+        result = self.engine.receive(
+            sealed, self.system.schema_lookup, at_time=self.system._current_time
+        )
+        if result is not None:
+            self.opened.append(result)
+        else:
+            self.unreadable += 1
+        self.system.tracer.span(
+            self.system._current_seq,
+            "deliver" if result is not None else "decrypt",
+            self.engine.subscriber_id,
+            self.system._current_time,
+            decrypted=result is not None,
+        )
+
+
+class System:
+    """A fully wired PSGuard instance: KDC, broker tree, observability."""
+
+    def __init__(
+        self,
+        kdc: KDC,
+        tree: BrokerTree,
+        obs: Observability,
+    ):
+        self.kdc = kdc
+        self.tree = tree
+        self.obs = obs
+        self.registry = obs.registry
+        self.tracer = obs.tracer
+        self.publishers: dict[str, SessionPublisher] = {}
+        self.subscribers: dict[str, SessionSubscriber] = {}
+        self._leaf_cursor = 0
+        self._next_seq = 0
+        self._current_sealed: SealedEvent | None = None
+        self._current_seq: int | None = None
+        self._current_time = 0.0
+
+    @staticmethod
+    def builder() -> "SystemBuilder":
+        return SystemBuilder()
+
+    # -- principals -----------------------------------------------------------
+
+    def publisher(self, publisher_id: str) -> SessionPublisher:
+        """Get or create the publishing session for *publisher_id*."""
+        session = self.publishers.get(publisher_id)
+        if session is None:
+            session = SessionPublisher(self, publisher_id)
+            self.publishers[publisher_id] = session
+        return session
+
+    def subscribe(
+        self,
+        subscriber_id: str,
+        *filters: Filter,
+        grace_period: float = 0.0,
+    ) -> SessionSubscriber:
+        """Authorize and attach a subscriber in one call."""
+        if subscriber_id in self.subscribers:
+            raise ValueError(f"subscriber {subscriber_id!r} already attached")
+        session = SessionSubscriber(
+            self, subscriber_id, filters, grace_period=grace_period
+        )
+        self.subscribers[subscriber_id] = session
+        return session
+
+    def schema_lookup(self, topic: str) -> CompositeKeySpace:
+        """Topic schema resolver (schemas are public configuration)."""
+        return self.kdc.config_for(topic).schema
+
+    # -- dissemination --------------------------------------------------------
+
+    def _next_leaf(self) -> Hashable:
+        leaves = self.tree.leaf_ids()
+        leaf = leaves[self._leaf_cursor % len(leaves)]
+        self._leaf_cursor += 1
+        return leaf
+
+    def _disseminate(self, sealed: SealedEvent, at_time: float) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        self.tracer.start_trace(("api", seq), at=at_time)
+        self.tracer.span(("api", seq), "publish", 0, at_time)
+        self._current_sealed = sealed
+        self._current_seq = ("api", seq)
+        self._current_time = at_time
+        try:
+            return self.tree.publish(sealed.routable)
+        finally:
+            self._current_sealed = None
+            self._current_seq = None
+
+    # -- observability --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return self.obs.snapshot()
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return self.obs.to_json(indent=indent)
+
+    def to_prometheus(self) -> str:
+        return self.obs.to_prometheus()
+
+
+class SystemBuilder:
+    """Fluent construction of a :class:`System`.
+
+    Defaults give a working three-broker tree with an in-process KDC;
+    every knob is optional.
+    """
+
+    def __init__(self):
+        self._num_brokers = 3
+        self._arity = 2
+        self._master_key: bytes | None = None
+        self._kdc: KDC | None = None
+        self._obs: Observability | None = None
+        self._topics: list[tuple[str, CompositeKeySpace, float, bool]] = []
+
+    def brokers(self, num_brokers: int, arity: int = 2) -> "SystemBuilder":
+        """Size the dissemination tree."""
+        self._num_brokers = num_brokers
+        self._arity = arity
+        return self
+
+    def master_key(self, key: bytes) -> "SystemBuilder":
+        """Fix ``rk(KDC)`` (reproducible key material)."""
+        self._master_key = key
+        return self
+
+    def kdc(self, kdc: KDC) -> "SystemBuilder":
+        """Use an existing KDC (e.g. one replica of a cluster)."""
+        self._kdc = kdc
+        return self
+
+    def observability(self, obs: Observability) -> "SystemBuilder":
+        """Share an existing metrics/tracing bundle."""
+        self._obs = obs
+        return self
+
+    def topic(
+        self,
+        name: str,
+        schema: CompositeKeySpace | None = None,
+        numeric: dict[str, int] | None = None,
+        epoch_length: float = 3600.0,
+        per_publisher: bool = False,
+    ) -> "SystemBuilder":
+        """Register a topic; *numeric* maps attribute name -> range size."""
+        if schema is None:
+            schema = CompositeKeySpace(
+                {
+                    attribute: NumericKeySpace(attribute, size)
+                    for attribute, size in (numeric or {}).items()
+                }
+            )
+        self._topics.append((name, schema, epoch_length, per_publisher))
+        return self
+
+    def build(self) -> System:
+        obs = self._obs if self._obs is not None else Observability()
+        kdc = self._kdc
+        if kdc is None:
+            kdc = (
+                KDC(master_key=self._master_key)
+                if self._master_key is not None
+                else KDC()
+            )
+        for name, schema, epoch_length, per_publisher in self._topics:
+            kdc.register_topic(name, schema, epoch_length, per_publisher)
+        tree = BrokerTree(
+            num_brokers=self._num_brokers,
+            arity=self._arity,
+            registry=obs.registry,
+        )
+        return System(kdc, tree, obs)
+
+
+def connect(
+    topic: str | None = None,
+    numeric: dict[str, int] | None = None,
+    brokers: int = 3,
+    **topic_kwargs,
+) -> System:
+    """One-call convenience: ``connect(topic="news", numeric={...})``."""
+    builder = System.builder().brokers(brokers)
+    if topic is not None:
+        builder.topic(topic, numeric=numeric, **topic_kwargs)
+    return builder.build()

@@ -1,7 +1,9 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Gives a downstream user one entry point to poke at the system without
-writing code:
+Commands self-register through the :func:`command` decorator -- a
+declarative registry of (name, help, argument builder, handler) -- so a
+new harness scenario only writes its own handler; ``build_parser`` and
+``main`` never change.  Registered commands:
 
 - ``demo``           -- the quickstart medical-records flow;
 - ``grant``          -- show the key material the KDC issues for a range
@@ -11,60 +13,109 @@ writing code:
                         construction-cost, cache);
 - ``topology``       -- generate a transit-stub topology and report its
                         overlay RTT statistics;
+- ``verify``         -- fast self-check of the headline claims;
 - ``chaos``          -- run pub-sub workloads under injected broker
                         crashes and link loss, comparing fire-and-forget
                         against reliable at-least-once delivery; the
                         ``kdc`` scenario takes KDC replicas down across
-                        an epoch boundary and measures decrypt success.
+                        an epoch boundary and measures decrypt success;
+- ``metrics``        -- run an instrumented workload and export the
+                        metrics/tracing snapshot (JSON or Prometheus).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 
+@dataclass(frozen=True)
+class Command:
+    """One CLI subcommand: its name, help line, args, and handler."""
+
+    name: str
+    help: str
+    handler: Callable[[argparse.Namespace], int]
+    configure: Callable[[argparse.ArgumentParser], None] | None = None
+
+
+_REGISTRY: dict[str, Command] = {}
+
+
+def register(entry: Command) -> Command:
+    """Add *entry* to the subcommand registry (last writer wins)."""
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def command(
+    name: str,
+    help: str,  # noqa: A002 - mirrors argparse's keyword
+    configure: Callable[[argparse.ArgumentParser], None] | None = None,
+) -> Callable[[Callable[[argparse.Namespace], int]], Callable]:
+    """Decorator form of :func:`register` for handler functions."""
+
+    def decorate(
+        handler: Callable[[argparse.Namespace], int]
+    ) -> Callable[[argparse.Namespace], int]:
+        register(Command(name, help, handler, configure))
+        return handler
+
+    return decorate
+
+
+def commands() -> tuple[Command, ...]:
+    """The registered subcommands, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+# -- demo ---------------------------------------------------------------------
+
+
+@command("demo", "run the quickstart flow")
 def _cmd_demo(_args: argparse.Namespace) -> int:
-    from repro.core import (
-        KDC, CompositeKeySpace, NumericKeySpace, Publisher, Subscriber,
-    )
+    from repro.api import connect
     from repro.siena import Event, Filter
 
-    kdc = KDC()
-    kdc.register_topic(
-        "cancerTrail",
-        CompositeKeySpace({"age": NumericKeySpace("age", 128)}),
+    system = connect("cancerTrail", numeric={"age": 128})
+    doctor = system.subscribe(
+        "doctor", Filter.numeric_range("cancerTrail", "age", 21, 127)
     )
-    doctor = Subscriber("doctor")
-    doctor.add_grant(
-        kdc.authorize(
-            "doctor", Filter.numeric_range("cancerTrail", "age", 21, 127)
-        )
+    outsider = system.subscribe(
+        "outsider", Filter.numeric_range("cancerTrail", "age", 31, 127)
     )
-    outsider = Subscriber("outsider")
-    outsider.add_grant(
-        kdc.authorize(
-            "outsider", Filter.numeric_range("cancerTrail", "age", 31, 127)
-        )
-    )
-    publisher = Publisher("hospital", kdc)
-    sealed = publisher.publish(
+    sealed = system.publisher("hospital").publish(
         Event(
             {"topic": "cancerTrail", "age": 25, "patientRecord": "rec-17"},
             publisher="hospital",
         ),
         secret_attributes={"patientRecord"},
     )
-    lookup = lambda t: kdc.config_for(t).schema  # noqa: E731
-    opened = doctor.receive(sealed, lookup)
-    denied = outsider.receive(sealed, lookup)
     print(f"event routable part : {dict(sealed.routable.attributes)}")
-    print(f"doctor (age>20)     : {opened.event['patientRecord']!r}")
-    print(f"outsider (age>30)   : {denied}")
+    print(f"doctor (age>20)     : {doctor.opened[0].event['patientRecord']!r}")
+    print(f"outsider (age>30)   : "
+          f"{outsider.opened[0] if outsider.opened else None}")
     return 0
 
 
+# -- grant --------------------------------------------------------------------
+
+
+def _grant_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topic", default="cancerTrail")
+    parser.add_argument("--attribute", default="age")
+    parser.add_argument("--range", type=int, default=128)
+    parser.add_argument("low", type=int)
+    parser.add_argument("high", type=int)
+
+
+@command(
+    "grant",
+    "show the key material for a range subscription",
+    configure=_grant_args,
+)
 def _cmd_grant(args: argparse.Namespace) -> int:
     from repro.core import KDC, CompositeKeySpace, NumericKeySpace
     from repro.siena import Filter
@@ -92,6 +143,10 @@ def _cmd_grant(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- calibrate ----------------------------------------------------------------
+
+
+@command("calibrate", "measure crypto primitive costs on this host")
 def _cmd_calibrate(_args: argparse.Namespace) -> int:
     from repro.harness.timing import measure_crypto_costs
 
@@ -101,6 +156,21 @@ def _cmd_calibrate(_args: argparse.Namespace) -> int:
     return 0
 
 
+# -- experiment ---------------------------------------------------------------
+
+
+def _experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "name", choices=["keys", "entropy", "construction", "cache"]
+    )
+    parser.add_argument("--events", type=int, default=4000)
+
+
+@command(
+    "experiment",
+    "regenerate one experiment series",
+    configure=_experiment_args,
+)
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.harness.reporting import format_table
 
@@ -151,17 +221,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_verify(_args: argparse.Namespace) -> int:
-    from repro.harness.verification import (
-        format_verification,
-        run_verification,
-    )
-
-    results = run_verification()
-    print(format_verification(results))
-    return 0 if all(result.passed for result in results) else 1
+# -- topology -----------------------------------------------------------------
 
 
+def _topology_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=63)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+@command(
+    "topology",
+    "generate a topology and report RTT statistics",
+    configure=_topology_args,
+)
 def _cmd_topology(args: argparse.Namespace) -> int:
     from repro.topology import TransitStubTopology
 
@@ -177,6 +249,61 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- verify -------------------------------------------------------------------
+
+
+@command("verify", "fast self-check of the reproduction's headline claims")
+def _cmd_verify(_args: argparse.Namespace) -> int:
+    from repro.harness.verification import (
+        format_verification,
+        run_verification,
+    )
+
+    results = run_verification()
+    print(format_verification(results))
+    return 0 if all(result.passed for result in results) else 1
+
+
+# -- chaos --------------------------------------------------------------------
+
+
+def _chaos_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", choices=["all", "overlay", "kdc"], default="all",
+        help="overlay = broker-crash delivery experiments, "
+        "kdc = key-service outage across an epoch boundary",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--rate", type=float, default=40.0,
+                        help="publications per second")
+    parser.add_argument("--crash-prob", type=float, default=0.2,
+                        help="per-broker crash probability")
+    parser.add_argument("--crash-duration", type=float, default=0.5,
+                        help="seconds a crashed broker stays down")
+    parser.add_argument("--link-loss", type=float, default=0.05,
+                        help="per-transmission link loss probability")
+    parser.add_argument("--redundancy", type=int, default=2,
+                        help="multipath redundancy k for the reliable run")
+    parser.add_argument("--brokers", type=int, default=15,
+                        help="tree overlay size")
+    parser.add_argument("--epoch-length", type=float, default=2.0,
+                        help="kdc scenario: topic epoch length in seconds")
+    parser.add_argument("--kdc-replicas", type=int, default=3,
+                        help="kdc scenario: replicas in the replicated run")
+    parser.add_argument("--subscribers", type=int, default=8,
+                        help="kdc scenario: subscriber count")
+    parser.add_argument("--grace", type=float, default=1.0,
+                        help="kdc scenario: post-expiry grace window")
+    parser.add_argument("--outage", type=float, default=1.0,
+                        help="kdc scenario: outage straddling the boundary")
+
+
+@command(
+    "chaos",
+    "measure delivery under injected broker crashes and link loss",
+    configure=_chaos_args,
+)
 def _cmd_chaos(args: argparse.Namespace) -> int:
     sections = []
     try:
@@ -225,89 +352,111 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- metrics ------------------------------------------------------------------
+
+
+def _metrics_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--duration", type=float, default=3.0)
+    parser.add_argument("--rate", type=float, default=30.0,
+                        help="publications per second")
+    parser.add_argument("--brokers", type=int, default=7,
+                        help="tree overlay size")
+    parser.add_argument("--link-loss", type=float, default=0.05,
+                        help="per-transmission link loss probability")
+    parser.add_argument(
+        "--format", choices=["json", "prometheus"], default="json",
+        help="snapshot rendering (default: json)",
+    )
+    parser.add_argument("--output", metavar="PATH",
+                        help="write the snapshot here instead of stdout")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail unless the tracing invariants hold "
+        "(published == traced, zero dropped spans)",
+    )
+
+
+@command(
+    "metrics",
+    "run an instrumented workload and export a metrics snapshot",
+    configure=_metrics_args,
+)
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+    import math
+
+    from repro.harness.metricsrun import (
+        MetricsRunConfig,
+        check_invariants,
+        run_metrics_workload,
+    )
+
+    config = MetricsRunConfig(
+        seed=args.seed,
+        duration=args.duration,
+        publish_rate=args.rate,
+        num_brokers=args.brokers,
+        link_loss=args.link_loss,
+    )
+    result = run_metrics_workload(config)
+    if args.format == "prometheus":
+        rendered = result.obs.to_prometheus()
+    else:
+        def scrub(value):
+            if isinstance(value, float) and not math.isfinite(value):
+                return None
+            if isinstance(value, dict):
+                return {key: scrub(item) for key, item in value.items()}
+            if isinstance(value, list):
+                return [scrub(item) for item in value]
+            return value
+
+        rendered = json.dumps(
+            scrub(result.snapshot()), indent=2, sort_keys=True
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.format} snapshot to {args.output}")
+    else:
+        print(rendered)
+    summary = result.obs.tracer.summary()
+    print(
+        f"published {result.published} events, delivered "
+        f"{result.delivered}/{result.expected}; "
+        f"{summary['spans_recorded']} spans across "
+        f"{summary['traces_started']} traces "
+        f"({summary['total_retransmits']} retransmits, "
+        f"{summary['total_drops']} drops)",
+        file=sys.stderr,
+    )
+    if args.check:
+        problems = check_invariants(result)
+        for problem in problems:
+            print(f"invariant violated: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("all tracing invariants hold", file=sys.stderr)
+    return 0
+
+
+# -- parser / entry point -----------------------------------------------------
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for testing)."""
+    """The CLI argument parser, built from the command registry."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PSGuard: secure event dissemination in pub-sub "
         "networks (ICDCS 2007 reproduction)",
     )
-    commands = parser.add_subparsers(dest="command", required=True)
-
-    demo = commands.add_parser("demo", help="run the quickstart flow")
-    demo.set_defaults(handler=_cmd_demo)
-
-    grant = commands.add_parser(
-        "grant", help="show the key material for a range subscription"
-    )
-    grant.add_argument("--topic", default="cancerTrail")
-    grant.add_argument("--attribute", default="age")
-    grant.add_argument("--range", type=int, default=128)
-    grant.add_argument("low", type=int)
-    grant.add_argument("high", type=int)
-    grant.set_defaults(handler=_cmd_grant)
-
-    calibrate = commands.add_parser(
-        "calibrate", help="measure crypto primitive costs on this host"
-    )
-    calibrate.set_defaults(handler=_cmd_calibrate)
-
-    experiment = commands.add_parser(
-        "experiment", help="regenerate one experiment series"
-    )
-    experiment.add_argument(
-        "name", choices=["keys", "entropy", "construction", "cache"]
-    )
-    experiment.add_argument("--events", type=int, default=4000)
-    experiment.set_defaults(handler=_cmd_experiment)
-
-    topology = commands.add_parser(
-        "topology", help="generate a topology and report RTT statistics"
-    )
-    topology.add_argument("--nodes", type=int, default=63)
-    topology.add_argument("--seed", type=int, default=7)
-    topology.set_defaults(handler=_cmd_topology)
-
-    verify = commands.add_parser(
-        "verify",
-        help="fast self-check of the reproduction's headline claims",
-    )
-    verify.set_defaults(handler=_cmd_verify)
-
-    chaos = commands.add_parser(
-        "chaos",
-        help="measure delivery under injected broker crashes and link loss",
-    )
-    chaos.add_argument(
-        "--scenario", choices=["all", "overlay", "kdc"], default="all",
-        help="overlay = broker-crash delivery experiments, "
-        "kdc = key-service outage across an epoch boundary",
-    )
-    chaos.add_argument("--seed", type=int, default=7)
-    chaos.add_argument("--duration", type=float, default=5.0)
-    chaos.add_argument("--rate", type=float, default=40.0,
-                       help="publications per second")
-    chaos.add_argument("--crash-prob", type=float, default=0.2,
-                       help="per-broker crash probability")
-    chaos.add_argument("--crash-duration", type=float, default=0.5,
-                       help="seconds a crashed broker stays down")
-    chaos.add_argument("--link-loss", type=float, default=0.05,
-                       help="per-transmission link loss probability")
-    chaos.add_argument("--redundancy", type=int, default=2,
-                       help="multipath redundancy k for the reliable run")
-    chaos.add_argument("--brokers", type=int, default=15,
-                       help="tree overlay size")
-    chaos.add_argument("--epoch-length", type=float, default=2.0,
-                       help="kdc scenario: topic epoch length in seconds")
-    chaos.add_argument("--kdc-replicas", type=int, default=3,
-                       help="kdc scenario: replicas in the replicated run")
-    chaos.add_argument("--subscribers", type=int, default=8,
-                       help="kdc scenario: subscriber count")
-    chaos.add_argument("--grace", type=float, default=1.0,
-                       help="kdc scenario: post-expiry grace window")
-    chaos.add_argument("--outage", type=float, default=1.0,
-                       help="kdc scenario: outage straddling the boundary")
-    chaos.set_defaults(handler=_cmd_chaos)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for entry in commands():
+        subparser = subparsers.add_parser(entry.name, help=entry.help)
+        if entry.configure is not None:
+            entry.configure(subparser)
+        subparser.set_defaults(handler=entry.handler)
     return parser
 
 

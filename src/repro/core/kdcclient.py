@@ -44,6 +44,7 @@ from repro.core.kdc import (
 )
 from repro.core.kdcservice import KDCRequest, KDCResponse
 from repro.net.service import ServiceNetwork
+from repro.obs.metrics import MetricsRegistry, RegistryBackedStats
 from repro.siena.filters import Filter
 
 
@@ -86,29 +87,35 @@ class ClientRetryPolicy:
         return timeout
 
 
-@dataclass
-class KDCClientStats:
-    """What the client's availability machinery did."""
+class KDCClientStats(RegistryBackedStats):
+    """What the client's availability machinery did.
 
-    requests: int = 0
-    successes: int = 0
-    #: Requests that exhausted every attempt (KDC unavailable).
-    failures: int = 0
-    #: Terminal denials (revocation) -- not retried.
-    denied: int = 0
-    attempts: int = 0
-    retries: int = 0
-    timeouts: int = 0
-    #: Attempts that switched to a different replica than the previous one.
-    failovers: int = 0
-    breaker_opens: int = 0
-    #: Candidate replicas skipped because their breaker was open.
-    breaker_skips: int = 0
-    #: Mutation attempts redirected to the view's primary.
-    redirects: int = 0
-    #: Replies that arrived after their attempt had already timed out
-    #: (accepted anyway -- request ids make them safe).
-    late_replies: int = 0
+    Registry-backed (``kdc_client_<field>_total``, labelled
+    ``client=<id>``); the attribute API is a thin view over counters.
+    """
+
+    _int_fields = (
+        "requests",
+        "successes",
+        # Requests that exhausted every attempt (KDC unavailable).
+        "failures",
+        # Terminal denials (revocation) -- not retried.
+        "denied",
+        "attempts",
+        "retries",
+        "timeouts",
+        # Attempts that switched to a different replica than the previous.
+        "failovers",
+        "breaker_opens",
+        # Candidate replicas skipped because their breaker was open.
+        "breaker_skips",
+        # Mutation attempts redirected to the view's primary.
+        "redirects",
+        # Replies that arrived after their attempt had already timed out
+        # (accepted anyway -- request ids make them safe).
+        "late_replies",
+    )
+    _metric_prefix = "kdc_client_"
 
 
 class _Breaker:
@@ -147,6 +154,7 @@ class _Call:
         self.last_replica: Hashable | None = None
         self.primary_hint: Hashable | None = None
         self.timer = None
+        self.started_at = 0.0
 
 
 class KDCClient:
@@ -162,6 +170,7 @@ class KDCClient:
         replica_ids: Iterable[Hashable],
         policy: ClientRetryPolicy | None = None,
         seed: int = 0,
+        registry: MetricsRegistry | None = None,
     ):
         self.network = network
         self.client_id = client_id
@@ -169,7 +178,22 @@ class KDCClient:
         if not self.replica_ids:
             raise ValueError("need at least one replica address")
         self.policy = policy if policy is not None else ClientRetryPolicy()
-        self.stats = KDCClientStats()
+        # Share the control-plane network's registry unless told otherwise.
+        self.registry = (
+            registry if registry is not None else network.registry
+        )
+        self.stats = KDCClientStats(self.registry, client=str(client_id))
+        self._h_latency = self.registry.histogram(
+            "kdc_client_request_latency_seconds", client=str(client_id)
+        )
+        self._g_breaker = {
+            rid: self.registry.gauge(
+                "kdc_client_breaker_open",
+                client=str(client_id),
+                replica=str(rid),
+            )
+            for rid in self.replica_ids
+        }
         self._rng = random.Random(seed)
         self._counter = itertools.count()
         self._breakers = {rid: _Breaker() for rid in self.replica_ids}
@@ -274,7 +298,9 @@ class KDCClient:
 
     def _call(self, request: KDCRequest, on_ok, on_error) -> None:
         self.stats.requests += 1
-        self._attempt(_Call(request, on_ok, on_error))
+        call = _Call(request, on_ok, on_error)
+        call.started_at = self.now()
+        self._attempt(call)
 
     def _attempt(self, call: _Call) -> None:
         if call.done:
@@ -324,8 +350,10 @@ class KDCClient:
         if reply.ok:
             call.done = True
             self._breakers[replica].record_success()
+            self._g_breaker[replica].set(0)
             self._preferred = replica
             self.stats.successes += 1
+            self._h_latency.observe(self.now() - call.started_at)
             call.on_ok(reply.value)
             return
         if reply.retryable:
@@ -359,4 +387,5 @@ class KDCClient:
         self.stats.timeouts += 1
         if self._breakers[replica].record_failure(self.now(), self.policy):
             self.stats.breaker_opens += 1
+            self._g_breaker[replica].set(1)
         self._attempt(call)

@@ -31,7 +31,7 @@ recovering until its catch-up completes, simply refuses -- the
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable
 
 from repro.core.composite import CompositeKeySpace
@@ -42,6 +42,7 @@ from repro.core.kdc import (
 )
 from repro.net.faults import FaultInjector
 from repro.net.service import ServiceNetwork
+from repro.obs.metrics import MetricsRegistry, RegistryBackedStats
 
 #: How many memoized responses a replica keeps for request dedup.
 DEDUP_CAPACITY = 4096
@@ -82,44 +83,56 @@ class KDCResponse:
         return self.error in ("recovering", "not_primary", "stale")
 
 
-@dataclass
-class ReplicaStats:
-    """Per-replica accounting for the chaos reports."""
+class ReplicaStats(RegistryBackedStats):
+    """Per-replica accounting for the chaos reports.
 
-    requests_served: int = 0
-    authorizations: int = 0
-    publisher_keys: int = 0
-    dedup_hits: int = 0
-    commands_applied: int = 0
-    syncs_served: int = 0
-    catchups_completed: int = 0
-    rejected_recovering: int = 0
-    rejected_not_primary: int = 0
-    denials: int = 0
+    Registry-backed (``kdc_replica_<field>_total``, labelled
+    ``replica=<id>``); the attribute API is a thin view over counters.
+    """
 
-
-@dataclass
-class ClusterStats:
-    """Cluster-wide leadership accounting."""
-
-    view_changes: int = 0
-    #: ``(time, view, primary)`` leadership history.
-    leadership_log: list[tuple[float, int, Hashable]] = field(
-        default_factory=list
+    _int_fields = (
+        "requests_served",
+        "authorizations",
+        "publisher_keys",
+        "dedup_hits",
+        "commands_applied",
+        "syncs_served",
+        "catchups_completed",
+        "rejected_recovering",
+        "rejected_not_primary",
+        "denials",
     )
+    _metric_prefix = "kdc_replica_"
+
+
+class ClusterStats(RegistryBackedStats):
+    """Cluster-wide leadership accounting (``kdc_view_changes_total``)."""
+
+    _int_fields = ("view_changes",)
+    _metric_prefix = "kdc_"
+
+    def __init__(self, registry: MetricsRegistry | None = None, **labels):
+        super().__init__(registry, **labels)
+        #: ``(time, view, primary)`` leadership history.
+        self.leadership_log: list[tuple[float, int, Hashable]] = []
 
 
 class KDCReplica:
     """One KDC service node: stateless derivation + replicated registry."""
 
-    def __init__(self, replica_id: Hashable, master_key: bytes):
+    def __init__(
+        self,
+        replica_id: Hashable,
+        master_key: bytes,
+        registry: MetricsRegistry | None = None,
+    ):
         self.replica_id = replica_id
         self.kdc = KDC(master_key=master_key)
         #: The replicated registry log this replica has applied, in order.
         self.log: list[RegistryCommand] = []
         #: A restarted replica refuses service until caught up.
         self.recovering = False
-        self.stats = ReplicaStats()
+        self.stats = ReplicaStats(registry, replica=str(replica_id))
         self._dedup: dict[tuple, KDCResponse] = {}
         self._dedup_order: deque[tuple] = deque()
 
@@ -262,19 +275,25 @@ class KDCCluster:
         faults: FaultInjector | None = None,
         sync_interval: float | None = 0.25,
         catchup_retry: float = 0.1,
+        registry: MetricsRegistry | None = None,
     ):
         self.network = network
         self.sim = network.sim
+        # Share the control-plane network's registry unless told otherwise.
+        self.registry = (
+            registry if registry is not None else network.registry
+        )
         self.replica_ids = list(replica_ids)
         if not self.replica_ids:
             raise ValueError("need at least one replica")
         self.replicas = {
-            replica_id: KDCReplica(replica_id, master_key)
+            replica_id: KDCReplica(replica_id, master_key, self.registry)
             for replica_id in self.replica_ids
         }
         self.view = 0
         self.primary_id: Hashable | None = self.replica_ids[0]
-        self.stats = ClusterStats()
+        self.stats = ClusterStats(self.registry)
+        self._g_view = self.registry.gauge("kdc_view")
         self.catchup_retry = catchup_retry
         for replica_id in self.replica_ids:
             network.register(
@@ -335,6 +354,7 @@ class KDCCluster:
             self.primary_id = None
         self.view += 1
         self.stats.view_changes += 1
+        self._g_view.set(self.view)
         self.stats.leadership_log.append(
             (self.sim.now, self.view, self.primary_id)
         )

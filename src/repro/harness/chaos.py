@@ -32,6 +32,7 @@ from repro.harness.reporting import format_table
 from repro.net.faults import FaultInjector, FaultPlan
 from repro.net.sim import Simulator
 from repro.net.simnet import RetryPolicy, SimulatedPubSub
+from repro.obs import Observability
 from repro.routing.faulttolerance import (
     RedundantRouter,
     analytic_delivery_rate,
@@ -79,7 +80,13 @@ class ChaosConfig:
 
 @dataclass
 class TreeChaosResult:
-    """Outcome of one tree-overlay chaos run."""
+    """Outcome of one tree-overlay chaos run.
+
+    The run's :class:`~repro.obs.Observability` bundle rides along as a
+    plain ``obs`` attribute (deliberately not a dataclass field, so
+    ``dataclasses.asdict`` equality between seeded runs keeps comparing
+    only the measured numbers).
+    """
 
     mode: str
     expected: int
@@ -113,7 +120,11 @@ class TreeChaosResult:
 
 @dataclass
 class MultipathChaosResult:
-    """Outcome of one multipath chaos run."""
+    """Outcome of one multipath chaos run.
+
+    Carries its :class:`~repro.obs.Observability` bundle as a plain
+    ``obs`` attribute, exactly like :class:`TreeChaosResult`.
+    """
 
     mode: str
     redundancy: int
@@ -155,8 +166,13 @@ def _tree_fault_plan(config: ChaosConfig) -> FaultPlan:
     )
 
 
-def run_tree_chaos(config: ChaosConfig, reliable: bool) -> TreeChaosResult:
+def run_tree_chaos(
+    config: ChaosConfig,
+    reliable: bool,
+    obs: Observability | None = None,
+) -> TreeChaosResult:
     """One tree-overlay workload under the config's fault plan."""
+    obs = obs if obs is not None else Observability()
     sim = Simulator()
     injector = FaultInjector(sim, _tree_fault_plan(config), seed=config.seed + 1)
     net = SimulatedPubSub(
@@ -167,6 +183,7 @@ def run_tree_chaos(config: ChaosConfig, reliable: bool) -> TreeChaosResult:
         reliability=replace(config.retry) if reliable else None,
         faults=injector,
         seed=config.seed + 2,
+        obs=obs,
     )
     injector.install()
     subscription = Filter.topic("chaos")
@@ -182,7 +199,7 @@ def run_tree_chaos(config: ChaosConfig, reliable: bool) -> TreeChaosResult:
         )
     sim.run(until=config.duration + config.drain)
     stats = net.rstats
-    return TreeChaosResult(
+    result = TreeChaosResult(
         mode="reliable" if reliable else "fire-and-forget",
         expected=config.events * len(leaves),
         delivered=len(net.deliveries),
@@ -198,10 +215,15 @@ def run_tree_chaos(config: ChaosConfig, reliable: bool) -> TreeChaosResult:
         mean_detection_latency=stats.mean_detection_latency(),
         mean_recovery_latency=stats.mean_recovery_latency(),
     )
+    result.obs = obs
+    return result
 
 
 def run_multipath_chaos(
-    config: ChaosConfig, reliable: bool, redundancy: int
+    config: ChaosConfig,
+    reliable: bool,
+    redundancy: int,
+    obs: Observability | None = None,
 ) -> MultipathChaosResult:
     """Redundant multi-path dissemination under dynamic faults.
 
@@ -210,7 +232,17 @@ def run_multipath_chaos(
     traversal time (link loss sampled per transmission, crashed brokers
     swallow copies).  With *reliable*, a hop that fails is retried with
     the config's backoff policy up to the retry budget.
+
+    Every event is traced: one trace per publication, a ``hop``/``drop``
+    span per transmission attempt (tagged with its path index and
+    attempt number), and a ``deliver`` span at first arrival, so any
+    event's multipath fan-out and retransmissions reconstruct from the
+    tracer alone.
     """
+    obs = obs if obs is not None else Observability()
+    tracer = obs.tracer
+    c_hop_retries = obs.registry.counter("multipath_hop_retries_total")
+    h_e2e = obs.registry.histogram("multipath_e2e_latency_seconds")
     sim = Simulator()
     network = MultipathNetwork(
         depth=config.depth, arity=max(config.ind, 2), ind=config.ind
@@ -234,6 +266,7 @@ def run_multipath_chaos(
         redundancy=redundancy,
         ind_max=config.ind,
         seed=config.seed + 2,
+        registry=obs.registry,
     )
     rng = random.Random(config.seed + 3)
     policy = config.retry
@@ -248,34 +281,54 @@ def run_multipath_chaos(
         "dead_copies": 0,
     }
     arrivals: dict[int, int] = {}
+    started: dict[int, float] = {}
 
     def hop_attempt(
-        seq: int, path: list[Hashable], index: int, attempt: int
+        seq: int, path: list[Hashable], index: int, attempt: int,
+        path_id: int,
     ) -> None:
         source, target = path[index], path[index + 1]
         counters["hop_sends"] += 1
         if attempt > 0:
             counters["retries"] += 1
+            c_hop_retries.inc()
         survives = injector.deliverable(source, target)
         delay = config.hop_latency + injector.extra_latency(source, target)
+        sent_at = sim.now
 
         def arrive() -> None:
             terminal = index + 1 == len(path) - 1
             if survives and (terminal or injector.broker_up(target)):
+                tracer.span(
+                    seq, "hop", str(target), sent_at, end=sim.now,
+                    attempt=attempt, path=path_id,
+                    link=f"{source}->{target}",
+                )
                 if terminal:
                     arrivals[seq] = arrivals.get(seq, 0) + 1
                     if arrivals[seq] == 1:
                         counters["delivered"] += 1
+                        h_e2e.observe(sim.now - started[seq])
+                        tracer.span(
+                            seq, "deliver", str(target), started[seq],
+                            end=sim.now, path=path_id,
+                        )
                     else:
                         counters["duplicates"] += 1
                 else:
-                    hop_attempt(seq, path, index + 1, 0)
+                    hop_attempt(seq, path, index + 1, 0, path_id)
                 return
+            tracer.span(
+                seq, "drop", str(target), sent_at, end=sim.now,
+                attempt=attempt, path=path_id,
+                link=f"{source}->{target}",
+            )
             # No ack will come back for this copy.
             if reliable and attempt + 1 < policy.max_attempts:
                 sim.schedule(
                     policy.timeout_for(attempt, rng),
-                    lambda: hop_attempt(seq, path, index, attempt + 1),
+                    lambda: hop_attempt(seq, path, index, attempt + 1,
+                                        path_id),
                 )
             else:
                 counters["dead_copies"] += 1
@@ -287,8 +340,12 @@ def run_multipath_chaos(
         subscriber = rng.choice(subscribers)
         paths = router.route_redundant(token, subscriber)
         counters["copies_sent"] += len(paths)
-        for path in paths:
-            hop_attempt(seq, path, 0, 0)
+        started[seq] = sim.now
+        tracer.start_trace(seq, at=sim.now, token=str(token))
+        tracer.span(seq, "publish", str(paths[0][0]), sim.now,
+                    fan_out=len(paths))
+        for path_id, path in enumerate(paths):
+            hop_attempt(seq, path, 0, 0, path_id)
 
     for seq in range(config.events):
         sim.schedule(seq / config.publish_rate, lambda seq=seq: launch(seq))
@@ -298,7 +355,7 @@ def run_multipath_chaos(
     per_hop_failure = (
         config.link_loss + down_fraction - config.link_loss * down_fraction
     )
-    return MultipathChaosResult(
+    result = MultipathChaosResult(
         mode="reliable" if reliable else "fire-and-forget",
         redundancy=redundancy,
         attempted=config.events,
@@ -312,6 +369,8 @@ def run_multipath_chaos(
             per_hop_failure, config.depth, redundancy
         ),
     )
+    result.obs = obs
+    return result
 
 
 @dataclass
@@ -339,6 +398,53 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
             config, reliable=True, redundancy=config.redundancy
         ),
     )
+
+
+def _format_latency(histogram) -> str:
+    if histogram is None or not histogram.count:
+        return "no observations"
+    quantiles = " ".join(
+        f"p{int(q * 100)}={histogram.quantile(q) * 1e3:.1f}ms"
+        for q in histogram.tracked_quantiles
+    )
+    return f"{quantiles} (n={histogram.count})"
+
+
+def _format_hop_retries(registry, name: str, limit: int = 6) -> str:
+    series = [
+        metric for metric in registry.series(name) if metric.value > 0
+    ]
+    if not series:
+        return "none"
+    series.sort(key=lambda metric: -metric.value)
+    shown = ", ".join(
+        f"{dict(metric.labels).get('link', 'total')}:"
+        f"{int(metric.value)}"
+        for metric in series[:limit]
+    )
+    hidden = len(series) - limit
+    return shown + (f" (+{hidden} more links)" if hidden > 0 else "")
+
+
+def _metrics_section(title: str, obs: Observability | None,
+                     latency_metric: str, retry_metric: str) -> str:
+    if obs is None:
+        return f"Metrics snapshot ({title}): not collected"
+    summary = obs.tracer.summary()
+    histograms = obs.registry.series(latency_metric)
+    latency = _format_latency(histograms[0] if histograms else None)
+    lines = [
+        f"Metrics snapshot ({title})",
+        f"  e2e latency   : {latency}",
+        f"  hop retries   : "
+        f"{_format_hop_retries(obs.registry, retry_metric)}",
+        f"  traces        : {summary['traces_started']} started, "
+        f"{summary['traces_delivered']} delivered, "
+        f"{summary['total_retransmits']} retransmits, "
+        f"{summary['total_drops']} drops, "
+        f"{summary['dropped_spans']} dropped spans",
+    ]
+    return "\n".join(lines)
 
 
 def format_chaos_report(report: ChaosReport) -> str:
@@ -391,4 +497,19 @@ def format_chaos_report(report: ChaosReport) -> str:
         multipath_rows,
         title=f"Multipath G_ind (depth {config.depth}, ind {config.ind})",
     )
-    return "\n\n".join([header, tree_table, multipath_table])
+    tree_metrics = _metrics_section(
+        "reliable tree",
+        getattr(report.tree_reliable, "obs", None),
+        "net_delivery_latency_seconds",
+        "net_hop_retries_total",
+    )
+    multipath_metrics = _metrics_section(
+        f"reliable multipath k={report.multipath_reliable.redundancy}",
+        getattr(report.multipath_reliable, "obs", None),
+        "multipath_e2e_latency_seconds",
+        "multipath_hop_retries_total",
+    )
+    return "\n\n".join([
+        header, tree_table, multipath_table, tree_metrics,
+        multipath_metrics,
+    ])

@@ -44,6 +44,7 @@ from repro.harness.reporting import format_table
 from repro.net.faults import ANY, BrokerCrash, FaultInjector, FaultPlan, LinkFault
 from repro.net.service import ServiceNetwork
 from repro.net.sim import Simulator
+from repro.obs import Observability
 from repro.siena.events import Event
 from repro.siena.filters import Filter
 
@@ -161,14 +162,27 @@ def _fault_plan(config: KdcChaosConfig, replicas: int) -> FaultPlan:
 
 
 def run_kdc_chaos_mode(
-    config: KdcChaosConfig, replicas: int, grace_period: float, mode: str
+    config: KdcChaosConfig,
+    replicas: int,
+    grace_period: float,
+    mode: str,
+    obs: Observability | None = None,
 ) -> KdcChaosResult:
-    """One full workload against a *replicas*-node KDC deployment."""
+    """One full workload against a *replicas*-node KDC deployment.
+
+    The run's control-plane metrics (client request latency, failovers,
+    breaker state, view changes) land in *obs*, which rides along on the
+    result as a plain ``obs`` attribute (not a dataclass field, so
+    seeded-run ``asdict`` comparisons keep working).
+    """
+    obs = obs if obs is not None else Observability()
     sim = Simulator()
     injector = FaultInjector(
         sim, _fault_plan(config, replicas), seed=config.seed + 1
     )
-    network = ServiceNetwork(sim, injector, latency=config.rpc_latency)
+    network = ServiceNetwork(
+        sim, injector, latency=config.rpc_latency, registry=obs.registry
+    )
     replica_ids = [f"kdc{i}" for i in range(replicas)]
     cluster = KDCCluster(network, replica_ids, MASTER_KEY, faults=injector)
     cluster.register_topic(
@@ -239,7 +253,7 @@ def run_kdc_chaos_mode(
     sim.schedule(config.tick_interval, tick)
     sim.run(until=config.duration + config.drain)
 
-    return KdcChaosResult(
+    result = KdcChaosResult(
         mode=mode,
         replicas=replicas,
         grace_period=grace_period,
@@ -257,6 +271,8 @@ def run_kdc_chaos_mode(
         messages_lost=network.stats.lost,
         converged=cluster.converged(),
     )
+    result.obs = obs
+    return result
 
 
 @dataclass
@@ -286,6 +302,42 @@ def run_kdc_chaos(config: KdcChaosConfig | None = None) -> KdcChaosReport:
             mode="replicated",
         ),
     )
+
+
+def _kdc_metrics_section(result: KdcChaosResult) -> str:
+    obs = getattr(result, "obs", None)
+    if obs is None:
+        return f"Metrics snapshot ({result.mode}): not collected"
+    registry = obs.registry
+    latencies = [
+        h for h in registry.series("kdc_client_request_latency_seconds")
+        if h.count
+    ]
+    if latencies:
+        p95s = sorted(h.quantile(0.95) * 1e3 for h in latencies)
+        total = sum(h.count for h in latencies)
+        latency = (
+            f"p95 across {len(latencies)} clients "
+            f"{p95s[0]:.1f}-{p95s[-1]:.1f}ms (n={total})"
+        )
+    else:
+        latency = "no observations"
+    view = registry.get("kdc_view")
+    lines = [
+        f"Metrics snapshot ({result.mode})",
+        f"  renewal latency : {latency}",
+        f"  control plane   : "
+        f"{int(registry.total('kdc_client_requests_total'))} requests, "
+        f"{int(registry.total('kdc_client_retries_total'))} retries, "
+        f"{int(registry.total('kdc_client_failovers_total'))} failovers, "
+        f"{int(registry.total('kdc_client_timeouts_total'))} timeouts, "
+        f"{int(registry.total('kdc_client_breaker_opens_total'))} "
+        f"breaker opens",
+        f"  cluster         : "
+        f"{int(registry.total('kdc_view_changes_total'))} view changes, "
+        f"final view {int(view.value) if view is not None else 0}",
+    ]
+    return "\n".join(lines)
 
 
 def format_kdc_chaos_report(report: KdcChaosReport) -> str:
@@ -318,4 +370,6 @@ def format_kdc_chaos_report(report: KdcChaosReport) -> str:
         rows,
         title="End-to-end decrypt success under KDC outage",
     )
-    return "\n\n".join([header, table])
+    return "\n\n".join(
+        [header, table, _kdc_metrics_section(report.replicated)]
+    )

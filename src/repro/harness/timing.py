@@ -46,9 +46,16 @@ class CryptoCosts:
         return self.hash_s * 1e6
 
 
-@lru_cache(maxsize=1)
+@lru_cache(maxsize=None)
 def measure_crypto_costs(iterations: int = 5000) -> CryptoCosts:
-    """Measure all primitive costs once per process."""
+    """Measure all primitive costs once per process per iteration count.
+
+    The cache is unbounded and keyed on *iterations*: with ``maxsize=1``
+    a call at a different iteration count would evict the previous
+    measurement, so alternating callers (e.g. a quick harness probe next
+    to the full calibration) would silently re-run the benchmark -- and
+    get freshly jittered constants -- on every call.
+    """
     key = os.urandom(16)
     payload = os.urandom(256)
     ciphertext = encrypt(key, payload)

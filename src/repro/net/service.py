@@ -21,27 +21,33 @@ Semantics are deliberately minimal and failure-realistic:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Hashable
 
 from repro.net.faults import FaultInjector
 from repro.net.sim import Simulator
+from repro.obs.metrics import MetricsRegistry, RegistryBackedStats
 
 #: A service handler: ``handler(sender, payload) -> reply payload``.
 #: Returning ``None`` suppresses the reply (the caller will time out).
 ServiceHandler = Callable[[Hashable, object], object]
 
 
-@dataclass
-class ServiceStats:
-    """Control-plane traffic counters for the chaos reports."""
+class ServiceStats(RegistryBackedStats):
+    """Control-plane traffic counters for the chaos reports.
 
-    requests_sent: int = 0
-    requests_delivered: int = 0
-    replies_sent: int = 0
-    replies_delivered: int = 0
-    #: Messages that vanished: link loss, partition, or a dead endpoint.
-    lost: int = 0
+    Registry-backed (``svc_<field>_total``); the attribute API is a thin
+    view over shared counters.
+    """
+
+    _int_fields = (
+        "requests_sent",
+        "requests_delivered",
+        "replies_sent",
+        "replies_delivered",
+        # Messages that vanished: link loss, partition, or a dead endpoint.
+        "lost",
+    )
+    _metric_prefix = "svc_"
 
 
 class ServiceNetwork:
@@ -60,16 +66,18 @@ class ServiceNetwork:
         sim: Simulator,
         faults: FaultInjector | None = None,
         latency: Callable[[Hashable, Hashable], float] | float = 0.005,
+        registry: MetricsRegistry | None = None,
     ):
         self.sim = sim
         self.faults = faults
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._latency_of = (
             latency
             if callable(latency)
             else (lambda _src, _dst: float(latency))
         )
         self._handlers: dict[Hashable, ServiceHandler] = {}
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(self.registry)
 
     # -- wiring --------------------------------------------------------------
 

@@ -33,13 +33,15 @@ drains, so drive the simulator with ``sim.run(until=...)``.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Hashable
 
 from repro.net.faults import FaultInjector
 from repro.net.links import Link
 from repro.net.node import ProcessingNode
 from repro.net.sim import Simulator
+from repro.obs import Observability
+from repro.obs.metrics import Counter, MetricsRegistry, RegistryBackedStats
 from repro.siena.broker import Broker, MatchPredicate, _plain_match
 from repro.siena.events import Event
 from repro.siena.filters import Filter
@@ -115,28 +117,38 @@ class RetryPolicy:
         return timeout
 
 
-@dataclass
-class ReliabilityStats:
-    """Counters the reliable overlay keeps for the chaos reports."""
+class ReliabilityStats(RegistryBackedStats):
+    """Counters the reliable overlay keeps for the chaos reports.
 
-    data_sends: int = 0
-    retries: int = 0
-    acks_sent: int = 0
-    dead_letters: int = 0
-    #: Hop-level duplicate arrivals suppressed by the dedup filter.
-    duplicates_suppressed: int = 0
-    #: Subscriber-level duplicate deliveries suppressed.
-    duplicate_deliveries: int = 0
-    heartbeats_sent: int = 0
-    failures_detected: int = 0
-    recoveries_detected: int = 0
-    #: Events parked while the next hop was marked down, then re-sent.
-    parked: int = 0
-    parked_flushes: int = 0
-    warmup_deferred: int = 0
-    subscriptions_replayed: int = 0
-    detection_latencies: list[float] = field(default_factory=list)
-    recovery_latencies: list[float] = field(default_factory=list)
+    Registry-backed (``net_<field>_total``): the attribute API is a thin
+    view over shared counters, so the chaos reports keep reading
+    ``rstats.retries`` while exporters see the same series.
+    """
+
+    _int_fields = (
+        "data_sends",
+        "retries",
+        "acks_sent",
+        "dead_letters",
+        # Hop-level duplicate arrivals suppressed by the dedup filter.
+        "duplicates_suppressed",
+        # Subscriber-level duplicate deliveries suppressed.
+        "duplicate_deliveries",
+        "heartbeats_sent",
+        "failures_detected",
+        "recoveries_detected",
+        # Events parked while the next hop was marked down, then re-sent.
+        "parked",
+        "parked_flushes",
+        "warmup_deferred",
+        "subscriptions_replayed",
+    )
+    _metric_prefix = "net_"
+
+    def __init__(self, registry: MetricsRegistry | None = None, **labels):
+        super().__init__(registry, **labels)
+        self.detection_latencies: list[float] = []
+        self.recovery_latencies: list[float] = []
 
     def mean_detection_latency(self) -> float:
         if not self.detection_latencies:
@@ -147,6 +159,15 @@ class ReliabilityStats:
         if not self.recovery_latencies:
             return float("nan")
         return sum(self.recovery_latencies) / len(self.recovery_latencies)
+
+    def __eq__(self, other) -> bool:
+        base = super().__eq__(other)
+        if base is not True:
+            return base
+        return (
+            self.detection_latencies == other.detection_latencies
+            and self.recovery_latencies == other.recovery_latencies
+        )
 
 
 def _zero_cost(_node: Hashable, _event: Event) -> float:
@@ -177,10 +198,19 @@ class SimulatedPubSub:
         reliability: RetryPolicy | None = None,
         faults: FaultInjector | None = None,
         seed: int = 0,
+        obs: Observability | None = None,
     ):
         if num_brokers < 1:
             raise ValueError("need at least the root broker")
         self.sim = sim
+        # Observability: metrics always accumulate (into the supplied
+        # registry or a private one); per-event tracing only when an
+        # Observability bundle is threaded in.  Neither path touches the
+        # RNG or schedules simulator events, so seeded runs are bitwise
+        # identical with and without instrumentation.
+        self.obs = obs
+        self.registry = obs.registry if obs is not None else MetricsRegistry()
+        self._tracer = obs.tracer if obs is not None else None
         self.arity = arity
         self.match = match
         self.broker_cost = broker_cost
@@ -209,7 +239,18 @@ class SimulatedPubSub:
         self._monitor_interval: float | None = None
 
         # Reliable-delivery state.
-        self.rstats = ReliabilityStats()
+        self.rstats = ReliabilityStats(self.registry)
+        self._h_delivery = self.registry.histogram(
+            "net_delivery_latency_seconds"
+        )
+        self._h_detection = self.registry.histogram(
+            "net_detection_latency_seconds"
+        )
+        self._h_recovery = self.registry.histogram(
+            "net_recovery_latency_seconds"
+        )
+        self._c_ack_timeouts = self.registry.counter("net_ack_timeouts_total")
+        self._link_counters: dict[tuple, Counter] = {}
         self.dead_letters: list[tuple[int, Hashable, Hashable]] = []
         self._neighbors: dict[Hashable, list[Hashable]] = {}
         self._hop_seen: set[tuple[Hashable, Hashable, int]] = set()
@@ -225,7 +266,9 @@ class SimulatedPubSub:
         self._last_restart_at: dict[Hashable, float] = {}
 
         for index in range(num_brokers):
-            self.brokers[index] = Broker(index, match=match)
+            self.brokers[index] = Broker(
+                index, match=match, registry=self.registry
+            )
             self.nodes[index] = ProcessingNode(sim, index)
             self._neighbors[index] = []
         for index in range(1, num_brokers):
@@ -274,6 +317,19 @@ class SimulatedPubSub:
 
     # -- transport -----------------------------------------------------------
 
+    def _link_counter(
+        self, name: str, from_id: Hashable, to_id: Hashable
+    ) -> Counter:
+        """Per-link counter, cached so hot paths skip the registry lookup."""
+        key = (name, from_id, to_id)
+        counter = self._link_counters.get(key)
+        if counter is None:
+            counter = self.registry.counter(
+                name, link=f"{from_id}->{to_id}"
+            )
+            self._link_counters[key] = counter
+        return counter
+
     def _hop_send(
         self,
         from_id: Hashable,
@@ -292,6 +348,9 @@ class SimulatedPubSub:
         ):
             link.stats.messages += 1
             link.stats.bytes += size
+            self._link_counter(
+                "net_link_drops_total", from_id, to_id
+            ).inc()
             return False
         extra = (
             self.faults.extra_latency(from_id, to_id)
@@ -312,8 +371,14 @@ class SimulatedPubSub:
         # expensive than a 2-way forward inside the tree.
         if self.per_send_s > 0:
             self.nodes[from_id].submit(self.per_send_s, lambda: None)
+        sent_at = self.sim.now
 
         def on_arrival() -> None:
+            if self._tracer is not None:
+                self._tracer.span(
+                    seq, "hop", to_id, sent_at, self.sim.now,
+                    link=f"{from_id}->{to_id}", attempt=0,
+                )
             if not self.brokers[to_id].alive:
                 return
             cost = self.broker_cost(to_id, payload)
@@ -324,7 +389,12 @@ class SimulatedPubSub:
                 ),
             )
 
-        self._hop_send(from_id, to_id, publication.size, on_arrival)
+        survived = self._hop_send(from_id, to_id, publication.size, on_arrival)
+        if not survived and self._tracer is not None:
+            self._tracer.span(
+                seq, "drop", to_id, sent_at,
+                link=f"{from_id}->{to_id}", attempt=0,
+            )
 
     def _transmit_reliable(
         self,
@@ -346,10 +416,14 @@ class SimulatedPubSub:
         self.rstats.data_sends += 1
         if attempt > 0:
             self.rstats.retries += 1
+            self._link_counter(
+                "net_hop_retries_total", from_id, to_id
+            ).inc()
         if self.per_send_s > 0:
             self.nodes[from_id].submit(self.per_send_s, lambda: None)
         publication = self._inflight[seq]
         key = (from_id, to_id, seq)
+        sent_at = self.sim.now
 
         def on_processed() -> None:
             self._hop_queued.discard(key)
@@ -360,6 +434,11 @@ class SimulatedPubSub:
             self._send_ack(to_id, from_id, key)
 
         def on_arrival() -> None:
+            if self._tracer is not None:
+                self._tracer.span(
+                    seq, "hop", to_id, sent_at, self.sim.now,
+                    link=f"{from_id}->{to_id}", attempt=attempt,
+                )
             if not self.brokers[to_id].alive:
                 return  # no ack from a dead broker
             restarted_at = self._last_restart_at.get(to_id)
@@ -396,7 +475,12 @@ class SimulatedPubSub:
                 self.broker_cost(to_id, payload), on_processed
             )
 
-        self._hop_send(from_id, to_id, publication.size, on_arrival)
+        survived = self._hop_send(from_id, to_id, publication.size, on_arrival)
+        if not survived and self._tracer is not None:
+            self._tracer.span(
+                seq, "drop", to_id, sent_at,
+                link=f"{from_id}->{to_id}", attempt=attempt,
+            )
         timeout = self.reliability.timeout_for(attempt, self._rng)
         handle = self.sim.schedule(
             timeout,
@@ -431,6 +515,7 @@ class SimulatedPubSub:
         if key not in self._pending:
             return  # acked in the meantime
         del self._pending[key]
+        self._c_ack_timeouts.inc()
         if (from_id, to_id) in self._neighbor_down:
             self._parked.setdefault((from_id, to_id), []).append(
                 (seq, payload)
@@ -483,6 +568,7 @@ class SimulatedPubSub:
         crash_at = self._last_crash_at.get(neighbor)
         if crash_at is not None and crash_at <= now:
             self.rstats.detection_latencies.append(now - crash_at)
+            self._h_detection.observe(now - crash_at)
 
     def _on_heartbeat(
         self, observer: Hashable, sender: Hashable, sender_incarnation: int
@@ -501,6 +587,7 @@ class SimulatedPubSub:
                 self.rstats.recovery_latencies.append(
                     self.sim.now - restart_at
                 )
+                self._h_recovery.observe(self.sim.now - restart_at)
             restarted = True
         if restarted:
             # The peer lost (or may have lost) its volatile routing state:
@@ -590,18 +677,27 @@ class SimulatedPubSub:
             publication = self._inflight[seq]
             if self.per_send_s > 0:
                 self.nodes[broker_id].submit(self.per_send_s, lambda: None)
+            sent_at = self.sim.now
 
             def on_arrival() -> None:
                 cost = self.subscriber_cost(subscriber_id, event)
                 self.subscriber_nodes[subscriber_id].submit(
-                    cost, lambda: self._record_delivery(seq, subscriber_id)
+                    cost,
+                    lambda: self._record_delivery(
+                        seq, subscriber_id, sent_at
+                    ),
                 )
 
             link.send(publication.size, on_arrival)
 
         self.brokers[broker_id].attach_client(subscriber_id, deliver)
 
-    def _record_delivery(self, seq: int, subscriber_id: Hashable) -> None:
+    def _record_delivery(
+        self,
+        seq: int,
+        subscriber_id: Hashable,
+        handed_off_at: float | None = None,
+    ) -> None:
         key = (seq, subscriber_id)
         if key in self._delivered_keys:
             self.rstats.duplicate_deliveries += 1
@@ -614,6 +710,15 @@ class SimulatedPubSub:
                 seq, subscriber_id, publication.published_at, self.sim.now
             )
         )
+        self._h_delivery.observe(self.sim.now - publication.published_at)
+        if self._tracer is not None:
+            self._tracer.span(
+                seq,
+                "deliver",
+                subscriber_id,
+                handed_off_at if handed_off_at is not None else self.sim.now,
+                self.sim.now,
+            )
 
     def subscribe(self, subscriber_id: Hashable, subscription: Filter) -> None:
         """Issue a subscription from an attached subscriber."""
@@ -647,6 +752,14 @@ class SimulatedPubSub:
             self.sim.now + delay,
         )
         self._inflight[seq] = publication
+        if self._tracer is not None:
+            self._tracer.start_trace(
+                seq, at=publication.published_at, size=publication.size
+            )
+            self._tracer.span(
+                seq, "publish", 0, publication.published_at,
+                publication.published_at,
+            )
 
         def inject() -> None:
             cost = self.broker_cost(0, tagged)

@@ -1,0 +1,235 @@
+"""Per-event tracing across the dissemination fabric.
+
+Every published event is stamped with a **trace id** (in the simulated
+overlay the publication sequence number doubles as the trace id, riding
+the existing ``_seq`` attribute so the wire format is unchanged).  As the
+event crosses the system, each layer records a :class:`Span` against
+that id:
+
+- ``publish``  -- the event enters the system at the publisher;
+- ``hop``      -- one broker-to-broker transmission that arrived
+                  (``attempt`` > 0 marks a retransmission, ``path``
+                  marks which redundant multipath copy it belongs to);
+- ``drop``     -- one transmission the (faulty) medium swallowed;
+- ``deliver``  -- the event reached a subscriber endpoint (the span
+                  covers the subscriber-side processing/decrypt cost);
+- ``decrypt``  -- a cryptographic open attempt (KDC chaos harness).
+
+A :class:`Trace` therefore reconstructs the event's full journey:
+hop count, fan-out, retransmits, multipath splits, and end-to-end
+latency are queryable per event -- exactly the per-event visibility the
+throughput/latency evaluations need.
+
+Spans recorded against an id that was never started are counted in
+:attr:`Tracer.dropped_spans` (instrumentation bugs surface as a nonzero
+counter, which the ``repro metrics`` smoke check asserts is zero).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class Span:
+    """One step of an event's journey."""
+
+    op: str
+    node: Hashable
+    start: float
+    end: float
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Every recorded span of one published event, in record order."""
+
+    __slots__ = ("trace_id", "started_at", "attrs", "spans")
+
+    def __init__(
+        self,
+        trace_id: Hashable,
+        started_at: float,
+        attrs: Mapping[str, object] | None = None,
+    ):
+        self.trace_id = trace_id
+        self.started_at = started_at
+        self.attrs = dict(attrs) if attrs else {}
+        self.spans: list[Span] = []
+
+    # -- queries --------------------------------------------------------------
+
+    def ops(self, *names: str) -> list[Span]:
+        """Spans whose op is one of *names* (all spans when empty)."""
+        if not names:
+            return list(self.spans)
+        return [span for span in self.spans if span.op in names]
+
+    @property
+    def hop_count(self) -> int:
+        """Broker-to-broker transmissions that arrived."""
+        return len(self.ops("hop"))
+
+    @property
+    def retransmits(self) -> int:
+        """Transmission attempts beyond each hop's first try."""
+        return sum(
+            1
+            for span in self.ops("hop", "drop")
+            if span.attrs.get("attempt", 0)
+        )
+
+    @property
+    def drops(self) -> int:
+        return len(self.ops("drop"))
+
+    @property
+    def fan_out(self) -> int:
+        """Distinct subscriber endpoints the event reached."""
+        return len({span.node for span in self.ops("deliver")})
+
+    @property
+    def paths(self) -> set:
+        """Distinct multipath copies observed (``path`` span attribute)."""
+        return {
+            span.attrs["path"]
+            for span in self.spans
+            if "path" in span.attrs
+        }
+
+    @property
+    def delivered(self) -> bool:
+        return bool(self.ops("deliver"))
+
+    def end_to_end_latency(self) -> float:
+        """Publication to last delivery; NaN when nothing was delivered."""
+        deliveries = self.ops("deliver")
+        if not deliveries:
+            return math.nan
+        return max(span.end for span in deliveries) - self.started_at
+
+    def first_delivery_latency(self) -> float:
+        """Publication to the *first* delivery; NaN when undelivered."""
+        deliveries = self.ops("deliver")
+        if not deliveries:
+            return math.nan
+        return min(span.end for span in deliveries) - self.started_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace({self.trace_id!r}, spans={len(self.spans)}, "
+            f"hops={self.hop_count}, fan_out={self.fan_out})"
+        )
+
+
+class Tracer:
+    """Registry of per-event traces.
+
+    *max_traces* bounds memory for long-running workloads: when set, the
+    oldest traces are evicted (counted in :attr:`traces_evicted`; spans
+    arriving for an evicted id are counted separately from genuinely
+    unknown ids, so the zero-``dropped_spans`` invariant stays
+    meaningful).
+    """
+
+    def __init__(self, max_traces: int | None = None):
+        if max_traces is not None and max_traces < 1:
+            raise ValueError("max_traces must be positive when set")
+        self.max_traces = max_traces
+        self._traces: dict[Hashable, Trace] = {}
+        self._evicted_ids: set[Hashable] = set()
+        self._auto_ids = itertools.count()
+        self.traces_started = 0
+        self.spans_recorded = 0
+        #: Spans against ids that were never started -- instrumentation bugs.
+        self.dropped_spans = 0
+        #: Spans against ids evicted by the *max_traces* bound.
+        self.late_spans = 0
+        self.traces_evicted = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def start_trace(
+        self,
+        trace_id: Hashable | None = None,
+        at: float = 0.0,
+        **attrs,
+    ) -> Hashable:
+        """Open a trace; returns its id (auto-allocated when ``None``)."""
+        if trace_id is None:
+            trace_id = next(self._auto_ids)
+        if trace_id in self._traces:
+            raise ValueError(f"trace {trace_id!r} already started")
+        self._traces[trace_id] = Trace(trace_id, at, attrs)
+        self.traces_started += 1
+        if self.max_traces is not None and len(self._traces) > self.max_traces:
+            oldest = next(iter(self._traces))
+            del self._traces[oldest]
+            self._evicted_ids.add(oldest)
+            self.traces_evicted += 1
+        return trace_id
+
+    def span(
+        self,
+        trace_id: Hashable,
+        op: str,
+        node: Hashable,
+        start: float,
+        end: float | None = None,
+        **attrs,
+    ) -> None:
+        """Record one span against *trace_id* (instant span when no end)."""
+        trace = self._traces.get(trace_id)
+        if trace is None:
+            if trace_id in self._evicted_ids:
+                self.late_spans += 1
+            else:
+                self.dropped_spans += 1
+            return
+        trace.spans.append(
+            Span(op, node, start, end if end is not None else start, attrs)
+        )
+        self.spans_recorded += 1
+
+    # -- queries --------------------------------------------------------------
+
+    def trace(self, trace_id: Hashable) -> Trace | None:
+        return self._traces.get(trace_id)
+
+    def traces(self) -> Iterator[Trace]:
+        yield from self._traces.values()
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def summary(self) -> dict:
+        """Aggregate trace accounting (JSON-able)."""
+        delivered = sum(1 for trace in self.traces() if trace.delivered)
+        latencies = [
+            trace.end_to_end_latency()
+            for trace in self.traces()
+            if trace.delivered
+        ]
+        return {
+            "traces_started": self.traces_started,
+            "traces_held": len(self._traces),
+            "traces_evicted": self.traces_evicted,
+            "spans_recorded": self.spans_recorded,
+            "dropped_spans": self.dropped_spans,
+            "late_spans": self.late_spans,
+            "traces_delivered": delivered,
+            "mean_end_to_end_latency": (
+                sum(latencies) / len(latencies) if latencies else None
+            ),
+            "total_retransmits": sum(
+                trace.retransmits for trace in self.traces()
+            ),
+            "total_drops": sum(trace.drops for trace in self.traces()),
+        }

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping
 
+from repro.obs.metrics import MetricsRegistry
 from repro.routing.multipath import ProbabilisticRouter
 from repro.topology.multipath import MultipathNetwork, SubscriberId
 
@@ -38,9 +39,10 @@ class RedundantRouter(ProbabilisticRouter):
         ind_max: int | None = None,
         tau: float | None = None,
         seed: int = 11,
+        registry: MetricsRegistry | None = None,
     ):
         super().__init__(network, frequencies, ind_max=ind_max, tau=tau,
-                         seed=seed)
+                         seed=seed, registry=registry)
         if redundancy < 1:
             raise ValueError("redundancy must be at least one path")
         if redundancy > network.ind:

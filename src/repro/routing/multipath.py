@@ -15,6 +15,7 @@ import math
 import random
 from typing import Hashable, Mapping
 
+from repro.obs.metrics import MetricsRegistry
 from repro.topology.multipath import MultipathNetwork, SubscriberId
 
 
@@ -71,8 +72,12 @@ class ProbabilisticRouter:
         ind_max: int | None = None,
         tau: float | None = None,
         seed: int = 11,
+        registry: MetricsRegistry | None = None,
     ):
         self.network = network
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._c_routes = self.registry.counter("multipath_routes_total")
+        self._h_path_hops = self.registry.histogram("multipath_path_hops")
         self.frequencies = dict(frequencies)
         self.ind_max = ind_max if ind_max is not None else network.ind
         if self.ind_max > network.ind:
@@ -93,7 +98,10 @@ class ProbabilisticRouter:
         """One event's path to *subscriber*, chosen uniformly at random."""
         available = self.paths_per_token.get(token, 1)
         paths = self.network.independent_paths(subscriber, available)
-        return self.rng.choice(paths)
+        chosen = self.rng.choice(paths)
+        self._c_routes.inc()
+        self._h_path_hops.observe(len(chosen))
+        return chosen
 
     def expected_apparent_frequency(self, token: Hashable) -> float:
         """``lambda_t / ind_t`` -- a single on-path node's expectation."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Optional
 
+from repro.obs.metrics import MetricsRegistry, RegistryBackedStats
 from repro.siena.events import Event
 from repro.siena.filters import Filter
 
@@ -26,21 +27,25 @@ def _plain_match(subscription_filter: Filter, event: Event) -> bool:
     return subscription_filter.matches(event)
 
 
-@dataclass
-class BrokerStats:
-    """Counters a broker keeps for the performance evaluation."""
+class BrokerStats(RegistryBackedStats):
+    """Counters a broker keeps for the performance evaluation.
 
-    events_received: int = 0
-    events_forwarded: int = 0
-    subscriptions_received: int = 0
-    subscriptions_forwarded: int = 0
-    match_tests: int = 0
-    deliveries: int = 0
-    dropped_while_down: int = 0
+    Backed by :class:`~repro.obs.metrics.MetricsRegistry` counters
+    (``broker_<field>_total``, labelled ``broker=<id>``); the attribute
+    read/``+=`` API is a thin view over them, so existing consumers keep
+    working unchanged while exporters see every broker uniformly.
+    """
 
-    def reset(self) -> None:
-        for name in vars(self):
-            setattr(self, name, 0)
+    _int_fields = (
+        "events_received",
+        "events_forwarded",
+        "subscriptions_received",
+        "subscriptions_forwarded",
+        "match_tests",
+        "deliveries",
+        "dropped_while_down",
+    )
+    _metric_prefix = "broker_"
 
 
 @dataclass
@@ -67,6 +72,7 @@ class Broker:
         broker_id: Hashable,
         match: MatchPredicate = _plain_match,
         indexed: bool = False,
+        registry: MetricsRegistry | None = None,
     ):
         self.broker_id = broker_id
         self.match = match
@@ -80,7 +86,7 @@ class Broker:
         self.clients: dict[Hashable, Callable[[Event], None]] = {}
         self.subscriptions: list[_Subscription] = []
         self.forwarded_upstream: list[Filter] = []
-        self.stats = BrokerStats()
+        self.stats = BrokerStats(registry, broker=str(broker_id))
         # Optional counting-algorithm index (sublinear matching; only
         # valid with the default plaintext match predicate).
         self._index = None

@@ -9,9 +9,12 @@ the timed variant used by the throughput/latency experiments).
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Iterable
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable
 
 from repro.siena.broker import Broker, MatchPredicate, _plain_match
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
 from repro.siena.events import Event
 from repro.siena.filters import Filter
 
@@ -34,19 +37,21 @@ class BrokerTree:
         num_brokers: int = 1,
         arity: int = 2,
         match: MatchPredicate = _plain_match,
+        registry: "MetricsRegistry | None" = None,
     ):
         if num_brokers < 1:
             raise ValueError("a broker tree needs at least one broker (the root)")
         if arity < 1:
             raise ValueError("tree arity must be positive")
         self.arity = arity
+        self.registry = registry
         self.brokers: dict[Hashable, Broker] = {}
         self._subscriber_home: dict[Hashable, Hashable] = {}
         self._client_filters: dict[Hashable, list[Filter]] = {}
         self._message_count = 0
 
         for index in range(num_brokers):
-            self.brokers[index] = Broker(index, match=match)
+            self.brokers[index] = Broker(index, match=match, registry=registry)
         for index in range(1, num_brokers):
             parent_index = (index - 1) // arity
             self._link(parent_index, index)

@@ -1,0 +1,40 @@
+"""The ``repro metrics`` workload and its tracing invariants."""
+
+from repro.harness.metricsrun import (
+    MetricsRunConfig,
+    check_invariants,
+    run_metrics_workload,
+)
+
+_CONFIG = MetricsRunConfig(seed=7, duration=1.0, drain=1.5,
+                           publish_rate=20.0)
+
+
+def test_invariants_hold_on_seeded_run():
+    result = run_metrics_workload(_CONFIG)
+    assert check_invariants(result) == []
+
+
+def test_workload_exercises_faults_and_retries():
+    result = run_metrics_workload(_CONFIG)
+    summary = result.obs.tracer.summary()
+    assert summary["total_retransmits"] > 0
+    assert result.obs.registry.total("net_hop_retries_total") > 0
+    delivery = result.obs.registry.get("net_delivery_latency_seconds")
+    assert delivery is not None and delivery.count == result.delivered
+
+
+def test_snapshot_carries_workload_section():
+    result = run_metrics_workload(_CONFIG)
+    document = result.snapshot()
+    assert document["workload"]["published"] == result.published
+    assert "tracing" in document
+    assert document["counters"]
+
+
+def test_run_is_deterministic():
+    a = run_metrics_workload(_CONFIG)
+    b = run_metrics_workload(_CONFIG)
+    assert a.delivered == b.delivered
+    assert a.obs.registry.snapshot() == b.obs.registry.snapshot()
+    assert a.obs.tracer.summary() == b.obs.tracer.summary()

@@ -22,6 +22,15 @@ def test_measurement_cached_per_process():
     assert measure_crypto_costs(500) is measure_crypto_costs(500)
 
 
+def test_cache_survives_interleaved_iteration_counts():
+    # Regression: with lru_cache(maxsize=1) a call at another iteration
+    # count evicted the first measurement, so alternating callers
+    # re-benchmarked (and re-jittered) on every call.
+    first = measure_crypto_costs(500)
+    measure_crypto_costs(250)
+    assert measure_crypto_costs(500) is first
+
+
 def test_all_costs_sub_millisecond():
     """Every primitive is microsecond scale on any modern host."""
     costs = measure_crypto_costs(500)

@@ -59,13 +59,13 @@ def test_sealed_events_decrypt_at_delivery_time(stack):
     # Patch delivery recording to decrypt with the real subscriber.
     original_record = network._record_delivery
 
-    def record_and_decrypt(seq, subscriber_id):
+    def record_and_decrypt(seq, subscriber_id, handed_off_at=None):
         sealed = network.carrier_of(seq)
         result = subscribers[subscriber_id].receive(sealed, lookup)
         assert result is not None, "routing must imply decryptability here"
         plaintexts[subscriber_id].append(result.event["message"])
         delivery_times[subscriber_id].append(sim.now)
-        original_record(seq, subscriber_id)
+        original_record(seq, subscriber_id, handed_off_at)
 
     network._record_delivery = record_and_decrypt
 

@@ -1,0 +1,69 @@
+"""Exporters: JSON snapshots and Prometheus text exposition."""
+
+import json
+
+from repro.obs import Observability
+from repro.obs.export import snapshot, to_json, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("sends_total", link="0->1").inc(3)
+    registry.gauge("view").set(2)
+    histogram = registry.histogram("latency_seconds")
+    for value in (0.01, 0.02, 0.03, 0.04, 0.05, 0.06):
+        histogram.observe(value)
+    return registry
+
+
+def test_snapshot_includes_all_instrument_kinds():
+    document = snapshot(_populated_registry())
+    assert document["counters"] == {'sends_total{link="0->1"}': 3}
+    assert document["gauges"] == {"view": 2}
+    assert document["histograms"]["latency_seconds"]["count"] == 6
+
+
+def test_snapshot_includes_tracing_when_given():
+    tracer = Tracer()
+    tracer.start_trace(1)
+    document = snapshot(MetricsRegistry(), tracer)
+    assert document["tracing"]["traces_started"] == 1
+
+
+def test_to_json_is_valid_and_nan_free():
+    registry = _populated_registry()
+    registry.histogram("empty_seconds")  # quantiles are NaN, min is inf
+    document = json.loads(to_json(registry))
+    assert document["histograms"]["empty_seconds"]["quantiles"]["p50"] is None
+    assert document["counters"]['sends_total{link="0->1"}'] == 3
+
+
+def test_prometheus_text_format():
+    text = to_prometheus(_populated_registry())
+    assert "# TYPE sends_total counter" in text
+    assert 'sends_total{link="0->1"} 3' in text
+    assert "# TYPE view gauge" in text
+    assert "# TYPE latency_seconds summary" in text
+    assert 'latency_seconds{quantile="0.5"}' in text
+    assert "latency_seconds_sum" in text
+    assert "latency_seconds_count 6" in text
+
+
+def test_prometheus_type_comment_emitted_once_per_name():
+    registry = MetricsRegistry()
+    registry.counter("hits_total", node="a").inc()
+    registry.counter("hits_total", node="b").inc()
+    text = to_prometheus(registry)
+    assert text.count("# TYPE hits_total counter") == 1
+
+
+def test_observability_bundle_round_trip():
+    obs = Observability()
+    obs.registry.counter("x_total").inc()
+    obs.tracer.start_trace(1)
+    document = json.loads(obs.to_json())
+    assert document["counters"]["x_total"] == 1
+    assert document["tracing"]["traces_started"] == 1
+    assert "x_total 1" in obs.to_prometheus()

@@ -1,0 +1,95 @@
+"""Per-event traces: journeys reconstruct, accounting stays honest."""
+
+import math
+
+import pytest
+
+from repro.obs.tracing import Tracer
+
+
+def test_full_journey_reconstructs():
+    tracer = Tracer()
+    tracer.start_trace(1, at=0.0, size=256)
+    tracer.span(1, "publish", 0, 0.0)
+    tracer.span(1, "hop", 1, 0.0, end=0.01, attempt=0, link="0->1")
+    tracer.span(1, "drop", 2, 0.01, end=0.02, attempt=0, link="1->2")
+    tracer.span(1, "hop", 2, 0.05, end=0.06, attempt=1, link="1->2")
+    tracer.span(1, "deliver", "subA", 0.06, end=0.07)
+    tracer.span(1, "deliver", "subB", 0.06, end=0.09)
+    trace = tracer.trace(1)
+    assert trace.hop_count == 2
+    assert trace.retransmits == 1
+    assert trace.drops == 1
+    assert trace.fan_out == 2
+    assert trace.delivered
+    assert trace.end_to_end_latency() == pytest.approx(0.09)
+    assert trace.first_delivery_latency() == pytest.approx(0.07)
+    assert trace.attrs == {"size": 256}
+
+
+def test_multipath_split_is_visible():
+    tracer = Tracer()
+    tracer.start_trace("e", at=0.0)
+    tracer.span("e", "hop", "a", 0.0, end=0.01, path=0)
+    tracer.span("e", "hop", "b", 0.0, end=0.01, path=1)
+    tracer.span("e", "deliver", "sub", 0.01, end=0.02, path=1)
+    assert tracer.trace("e").paths == {0, 1}
+
+
+def test_undelivered_trace_has_nan_latency():
+    tracer = Tracer()
+    tracer.start_trace(9, at=1.0)
+    tracer.span(9, "drop", 1, 1.0)
+    trace = tracer.trace(9)
+    assert not trace.delivered
+    assert math.isnan(trace.end_to_end_latency())
+
+
+def test_duplicate_trace_id_rejected():
+    tracer = Tracer()
+    tracer.start_trace(5)
+    with pytest.raises(ValueError, match="already started"):
+        tracer.start_trace(5)
+
+
+def test_auto_allocated_ids_are_distinct():
+    tracer = Tracer()
+    first = tracer.start_trace()
+    second = tracer.start_trace()
+    assert first != second
+
+
+def test_unknown_id_counts_as_dropped_span():
+    tracer = Tracer()
+    tracer.span("never-started", "hop", 1, 0.0)
+    assert tracer.dropped_spans == 1
+    assert tracer.spans_recorded == 0
+
+
+def test_eviction_separates_late_from_dropped():
+    tracer = Tracer(max_traces=2)
+    tracer.start_trace(1)
+    tracer.start_trace(2)
+    tracer.start_trace(3)          # evicts 1
+    assert tracer.traces_evicted == 1
+    assert len(tracer) == 2
+    tracer.span(1, "hop", 0, 0.0)  # late, not an instrumentation bug
+    tracer.span(99, "hop", 0, 0.0)
+    assert tracer.late_spans == 1
+    assert tracer.dropped_spans == 1
+
+
+def test_summary_aggregates():
+    tracer = Tracer()
+    tracer.start_trace(1, at=0.0)
+    tracer.span(1, "hop", 1, 0.0, end=0.01, attempt=1)
+    tracer.span(1, "deliver", "s", 0.01, end=0.02)
+    tracer.start_trace(2, at=0.0)
+    tracer.span(2, "drop", 1, 0.0)
+    summary = tracer.summary()
+    assert summary["traces_started"] == 2
+    assert summary["traces_delivered"] == 1
+    assert summary["total_retransmits"] == 1
+    assert summary["total_drops"] == 1
+    assert summary["mean_end_to_end_latency"] == pytest.approx(0.02)
+    assert summary["dropped_spans"] == 0

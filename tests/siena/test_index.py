@@ -93,6 +93,55 @@ class TestMaintenance:
         index.remove(999)
         assert len(index) == 1
 
+    def test_remove_last_owner_of_shared_prefix(self):
+        # "ab" and "abc" share a trie path; removing the owner at the
+        # interior node must not disturb the deeper owner.
+        short = Filter.of(Constraint("s", Op.PREFIX, "ab"))
+        long = Filter.of(Constraint("s", Op.PREFIX, "abc"))
+        index, ids = _index_of(short, long)
+        index.remove(ids[0])
+        assert index.matching(Event({"s": "abcd"})) == [long]
+        assert not index.matches(Event({"s": "abx"}))
+        index.remove(ids[1])
+        assert not index.matches(Event({"s": "abcd"}))
+        assert len(index) == 0
+
+    def test_readd_after_remove(self):
+        index, ids = _index_of(Filter.topic("a"))
+        index.remove(ids[0])
+        assert not index.matches(Event({"topic": "a"}))
+        new_id = index.add(Filter.topic("a"))
+        assert new_id != ids[0]
+        assert index.matches(Event({"topic": "a"}))
+        assert len(index) == 1
+
+    def test_readd_after_remove_equality_free(self):
+        subscription = Filter.of(Constraint("v", Op.GT, 10))
+        index, ids = _index_of(subscription)
+        index.remove(ids[0])
+        assert not index.matches(Event({"v": 11}))
+        index.add(Filter.of(Constraint("v", Op.GT, 10)))
+        assert index.matches(Event({"v": 11}))
+
+    def test_remove_twice_is_idempotent(self):
+        index, ids = _index_of(
+            Filter.of(Constraint("s", Op.PREFIX, "ab")),
+            Filter.topic("t"),
+        )
+        index.remove(ids[0])
+        index.remove(ids[0])
+        assert len(index) == 1
+        assert index.matches(Event({"topic": "t"}))
+
+    def test_trie_remove_unknown_text_and_owner(self):
+        from repro.siena.index import _Trie
+
+        trie = _Trie()
+        trie.insert("abc", 1)
+        trie.remove("zzz", 1)   # unknown path: no-op
+        trie.remove("abc", 2)   # known path, unknown owner: no-op
+        assert list(trie.owners_of_prefixes("abcdef")) == [1]
+
     def test_remove_covers_all_operator_kinds(self):
         complex_filter = Filter.of(
             Constraint("topic", Op.EQ, "t"),

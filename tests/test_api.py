@@ -1,0 +1,119 @@
+"""The ``repro.api`` facade: one-call wiring of the whole stack."""
+
+import pytest
+
+from repro.api import System, SystemBuilder, connect
+from repro.core.kdc import KDC
+from repro.obs import Observability
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+
+@pytest.fixture
+def medical_system():
+    return connect("cancerTrail", numeric={"age": 128})
+
+
+def test_quickstart_flow(medical_system):
+    system = medical_system
+    doctor = system.subscribe(
+        "doctor", Filter.numeric_range("cancerTrail", "age", 21, 127)
+    )
+    outsider = system.subscribe(
+        "outsider", Filter.numeric_range("cancerTrail", "age", 31, 127)
+    )
+    sealed = system.publisher("hospital").publish(
+        Event(
+            {"topic": "cancerTrail", "age": 25, "patientRecord": "rec-17"},
+            publisher="hospital",
+        ),
+        secret_attributes={"patientRecord"},
+    )
+    assert "patientRecord" not in dict(sealed.routable.attributes)
+    assert len(doctor.opened) == 1
+    assert doctor.opened[0].event["patientRecord"] == "rec-17"
+    # The outsider's subscription does not match, so nothing arrives.
+    assert outsider.opened == []
+    assert outsider.unreadable == 0
+
+
+def test_unauthorized_range_is_unreadable(medical_system):
+    system = medical_system
+    # Authorized for 31+, but subscribed broadly: events in [21, 30]
+    # arrive yet cannot be decrypted.
+    nosy = system.subscribe(
+        "nosy", Filter.numeric_range("cancerTrail", "age", 31, 127)
+    )
+    system.tree.subscribe("nosy", Filter.topic("cancerTrail"))
+    system.publisher("hospital").publish(
+        Event(
+            {"topic": "cancerTrail", "age": 25, "secret": "s"},
+            publisher="hospital",
+        ),
+        secret_attributes={"secret"},
+    )
+    assert nosy.opened == []
+    assert nosy.unreadable == 1
+
+
+def test_publisher_sessions_are_cached(medical_system):
+    assert medical_system.publisher("p") is medical_system.publisher("p")
+
+
+def test_duplicate_subscriber_rejected(medical_system):
+    medical_system.subscribe("s", Filter.topic("cancerTrail"))
+    with pytest.raises(ValueError, match="already attached"):
+        medical_system.subscribe("s", Filter.topic("cancerTrail"))
+
+
+def test_builder_wires_custom_pieces():
+    obs = Observability()
+    kdc = KDC(master_key=bytes(16))
+    system = (
+        System.builder()
+        .brokers(7, arity=2)
+        .kdc(kdc)
+        .observability(obs)
+        .topic("t", numeric={"v": 16})
+        .build()
+    )
+    assert system.kdc is kdc
+    assert system.obs is obs
+    assert system.tree.registry is obs.registry
+    assert len(system.tree.leaf_ids()) == 4
+
+
+def test_subscribers_spread_across_leaves():
+    system = connect("t", numeric={"v": 8}, brokers=7)
+    for index in range(4):
+        system.subscribe(f"s{index}", Filter.topic("t"))
+    homes = {session.home for session in system.subscribers.values()}
+    assert homes == set(system.tree.leaf_ids())
+
+
+def test_facade_traces_and_metrics():
+    system = connect("t", numeric={"v": 8})
+    system.subscribe("s", Filter.numeric_range("t", "v", 0, 7))
+    system.publisher("p").publish(
+        Event({"topic": "t", "v": 3, "body": "x"}, publisher="p"),
+        secret_attributes={"body"},
+    )
+    summary = system.tracer.summary()
+    assert summary["traces_started"] == 1
+    assert summary["traces_delivered"] == 1
+    assert summary["dropped_spans"] == 0
+    assert system.registry.total("broker_deliveries_total") == 1
+    assert "broker_deliveries_total" in system.to_prometheus()
+    assert system.snapshot()["tracing"]["traces_started"] == 1
+
+
+def test_package_reexports_blessed_surface():
+    import repro
+
+    assert set(repro.__all__) >= {
+        "System", "SystemBuilder", "connect", "Event", "Filter",
+        "KDC", "Publisher", "Subscriber", "Observability",
+        "MetricsRegistry", "Tracer",
+    }
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None

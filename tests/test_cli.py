@@ -90,6 +90,54 @@ def test_chaos_overlay_scenario_skips_kdc(capsys):
     assert "KDC chaos run" not in output
 
 
+def test_metrics_check_passes(capsys):
+    assert main(["metrics", "--duration", "1", "--rate", "20",
+                 "--check"]) == 0
+    captured = capsys.readouterr()
+    assert '"counters"' in captured.out
+    assert "broker_events_received_total" in captured.out
+    assert "all tracing invariants hold" in captured.err
+
+
+def test_metrics_writes_snapshot_file(tmp_path, capsys):
+    target = tmp_path / "snapshot.json"
+    assert main(["metrics", "--duration", "1", "--rate", "20",
+                 "--output", str(target)]) == 0
+    import json
+
+    document = json.loads(target.read_text())
+    assert document["tracing"]["dropped_spans"] == 0
+    assert document["workload"]["published"] == 20
+    assert "spans across" in capsys.readouterr().err
+
+
+def test_metrics_prometheus_format(capsys):
+    assert main(["metrics", "--duration", "1", "--rate", "20",
+                 "--format", "prometheus"]) == 0
+    output = capsys.readouterr().out
+    assert "# TYPE net_delivery_latency_seconds summary" in output
+    assert "broker_events_received_total" in output
+
+
+def test_chaos_reports_include_metrics_snapshot(capsys):
+    assert main(["chaos", "--seed", "7", "--duration", "1",
+                 "--rate", "20"]) == 0
+    output = capsys.readouterr().out
+    assert "Metrics snapshot (reliable tree)" in output
+    assert "hop retries" in output
+    assert "e2e latency" in output
+
+
+def test_command_registry_drives_parser():
+    from repro.cli import build_parser, commands
+
+    names = {entry.name for entry in commands()}
+    assert {"demo", "grant", "chaos", "metrics", "verify"} <= names
+    parser = build_parser()
+    args = parser.parse_args(["metrics", "--check"])
+    assert args.check is True
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["no-such-command"])
