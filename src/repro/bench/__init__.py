@@ -1,0 +1,26 @@
+"""``repro.bench`` -- the load and regression driver for ``repro.engine``.
+
+``repro bench`` on the command line; :func:`run_bench` programmatically.
+"""
+
+from __future__ import annotations
+
+from repro.bench.driver import (
+    BENCH_SCHEMA,
+    BenchConfig,
+    check_regression,
+    load_report,
+    render_report,
+    run_bench,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchConfig",
+    "check_regression",
+    "load_report",
+    "render_report",
+    "run_bench",
+    "write_report",
+]

@@ -1,0 +1,484 @@
+"""The ``repro bench`` load and regression driver.
+
+Runs the same fixed-seed Zipf workload through the full secure pipeline
+-- seal, tokenize, disseminate over a broker tree with tokenized
+matching, decrypt at every matching subscriber -- twice:
+
+1. the **legacy per-event path**: ``BrokerTree.publish`` per event, plain
+   :class:`~repro.routing.tokens.TokenAuthority`, uncached
+   :func:`~repro.routing.tokens.tokenized_match`;
+2. the **batched engine**: :class:`~repro.engine.DisseminationEngine`
+   batches over the same topology with the
+   :class:`~repro.engine.EngineCaches` memoization layers plugged in.
+
+Both paths process identical event sequences and identical subscription
+tables, and the driver checks the per-subscriber plaintext delivery
+streams agree before reporting numbers (ciphertexts differ -- IVs and
+token nonces are fresh per sealing -- so equivalence is judged on what
+subscribers actually decrypt; the test suite separately checks
+bit-identical dissemination of pre-sealed events).
+
+The report is machine-readable (``BENCH_engine.json``; schema documented
+in ``docs/API.md``) and :func:`check_regression` gates a fresh run
+against a committed baseline with a tolerance band for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable
+
+from repro.core.kdc import AuthorizationGrant
+from repro.core.ktid import KTID
+from repro.core.publisher import Publisher
+from repro.core.subscriber import Subscriber
+from repro.engine import DisseminationEngine, EngineCaches, EngineConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.routing.tokens import (
+    TokenAuthority,
+    tokenize_event,
+    tokenized_match,
+    tokenized_subscription,
+)
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+from repro.siena.network import BrokerTree
+from repro.workloads.generator import (
+    PaperWorkload,
+    Subscription,
+    TopicSpec,
+    WorkloadConfig,
+)
+
+BENCH_SCHEMA = "repro.bench/engine.v1"
+_SEQ = "_seq"
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Workload shape for one bench run; defaults are the reference load."""
+
+    seed: int = 7
+    events: int = 400
+    num_brokers: int = 15
+    arity: int = 2
+    num_subscribers: int = 16
+    num_topics: int = 32
+    topics_per_subscriber: int = 8
+    message_bytes: int = 64
+    batch_size: int = 32
+    batch_sweep: tuple[int, ...] = (1, 8, 32, 128)
+
+    def __post_init__(self) -> None:
+        if self.events < 1:
+            raise ValueError("need at least one event")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+
+
+@dataclass
+class _PathResult:
+    """Raw measurements for one dissemination path."""
+
+    label: str
+    wall_s: float
+    events: int
+    deliveries: int
+    opened: int
+    unreadable: int
+    latencies_s: list[float]
+    #: per-subscriber plaintext delivery streams for equivalence checks
+    streams: dict[str, list[tuple]]
+    caches: dict = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def latency_summary(self) -> dict:
+        """P² streaming quantiles over the end-to-end latencies."""
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("bench_e2e_latency_seconds")
+        for value in self.latencies_s:
+            histogram.observe(value)
+        return histogram.snapshot()
+
+    def report(self) -> dict:
+        return {
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "wall_s": self.wall_s,
+            "deliveries": self.deliveries,
+            "opened": self.opened,
+            "unreadable": self.unreadable,
+            "latency_s": self.latency_summary(),
+            "caches": self.caches,
+        }
+
+
+class _BenchFixture:
+    """Everything both paths share: topics, events, subscription draws."""
+
+    def __init__(self, config: BenchConfig):
+        self.config = config
+        workload_config = WorkloadConfig(
+            num_topics=config.num_topics,
+            topics_per_subscriber=config.topics_per_subscriber,
+            message_bytes=config.message_bytes,
+            seed=config.seed,
+        )
+        self.workload = PaperWorkload(workload_config)
+        self.master_key = bytes(
+            (config.seed + index) % 256 for index in range(16)
+        )
+        self.kdc = self.workload.build_kdc(master_key=self.master_key)
+        # Subscription draws consume workload randomness, so they happen
+        # exactly once; both paths replay the same interest sets.
+        self.interests: list[tuple[str, Subscription, AuthorizationGrant]] = []
+        for index in range(config.num_subscribers):
+            subscriber_id = f"S{index}"
+            for subscription in self.workload.subscriptions_for(subscriber_id):
+                grant = self.kdc.authorize(subscriber_id, subscription.filter)
+                self.interests.append((subscriber_id, subscription, grant))
+        self.events: list[tuple[TopicSpec, Event]] = []
+        for _ in range(config.events):
+            topic = self.workload.topic_sampler.sample()
+            self.events.append(
+                (topic, self.workload.random_event(topic, publisher="P"))
+            )
+
+    def schema_lookup(self, topic: str):
+        return self.kdc.config_for(topic).schema
+
+    def tokenized_filters(
+        self,
+        authority: TokenAuthority,
+        subscription: Subscription,
+        grant: AuthorizationGrant,
+    ) -> list[Filter]:
+        """The tokenized routing filters one subscription registers.
+
+        Numeric topics route on the grant's KTID cover elements (prefix
+        containment becomes token equality at the cover's level); other
+        kinds route on the topic token alone -- their fine-grained access
+        control stays where it cryptographically lives, in the
+        subscriber's grant keys.
+        """
+        topic = subscription.topic
+        filters: list[Filter] = []
+        if topic.kind == "numeric":
+            for clause_grant in grant.clauses:
+                for component in clause_grant.keys_for(topic.attribute):
+                    if isinstance(component.element, KTID):
+                        filters.append(
+                            tokenized_subscription(
+                                authority,
+                                topic.name,
+                                {topic.attribute: component.element},
+                            )
+                        )
+        if not filters:
+            filters.append(tokenized_subscription(authority, topic.name))
+        return filters
+
+
+class _BenchSubscriber:
+    """A subscriber endpoint recording what it decrypts, with timing."""
+
+    def __init__(
+        self,
+        subscriber_id: str,
+        fixture: _BenchFixture,
+        sealed_by_seq: dict,
+        result: _PathResult,
+        clock: Callable[[], float],
+    ):
+        self.engine = Subscriber(subscriber_id)
+        self.fixture = fixture
+        self.sealed_by_seq = sealed_by_seq
+        self.result = result
+        self.clock = clock
+
+    def deliver(self, routable: Event) -> None:
+        seq = routable.get(_SEQ)
+        sealed, published_at = self.sealed_by_seq[seq]
+        opened = self.engine.receive(sealed, self.fixture.schema_lookup)
+        self.result.deliveries += 1
+        self.result.latencies_s.append(self.clock() - published_at)
+        stream = self.result.streams.setdefault(
+            self.engine.subscriber_id, []
+        )
+        if opened is not None:
+            self.result.opened += 1
+            stream.append((seq, "open", tuple(sorted(opened.event))))
+        else:
+            self.result.unreadable += 1
+            stream.append((seq, "unreadable"))
+
+
+def _run_path(
+    fixture: _BenchFixture,
+    label: str,
+    batch_size: int | None,
+    registry: MetricsRegistry | None = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> _PathResult:
+    """Run the full pipeline once; ``batch_size=None`` is the legacy path."""
+    config = fixture.config
+    caches = None
+    if batch_size is None:
+        authority: TokenAuthority = TokenAuthority(fixture.master_key)
+        match = tokenized_match
+        match_cache = None
+    else:
+        caches = EngineCaches(
+            EngineConfig(batch_size=batch_size), registry
+        )
+        authority = caches.token_authority(fixture.master_key)
+        match = caches.tokenized_match()
+        match_cache = caches.match_results
+
+    tree = BrokerTree(
+        num_brokers=config.num_brokers,
+        arity=config.arity,
+        match=match,
+        registry=registry,
+        match_cache=match_cache,
+    )
+    result = _PathResult(label, 0.0, len(fixture.events), 0, 0, 0, [], {})
+    sealed_by_seq: dict[int, tuple] = {}
+    leaves = tree.leaf_ids()
+    endpoints: dict[str, _BenchSubscriber] = {}
+    registered: dict[str, set[Filter]] = {}
+    for subscriber_id, subscription, grant in fixture.interests:
+        endpoint = endpoints.get(subscriber_id)
+        if endpoint is None:
+            endpoint = _BenchSubscriber(
+                subscriber_id, fixture, sealed_by_seq, result, clock
+            )
+            endpoints[subscriber_id] = endpoint
+            home = leaves[len(endpoints) % len(leaves)]
+            tree.attach_subscriber(subscriber_id, home, endpoint.deliver)
+            result.streams[subscriber_id] = []
+        endpoint.engine.add_grant(grant)
+        issued = registered.setdefault(subscriber_id, set())
+        for routing_filter in fixture.tokenized_filters(
+            authority, subscription, grant
+        ):
+            if routing_filter not in issued:
+                issued.add(routing_filter)
+                tree.subscribe(subscriber_id, routing_filter)
+
+    publisher = Publisher(f"bench-{label}", fixture.kdc)
+    engine = None
+    if batch_size is not None:
+        engine = DisseminationEngine(
+            tree, EngineConfig(batch_size=batch_size), registry
+        )
+
+    started = clock()
+    for seq, (topic, event) in enumerate(fixture.events):
+        published_at = clock()
+        sealed = publisher.publish(event)
+        sealed_by_seq[seq] = (sealed, published_at)
+        elements = {
+            attribute: element
+            for attribute, element in sealed.elements.items()
+            if isinstance(element, KTID)
+        }
+        routable = sealed.routable.with_attributes(**{_SEQ: seq})
+        tokenized = tokenize_event(authority, routable, elements, topic.name)
+        if engine is None:
+            tree.publish(tokenized)
+        else:
+            engine.publish(tokenized)
+    if engine is not None:
+        engine.close()
+    result.wall_s = clock() - started
+
+    result.caches = {
+        "publisher_key_cache": publisher.cache.stats(),
+        "subscriber_key_caches": _merged_key_cache_stats(
+            endpoint.engine.cache for endpoint in endpoints.values()
+        ),
+    }
+    if caches is not None:
+        result.caches.update(caches.stats())
+        result.caches["token_authority"] = authority.cache.stats()
+    return result
+
+
+def _merged_key_cache_stats(caches) -> dict:
+    merged = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
+    for cache in caches:
+        stats = cache.stats()
+        for key in ("hits", "misses", "evictions", "entries"):
+            merged[key] += stats[key]
+    total = merged["hits"] + merged["misses"]
+    merged["hit_rate"] = merged["hits"] / total if total else 0.0
+    return merged
+
+
+def _streams_equal(left: _PathResult, right: _PathResult) -> bool:
+    return left.streams == right.streams
+
+
+def run_bench(
+    config: BenchConfig = BenchConfig(),
+    registry: MetricsRegistry | None = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> dict:
+    """Run baseline + engine + batch sweep; returns the report document."""
+    fixture = _BenchFixture(config)
+    baseline = _run_path(fixture, "baseline", None, clock=clock)
+    engine = _run_path(
+        fixture, "engine", config.batch_size, registry, clock=clock
+    )
+    equivalent = _streams_equal(baseline, engine)
+
+    sweep: list[dict] = []
+    for batch_size in config.batch_sweep:
+        if batch_size == config.batch_size:
+            run = engine
+        else:
+            run = _run_path(fixture, f"engine-b{batch_size}", batch_size,
+                            clock=clock)
+        sweep.append(
+            {
+                "batch_size": batch_size,
+                "events_per_sec": run.events_per_sec,
+                "speedup": run.events_per_sec / baseline.events_per_sec,
+                "equivalent": _streams_equal(baseline, run),
+            }
+        )
+
+    engine_report = engine.report()
+    engine_report["batch_size"] = config.batch_size
+    engine_report["speedup"] = (
+        engine.events_per_sec / baseline.events_per_sec
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": asdict(config),
+        "baseline": baseline.report(),
+        "engine": engine_report,
+        "batch_sweep": sweep,
+        "equivalence": {
+            "checked": True,
+            "holds": equivalent and all(entry["equivalent"] for entry in sweep),
+            "subscribers": len(baseline.streams),
+            "deliveries": baseline.deliveries,
+        },
+    }
+
+
+def check_regression(
+    report: dict, baseline: dict, tolerance: float = 0.25
+) -> list[str]:
+    """Compare a fresh *report* against a committed *baseline* document.
+
+    Returns a list of human-readable problems (empty = pass):
+
+    - the equivalence check must hold;
+    - required metrics (latency quantiles, cache hit rates) must be
+      present;
+    - the engine's speedup over the same-run per-event baseline must not
+      regress more than *tolerance* below the committed speedup (this is
+      the machine-independent throughput gate: same hardware runs both
+      paths, so the ratio moves only when the engine itself regresses);
+    - absolute engine throughput must clear the committed events/sec with
+      *tolerance* plus a 2x hardware-variance allowance.  This backstop
+      catches pipeline-wide collapses that leave the ratio intact (e.g.
+      silently losing the fast AES backend slows both paths ~100x); the
+      wide band keeps it from tripping on runner-speed differences, which
+      routinely exceed any sane per-commit tolerance.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError("tolerance must be within [0, 1)")
+    problems: list[str] = []
+    if report.get("schema") != baseline.get("schema"):
+        problems.append(
+            f"schema mismatch: report {report.get('schema')!r} "
+            f"vs baseline {baseline.get('schema')!r}"
+        )
+        return problems
+    if not report["equivalence"]["holds"]:
+        problems.append("engine deliveries diverge from the per-event path")
+
+    engine = report["engine"]
+    quantiles = engine.get("latency_s", {}).get("quantiles", {})
+    for quantile in ("p50", "p95", "p99"):
+        if quantile not in quantiles:
+            problems.append(f"missing engine latency quantile {quantile}")
+    for cache_name in ("token_prf", "match_results", "token_authority"):
+        if "hit_rate" not in engine.get("caches", {}).get(cache_name, {}):
+            problems.append(f"missing cache hit rate for {cache_name}")
+
+    committed = baseline["engine"]
+    floor_speedup = committed["speedup"] * (1 - tolerance)
+    if engine["speedup"] < floor_speedup:
+        problems.append(
+            f"speedup regression: {engine['speedup']:.2f}x < "
+            f"{floor_speedup:.2f}x "
+            f"(baseline {committed['speedup']:.2f}x - {tolerance:.0%})"
+        )
+    floor_throughput = committed["events_per_sec"] * (1 - tolerance) / 2
+    if engine["events_per_sec"] < floor_throughput:
+        problems.append(
+            f"throughput regression: {engine['events_per_sec']:.0f} ev/s < "
+            f"{floor_throughput:.0f} ev/s "
+            f"(baseline {committed['events_per_sec']:.0f} - {tolerance:.0%}, "
+            f"/2 hardware allowance)"
+        )
+    return problems
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary printed by ``repro bench``."""
+    baseline = report["baseline"]
+    engine = report["engine"]
+    lines = [
+        "bench: batched engine vs per-event baseline "
+        f"(seed={report['config']['seed']}, "
+        f"events={report['config']['events']}, "
+        f"brokers={report['config']['num_brokers']})",
+        f"  baseline : {baseline['events_per_sec']:9.1f} ev/s   "
+        f"p50 {baseline['latency_s']['quantiles']['p50'] * 1e3:7.2f} ms   "
+        f"p99 {baseline['latency_s']['quantiles']['p99'] * 1e3:7.2f} ms",
+        f"  engine   : {engine['events_per_sec']:9.1f} ev/s   "
+        f"p50 {engine['latency_s']['quantiles']['p50'] * 1e3:7.2f} ms   "
+        f"p99 {engine['latency_s']['quantiles']['p99'] * 1e3:7.2f} ms   "
+        f"(batch={engine['batch_size']}, {engine['speedup']:.2f}x)",
+        "  caches   : "
+        + "  ".join(
+            f"{name} {stats['hit_rate']:.0%}"
+            for name, stats in sorted(engine["caches"].items())
+            if isinstance(stats, dict) and "hit_rate" in stats
+        ),
+        "  sweep    : "
+        + "  ".join(
+            f"b{entry['batch_size']}={entry['speedup']:.2f}x"
+            for entry in report["batch_sweep"]
+        ),
+        "  equivalence: "
+        + (
+            "ok" if report["equivalence"]["holds"] else "DIVERGED"
+        )
+        + f" ({report['equivalence']['deliveries']} deliveries to "
+        f"{report['equivalence']['subscribers']} subscribers)",
+    ]
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

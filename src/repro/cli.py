@@ -20,7 +20,15 @@ new harness scenario only writes its own handler; ``build_parser`` and
                         ``kdc`` scenario takes KDC replicas down across
                         an epoch boundary and measures decrypt success;
 - ``metrics``        -- run an instrumented workload and export the
-                        metrics/tracing snapshot (JSON or Prometheus).
+                        metrics/tracing snapshot (JSON or Prometheus);
+- ``bench``          -- drive the same Zipf workload through the legacy
+                        per-event path and the batched ``repro.engine``,
+                        write ``BENCH_engine.json``, and optionally gate
+                        against a committed baseline (``--check``).
+
+Randomized commands share one ``--seed`` option (:func:`add_seed_option`)
+so a single integer pins workload draws across ``bench``, ``chaos`` and
+``metrics`` runs.
 """
 
 from __future__ import annotations
@@ -69,6 +77,21 @@ def command(
 def commands() -> tuple[Command, ...]:
     """The registered subcommands, in registration order."""
     return tuple(_REGISTRY.values())
+
+
+def add_seed_option(
+    parser: argparse.ArgumentParser, default: int = 7
+) -> None:
+    """The uniform ``--seed`` option for randomized subcommands.
+
+    Every command that draws randomness (workload sampling, fault
+    schedules, Zipf topic popularity) takes its seed from here, so the
+    same integer reproduces the same run everywhere.
+    """
+    parser.add_argument(
+        "--seed", type=int, default=default,
+        help=f"PRNG seed pinning every random draw (default: {default})",
+    )
 
 
 # -- demo ---------------------------------------------------------------------
@@ -273,7 +296,7 @@ def _chaos_args(parser: argparse.ArgumentParser) -> None:
         help="overlay = broker-crash delivery experiments, "
         "kdc = key-service outage across an epoch boundary",
     )
-    parser.add_argument("--seed", type=int, default=7)
+    add_seed_option(parser)
     parser.add_argument("--duration", type=float, default=5.0)
     parser.add_argument("--rate", type=float, default=40.0,
                         help="publications per second")
@@ -356,7 +379,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _metrics_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--seed", type=int, default=7)
+    add_seed_option(parser)
     parser.add_argument("--duration", type=float, default=3.0)
     parser.add_argument("--rate", type=float, default=30.0,
                         help="publications per second")
@@ -438,6 +461,102 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         if problems:
             return 1
         print("all tracing invariants hold", file=sys.stderr)
+    return 0
+
+
+# -- bench --------------------------------------------------------------------
+
+
+def _bench_args(parser: argparse.ArgumentParser) -> None:
+    add_seed_option(parser)
+    parser.add_argument("--events", type=int, default=400,
+                        help="publications per measured path")
+    parser.add_argument("--brokers", type=int, default=15,
+                        help="tree overlay size")
+    parser.add_argument("--arity", type=int, default=2,
+                        help="broker tree arity")
+    parser.add_argument("--subscribers", type=int, default=16)
+    parser.add_argument("--topics", type=int, default=32,
+                        help="topic population (multiple of 4)")
+    parser.add_argument("--topics-per-subscriber", type=int, default=8)
+    parser.add_argument("--batch-size", type=int, default=32,
+                        help="engine batch size for the headline numbers")
+    parser.add_argument(
+        "--sweep", default="1,8,32,128", metavar="SIZES",
+        help="comma-separated batch sizes for the sweep section",
+    )
+    parser.add_argument("--output", metavar="PATH",
+                        default="BENCH_engine.json",
+                        help="machine-readable report destination")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate this run against a committed baseline report",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        default="benchmarks/baselines/BENCH_engine.json",
+        help="baseline report for --check",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional regression before --check fails",
+    )
+
+
+@command(
+    "bench",
+    "benchmark the batched engine against the per-event path",
+    configure=_bench_args,
+)
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        BenchConfig,
+        check_regression,
+        load_report,
+        render_report,
+        run_bench,
+        write_report,
+    )
+
+    try:
+        sweep = tuple(
+            int(size) for size in str(args.sweep).split(",") if size.strip()
+        )
+        config = BenchConfig(
+            seed=args.seed,
+            events=args.events,
+            num_brokers=args.brokers,
+            arity=args.arity,
+            num_subscribers=args.subscribers,
+            num_topics=args.topics,
+            topics_per_subscriber=args.topics_per_subscriber,
+            batch_size=args.batch_size,
+            batch_sweep=sweep,
+        )
+        report = run_bench(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    write_report(report, args.output)
+    print(render_report(report))
+    print(f"wrote report to {args.output}", file=sys.stderr)
+    if not report["equivalence"]["holds"]:
+        print("error: engine deliveries diverge from the per-event path",
+              file=sys.stderr)
+        return 1
+    if args.check:
+        try:
+            baseline = load_report(args.baseline)
+        except OSError as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        problems = check_regression(report, baseline, args.tolerance)
+        for problem in problems:
+            print(f"regression: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("bench check passed: within tolerance of the baseline",
+              file=sys.stderr)
     return 0
 
 

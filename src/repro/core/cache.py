@@ -16,9 +16,12 @@ matching the cache-size axis of Figure 11.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.crypto.hashes import KEY_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs is runtime-free)
+    from repro.obs.metrics import MetricsRegistry
 
 #: A derivation path: namespace plus branch labels from the tree root.
 CachePath = tuple[Hashable, ...]
@@ -35,6 +38,26 @@ class KeyCache:
         self._size_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._c_hits = None
+        self._c_misses = None
+        self._c_evictions = None
+        self._g_bytes = None
+
+    def instrument(
+        self, registry: "MetricsRegistry", name: str = "key_cache", **labels
+    ) -> "KeyCache":
+        """Register hit/miss/eviction counters and a size gauge in *registry*.
+
+        Counters account from the moment of instrumentation (existing local
+        totals are not replayed).  Returns ``self`` for chaining.
+        """
+        self._c_hits = registry.counter(f"{name}_hits_total", **labels)
+        self._c_misses = registry.counter(f"{name}_misses_total", **labels)
+        self._c_evictions = registry.counter(f"{name}_evictions_total", **labels)
+        self._g_bytes = registry.gauge(f"{name}_size_bytes", **labels)
+        self._g_bytes.set(self._size_bytes)
+        return self
 
     @staticmethod
     def entry_cost(path: CachePath) -> int:
@@ -66,15 +89,30 @@ class KeyCache:
         while self._size_bytes > self.capacity_bytes and self._entries:
             evicted_path, _ = self._entries.popitem(last=False)
             self._size_bytes -= self.entry_cost(evicted_path)
+            self.evictions += 1
+            if self._c_evictions is not None:
+                self._c_evictions.inc()
+        if self._g_bytes is not None:
+            self._g_bytes.set(self._size_bytes)
+
+    def _count_hit(self) -> None:
+        self.hits += 1
+        if self._c_hits is not None:
+            self._c_hits.inc()
+
+    def _count_miss(self) -> None:
+        self.misses += 1
+        if self._c_misses is not None:
+            self._c_misses.inc()
 
     def get(self, path: CachePath) -> bytes | None:
         """Exact-path lookup; refreshes recency on hit."""
         key = self._entries.get(path)
         if key is None:
-            self.misses += 1
+            self._count_miss()
             return None
         self._entries.move_to_end(path)
-        self.hits += 1
+        self._count_hit()
         return key
 
     def deepest_ancestor(
@@ -92,17 +130,36 @@ class KeyCache:
             key = self._entries.get(candidate)
             if key is not None:
                 self._entries.move_to_end(candidate)
-                self.hits += 1
+                self._count_hit()
                 return candidate, key
-        self.misses += 1
+        self._count_miss()
         return None
 
     def clear(self) -> None:
-        """Drop all entries and reset hit/miss counters."""
+        """Drop all entries and reset local hit/miss/eviction counters.
+
+        Registry counters (if :meth:`instrument`-ed) are monotonic and keep
+        their lifetime totals; only the size gauge tracks the reset.
+        """
         self._entries.clear()
         self._size_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        if self._g_bytes is not None:
+            self._g_bytes.set(0)
+
+    def stats(self) -> dict:
+        """JSON-able summary used by ``repro bench`` reports."""
+        return {
+            "entries": len(self._entries),
+            "capacity_bytes": self.capacity_bytes,
+            "size_bytes": self._size_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
 
     @property
     def hit_rate(self) -> float:

@@ -127,6 +127,9 @@ class ReliabilityStats(RegistryBackedStats):
 
     _int_fields = (
         "data_sends",
+        # Batched data transmissions (one wire message carrying a whole
+        # sub-batch on the fire-and-forget transport).
+        "batch_sends",
         "retries",
         "acks_sent",
         "dead_letters",
@@ -306,6 +309,20 @@ class SimulatedPubSub:
                 else:
                     self.brokers[to_id].unsubscribe(from_id, payload)
                 return
+            if kind == "publish_batch":
+                assert isinstance(payload, list)
+                if self.reliability is None:
+                    self._transmit_batch_once(from_id, to_id, payload)
+                else:
+                    # The ack/retry/dedup machinery is per-sequence-number;
+                    # a batch splits into per-event reliable transmissions
+                    # at the first hop so at-least-once semantics (and the
+                    # chaos scenarios built on them) are untouched.
+                    for event in payload:
+                        self._transmit_reliable(
+                            from_id, to_id, event.get(_SEQ_ATTRIBUTE), event, 0
+                        )
+                return
             assert isinstance(payload, Event)
             seq = payload.get(_SEQ_ATTRIBUTE)
             if self.reliability is None:
@@ -395,6 +412,51 @@ class SimulatedPubSub:
                 seq, "drop", to_id, sent_at,
                 link=f"{from_id}->{to_id}", attempt=0,
             )
+
+    def _transmit_batch_once(
+        self, from_id: Hashable, to_id: Hashable, batch: list[Event]
+    ) -> None:
+        """One wire message carrying a whole sub-batch (fire-and-forget).
+
+        The amortization the engine is built around: one serialization
+        charge and one link transmission for the batch instead of one per
+        event.  Per-event broker processing costs still accrue at the
+        receiver (matching work is not amortized away), and the receiving
+        broker routes the batch with :meth:`Broker.publish_batch`, so
+        per-subscriber delivery semantics equal the per-event path.
+        """
+        self.rstats.data_sends += 1
+        self.rstats.batch_sends += 1
+        seqs = [event.get(_SEQ_ATTRIBUTE) for event in batch]
+        total_size = sum(self._inflight[seq].size for seq in seqs)
+        if self.per_send_s > 0:
+            self.nodes[from_id].submit(self.per_send_s, lambda: None)
+        sent_at = self.sim.now
+
+        def on_arrival() -> None:
+            if self._tracer is not None:
+                for seq in seqs:
+                    self._tracer.span(
+                        seq, "hop", to_id, sent_at, self.sim.now,
+                        link=f"{from_id}->{to_id}", attempt=0, batched=True,
+                    )
+            if not self.brokers[to_id].alive:
+                return
+            cost = sum(self.broker_cost(to_id, event) for event in batch)
+            self.nodes[to_id].submit(
+                cost,
+                lambda: self.brokers[to_id].publish_batch(
+                    batch, arrived_from=from_id
+                ),
+            )
+
+        survived = self._hop_send(from_id, to_id, total_size, on_arrival)
+        if not survived and self._tracer is not None:
+            for seq in seqs:
+                self._tracer.span(
+                    seq, "drop", to_id, sent_at,
+                    link=f"{from_id}->{to_id}", attempt=0, batched=True,
+                )
 
     def _transmit_reliable(
         self,
@@ -769,6 +831,61 @@ class SimulatedPubSub:
 
         self.sim.schedule(delay, inject)
         return seq
+
+    def publish_batch(
+        self,
+        routables: list[Event],
+        carriers: list[object] | None = None,
+        sizes: list[int] | None = None,
+        delay: float = 0.0,
+    ) -> list[int]:
+        """Inject a whole batch at the root after *delay*; returns its seqs.
+
+        The batch is scheduled as ONE simulator event and processed by the
+        root as one :meth:`Broker.publish_batch` call (per-event broker
+        costs still accrue); downstream hops carry batch messages on the
+        fire-and-forget transport and split per event when the reliable
+        stack is active.
+        """
+        if carriers is not None and len(carriers) != len(routables):
+            raise ValueError("carriers must parallel routables")
+        if sizes is not None and len(sizes) != len(routables):
+            raise ValueError("sizes must parallel routables")
+        tagged_batch: list[Event] = []
+        seqs: list[int] = []
+        published_at = self.sim.now + delay
+        for position, routable in enumerate(routables):
+            seq = self._next_seq
+            self._next_seq += 1
+            tagged = routable.with_attributes(**{_SEQ_ATTRIBUTE: seq})
+            publication = _Publication(
+                tagged,
+                carriers[position] if carriers is not None else None,
+                sizes[position] if sizes is not None else tagged.wire_size(),
+                published_at,
+            )
+            self._inflight[seq] = publication
+            tagged_batch.append(tagged)
+            seqs.append(seq)
+            if self._tracer is not None:
+                self._tracer.start_trace(
+                    seq, at=published_at, size=publication.size
+                )
+                self._tracer.span(
+                    seq, "publish", 0, published_at, published_at,
+                )
+
+        def inject() -> None:
+            cost = sum(self.broker_cost(0, event) for event in tagged_batch)
+            self.nodes[0].submit(
+                cost,
+                lambda: self.brokers[0].publish_batch(
+                    tagged_batch, arrived_from=None
+                ),
+            )
+
+        self.sim.schedule(delay, inject)
+        return seqs
 
     def carrier_of(self, seq: int) -> object:
         """The carrier object attached to publication *seq*."""

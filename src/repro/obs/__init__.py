@@ -13,6 +13,7 @@ glossary, and ``DESIGN.md`` ("Observability") for the design rationale.
 from __future__ import annotations
 
 from repro.obs.export import snapshot, to_json, to_prometheus
+from repro.obs.lru import LRUCache
 from repro.obs.metrics import (
     DEFAULT_QUANTILES,
     Counter,
@@ -31,6 +32,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LRUCache",
     "MetricsRegistry",
     "Observability",
     "RegistryBackedStats",

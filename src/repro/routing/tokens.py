@@ -24,12 +24,17 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.crypto.prf import F, constant_time_equal
 from repro.core.ktid import KTID
+from repro.obs.lru import LRUCache
 from repro.siena.events import Event
 from repro.siena.filters import Constraint, Filter
 from repro.siena.operators import Op
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
 
 _NONCE_BYTES = 16
 
@@ -108,6 +113,44 @@ class TokenAuthority:
         ]
 
 
+class CachingTokenAuthority(TokenAuthority):
+    """A :class:`TokenAuthority` that memoizes token pre-computation.
+
+    Label tokens are deterministic PRFs of the master key, so memoization
+    is exact: ``T(w)`` and element tokens never change for a fixed KDC.
+    The LRU bound keeps hostile topic churn from growing the map without
+    limit.  Hit/miss/eviction counters register in *registry* under
+    ``token_authority_cache_*`` when one is supplied.
+    """
+
+    def __init__(
+        self,
+        master_key: bytes,
+        capacity: int = 4096,
+        registry: "MetricsRegistry | None" = None,
+        **labels,
+    ):
+        super().__init__(master_key)
+        self.cache = LRUCache(
+            capacity, "token_authority_cache", registry, **labels
+        )
+
+    def topic_token(self, topic: str) -> bytes:
+        return self.cache.get_or_compute(
+            ("topic", topic), lambda: TokenAuthority.topic_token(self, topic)
+        )
+
+    def element_token(self, topic: str, attribute: str, element: object) -> bytes:
+        if isinstance(element, KTID):
+            tag: object = ("ktid", element.to_bytes())
+        else:
+            tag = element
+        return self.cache.get_or_compute(
+            ("element", topic, attribute, tag),
+            lambda: TokenAuthority.element_token(self, topic, attribute, element),
+        )
+
+
 # -- integration with the Siena broker ------------------------------------------
 
 #: Attribute name carrying the tokenized topic of an event.
@@ -177,14 +220,11 @@ def tokenized_subscription(
     return Filter(constraints)
 
 
-def tokenized_match(subscription: Filter, event: Event) -> bool:
-    """Broker match predicate for tokenized subscriptions and events.
-
-    Subscription constraint values are hex label tokens; event attribute
-    values are hex-encoded ``<r, F_T(r)>`` pairs.  A constraint matches
-    when ``F_{tok}(r) == match``.  Non-token constraints fall back to plain
-    matching (mixed plaintext/tokenized deployments).
-    """
+def _tokenized_match(
+    subscription: Filter,
+    event: Event,
+    matches: Callable[[bytes, RoutableToken], bool],
+) -> bool:
     for constraint in subscription:
         if not constraint.name.startswith(
             (TOPIC_TOKEN_ATTRIBUTE, ELEMENT_TOKEN_ATTRIBUTE)
@@ -200,6 +240,65 @@ def tokenized_match(subscription: Filter, event: Event) -> bool:
             token = bytes.fromhex(str(constraint.value))
         except ValueError:
             return False
-        if not routable_matches(token, routable):
+        if not matches(token, routable):
             return False
     return True
+
+
+def tokenized_match(subscription: Filter, event: Event) -> bool:
+    """Broker match predicate for tokenized subscriptions and events.
+
+    Subscription constraint values are hex label tokens; event attribute
+    values are hex-encoded ``<r, F_T(r)>`` pairs.  A constraint matches
+    when ``F_{tok}(r) == match``.  Non-token constraints fall back to plain
+    matching (mixed plaintext/tokenized deployments).
+    """
+    return _tokenized_match(subscription, event, routable_matches)
+
+
+class TokenPRFCache:
+    """Memoizes broker-side proof recomputation ``F_{tok}(r)``.
+
+    Every broker on an event's path recomputes the same PRF for the same
+    ``(token, nonce)`` pair -- the dominant per-hop crypto cost of
+    tokenized matching.  The PRF is a pure function of its inputs, so the
+    memo is exact and can be shared by every broker in a process.  The
+    nonce is fresh per event, so entries stop hitting once an event leaves
+    the network; the LRU bound reclaims them.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        registry: "MetricsRegistry | None" = None,
+        **labels,
+    ):
+        self.cache = LRUCache(capacity, "token_prf_cache", registry, **labels)
+
+    def proof(self, token: bytes, nonce: bytes) -> bytes:
+        """``F(token, nonce)``, served from cache when already computed."""
+        return self.cache.get_or_compute(
+            (token, nonce), lambda: F(token, nonce)
+        )
+
+    def matches(self, token: bytes, routable: RoutableToken) -> bool:
+        """Drop-in for :func:`routable_matches` backed by the memo."""
+        return constant_time_equal(
+            self.proof(token, routable.nonce), routable.proof
+        )
+
+
+def cached_tokenized_match(
+    cache: TokenPRFCache,
+) -> Callable[[Filter, Event], bool]:
+    """A :func:`tokenized_match`-equivalent predicate backed by *cache*.
+
+    Returns the exact same verdicts as :func:`tokenized_match` (the PRF is
+    pure), while amortizing proof recomputation across the brokers that
+    share the cache.
+    """
+
+    def match(subscription: Filter, event: Event) -> bool:
+        return _tokenized_match(subscription, event, cache.matches)
+
+    return match

@@ -15,10 +15,37 @@ from typing import Callable, Hashable, Optional
 
 from repro.obs.metrics import MetricsRegistry, RegistryBackedStats
 from repro.siena.events import Event
-from repro.siena.filters import Filter
+from repro.siena.filters import Constraint, Filter
+from repro.siena.operators import Op
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.siena.index import MatchResultCache
 
 #: An interface identifier: a neighbouring broker id or a local client id.
 Interface = Hashable
+
+#: Attribute carrying an event's tokenized topic (the same name
+#: :data:`repro.routing.tokens.TOPIC_TOKEN_ATTRIBUTE` uses; duplicated
+#: here because the routing layer imports from siena, not vice versa).
+#: Filters pinning this attribute with EQ partition into *groups*: every
+#: filter of a group shares one topic-token check, so a broker running
+#: with a match cache tests each group once per event and skips the
+#: group's filters wholesale when its topic token does not verify.
+_TOPIC_TOKEN_ATTRIBUTE = "_ttok"
+
+
+def _group_value(subscription_filter: Filter) -> str | None:
+    """The filter's topic-token pin, if it has exactly one EQ constraint."""
+    pinned = [
+        constraint.value
+        for constraint in subscription_filter
+        if constraint.name == _TOPIC_TOKEN_ATTRIBUTE and constraint.op is Op.EQ
+    ]
+    if len(pinned) == 1 and isinstance(pinned[0], str):
+        return pinned[0]
+    return None
 
 MatchPredicate = Callable[[Filter, Event], bool]
 
@@ -44,6 +71,8 @@ class BrokerStats(RegistryBackedStats):
         "match_tests",
         "deliveries",
         "dropped_while_down",
+        "batches_received",
+        "batches_forwarded",
     )
     _metric_prefix = "broker_"
 
@@ -52,6 +81,8 @@ class BrokerStats(RegistryBackedStats):
 class _Subscription:
     filter: Filter
     interfaces: set[Interface] = field(default_factory=set)
+    #: Topic-token group key (see :func:`_group_value`), or None.
+    group: str | None = None
 
 
 class Broker:
@@ -73,9 +104,15 @@ class Broker:
         match: MatchPredicate = _plain_match,
         indexed: bool = False,
         registry: MetricsRegistry | None = None,
+        match_cache: "MatchResultCache | None" = None,
     ):
         self.broker_id = broker_id
         self.match = match
+        # Optional shared (filter, value-vector) -> verdict memo.  Only
+        # sound for match predicates that are pure functions of the
+        # filter's constrained attribute values -- true of both the plain
+        # and tokenized predicates shipped here.
+        self.match_cache = match_cache
         self.alive = True
         #: Bumped on every restart; neighbours use it to detect that a
         #: broker lost its volatile routing state and needs replays.
@@ -91,6 +128,9 @@ class Broker:
         # valid with the default plaintext match predicate).
         self._index = None
         self._index_ids: dict[Filter, int] = {}
+        # Memo of single-constraint filters standing in for whole
+        # topic-token groups (used only when a match cache is present).
+        self._group_filters: dict[str, Filter] = {}
         if indexed:
             if match is not _plain_match:
                 raise ValueError(
@@ -177,7 +217,11 @@ class Broker:
                 break
         else:
             self.subscriptions.append(
-                _Subscription(subscription_filter, {interface})
+                _Subscription(
+                    subscription_filter,
+                    {interface},
+                    group=_group_value(subscription_filter),
+                )
             )
             if self._index is not None:
                 self._index_ids[subscription_filter] = self._index.add(
@@ -220,6 +264,8 @@ class Broker:
                 if not existing.interfaces:
                     self.subscriptions.remove(existing)
                     changed = True
+                    if self.match_cache is not None:
+                        self.match_cache.invalidate_filter(existing.filter)
                     if self._index is not None:
                         index_id = self._index_ids.pop(
                             existing.filter, None
@@ -253,6 +299,94 @@ class Broker:
 
     # -- event plane ---------------------------------------------------------
 
+    def _group_filter(self, group: str) -> Filter:
+        """The single-constraint stand-in filter for one topic-token group."""
+        group_filter = self._group_filters.get(group)
+        if group_filter is None:
+            group_filter = Filter.of(
+                Constraint(_TOPIC_TOKEN_ATTRIBUTE, Op.EQ, group)
+            )
+            self._group_filters[group] = group_filter
+        return group_filter
+
+    def _tested_match(self, subscription_filter: Filter, event: Event) -> bool:
+        """One counted match test, via the shared memo when configured."""
+        self.stats.match_tests += 1
+        if self.match_cache is None:
+            return self.match(subscription_filter, event)
+        verdict = self.match_cache.lookup(subscription_filter, event)
+        if verdict is None:
+            verdict = self.match(subscription_filter, event)
+            self.match_cache.store(subscription_filter, event, verdict)
+        return verdict
+
+    def _matched_interfaces(
+        self, event: Event, arrived_from: Interface | None
+    ) -> list[Interface]:
+        """Interfaces *event* must go out on, in stable delivery order.
+
+        Shared by :meth:`publish` and :meth:`publish_batch` so both paths
+        apply identical matching, dedup, and ordering.
+        """
+        matched: list[Interface] = []
+        seen: set[Interface] = set()
+        if self._index is not None:
+            hits = set(self._index.matching(event))
+            candidates = [
+                subscription
+                for subscription in self.subscriptions
+                if subscription.filter in hits
+            ]
+            self.stats.match_tests += len(hits)
+        else:
+            candidates = self.subscriptions
+        # With a match cache, filters pinning the same topic token share
+        # one group check per event: a failed topic token rules out every
+        # filter of the group (the filter is a conjunction containing that
+        # constraint).  Once some broker has verified the event against
+        # one group token, the pairing is a cryptographic fact independent
+        # of the broker, so later brokers skip straight to that group.
+        group_verdicts: dict[str, bool] = {}
+        prefilter = self._index is None and self.match_cache is not None
+        verified_group: str | None = None
+        event_token = None
+        if prefilter:
+            event_token = event.get(_TOPIC_TOKEN_ATTRIBUTE)
+            if isinstance(event_token, str):
+                verified_group = self.match_cache.topic_group(event_token)
+        for subscription in candidates:
+            if prefilter and subscription.group is not None:
+                if verified_group is not None:
+                    if subscription.group != verified_group:
+                        continue
+                else:
+                    verdict = group_verdicts.get(subscription.group)
+                    if verdict is None:
+                        verdict = self._tested_match(
+                            self._group_filter(subscription.group), event
+                        )
+                        group_verdicts[subscription.group] = verdict
+                        if verdict:
+                            # An event routable verifies against exactly
+                            # one token; every other group must fail.
+                            verified_group = subscription.group
+                            if isinstance(event_token, str):
+                                self.match_cache.remember_topic_group(
+                                    event_token, subscription.group
+                                )
+                    if not verdict:
+                        continue
+            if self._index is None and not self._tested_match(
+                subscription.filter, event
+            ):
+                continue
+            for interface in subscription.interfaces:
+                if interface == arrived_from or interface in seen:
+                    continue
+                seen.add(interface)
+                matched.append(interface)
+        return matched
+
     def publish(self, event: Event, arrived_from: Interface | None = None) -> int:
         """Route *event*: up to the parent, down every matching interface.
 
@@ -264,31 +398,14 @@ class Broker:
             return 0
         self.stats.events_received += 1
         forwarded_to: set[Interface] = set()
-        if self._index is not None:
-            matched = set(self._index.matching(event))
-            candidates = [
-                subscription
-                for subscription in self.subscriptions
-                if subscription.filter in matched
-            ]
-            self.stats.match_tests += len(matched)
-        else:
-            candidates = self.subscriptions
-        for subscription in candidates:
-            if self._index is None:
-                self.stats.match_tests += 1
-                if not self.match(subscription.filter, event):
-                    continue
-            for interface in subscription.interfaces:
-                if interface == arrived_from or interface in forwarded_to:
-                    continue
-                forwarded_to.add(interface)
-                if interface in self.clients:
-                    self.stats.deliveries += 1
-                    self.clients[interface](event)
-                elif interface in self.children:
-                    self.stats.events_forwarded += 1
-                    self.children[interface]("publish", event)
+        for interface in self._matched_interfaces(event, arrived_from):
+            forwarded_to.add(interface)
+            if interface in self.clients:
+                self.stats.deliveries += 1
+                self.clients[interface](event)
+            elif interface in self.children:
+                self.stats.events_forwarded += 1
+                self.children[interface]("publish", event)
 
         if (
             self.send_parent is not None
@@ -296,6 +413,56 @@ class Broker:
         ):
             self.stats.events_forwarded += 1
             self.send_parent("publish", event)
+            forwarded_to.add(self.parent)
+        return len(forwarded_to)
+
+    def publish_batch(
+        self, events: list[Event], arrived_from: Interface | None = None
+    ) -> int:
+        """Route a whole batch with one message per outgoing interface.
+
+        Per-subscriber semantics are identical to publishing each event of
+        *events* in order (same matching, same delivery order); only the
+        transport framing changes -- each child interface receives a
+        single ``publish_batch`` message carrying its sub-batch, and the
+        parent receives the full batch once.  Returns the number of
+        distinct interfaces the batch went out on.
+        """
+        if not self.alive:
+            self.stats.dropped_while_down += len(events)
+            return 0
+        self.stats.batches_received += 1
+        self.stats.events_received += len(events)
+        sub_batches: dict[Interface, list[Event]] = {}
+        interface_order: list[Interface] = []
+        for event in events:
+            for interface in self._matched_interfaces(event, arrived_from):
+                bucket = sub_batches.get(interface)
+                if bucket is None:
+                    bucket = sub_batches[interface] = []
+                    interface_order.append(interface)
+                bucket.append(event)
+
+        forwarded_to: set[Interface] = set(interface_order)
+        for interface in interface_order:
+            sub_batch = sub_batches[interface]
+            if interface in self.clients:
+                deliver = self.clients[interface]
+                self.stats.deliveries += len(sub_batch)
+                for event in sub_batch:
+                    deliver(event)
+            elif interface in self.children:
+                self.stats.events_forwarded += len(sub_batch)
+                self.stats.batches_forwarded += 1
+                self.children[interface]("publish_batch", sub_batch)
+
+        if (
+            self.send_parent is not None
+            and arrived_from != self.parent
+        ):
+            self.stats.events_forwarded += len(events)
+            self.stats.batches_forwarded += 1
+            self.send_parent("publish_batch", list(events))
             forwarded_to.add(self.parent)
         return len(forwarded_to)
 

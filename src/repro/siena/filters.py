@@ -63,6 +63,10 @@ class Filter:
         self.constraints: tuple[Constraint, ...] = tuple(constraints)
         if not self.constraints:
             raise ValueError("a filter must contain at least one constraint")
+        # Filters are immutable and heavily used as dict keys on broker
+        # hot paths (subscription tables, match-result caches); hashing a
+        # frozenset of constraints per lookup dominates, so do it once.
+        self._hash = hash(frozenset(self.constraints))
 
     @classmethod
     def of(cls, *constraints: Constraint) -> "Filter":
@@ -99,7 +103,7 @@ class Filter:
         return set(self.constraints) == set(other.constraints)
 
     def __hash__(self) -> int:
-        return hash(frozenset(self.constraints))
+        return self._hash
 
     def __repr__(self) -> str:
         inner = " AND ".join(str(c) for c in self.constraints)

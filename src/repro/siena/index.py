@@ -299,3 +299,89 @@ class MatchIndex:
     def matches(self, event: Event) -> bool:
         """Whether any indexed filter matches *event*."""
         return bool(self.matching(event))
+
+
+class MatchResultCache:
+    """A shared memo of filter-match verdicts for the engine's hot path.
+
+    Both supported match predicates (plaintext :meth:`Filter.matches` and
+    PSGuard's tokenized match) are pure functions of the filter and the
+    event's *constrained* attribute values, so a verdict can be memoized
+    exactly.  The cache key is ``(filter, value-vector)`` where the value
+    vector holds the event's values for the filter's constrained attribute
+    names (sorted once per filter) -- the "(filter-id, token-set)" of the
+    engine design.  Transport bookkeeping attributes such as ``_seq``
+    never appear in filters, so a verdict computed at one broker is valid
+    at every other broker carrying an equal filter.
+
+    Entries never go stale (purity), but :meth:`invalidate_filter` drops a
+    departed filter's entries eagerly so unsubscription releases memory
+    immediately instead of waiting for LRU pressure.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        registry=None,
+        **labels,
+    ):
+        from repro.obs.lru import LRUCache
+
+        self.cache = LRUCache(capacity, "match_result_cache", registry, **labels)
+        # Filters intern to dense integer ids so LRU keys hash and compare
+        # on small ints instead of re-walking constraint sets per lookup.
+        self._filter_ids: dict[Filter, int] = {}
+        self._names: dict[int, tuple[str, ...]] = {}
+        # event topic-token value -> the group token value it verified
+        # against.  Verification is a property of the routable and the
+        # token alone, so a positive memo recorded at one broker is valid
+        # at every other (only positives are stored: "no group matched
+        # here" depends on which groups the testing broker carried).
+        self._topic_groups = LRUCache(
+            capacity, "topic_group_memo", registry, **labels
+        )
+
+    def _key(self, subscription_filter: Filter, event: Event):
+        filter_id = self._filter_ids.get(subscription_filter)
+        if filter_id is None:
+            filter_id = len(self._filter_ids)
+            self._filter_ids[subscription_filter] = filter_id
+            self._names[filter_id] = tuple(
+                sorted({c.name for c in subscription_filter})
+            )
+        return (
+            filter_id,
+            tuple(event.get(name) for name in self._names[filter_id]),
+        )
+
+    def lookup(self, subscription_filter: Filter, event: Event):
+        """Cached verdict for (filter, event), or None when unknown."""
+        return self.cache.get(self._key(subscription_filter, event))
+
+    def store(
+        self, subscription_filter: Filter, event: Event, verdict: bool
+    ) -> None:
+        """Record the verdict computed by the broker's match predicate."""
+        self.cache.put(self._key(subscription_filter, event), verdict)
+
+    def topic_group(self, topic_token_value: str) -> str | None:
+        """Which group token this event routable verified against, if known."""
+        return self._topic_groups.get(topic_token_value)
+
+    def remember_topic_group(
+        self, topic_token_value: str, group: str
+    ) -> None:
+        """Record a *verified* (event routable, group token) pairing."""
+        self._topic_groups.put(topic_token_value, group)
+
+    def invalidate_filter(self, subscription_filter: Filter) -> int:
+        """Drop all entries for one filter; returns how many were removed."""
+        filter_id = self._filter_ids.pop(subscription_filter, None)
+        if filter_id is None:
+            return 0
+        self._names.pop(filter_id, None)
+        return self.cache.invalidate_where(lambda key: key[0] == filter_id)
+
+    def stats(self) -> dict:
+        """JSON-able hit/miss/eviction summary (see :class:`LRUCache`)."""
+        return self.cache.stats()

@@ -15,6 +15,7 @@ from repro.siena.broker import Broker, MatchPredicate, _plain_match
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.metrics import MetricsRegistry
+    from repro.siena.index import MatchResultCache
 from repro.siena.events import Event
 from repro.siena.filters import Filter
 
@@ -38,6 +39,7 @@ class BrokerTree:
         arity: int = 2,
         match: MatchPredicate = _plain_match,
         registry: "MetricsRegistry | None" = None,
+        match_cache: "MatchResultCache | None" = None,
     ):
         if num_brokers < 1:
             raise ValueError("a broker tree needs at least one broker (the root)")
@@ -45,13 +47,16 @@ class BrokerTree:
             raise ValueError("tree arity must be positive")
         self.arity = arity
         self.registry = registry
+        self.match_cache = match_cache
         self.brokers: dict[Hashable, Broker] = {}
         self._subscriber_home: dict[Hashable, Hashable] = {}
         self._client_filters: dict[Hashable, list[Filter]] = {}
         self._message_count = 0
 
         for index in range(num_brokers):
-            self.brokers[index] = Broker(index, match=match, registry=registry)
+            self.brokers[index] = Broker(
+                index, match=match, registry=registry, match_cache=match_cache
+            )
         for index in range(1, num_brokers):
             parent_index = (index - 1) // arity
             self._link(parent_index, index)
@@ -79,6 +84,9 @@ class BrokerTree:
             elif kind == "publish":
                 assert isinstance(payload, Event)
                 target.publish(payload, arrived_from=from_id)
+            elif kind == "publish_batch":
+                assert isinstance(payload, list)
+                target.publish_batch(payload, arrived_from=from_id)
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown message kind {kind!r}")
 
@@ -154,6 +162,15 @@ class BrokerTree:
     def publish(self, event: Event) -> int:
         """Inject *event* at the root; returns the root's fan-out."""
         return self.root.publish(event, arrived_from=None)
+
+    def publish_batch(self, events: list[Event]) -> int:
+        """Inject a whole batch at the root; returns the root's fan-out.
+
+        Per-subscriber deliveries are identical to calling :meth:`publish`
+        on each event in order; broker-to-broker hops carry one batch
+        message per interface instead of one message per event.
+        """
+        return self.root.publish_batch(list(events), arrived_from=None)
 
     # -- failure lifecycle ---------------------------------------------------
 

@@ -1,0 +1,169 @@
+"""The bench driver: report shape, equivalence, regression gating."""
+
+import copy
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    BenchConfig,
+    check_regression,
+    load_report,
+    render_report,
+    run_bench,
+    write_report,
+)
+
+#: Small enough for CI, large enough that every cache sees traffic.
+TINY = BenchConfig(
+    seed=11,
+    events=40,
+    num_brokers=7,
+    num_subscribers=4,
+    num_topics=8,
+    topics_per_subscriber=3,
+    batch_size=8,
+    batch_sweep=(1, 8),
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_bench(TINY)
+
+
+def test_report_schema_and_config(report):
+    assert report["schema"] == BENCH_SCHEMA
+    assert report["config"]["seed"] == 11
+    assert report["config"]["events"] == 40
+
+
+def test_equivalence_holds_on_reference_workload(report):
+    equivalence = report["equivalence"]
+    assert equivalence["checked"] is True
+    assert equivalence["holds"] is True
+    assert equivalence["subscribers"] == 4
+    assert equivalence["deliveries"] > 0
+
+
+def test_both_paths_report_throughput_and_latency(report):
+    for path in ("baseline", "engine"):
+        section = report[path]
+        assert section["events"] == 40
+        assert section["events_per_sec"] > 0
+        assert section["deliveries"] == report["baseline"]["deliveries"]
+        quantiles = section["latency_s"]["quantiles"]
+        assert set(quantiles) >= {"p50", "p95", "p99"}
+    assert report["engine"]["batch_size"] == 8
+    assert report["engine"]["speedup"] > 0
+
+
+def test_engine_reports_cache_hit_rates(report):
+    caches = report["engine"]["caches"]
+    for name in ("token_prf", "match_results", "token_authority",
+                 "publisher_key_cache", "subscriber_key_caches"):
+        assert "hit_rate" in caches[name], name
+
+
+def test_sweep_covers_requested_batch_sizes(report):
+    sweep = report["batch_sweep"]
+    assert [entry["batch_size"] for entry in sweep] == [1, 8]
+    for entry in sweep:
+        assert entry["equivalent"] is True
+        assert entry["events_per_sec"] > 0
+
+
+def test_render_report_mentions_key_numbers(report):
+    text = render_report(report)
+    assert "baseline" in text
+    assert "engine" in text
+    assert "equivalence: ok" in text
+    assert "b8=" in text
+
+
+def test_write_and_load_round_trip(report, tmp_path):
+    import json
+
+    path = tmp_path / "BENCH_engine.json"
+    write_report(report, str(path))
+    # JSON renders tuples (e.g. config.batch_sweep) as lists, so compare
+    # against the JSON image of the in-memory report.
+    assert load_report(str(path)) == json.loads(json.dumps(report))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BenchConfig(events=0)
+    with pytest.raises(ValueError):
+        BenchConfig(batch_size=0)
+
+
+# -- regression gating ---------------------------------------------------------
+
+
+def test_check_regression_accepts_self(report):
+    assert check_regression(report, report) == []
+
+
+def test_check_regression_tolerance_validation(report):
+    for bad in (-0.1, 1.0):
+        with pytest.raises(ValueError):
+            check_regression(report, report, tolerance=bad)
+
+
+def test_check_regression_flags_schema_mismatch(report):
+    stale = copy.deepcopy(report)
+    stale["schema"] = "repro.bench/engine.v0"
+    problems = check_regression(report, stale)
+    assert len(problems) == 1 and "schema mismatch" in problems[0]
+
+
+def test_check_regression_flags_broken_equivalence(report):
+    broken = copy.deepcopy(report)
+    broken["equivalence"]["holds"] = False
+    problems = check_regression(broken, report)
+    assert any("diverge" in problem for problem in problems)
+
+
+def test_check_regression_flags_speedup_regression(report):
+    slow = copy.deepcopy(report)
+    slow["engine"]["speedup"] = report["engine"]["speedup"] * 0.5
+    problems = check_regression(slow, report, tolerance=0.25)
+    assert any("speedup regression" in problem for problem in problems)
+    # Within the tolerance band the same drop passes.
+    assert check_regression(slow, report, tolerance=0.6) == []
+
+
+def test_check_regression_flags_throughput_regression(report):
+    slow = copy.deepcopy(report)
+    # The absolute floor carries a 2x hardware-variance allowance on top
+    # of the tolerance, so a halved throughput passes (different runner)
+    # while a pipeline-wide collapse does not.
+    slow["engine"]["events_per_sec"] = (
+        report["engine"]["events_per_sec"] * 0.5
+    )
+    slow["engine"]["speedup"] = report["engine"]["speedup"]
+    assert check_regression(slow, report, tolerance=0.25) == []
+    slow["engine"]["events_per_sec"] = (
+        report["engine"]["events_per_sec"] * 0.1
+    )
+    problems = check_regression(slow, report, tolerance=0.25)
+    assert any("throughput regression" in problem for problem in problems)
+
+
+def test_check_regression_flags_missing_metrics(report):
+    gutted = copy.deepcopy(report)
+    del gutted["engine"]["latency_s"]["quantiles"]["p99"]
+    del gutted["engine"]["caches"]["token_prf"]
+    problems = check_regression(gutted, report)
+    assert any("p99" in problem for problem in problems)
+    assert any("token_prf" in problem for problem in problems)
+
+
+def test_deterministic_workload_across_runs():
+    """Same seed, same interest sets and event draws: the equivalence
+    machinery relies on the fixture being replayable."""
+    first = run_bench(TINY)
+    assert first["equivalence"]["deliveries"] == (
+        run_bench(TINY)["equivalence"]["deliveries"]
+    )

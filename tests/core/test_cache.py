@@ -120,3 +120,55 @@ def test_oversized_entry_skipped_without_evicting():
     small.put(huge_path, KEY)
     assert small.get(_path("a")) == KEY
     assert small.get(huge_path) is None
+
+
+def test_instrument_registers_counters_and_size_gauge():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    cache = KeyCache(KeyCache.entry_cost(_path("a")) * 2).instrument(
+        registry, "key_cache", role="subscriber"
+    )
+    cache.put(_path("a"), KEY)
+    cache.get(_path("a"))
+    cache.get(_path("nope"))
+    cache.put(_path("b"), KEY)
+    cache.put(_path("c"), KEY)  # over budget: evicts the LRU entry
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    assert counters['key_cache_hits_total{role="subscriber"}'] == 1
+    assert counters['key_cache_misses_total{role="subscriber"}'] == 1
+    assert counters['key_cache_evictions_total{role="subscriber"}'] == 1
+    gauge = snapshot["gauges"]['key_cache_size_bytes{role="subscriber"}']
+    assert gauge == cache.size_bytes > 0
+
+
+def test_instrument_does_not_replay_prior_totals():
+    from repro.obs.metrics import MetricsRegistry
+
+    cache = KeyCache(10_000)
+    cache.put(_path("a"), KEY)
+    cache.get(_path("a"))  # pre-instrumentation hit stays local-only
+    registry = MetricsRegistry()
+    cache.instrument(registry, "key_cache")
+    counters = registry.snapshot()["counters"]
+    assert counters.get("key_cache_hits_total", 0) == 0
+    assert registry.snapshot()["gauges"]["key_cache_size_bytes"] == (
+        cache.size_bytes
+    )
+    cache.get(_path("a"))
+    assert registry.snapshot()["counters"]["key_cache_hits_total"] == 1
+    assert cache.hits == 2
+
+
+def test_stats_summary():
+    cache = KeyCache(10_000)
+    cache.put(_path("a"), KEY)
+    cache.get(_path("a"))
+    cache.get(_path("b"))
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["hit_rate"] == pytest.approx(0.5)
+    assert stats["size_bytes"] == cache.size_bytes

@@ -146,3 +146,60 @@ def test_unknown_command_rejected():
 def test_command_required():
     with pytest.raises(SystemExit):
         main([])
+
+
+_BENCH_SMOKE = [
+    "--seed", "11", "--events", "30", "--brokers", "7",
+    "--subscribers", "4", "--topics", "8", "--topics-per-subscriber", "3",
+    "--batch-size", "8", "--sweep", "8",
+]
+
+
+def test_bench_registered_with_uniform_seed_option():
+    from repro.cli import build_parser, commands
+
+    assert "bench" in {entry.name for entry in commands()}
+    parser = build_parser()
+    for command in ("bench", "chaos", "metrics"):
+        args = parser.parse_args([command, "--seed", "3"])
+        assert args.seed == 3
+
+
+def test_bench_smoke_writes_report(tmp_path, capsys):
+    target = tmp_path / "BENCH_engine.json"
+    assert main(["bench", *_BENCH_SMOKE, "--output", str(target)]) == 0
+    captured = capsys.readouterr()
+    assert "equivalence: ok" in captured.out
+    assert "engine" in captured.out
+
+    import json
+
+    document = json.loads(target.read_text())
+    assert document["schema"] == "repro.bench/engine.v1"
+    assert document["equivalence"]["holds"] is True
+
+
+def test_bench_check_against_own_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["bench", *_BENCH_SMOKE, "--output", str(baseline)]) == 0
+    capsys.readouterr()
+    fresh = tmp_path / "fresh.json"
+    assert main([
+        "bench", *_BENCH_SMOKE, "--output", str(fresh),
+        "--check", "--baseline", str(baseline), "--tolerance", "0.6",
+    ]) == 0
+    assert "bench check passed" in capsys.readouterr().err
+
+
+def test_bench_check_missing_baseline_is_config_error(tmp_path, capsys):
+    assert main([
+        "bench", *_BENCH_SMOKE, "--output", str(tmp_path / "out.json"),
+        "--check", "--baseline", str(tmp_path / "nope.json"),
+    ]) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
+def test_bench_rejects_bad_workload(tmp_path, capsys):
+    assert main(["bench", "--events", "0",
+                 "--output", str(tmp_path / "out.json")]) == 2
+    assert "error" in capsys.readouterr().err

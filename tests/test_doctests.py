@@ -10,6 +10,7 @@ import repro.core.nakt
 import repro.core.publisher
 import repro.crypto.aes
 import repro.crypto.hashes
+import repro.engine.engine
 import repro.siena.network
 import repro.siena.p2p
 import repro.workloads.zipf
@@ -21,6 +22,7 @@ MODULES = [
     repro.core.publisher,
     repro.crypto.aes,
     repro.crypto.hashes,
+    repro.engine.engine,
     repro.siena.network,
     repro.siena.p2p,
     repro.workloads.zipf,
