@@ -19,6 +19,9 @@ new harness scenario only writes its own handler; ``build_parser`` and
                         against reliable at-least-once delivery; the
                         ``kdc`` scenario takes KDC replicas down across
                         an epoch boundary and measures decrypt success;
+                        the ``recovery`` scenario kills brokers
+                        permanently and gates (``--check``) on tree
+                        repair plus exactly-once delivery;
 - ``metrics``        -- run an instrumented workload and export the
                         metrics/tracing snapshot (JSON or Prometheus);
 - ``bench``          -- drive the same Zipf workload through the legacy
@@ -292,9 +295,12 @@ def _cmd_verify(_args: argparse.Namespace) -> int:
 
 def _chaos_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--scenario", choices=["all", "overlay", "kdc"], default="all",
+        "--scenario", choices=["all", "overlay", "kdc", "recovery"],
+        default="all",
         help="overlay = broker-crash delivery experiments, "
-        "kdc = key-service outage across an epoch boundary",
+        "kdc = key-service outage across an epoch boundary, "
+        "recovery = permanent kills + partition with tree repair, "
+        "durable journals and exactly-once delivery",
     )
     add_seed_option(parser)
     parser.add_argument("--duration", type=float, default=5.0)
@@ -320,6 +326,12 @@ def _chaos_args(parser: argparse.ArgumentParser) -> None:
                         help="kdc scenario: post-expiry grace window")
     parser.add_argument("--outage", type=float, default=1.0,
                         help="kdc scenario: outage straddling the boundary")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="recovery scenario: fail unless the recovery gates hold "
+        "(delivery >= 99%%, zero surfaced duplicates, every permanent "
+        "kill repaired)",
+    )
 
 
 @command(
@@ -329,6 +341,7 @@ def _chaos_args(parser: argparse.ArgumentParser) -> None:
 )
 def _cmd_chaos(args: argparse.Namespace) -> int:
     sections = []
+    gate_problems: list[str] = []
     try:
         if args.scenario in ("all", "overlay"):
             from repro.harness.chaos import (
@@ -368,10 +381,39 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             sections.append(
                 format_kdc_chaos_report(run_kdc_chaos(kdc_config))
             )
+        if args.scenario in ("all", "recovery"):
+            from repro.harness.recovery import (
+                RecoveryConfig,
+                check_recovery,
+                format_recovery_report,
+                run_recovery,
+            )
+
+            recovery_config = RecoveryConfig(
+                seed=args.seed,
+                duration=args.duration,
+                publish_rate=args.rate,
+                num_brokers=args.brokers,
+                link_loss=args.link_loss,
+            )
+            recovery_result = run_recovery(recovery_config)
+            sections.append(
+                format_recovery_report(recovery_config, recovery_result)
+            )
+            if args.check:
+                gate_problems = check_recovery(
+                    recovery_config, recovery_result
+                )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print("\n\n".join(sections))
+    for problem in gate_problems:
+        print(f"recovery gate violated: {problem}", file=sys.stderr)
+    if gate_problems:
+        return 1
+    if args.check:
+        print("recovery gates passed", file=sys.stderr)
     return 0
 
 

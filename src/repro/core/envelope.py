@@ -56,6 +56,16 @@ class SealedEvent:
     locks: tuple[Lock, ...]
     ciphertext: bytes
     direct: bool
+    #: End-to-end delivery metadata, stamped by the publisher AFTER
+    #: sealing: the publishing principal and its per-publisher monotonic
+    #: sequence number.  Subscriber-side duplicate suppression keys on
+    #: the pair.  Plain envelope framing, never an event attribute and
+    #: never inside the ciphertext -- sealing (and therefore every
+    #: ciphertext and decrypted stream) is byte-identical with and
+    #: without it.  ``None`` on events sealed directly via
+    #: :func:`seal_event`.
+    origin: str | None = None
+    sequence: int | None = None
 
     def wire_size(self) -> int:
         """Approximate on-the-wire size in bytes."""
@@ -67,11 +77,15 @@ class SealedEvent:
             len(name) + _element_size(element)
             for name, element in self.elements.items()
         )
+        envelope_bytes = (
+            len(self.origin) + 8 if self.origin is not None else 0
+        )
         return (
             self.routable.wire_size()
             + element_bytes
             + lock_bytes
             + len(self.ciphertext)
+            + envelope_bytes
         )
 
 

@@ -8,7 +8,7 @@ locality (e.g. consecutive stock quotes) reuse most of the derivation path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.cache import KeyCache
 from repro.core.category import CategoryKeySpace
@@ -76,6 +76,9 @@ class Publisher:
         self.stats = PublisherStats()
         self._topic_keys: dict[tuple[str, int], bytes] = {}
         self._schema_adapters: dict[str, "_CachingSchema"] = {}
+        # Monotonic per-publisher sequence, stamped onto every sealed
+        # event so subscribers can suppress at-least-once duplicates.
+        self._next_sequence = 0
 
     # -- key acquisition ------------------------------------------------------
 
@@ -127,7 +130,13 @@ class Publisher:
         self.stats.encrypt_operations += 1 if sealed.direct else 1 + len(
             sealed.locks
         )
-        return sealed
+        # Envelope metadata rides OUTSIDE the sealing step, so the
+        # ciphertext is byte-identical to an unstamped publication.
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        return replace(
+            sealed, origin=self.publisher_id, sequence=sequence
+        )
 
     def _caching_schema(self, topic, schema):
         """Wrap *schema* so component derivations go through the key cache.

@@ -26,6 +26,7 @@ from repro.core.kdc import TOPIC_COMPONENT, AuthorizationGrant, ClauseGrant
 from repro.core.ktid import KTID
 from repro.core.nakt import NumericKeySpace
 from repro.core.strings import StringKeySpace
+from repro.recovery.dedup import DedupWindow
 
 
 @dataclass
@@ -40,6 +41,10 @@ class SubscriberStats:
     #: Opens that only succeeded because an expired grant was still
     #: inside the post-expiry grace window (degraded-mode indicator).
     grace_opens: int = 0
+    #: Stamped events dropped by the end-to-end dedup window because the
+    #: same (origin, sequence) pair was already processed -- at-least-once
+    #: transport retries surfacing at the edge, made invisible.
+    duplicates_suppressed: int = 0
 
     def reset(self) -> None:
         for name in vars(self):
@@ -54,6 +59,17 @@ class Subscriber:
     *in its own epoch*, so grace does not extend read access to new
     events; it keeps in-flight old-epoch events decryptable when delivery
     (or a KDC outage delaying the renewal) straddles the boundary.
+
+    *dedup_window* sizes the bounded end-to-end duplicate filter: events
+    stamped with publisher envelope metadata (origin + sequence, see
+    :class:`~repro.core.envelope.SealedEvent`) are suppressed when the
+    same pair arrives again -- the exactly-once edge over an
+    at-least-once transport.  Memory is at most *dedup_window* sequence
+    numbers per publisher; an event arriving more than *dedup_window*
+    publications behind that publisher's newest is suppressed as stale
+    (the safe direction).  ``0`` disables the filter; unstamped events
+    (sealed directly via :func:`~repro.core.envelope.seal_event`) always
+    bypass it.
     """
 
     def __init__(
@@ -61,6 +77,7 @@ class Subscriber:
         subscriber_id: str,
         cache_bytes: int = 64 * 1024,
         grace_period: float = 0.0,
+        dedup_window: int = 1024,
     ):
         if grace_period < 0:
             raise ValueError("grace period must be non-negative")
@@ -68,6 +85,7 @@ class Subscriber:
         self.grace_period = grace_period
         self.grants: list[AuthorizationGrant] = []
         self.cache = KeyCache(cache_bytes)
+        self.dedup = DedupWindow(window=dedup_window) if dedup_window else None
         self.stats = SubscriberStats()
 
     # -- grant management -----------------------------------------------------
@@ -115,6 +133,14 @@ class Subscriber:
         public configuration).
         """
         self.stats.events_received += 1
+        if (
+            self.dedup is not None
+            and sealed.origin is not None
+            and sealed.sequence is not None
+            and self.dedup.seen(sealed.origin, sealed.sequence)
+        ):
+            self.stats.duplicates_suppressed += 1
+            return None
         topic = sealed.routable.get("topic")
         for grant in self.active_grants(at_time):
             if grant.topic != topic:

@@ -25,7 +25,13 @@ from repro.siena.filters import Constraint, Filter
 from repro.siena.operators import Op
 
 _MAGIC_GRANT = b"PSG1"
-_MAGIC_EVENT = b"PSE1"
+#: Current sealed-event format: a flags byte after the magic, carrying an
+#: optional envelope-metadata block (origin + sequence) when bit 0 is set.
+_MAGIC_EVENT = b"PSE2"
+#: Legacy sealed-event format (no flags byte); still decoded.
+_MAGIC_EVENT_V1 = b"PSE1"
+
+_EVENT_FLAG_ENVELOPE = 0x01
 
 _ELEMENT_KTID = 0
 _ELEMENT_TEXT = 1
@@ -188,8 +194,15 @@ def decode_grant(data: bytes) -> AuthorizationGrant:
 
 def encode_sealed_event(sealed: SealedEvent) -> bytes:
     """Serialize a sealed event for transport through the broker network."""
+    stamped = sealed.origin is not None and sealed.sequence is not None
     parts = [
         _MAGIC_EVENT,
+        bytes([_EVENT_FLAG_ENVELOPE if stamped else 0]),
+    ]
+    if stamped:
+        parts.append(_pack_text(sealed.origin))
+        parts.append(struct.pack(">q", sealed.sequence))
+    parts += [
         bytes([1 if sealed.direct else 0]),
         _pack_bytes(sealed.routable.to_bytes()),
         struct.pack(">H", len(sealed.elements)),
@@ -208,10 +221,23 @@ def encode_sealed_event(sealed: SealedEvent) -> bytes:
 
 
 def decode_sealed_event(data: bytes) -> SealedEvent:
-    """Inverse of :func:`encode_sealed_event`."""
-    if data[:4] != _MAGIC_EVENT:
+    """Inverse of :func:`encode_sealed_event` (``PSE1`` still accepted)."""
+    origin: str | None = None
+    sequence: int | None = None
+    if data[:4] == _MAGIC_EVENT:
+        offset = 4
+        flags = data[offset]
+        offset += 1
+        if flags & ~_EVENT_FLAG_ENVELOPE:
+            raise ValueError(f"unknown sealed-event flags {flags:#x}")
+        if flags & _EVENT_FLAG_ENVELOPE:
+            origin, offset = _unpack_text(data, offset)
+            (sequence,) = struct.unpack_from(">q", data, offset)
+            offset += 8
+    elif data[:4] == _MAGIC_EVENT_V1:
+        offset = 4  # legacy frame: no flags, no envelope metadata
+    else:
         raise ValueError("not a serialized sealed event")
-    offset = 4
     direct = bool(data[offset])
     offset += 1
     routable_raw, offset = _unpack_bytes(data, offset)
@@ -237,4 +263,12 @@ def decode_sealed_event(data: bytes) -> SealedEvent:
     ciphertext, offset = _unpack_bytes(data, offset)
     if offset != len(data):
         raise ValueError("trailing bytes after sealed event")
-    return SealedEvent(routable, elements, tuple(locks), ciphertext, direct)
+    return SealedEvent(
+        routable,
+        elements,
+        tuple(locks),
+        ciphertext,
+        direct,
+        origin=origin,
+        sequence=sequence,
+    )

@@ -23,6 +23,7 @@ from repro.net.faults import (
     FaultInjector,
     FaultPlan,
     LinkFault,
+    PartitionFault,
 )
 from repro.net.links import Link
 from repro.net.node import ProcessingNode
@@ -37,6 +38,7 @@ __all__ = [
     "FaultPlan",
     "Link",
     "LinkFault",
+    "PartitionFault",
     "ProcessingNode",
     "ReliabilityStats",
     "RetryPolicy",

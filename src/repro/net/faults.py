@@ -79,12 +79,43 @@ class LinkFault:
         return {self.a, self.b} == {x, y}
 
 
+@dataclass(frozen=True)
+class PartitionFault:
+    """A network partition isolating *group* from every other broker.
+
+    While active on ``[start, start + duration)``, every link with
+    exactly one endpoint inside *group* drops all traffic in both
+    directions; links internal to the group (and links entirely outside
+    it) are untouched.  Both sides stay alive -- this is the failure
+    mode a repair coordinator must NOT mistake for a dead broker.
+    """
+
+    group: tuple
+    start: float = 0.0
+    duration: float = math.inf
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group", tuple(self.group))
+        if not self.group:
+            raise ValueError("a partition needs at least one broker inside")
+        if self.duration < 0:
+            raise ValueError("fault duration must be non-negative")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.start + self.duration
+
+    def severs(self, x: Hashable, y: Hashable) -> bool:
+        """Whether the link ``x -- y`` crosses the partition boundary."""
+        return (x in self.group) != (y in self.group)
+
+
 @dataclass
 class FaultPlan:
     """A declarative failure schedule: what breaks, when, for how long."""
 
     crashes: list[BrokerCrash] = field(default_factory=list)
     link_faults: list[LinkFault] = field(default_factory=list)
+    partitions: list[PartitionFault] = field(default_factory=list)
 
     @classmethod
     def random(
@@ -95,6 +126,7 @@ class FaultPlan:
         seed: int,
         crash_probability: float = 0.2,
         crash_duration: float | None = None,
+        permanent_crash_probability: float = 0.0,
         link_loss: float = 0.0,
         latency_spikes: int = 0,
         spike_extra_latency: float = 0.1,
@@ -104,16 +136,26 @@ class FaultPlan:
 
         Each broker independently crashes with *crash_probability* at a
         uniform time in the first 80% of the horizon and restarts after
-        *crash_duration* (default: 10% of the horizon, jittered +-50%).
-        *link_loss* applies a background drop probability to every link
-        for the whole run; *latency_spikes* adds that many transient
-        delay bursts on random *links* (ignored when no links are given).
+        *crash_duration* (default: 10% of the horizon, jittered +-50%);
+        with *permanent_crash_probability* a crashing broker instead
+        never restarts (sampled after the crash decision, so raising it
+        does not change which brokers crash or when).  *link_loss*
+        applies a background drop probability to every link for the
+        whole run; *latency_spikes* adds that many transient delay
+        bursts on random *links* (ignored when no links are given).
         """
         if horizon <= 0:
             raise ValueError("horizon must be positive")
         if not 0.0 <= crash_probability <= 1.0:
             raise ValueError("crash probability must be within [0, 1]")
+        if not 0.0 <= permanent_crash_probability <= 1.0:
+            raise ValueError(
+                "permanent crash probability must be within [0, 1]"
+            )
         rng = random.Random(seed)
+        # Permanence decisions come from their own stream so that raising
+        # permanent_crash_probability never perturbs the crash schedule.
+        permanence_rng = random.Random(f"permanent-crashes-{seed}")
         base_duration = (
             crash_duration if crash_duration is not None else 0.1 * horizon
         )
@@ -123,6 +165,8 @@ class FaultPlan:
                 continue
             at = rng.uniform(0.0, 0.8 * horizon)
             duration = base_duration * rng.uniform(0.5, 1.5)
+            if permanence_rng.random() < permanent_crash_probability:
+                duration = math.inf
             crashes.append(BrokerCrash(broker, at, duration))
         link_faults = []
         if link_loss > 0:
@@ -238,8 +282,18 @@ class FaultInjector:
             if fault.active(now) and fault.applies(a, b):
                 yield fault
 
+    def partition_severed(self, a: Hashable, b: Hashable) -> bool:
+        """Whether an active partition cuts the link ``a -- b`` right now."""
+        now = self.sim.now
+        return any(
+            partition.active(now) and partition.severs(a, b)
+            for partition in self.plan.partitions
+        )
+
     def link_loss(self, a: Hashable, b: Hashable) -> float:
         """Combined drop probability on link ``a -- b`` right now."""
+        if self.partition_severed(a, b):
+            return 1.0
         survive = 1.0
         for fault in self._active_faults(a, b):
             if fault.partitioned:

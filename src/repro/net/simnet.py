@@ -42,6 +42,9 @@ from repro.net.node import ProcessingNode
 from repro.net.sim import Simulator
 from repro.obs import Observability
 from repro.obs.metrics import Counter, MetricsRegistry, RegistryBackedStats
+from repro.recovery.dedup import DedupWindow
+from repro.recovery.journal import JournalStore
+from repro.recovery.repair import RepairCoordinator, RepairPolicy
 from repro.siena.broker import Broker, MatchPredicate, _plain_match
 from repro.siena.events import Event
 from repro.siena.filters import Filter
@@ -94,6 +97,12 @@ class RetryPolicy:
     heartbeat_interval: float = 0.2
     #: Consecutive missed heartbeats before a neighbour is marked down.
     miss_threshold: int = 3
+    #: Uniform +-fraction perturbing every heartbeat period, so beat
+    #: loops (and the parked-traffic flushes they trigger) desynchronize
+    #: after a partition heals instead of stampeding in lock-step.  Drawn
+    #: from a dedicated RNG stream: enabling it never perturbs the
+    #: retry-jitter sequence of an otherwise identical run.
+    heartbeat_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -108,6 +117,8 @@ class RetryPolicy:
             raise ValueError("heartbeat interval must be positive")
         if self.miss_threshold < 1:
             raise ValueError("miss threshold must be at least one beat")
+        if not 0.0 <= self.heartbeat_jitter < 1.0:
+            raise ValueError("heartbeat jitter fraction must be within [0, 1)")
 
     def timeout_for(self, attempt: int, rng: random.Random) -> float:
         """The ack timeout for (0-based) *attempt*, with jitter applied."""
@@ -145,6 +156,12 @@ class ReliabilityStats(RegistryBackedStats):
         "parked_flushes",
         "warmup_deferred",
         "subscriptions_replayed",
+        # Oldest parked events dropped by the bounded retransmit buffer.
+        "retx_evicted",
+        # Restarted brokers whose routing state came back from a journal.
+        "journal_restores",
+        # Journaled in-flight events re-published (restart or repair).
+        "events_salvaged",
     )
     _metric_prefix = "net_"
 
@@ -202,9 +219,20 @@ class SimulatedPubSub:
         faults: FaultInjector | None = None,
         seed: int = 0,
         obs: Observability | None = None,
+        journals: JournalStore | None = None,
+        repair: RepairPolicy | None = None,
+        park_limit: int = 4096,
+        dedup_window: int | None = None,
     ):
         if num_brokers < 1:
             raise ValueError("need at least the root broker")
+        if park_limit < 1:
+            raise ValueError("parked-event buffer needs room for one event")
+        if repair is not None and reliability is None:
+            raise ValueError(
+                "tree repair rides the failure detector; it requires the "
+                "reliable stack (pass a RetryPolicy)"
+            )
         self.sim = sim
         # Observability: metrics always accumulate (into the supplied
         # registry or a private one); per-event tracing only when an
@@ -227,7 +255,13 @@ class SimulatedPubSub:
         self.client_latency = client_latency
         self.reliability = reliability
         self.faults = faults
+        self.journals = journals
+        self._park_limit = park_limit
         self._rng = random.Random(seed)
+        # Heartbeat jitter draws from its own stream so that enabling it
+        # leaves the retry-jitter sequence (and every seeded test pinned
+        # to it) untouched.
+        self._hb_rng = random.Random(f"heartbeat-jitter-{seed}")
 
         self.brokers: dict[Hashable, Broker] = {}
         self.nodes: dict[Hashable, ProcessingNode] = {}
@@ -239,6 +273,16 @@ class SimulatedPubSub:
         self._next_seq = 0
         self.deliveries: list[DeliveryRecord] = []
         self._delivered_keys: set[tuple[int, Hashable]] = set()
+        # Optional bounded replacement for the exact _delivered_keys set:
+        # with dedup_window set, subscriber-level duplicate suppression
+        # runs through a sliding DedupWindow instead (bounded memory, the
+        # production configuration of the recovery scenario).
+        self._dedup = (
+            DedupWindow(window=dedup_window, registry=self.registry)
+            if dedup_window is not None
+            else None
+        )
+        self._client_links: dict[Hashable, Link] = {}
         self._monitor_interval: float | None = None
 
         # Reliable-delivery state.
@@ -267,17 +311,33 @@ class SimulatedPubSub:
         self._known_incarnation: dict[tuple[Hashable, Hashable], int] = {}
         self._last_crash_at: dict[Hashable, float] = {}
         self._last_restart_at: dict[Hashable, float] = {}
+        # Self-healing state: excised brokers map to their adopters, and
+        # (sender, seq) -> outstanding receivers drives journal retention.
+        self._reroute: dict[Hashable, Hashable] = {}
+        self._obligations: dict[tuple[Hashable, int], set[Hashable]] = {}
+        self._c_journal_replayed = self.registry.counter(
+            "journal_replayed_events_total"
+        )
 
         for index in range(num_brokers):
             self.brokers[index] = Broker(
                 index, match=match, registry=self.registry
             )
+            if self.journals is not None:
+                self.brokers[index].bind_journal(
+                    self.journals.journal_for(index)
+                )
             self.nodes[index] = ProcessingNode(sim, index)
             self._neighbors[index] = []
         for index in range(1, num_brokers):
             parent = (index - 1) // arity
             self._connect(parent, index)
 
+        self.repair = (
+            RepairCoordinator(self, repair, tracer=self._tracer)
+            if repair is not None
+            else None
+        )
         if self.faults is not None:
             self.faults.on_transition(self._on_fault_transition)
         if self.reliability is not None:
@@ -467,14 +527,21 @@ class SimulatedPubSub:
         attempt: int,
     ) -> None:
         """One acknowledged transmission attempt, with retry on timeout."""
+        if to_id in self._reroute:
+            # The target was declared permanently dead and excised; its
+            # traffic flows through the adopter instead.
+            self._redirect(from_id, to_id, seq, payload)
+            return
         if (from_id, to_id) in self._neighbor_down:
             # The failure detector says the peer is dead: park instead of
             # burning the retry budget; flushed on detected recovery.
-            self._parked.setdefault((from_id, to_id), []).append(
-                (seq, payload)
-            )
-            self.rstats.parked += 1
+            self._park(from_id, to_id, seq, payload)
             return
+        if self.journals is not None and attempt == 0:
+            # Durable accept: the event hits the sender's WAL before the
+            # wire, and stays there until every receiver has acked.
+            self.journals.journal_for(from_id).log_event(seq, payload)
+            self._obligations.setdefault((from_id, seq), set()).add(to_id)
         self.rstats.data_sends += 1
         if attempt > 0:
             self.rstats.retries += 1
@@ -562,6 +629,7 @@ class SimulatedPubSub:
             handle = self._pending.pop(key, None)
             if handle is not None:
                 handle.cancel()
+            self._note_hop_settled(key)
 
         self._hop_send(from_id, to_id, _ACK_SIZE, on_ack)
 
@@ -578,31 +646,120 @@ class SimulatedPubSub:
             return  # acked in the meantime
         del self._pending[key]
         self._c_ack_timeouts.inc()
+        if self._durable() and not self.brokers[from_id].alive:
+            # A crashed sender retransmits nothing; its journal replays
+            # this event on restart (or the repair salvage does).
+            return
+        if to_id in self._reroute:
+            self._redirect(from_id, to_id, seq, payload)
+            return
         if (from_id, to_id) in self._neighbor_down:
-            self._parked.setdefault((from_id, to_id), []).append(
-                (seq, payload)
-            )
-            self.rstats.parked += 1
+            self._park(from_id, to_id, seq, payload)
             return
         if attempt + 1 >= self.reliability.max_attempts:
             self.rstats.dead_letters += 1
             self.dead_letters.append((seq, from_id, to_id))
+            self._note_hop_settled(key)
             return
         self._transmit_reliable(from_id, to_id, seq, payload, attempt + 1)
+
+    def _durable(self) -> bool:
+        """Whether brokers journal state (and crashed senders go silent).
+
+        Without journals the overlay keeps PR 1's lenient model -- a
+        crashed broker's already-armed retransmit timers still fire --
+        because existing chaos baselines pin that behaviour.  With
+        journals the realistic rule applies: a dead process sends
+        nothing, and its WAL replay (or the repair salvage) re-publishes
+        whatever it had accepted.
+        """
+        return self.journals is not None
+
+    def _park(
+        self, from_id: Hashable, to_id: Hashable, seq: int, payload: Event
+    ) -> None:
+        """Queue an event for a down peer, bounded oldest-first."""
+        queue = self._parked.setdefault((from_id, to_id), [])
+        queue.append((seq, payload))
+        self.rstats.parked += 1
+        if len(queue) > self._park_limit:
+            # A long-parked peer cannot grow memory without limit: shed
+            # the oldest event.  With journals it survives on the WAL.
+            queue.pop(0)
+            self.rstats.retx_evicted += 1
+
+    def _note_hop_settled(
+        self, key: tuple[Hashable, Hashable, int]
+    ) -> None:
+        """One receiver acked (or dead-lettered); release the journal
+        entry once no receiver remains outstanding."""
+        if self.journals is None:
+            return
+        sender, receiver, seq = key
+        outstanding = self._obligations.get((sender, seq))
+        if outstanding is None:
+            return
+        outstanding.discard(receiver)
+        if not outstanding:
+            del self._obligations[(sender, seq)]
+            self.journals.journal_for(sender).mark_done(seq)
+
+    def _redirect(
+        self, from_id: Hashable, dead: Hashable, seq: int, payload: Event
+    ) -> None:
+        """Route traffic aimed at an excised broker through its adopter."""
+        target = self._reroute.get(dead)
+        hops = 0
+        while target in self._reroute and hops <= len(self._reroute):
+            target = self._reroute[target]
+            hops += 1
+        if target is None or not self.brokers[target].alive:
+            self.rstats.dead_letters += 1
+            self.dead_letters.append((seq, from_id, dead))
+            return
+        if target == from_id:
+            # The sender itself adopted the dead broker's subtree; the
+            # event re-enters its (repaired) routing table and flows down
+            # the grafted interfaces.  Hop dedup absorbs the re-sends on
+            # branches that already saw it.
+            self._republish_locally(from_id, payload)
+            return
+        self._transmit_reliable(from_id, target, seq, payload, 0)
+
+    def _republish_locally(self, broker_id: Hashable, event: Event) -> None:
+        """Re-enter *event* at *broker_id*, routing downward only."""
+
+        def route() -> None:
+            broker = self.brokers[broker_id]
+            if broker.alive:
+                broker.publish(event, arrived_from=broker.parent)
+
+        self.nodes[broker_id].submit(
+            self.broker_cost(broker_id, event), route
+        )
+
+    def _replay_inflight(
+        self,
+        broker_id: Hashable,
+        inflight: list[tuple[int, Event]],
+    ) -> int:
+        """Re-publish journaled in-flight events at *broker_id*."""
+        for seq, event in inflight:
+            self.rstats.events_salvaged += 1
+            self._c_journal_replayed.inc()
+            self._republish_locally(broker_id, event)
+        return len(inflight)
 
     # -- failure detection & recovery ---------------------------------------
 
     def _start_heartbeats(self) -> None:
-        policy = self.reliability
-        interval = policy.heartbeat_interval
-
         def beat() -> None:
             now = self.sim.now
-            for broker_id, neighbors in self._neighbors.items():
+            for broker_id, neighbors in list(self._neighbors.items()):
                 broker = self.brokers[broker_id]
                 if not broker.alive:
                     continue
-                for neighbor in neighbors:
+                for neighbor in list(neighbors):
                     self._check_neighbor(broker_id, neighbor, now)
                     self.rstats.heartbeats_sent += 1
                     self._hop_send(
@@ -612,9 +769,19 @@ class SimulatedPubSub:
                         lambda s=broker_id, n=neighbor, i=broker.incarnation:
                             self._on_heartbeat(n, s, i),
                     )
-            self.sim.schedule(interval, beat)
+            self.sim.schedule(self._heartbeat_delay(), beat)
 
-        self.sim.schedule(interval, beat)
+        self.sim.schedule(self._heartbeat_delay(), beat)
+
+    def _heartbeat_delay(self) -> float:
+        """The next beat period, jittered when the policy asks for it."""
+        policy = self.reliability
+        interval = policy.heartbeat_interval
+        if policy.heartbeat_jitter:
+            interval *= 1.0 + policy.heartbeat_jitter * (
+                2.0 * self._hb_rng.random() - 1.0
+            )
+        return interval
 
     def _check_neighbor(
         self, observer: Hashable, neighbor: Hashable, now: float
@@ -631,6 +798,8 @@ class SimulatedPubSub:
         if crash_at is not None and crash_at <= now:
             self.rstats.detection_latencies.append(now - crash_at)
             self._h_detection.observe(now - crash_at)
+        if self.repair is not None:
+            self.repair.neighbor_down(observer, neighbor, now)
 
     def _on_heartbeat(
         self, observer: Hashable, sender: Hashable, sender_incarnation: int
@@ -644,6 +813,8 @@ class SimulatedPubSub:
         if (observer, sender) in self._neighbor_down:
             self._neighbor_down.discard((observer, sender))
             self.rstats.recoveries_detected += 1
+            if self.repair is not None:
+                self.repair.neighbor_up(observer, sender, self.sim.now)
             restart_at = self._last_restart_at.get(sender)
             if restart_at is not None:
                 self.rstats.recovery_latencies.append(
@@ -680,6 +851,27 @@ class SimulatedPubSub:
             return
         broker.restart()
         self._last_restart_at[broker_id] = self.sim.now
+        if self.journals is not None and broker_id in self.journals:
+            # Durable disks make recovery local: replay the WAL+snapshot
+            # into the fresh incarnation instead of waiting for every
+            # neighbour to notice and re-send its filters, then re-publish
+            # whatever was journaled in flight (dedup keeps it invisible
+            # to anyone who already got it).
+            state = self.journals.journal_for(broker_id).replay()
+            broker.restore(state.subscriptions, state.forwarded_upstream)
+            self.rstats.journal_restores += 1
+            if self._tracer is not None:
+                trace_id = ("journal", broker_id, broker.incarnation)
+                self._tracer.start_trace(
+                    trace_id, at=self.sim.now, broker=str(broker_id)
+                )
+                self._tracer.span(
+                    trace_id, "journal.replay", broker_id,
+                    self.sim.now, self.sim.now,
+                    registrations=len(state.subscriptions),
+                    inflight=len(state.inflight),
+                )
+            self._replay_inflight(broker_id, state.inflight)
         # A restarted broker trusts no stale detector state of its own.
         for neighbor in self._neighbors.get(broker_id, []):
             self._last_heard[(broker_id, neighbor)] = self.sim.now
@@ -712,6 +904,120 @@ class SimulatedPubSub:
                         b.subscribe(s, f),
                 )
 
+    # -- tree surgery (driven by the repair coordinator) ----------------------
+
+    def is_marked_down(self, observer: Hashable, neighbor: Hashable) -> bool:
+        """Whether *observer*'s failure detector holds *neighbor* down."""
+        return (observer, neighbor) in self._neighbor_down
+
+    def crash_time_of(self, broker_id: Hashable) -> float | None:
+        """When *broker_id* last crashed, if it ever did."""
+        return self._last_crash_at.get(broker_id)
+
+    def prune_dead(self, dead: Hashable, adopter: Hashable) -> None:
+        """Excise *dead* from the overlay wiring and register its adopter.
+
+        The dead broker's interface (and every filter registered through
+        it) leaves its parent's table, both sides stop heartbeating the
+        corpse, and from here on any traffic aimed at *dead* re-routes
+        through *adopter* (:meth:`_redirect`).
+        """
+        self._reroute[dead] = adopter
+        parent = self.brokers[dead].parent
+        if parent is not None:
+            self.brokers[parent].detach_child(dead)
+            if dead in self._neighbors.get(parent, []):
+                self._neighbors[parent].remove(dead)
+        self._neighbors[dead] = []
+
+    def adopt(self, orphan: Hashable, adopter: Hashable) -> None:
+        """Re-parent *orphan* (child of a pruned broker) to *adopter*.
+
+        Wires a fresh link pair when none exists, primes the failure
+        detector for the new pair (so the grafted edge does not start
+        life marked down), and replays the orphan's covering-reduced
+        filter set to the adopter so routing converges immediately.
+        """
+        old_parent = self.brokers[orphan].parent
+        if old_parent is not None:
+            self.brokers[old_parent].children.pop(orphan, None)
+            if old_parent in self._neighbors.get(orphan, []):
+                self._neighbors[orphan].remove(old_parent)
+        if (adopter, orphan) not in self.links:
+            latency = self._latency_of(adopter, orphan)
+            self.links[(adopter, orphan)] = Link(self.sim, latency)
+            self.links[(orphan, adopter)] = Link(self.sim, latency)
+        if orphan not in self._neighbors[adopter]:
+            self._neighbors[adopter].append(orphan)
+        if adopter not in self._neighbors[orphan]:
+            self._neighbors[orphan].append(adopter)
+        now = self.sim.now
+        self._last_heard[(adopter, orphan)] = now
+        self._last_heard[(orphan, adopter)] = now
+        self._neighbor_down.discard((adopter, orphan))
+        self._neighbor_down.discard((orphan, adopter))
+        self._known_incarnation[(adopter, orphan)] = self.brokers[
+            orphan
+        ].incarnation
+        self._known_incarnation[(orphan, adopter)] = self.brokers[
+            adopter
+        ].incarnation
+        self.brokers[adopter].attach_child(
+            orphan, self._sender(adopter, orphan)
+        )
+        self.rstats.subscriptions_replayed += self.brokers[
+            orphan
+        ].reattach_parent(adopter, self._sender(orphan, adopter))
+
+    def rehome_clients(self, dead: Hashable, adopter: Hashable) -> int:
+        """Re-attach *dead*'s subscriber endpoints at *adopter*.
+
+        Each client re-subscribes after one client round trip, exactly
+        like the restart path; returns the number of endpoints moved.
+        """
+        moved = 0
+        for subscriber_id, home in list(self._subscriber_home.items()):
+            if home != dead:
+                continue
+            self._subscriber_home[subscriber_id] = adopter
+            self.brokers[adopter].attach_client(
+                subscriber_id, self._client_deliver(subscriber_id)
+            )
+            for subscription in self._client_filters.get(subscriber_id, []):
+                self.rstats.subscriptions_replayed += 1
+                self.sim.schedule(
+                    self.client_latency,
+                    lambda b=self.brokers[adopter], s=subscriber_id,
+                    f=subscription: b.subscribe(s, f),
+                )
+            moved += 1
+        return moved
+
+    def salvage_inflight(self, dead: Hashable, adopter: Hashable) -> int:
+        """Replay *dead*'s journaled in-flight events through *adopter*.
+
+        Models the repair coordinator mounting the dead broker's durable
+        volume (or reading its replicated log).  Returns the number of
+        events re-published; 0 without journals.
+        """
+        if self.journals is None or dead not in self.journals:
+            return 0
+        state = self.journals.journal_for(dead).replay()
+        return self._replay_inflight(adopter, state.inflight)
+
+    def flush_rerouted(self, dead: Hashable) -> int:
+        """Push every event parked for *dead* through its adopter.
+
+        Called by the coordinator after adoption wired the replacement
+        links, so redirected transmissions find live paths.
+        """
+        redirected = 0
+        for pair in [key for key in self._parked if key[1] == dead]:
+            for seq, payload in self._parked.pop(pair):
+                self._redirect(pair[0], dead, seq, payload)
+                redirected += 1
+        return redirected
+
     # -- clients ---------------------------------------------------------------
 
     def leaf_ids(self) -> list[Hashable]:
@@ -732,13 +1038,25 @@ class SimulatedPubSub:
         self.subscriber_nodes[subscriber_id] = ProcessingNode(
             self.sim, subscriber_id
         )
-        link = Link(self.sim, self.client_latency)
+        self._client_links[subscriber_id] = Link(self.sim, self.client_latency)
+        self.brokers[broker_id].attach_client(
+            subscriber_id, self._client_deliver(subscriber_id)
+        )
+
+    def _client_deliver(self, subscriber_id: Hashable):
+        """The broker-side delivery closure for one subscriber endpoint.
+
+        Reads the subscriber's home broker dynamically so tree repair can
+        re-home an endpoint by updating ``_subscriber_home`` and attaching
+        the same closure at the adopter.
+        """
 
         def deliver(event: Event) -> None:
             seq = event.get(_SEQ_ATTRIBUTE)
             publication = self._inflight[seq]
+            home = self._subscriber_home[subscriber_id]
             if self.per_send_s > 0:
-                self.nodes[broker_id].submit(self.per_send_s, lambda: None)
+                self.nodes[home].submit(self.per_send_s, lambda: None)
             sent_at = self.sim.now
 
             def on_arrival() -> None:
@@ -750,9 +1068,11 @@ class SimulatedPubSub:
                     ),
                 )
 
-            link.send(publication.size, on_arrival)
+            self._client_links[subscriber_id].send(
+                publication.size, on_arrival
+            )
 
-        self.brokers[broker_id].attach_client(subscriber_id, deliver)
+        return deliver
 
     def _record_delivery(
         self,
@@ -760,11 +1080,16 @@ class SimulatedPubSub:
         subscriber_id: Hashable,
         handed_off_at: float | None = None,
     ) -> None:
-        key = (seq, subscriber_id)
-        if key in self._delivered_keys:
-            self.rstats.duplicate_deliveries += 1
-            return
-        self._delivered_keys.add(key)
+        if self._dedup is not None:
+            if self._dedup.seen(subscriber_id, seq):
+                self.rstats.duplicate_deliveries += 1
+                return
+        else:
+            key = (seq, subscriber_id)
+            if key in self._delivered_keys:
+                self.rstats.duplicate_deliveries += 1
+                return
+            self._delivered_keys.add(key)
         publication = self._inflight[seq]
         publication.deliveries += 1
         self.deliveries.append(

@@ -1,0 +1,29 @@
+"""Self-healing overlay subsystem: durable state, repair, exactly-once.
+
+Three cooperating pieces turn the at-least-once overlay of PR 1 into a
+self-healing one:
+
+- :mod:`repro.recovery.journal` -- per-broker durable disks (WAL +
+  snapshot + bounded in-flight ring) so a restarted broker replays its
+  own routing state instead of depending on neighbours re-sending it;
+- :mod:`repro.recovery.repair` -- the coordinator that declares a
+  permanently silent broker dead, re-parents its orphaned subtree to the
+  nearest live ancestor, and salvages journaled in-flight events;
+- :mod:`repro.recovery.dedup` -- the bounded sliding-window filter that
+  turns "delivered at least once" into "observed exactly once" at the
+  receiving edge.
+"""
+
+from repro.recovery.dedup import DedupWindow
+from repro.recovery.journal import BrokerJournal, JournalState, JournalStore
+from repro.recovery.repair import RepairCoordinator, RepairPolicy, RepairRecord
+
+__all__ = [
+    "BrokerJournal",
+    "DedupWindow",
+    "JournalState",
+    "JournalStore",
+    "RepairCoordinator",
+    "RepairPolicy",
+    "RepairRecord",
+]

@@ -1,0 +1,250 @@
+"""Durable broker state: an in-sim write-ahead log with snapshots.
+
+PR 1's recovery protocol rebuilt a restarted broker's subscription table
+by asking the *neighbours* to re-send it (children replay their forwarded
+filters, clients re-subscribe).  That works, but it couples recovery
+latency to lossy links and makes a restarted broker's correctness depend
+on every neighbour noticing the new incarnation.  A production broker
+instead journals its own routing state to durable storage and replays it
+locally on restart.
+
+:class:`BrokerJournal` models that disk: an append-only log of
+subscription-table mutations, compacted into a snapshot every
+``snapshot_every`` records, plus a bounded ring of *in-flight* events
+(accepted for forwarding but not yet acknowledged by every downstream
+hop).  The journal survives the crash of its broker -- that is the whole
+point of a disk -- and :meth:`replay` reconstructs the exact table the
+broker had when it went down.
+
+:class:`JournalStore` is the per-overlay collection of these disks, keyed
+by broker id.  A permanently failed broker's journal remains readable by
+the repair coordinator (modeling an operator re-attaching the volume, or
+a replicated log), which is how in-flight events caught inside a dead
+broker still reach their subscribers.
+
+Everything here is deliberately in-process and deterministic: records are
+plain tuples, "disk writes" are list appends, and the only instrumented
+costs are the counters exported through :mod:`repro.obs`
+(``journal_records_total``, ``journal_snapshots_total``,
+``journal_replays_total``, ``journal_replayed_events_total``,
+``journal_inflight_evicted_total``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+    from repro.siena.events import Event
+    from repro.siena.filters import Filter
+
+#: WAL record kinds.
+SUBSCRIBE = "subscribe"
+UNSUBSCRIBE = "unsubscribe"
+FORWARDED = "forwarded"
+UNFORWARDED = "unforwarded"
+
+
+@dataclass
+class JournalState:
+    """A broker's routing state as reconstructed from its journal."""
+
+    #: ``interface -> filters`` registrations, in registration order.
+    subscriptions: list[tuple[Hashable, "Filter"]] = field(
+        default_factory=list
+    )
+    #: Filters announced upstream (the covering-reduced set).
+    forwarded_upstream: list["Filter"] = field(default_factory=list)
+    #: ``(seq, event)`` pairs accepted but not fully handed downstream.
+    inflight: list[tuple[int, "Event"]] = field(default_factory=list)
+
+
+class BrokerJournal:
+    """Write-ahead log + snapshot of one broker's durable state."""
+
+    def __init__(
+        self,
+        broker_id: Hashable,
+        snapshot_every: int = 256,
+        inflight_capacity: int = 512,
+        registry: "MetricsRegistry | None" = None,
+    ):
+        if snapshot_every < 1:
+            raise ValueError("snapshot threshold must be positive")
+        if inflight_capacity < 1:
+            raise ValueError("in-flight capacity must be positive")
+        self.broker_id = broker_id
+        self.snapshot_every = snapshot_every
+        self.inflight_capacity = inflight_capacity
+        self._wal: list[tuple] = []
+        self._snapshot: JournalState | None = None
+        self._inflight: OrderedDict[int, "Event"] = OrderedDict()
+        self.records_appended = 0
+        self.snapshots_taken = 0
+        self.replays = 0
+        self.inflight_evicted = 0
+        if registry is not None:
+            labels = {"broker": str(broker_id)}
+            self._c_records = registry.counter(
+                "journal_records_total", **labels
+            )
+            self._c_snapshots = registry.counter(
+                "journal_snapshots_total", **labels
+            )
+            self._c_replays = registry.counter(
+                "journal_replays_total", **labels
+            )
+            self._c_evicted = registry.counter(
+                "journal_inflight_evicted_total", **labels
+            )
+        else:
+            self._c_records = self._c_snapshots = None
+            self._c_replays = self._c_evicted = None
+
+    # -- write path ---------------------------------------------------------
+
+    def _append(self, record: tuple) -> None:
+        self._wal.append(record)
+        self.records_appended += 1
+        if self._c_records is not None:
+            self._c_records.inc()
+        if len(self._wal) >= self.snapshot_every:
+            self._compact()
+
+    def log_subscribe(self, interface: Hashable, flt: "Filter") -> None:
+        """One new ``(interface, filter)`` registration."""
+        self._append((SUBSCRIBE, interface, flt))
+
+    def log_unsubscribe(self, interface: Hashable, flt: "Filter") -> None:
+        """One registration withdrawn."""
+        self._append((UNSUBSCRIBE, interface, flt))
+
+    def log_forwarded(self, flt: "Filter") -> None:
+        """A filter announced upstream (joined the covering set)."""
+        self._append((FORWARDED, flt))
+
+    def log_unforwarded(self, flt: "Filter") -> None:
+        """A filter withdrawn upstream (left the covering set)."""
+        self._append((UNFORWARDED, flt))
+
+    def log_event(self, seq: int, event: "Event") -> None:
+        """Record an in-flight event accepted for forwarding."""
+        self._inflight[seq] = event
+        self._inflight.move_to_end(seq)
+        if len(self._inflight) > self.inflight_capacity:
+            self._inflight.popitem(last=False)
+            self.inflight_evicted += 1
+            if self._c_evicted is not None:
+                self._c_evicted.inc()
+
+    def mark_done(self, seq: int) -> None:
+        """Forget *seq*: every downstream hop has acknowledged it."""
+        self._inflight.pop(seq, None)
+
+    # -- compaction ---------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Fold the WAL into a fresh snapshot and truncate it."""
+        self._snapshot = self._materialize()
+        self._wal = []
+        self.snapshots_taken += 1
+        if self._c_snapshots is not None:
+            self._c_snapshots.inc()
+
+    def _materialize(self) -> JournalState:
+        state = JournalState()
+        if self._snapshot is not None:
+            state.subscriptions = list(self._snapshot.subscriptions)
+            state.forwarded_upstream = list(
+                self._snapshot.forwarded_upstream
+            )
+        for record in self._wal:
+            kind = record[0]
+            if kind == SUBSCRIBE:
+                _, interface, flt = record
+                if (interface, flt) not in state.subscriptions:
+                    state.subscriptions.append((interface, flt))
+            elif kind == UNSUBSCRIBE:
+                _, interface, flt = record
+                if (interface, flt) in state.subscriptions:
+                    state.subscriptions.remove((interface, flt))
+            elif kind == FORWARDED:
+                _, flt = record
+                if flt not in state.forwarded_upstream:
+                    state.forwarded_upstream.append(flt)
+            elif kind == UNFORWARDED:
+                _, flt = record
+                if flt in state.forwarded_upstream:
+                    state.forwarded_upstream.remove(flt)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown journal record {kind!r}")
+        return state
+
+    # -- read path ----------------------------------------------------------
+
+    def replay(self) -> JournalState:
+        """Reconstruct the broker's routing state (snapshot + WAL tail)."""
+        self.replays += 1
+        if self._c_replays is not None:
+            self._c_replays.inc()
+        state = self._materialize()
+        state.inflight = list(self._inflight.items())
+        return state
+
+    def inflight_events(self) -> list[tuple[int, "Event"]]:
+        """The in-flight ring, oldest first (for salvage without replay)."""
+        return list(self._inflight.items())
+
+    @property
+    def wal_length(self) -> int:
+        """Records currently in the un-compacted WAL tail."""
+        return len(self._wal)
+
+
+class JournalStore:
+    """Per-broker durable disks for one overlay.
+
+    ``snapshot_every`` / ``inflight_capacity`` apply to every journal the
+    store creates; *registry* threads the shared metrics registry in so
+    each journal's counters are exported with a ``broker`` label.
+    """
+
+    def __init__(
+        self,
+        snapshot_every: int = 256,
+        inflight_capacity: int = 512,
+        registry: "MetricsRegistry | None" = None,
+    ):
+        self.snapshot_every = snapshot_every
+        self.inflight_capacity = inflight_capacity
+        self.registry = registry
+        self._journals: dict[Hashable, BrokerJournal] = {}
+
+    def journal_for(self, broker_id: Hashable) -> BrokerJournal:
+        """The journal (disk) of *broker_id*, created on first use."""
+        journal = self._journals.get(broker_id)
+        if journal is None:
+            journal = BrokerJournal(
+                broker_id,
+                snapshot_every=self.snapshot_every,
+                inflight_capacity=self.inflight_capacity,
+                registry=self.registry,
+            )
+            self._journals[broker_id] = journal
+        return journal
+
+    def __contains__(self, broker_id: Hashable) -> bool:
+        return broker_id in self._journals
+
+    def __iter__(self) -> Iterable[Hashable]:
+        return iter(self._journals)
+
+    def total_records(self) -> int:
+        """Records appended across every journal (reporting helper)."""
+        return sum(
+            journal.records_appended
+            for journal in self._journals.values()
+        )

@@ -1,0 +1,249 @@
+"""Permanent-failure detection and dissemination-tree repair.
+
+PR 1's failure detector distinguishes *down* from *up*, parks traffic,
+and waits.  Against a transient crash that is the right call: the broker
+restarts, neighbours replay state, parked events flush.  Against a
+broker that dies *permanently*, waiting orphans its entire subtree
+forever -- every subscriber below the corpse goes dark while upstream
+brokers dutifully park events for a peer that will never ack again.
+
+The :class:`RepairCoordinator` closes that gap.  It watches the existing
+heartbeat detector; when a neighbour stays down past
+``RepairPolicy.repair_after`` seconds, the coordinator declares it
+permanently failed and performs tree surgery on the overlay:
+
+1. **Probe.**  A management-plane liveness probe (out-of-band of the
+   data links) distinguishes a dead broker from a live one behind a
+   partition.  A live-but-partitioned peer is never excised -- the
+   detector keeps parking until the partition heals (false alarms are
+   counted, not acted on).
+2. **Adopt.**  Every orphaned child re-parents to the *nearest live
+   ancestor* of the dead broker, found by walking the current parent
+   chain.  Re-parenting to an ancestor preserves acyclicity by
+   construction (the adopter is already on the orphan's root path), so
+   the overlay remains a tree and multipath ``G_ind`` level/indegree
+   invariants are untouched.
+3. **Re-propagate.**  Each adopted orphan replays its covering-reduced
+   filter set to the new parent, and the dead broker's interface is
+   dropped from its old parent's table, so routing converges to the
+   repaired topology.
+4. **Re-home.**  Subscriber endpoints attached directly to the dead
+   broker re-attach (and re-subscribe) at the adopter.
+5. **Salvage.**  In-flight events journaled on the dead broker's durable
+   log (:mod:`repro.recovery.journal`) are replayed through the adopter;
+   parked and pending traffic toward the corpse is re-routed.  End-to-end
+   dedup keeps every re-send invisible to subscribers.
+
+Metrics: ``recovery_repairs_total``, ``recovery_reparent_total``,
+``recovery_clients_rehomed_total``, ``recovery_false_alarms_total``,
+``recovery_failed_total``, and the ``recovery_convergence_seconds``
+histogram (crash-to-repaired when the crash instant is known, otherwise
+detection-to-repaired).  With a tracer, each repair records a
+``("repair", dead)`` trace carrying ``recovery.reparent`` and
+``journal.replay`` spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.simnet import SimulatedPubSub
+    from repro.obs.tracing import Tracer
+
+
+@dataclass
+class RepairPolicy:
+    """When the coordinator may declare a silent neighbour dead.
+
+    *repair_after* is the continuous down-time (past detection) before
+    surgery; it must exceed the deployment's expected transient-outage
+    and partition-heal times, or the coordinator will excise brokers
+    that were about to come back (re-join is not modeled).
+    """
+
+    repair_after: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.repair_after <= 0:
+            raise ValueError("repair_after must be positive")
+
+
+@dataclass
+class RepairRecord:
+    """One completed (or failed) tree repair."""
+
+    dead: Hashable
+    adopter: Hashable | None
+    orphans: int
+    clients_rehomed: int
+    inflight_replayed: int
+    detected_at: float
+    completed_at: float
+    crash_at: float | None
+
+    @property
+    def converged(self) -> bool:
+        return self.adopter is not None
+
+    @property
+    def convergence_time(self) -> float:
+        """Crash (when known, else detection) to repaired, in seconds."""
+        origin = self.crash_at if self.crash_at is not None else self.detected_at
+        return self.completed_at - origin
+
+
+class RepairCoordinator:
+    """Watches the failure detector and re-parents orphaned subtrees.
+
+    Wired by :class:`~repro.net.simnet.SimulatedPubSub` when constructed
+    with a ``repair`` policy; the overlay calls :meth:`neighbor_down` /
+    :meth:`neighbor_up` from its heartbeat detector and exposes the
+    surgery primitives (``adopt``, ``prune_dead``, ``rehome_clients``,
+    ``salvage_inflight``) the coordinator drives.
+    """
+
+    def __init__(
+        self,
+        overlay: "SimulatedPubSub",
+        policy: RepairPolicy,
+        tracer: "Tracer | None" = None,
+    ):
+        self.overlay = overlay
+        self.policy = policy
+        self.tracer = tracer
+        self.records: list[RepairRecord] = []
+        self.repaired: set[Hashable] = set()
+        self.false_alarms = 0
+        self._first_down: dict[Hashable, float] = {}
+        registry = overlay.registry
+        self._c_repairs = registry.counter("recovery_repairs_total")
+        self._c_reparent = registry.counter("recovery_reparent_total")
+        self._c_rehomed = registry.counter(
+            "recovery_clients_rehomed_total"
+        )
+        self._c_false = registry.counter("recovery_false_alarms_total")
+        self._c_failed = registry.counter("recovery_failed_total")
+        self._h_convergence = registry.histogram(
+            "recovery_convergence_seconds"
+        )
+
+    # -- detector feed ------------------------------------------------------
+
+    def neighbor_down(
+        self, observer: Hashable, neighbor: Hashable, now: float
+    ) -> None:
+        """The detector at *observer* marked *neighbor* down at *now*."""
+        self._first_down.setdefault(neighbor, now)
+        self.overlay.sim.schedule(
+            self.policy.repair_after,
+            lambda: self._check(observer, neighbor),
+        )
+
+    def neighbor_up(
+        self, observer: Hashable, neighbor: Hashable, now: float
+    ) -> None:
+        """The detector at *observer* saw *neighbor* again (recovery)."""
+        self._first_down.pop(neighbor, None)
+
+    # -- repair -------------------------------------------------------------
+
+    def _check(self, observer: Hashable, neighbor: Hashable) -> None:
+        overlay = self.overlay
+        if neighbor in self.repaired:
+            return
+        if not overlay.is_marked_down(observer, neighbor):
+            return  # recovered while the timer ran
+        if not overlay.brokers[observer].alive:
+            return  # the witness died; its own repair path handles it
+        if overlay.brokers[neighbor].alive:
+            # Management-plane probe says the peer is up: the silence is
+            # a partition.  Never excise a live broker.
+            self.false_alarms += 1
+            self._c_false.inc()
+            return
+        self.repair(neighbor)
+
+    def repair(self, dead: Hashable) -> RepairRecord:
+        """Excise *dead* from the overlay and graft its subtree back in."""
+        overlay = self.overlay
+        self.repaired.add(dead)
+        now = overlay.sim.now
+        detected_at = self._first_down.get(dead, now)
+        crash_at = overlay.crash_time_of(dead)
+        adopter = self._nearest_live_ancestor(dead)
+        if adopter is None:
+            self._c_failed.inc()
+            record = RepairRecord(
+                dead, None, 0, 0, 0, detected_at, now, crash_at
+            )
+            self.records.append(record)
+            return record
+
+        if self.tracer is not None:
+            self.tracer.start_trace(
+                ("repair", dead), at=detected_at, dead=str(dead),
+                adopter=str(adopter),
+            )
+        overlay.prune_dead(dead, adopter)
+        orphans = list(overlay.brokers[dead].children)
+        for child in orphans:
+            overlay.adopt(child, adopter)
+            self._c_reparent.inc()
+            if self.tracer is not None:
+                self.tracer.span(
+                    ("repair", dead), "recovery.reparent", child,
+                    now, overlay.sim.now, adopter=str(adopter),
+                )
+        rehomed = overlay.rehome_clients(dead, adopter)
+        if rehomed:
+            self._c_rehomed.inc(rehomed)
+        overlay.flush_rerouted(dead)
+        replayed = overlay.salvage_inflight(dead, adopter)
+        if self.tracer is not None and replayed:
+            self.tracer.span(
+                ("repair", dead), "journal.replay", adopter,
+                now, overlay.sim.now, events=replayed,
+            )
+        completed_at = overlay.sim.now
+        self._c_repairs.inc()
+        self._h_convergence.observe(
+            completed_at
+            - (crash_at if crash_at is not None else detected_at)
+        )
+        record = RepairRecord(
+            dead,
+            adopter,
+            len(orphans),
+            rehomed,
+            replayed,
+            detected_at,
+            completed_at,
+            crash_at,
+        )
+        self.records.append(record)
+        return record
+
+    def _nearest_live_ancestor(self, dead: Hashable) -> Hashable | None:
+        """First live broker on *dead*'s current root path, or ``None``."""
+        overlay = self.overlay
+        seen = {dead}
+        candidate = overlay.brokers[dead].parent
+        while candidate is not None and candidate not in seen:
+            if overlay.brokers[candidate].alive:
+                return candidate
+            seen.add(candidate)
+            candidate = overlay.brokers[candidate].parent
+        return None
+
+    # -- reporting ----------------------------------------------------------
+
+    def converged(self) -> bool:
+        """Every attempted repair found an adopter."""
+        return all(record.converged for record in self.records)
+
+    def max_convergence_time(self) -> float:
+        """Slowest crash-to-repaired time, NaN when nothing was repaired."""
+        times = [r.convergence_time for r in self.records if r.converged]
+        return max(times) if times else float("nan")

@@ -21,6 +21,7 @@ from repro.siena.operators import Op
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.recovery.journal import BrokerJournal
     from repro.siena.index import MatchResultCache
 
 #: An interface identifier: a neighbouring broker id or a local client id.
@@ -123,6 +124,9 @@ class Broker:
         self.clients: dict[Hashable, Callable[[Event], None]] = {}
         self.subscriptions: list[_Subscription] = []
         self.forwarded_upstream: list[Filter] = []
+        #: Optional durable write-ahead log of the routing state; bound by
+        #: the overlay via :meth:`bind_journal`.
+        self.journal: "BrokerJournal | None" = None
         self.stats = BrokerStats(registry, broker=str(broker_id))
         # Optional counting-algorithm index (sublinear matching; only
         # valid with the default plaintext match predicate).
@@ -162,6 +166,49 @@ class Broker:
         """Attach a local client (subscriber endpoint)."""
         self.clients[client_id] = deliver
 
+    def bind_journal(self, journal: "BrokerJournal") -> None:
+        """Journal every routing-table mutation to a durable log."""
+        self.journal = journal
+
+    def detach_child(self, child_id: Hashable) -> None:
+        """Remove a (dead) child link and every filter registered on it."""
+        self.children.pop(child_id, None)
+        self.drop_interface(child_id)
+
+    def reattach_parent(
+        self, parent_id: Hashable, send: Callable[[str, object], None]
+    ) -> int:
+        """Re-parent this broker and replay its covering set to the new
+        parent; returns the number of filters replayed (tree repair)."""
+        self.parent = parent_id
+        self.send_parent = send
+        return self.replay_upstream()
+
+    def drop_interface(self, interface: Interface) -> None:
+        """Withdraw every filter registered for *interface* at once.
+
+        Like per-filter :meth:`unsubscribe`, the upstream covering set is
+        recomputed when the removals changed what this broker needs.
+        """
+        changed = False
+        for existing in list(self.subscriptions):
+            if interface not in existing.interfaces:
+                continue
+            existing.interfaces.discard(interface)
+            if self.journal is not None:
+                self.journal.log_unsubscribe(interface, existing.filter)
+            if not existing.interfaces:
+                self.subscriptions.remove(existing)
+                changed = True
+                if self.match_cache is not None:
+                    self.match_cache.invalidate_filter(existing.filter)
+                if self._index is not None:
+                    index_id = self._index_ids.pop(existing.filter, None)
+                    if index_id is not None:
+                        self._index.remove(index_id)
+        if changed and self.send_parent is not None:
+            self._recompute_upstream()
+
     # -- failure lifecycle ---------------------------------------------------
 
     def crash(self) -> None:
@@ -184,6 +231,39 @@ class Broker:
             from repro.siena.index import MatchIndex
 
             self._index = MatchIndex()
+
+    def restore(
+        self,
+        subscriptions: list[tuple[Interface, Filter]],
+        forwarded_upstream: list[Filter],
+    ) -> int:
+        """Repopulate routing state replayed from a durable journal.
+
+        Called right after :meth:`restart` when the overlay journals
+        broker state: registrations are rebuilt locally WITHOUT upstream
+        propagation (the parent's table survived this broker's crash) and
+        without re-journaling (the journal already holds them).  Returns
+        the number of registrations restored.
+        """
+        for interface, subscription_filter in subscriptions:
+            for existing in self.subscriptions:
+                if existing.filter == subscription_filter:
+                    existing.interfaces.add(interface)
+                    break
+            else:
+                self.subscriptions.append(
+                    _Subscription(
+                        subscription_filter,
+                        {interface},
+                        group=_group_value(subscription_filter),
+                    )
+                )
+                if self._index is not None:
+                    self._index_ids[subscription_filter] = self._index.add(
+                        subscription_filter
+                    )
+        self.forwarded_upstream = list(forwarded_upstream)
+        return len(subscriptions)
 
     def replay_upstream(self) -> int:
         """Re-announce every forwarded filter to the parent.
@@ -211,6 +291,8 @@ class Broker:
             self.stats.dropped_while_down += 1
             return
         self.stats.subscriptions_received += 1
+        if self.journal is not None:
+            self.journal.log_subscribe(interface, subscription_filter)
         for existing in self.subscriptions:
             if existing.filter == subscription_filter:
                 existing.interfaces.add(interface)
@@ -237,12 +319,17 @@ class Broker:
             return
         # Drop previously forwarded filters that the new one covers; Siena
         # replaces them to keep the upstream table minimal.
-        self.forwarded_upstream = [
-            forwarded
-            for forwarded in self.forwarded_upstream
-            if not subscription_filter.covers(forwarded)
-        ]
+        kept = []
+        for forwarded in self.forwarded_upstream:
+            if subscription_filter.covers(forwarded):
+                if self.journal is not None:
+                    self.journal.log_unforwarded(forwarded)
+            else:
+                kept.append(forwarded)
+        self.forwarded_upstream = kept
         self.forwarded_upstream.append(subscription_filter)
+        if self.journal is not None:
+            self.journal.log_forwarded(subscription_filter)
         self.stats.subscriptions_forwarded += 1
         self.send_parent("subscribe", subscription_filter)
 
@@ -260,6 +347,8 @@ class Broker:
         changed = False
         for existing in list(self.subscriptions):
             if existing.filter == subscription_filter:
+                if self.journal is not None and interface in existing.interfaces:
+                    self.journal.log_unsubscribe(interface, subscription_filter)
                 existing.interfaces.discard(interface)
                 if not existing.interfaces:
                     self.subscriptions.remove(existing)
@@ -289,10 +378,14 @@ class Broker:
 
         for obsolete in self.forwarded_upstream:
             if obsolete not in required:
+                if self.journal is not None:
+                    self.journal.log_unforwarded(obsolete)
                 self.stats.subscriptions_forwarded += 1
                 self.send_parent("unsubscribe", obsolete)
         for needed in required:
             if needed not in self.forwarded_upstream:
+                if self.journal is not None:
+                    self.journal.log_forwarded(needed)
                 self.stats.subscriptions_forwarded += 1
                 self.send_parent("subscribe", needed)
         self.forwarded_upstream = required

@@ -1,0 +1,107 @@
+"""Failure-detector edge cases: flapping, partitions, latency faults.
+
+The detector must (a) ride out a broker that flaps up and down without
+ever escalating to tree surgery, (b) park -- not dead-letter -- while a
+partition hides a live neighbour, and (c) stay completely quiet under
+pure latency faults, where acks are slow but nothing is down.
+"""
+
+from repro.net.faults import (
+    BrokerCrash,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    PartitionFault,
+)
+from repro.net.sim import Simulator
+from repro.net.simnet import RetryPolicy, SimulatedPubSub
+from repro.recovery import RepairPolicy
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+
+def _overlay(plan, num_brokers=7, repair_after=1.0, seed=11, **kwargs):
+    sim = Simulator()
+    injector = FaultInjector(sim, plan, seed=seed)
+    net = SimulatedPubSub(
+        sim,
+        num_brokers,
+        arity=2,
+        reliability=RetryPolicy(heartbeat_interval=0.1),
+        faults=injector,
+        seed=seed + 1,
+        repair=RepairPolicy(repair_after=repair_after),
+        **kwargs,
+    )
+    injector.install()
+    return sim, net
+
+
+def _workload(net, events=120, rate=40.0):
+    subscription = Filter.topic("t")
+    subscribers = []
+    for index, leaf in enumerate(net.leaf_ids()):
+        subscriber_id = f"sub{index}"
+        net.attach_subscriber(subscriber_id, leaf)
+        net.subscribe(subscriber_id, subscription)
+        subscribers.append(subscriber_id)
+    for k in range(events):
+        net.publish(Event({"topic": "t", "k": k}), delay=k / rate)
+    return subscribers
+
+
+def test_flapping_broker_never_escalates_to_repair():
+    # Three 0.5s outages: each long enough to be detected (3 x 0.1s
+    # heartbeats), each healed well inside the 1.0s repair timer.
+    plan = FaultPlan(crashes=[
+        BrokerCrash(1, at=0.5, duration=0.5),
+        BrokerCrash(1, at=1.8, duration=0.5),
+        BrokerCrash(1, at=3.1, duration=0.5),
+    ])
+    sim, net = _overlay(plan, repair_after=1.0)
+    _workload(net, events=160)
+    sim.run(until=8.0)
+    assert net.rstats.failures_detected >= 3
+    assert net.rstats.recoveries_detected >= 3
+    assert net.repair.records == []  # every down-timer was cancelled
+    assert net.repair.false_alarms == 0
+    assert net.brokers[1].alive
+    assert net.brokers[1].parent == 0
+
+
+def test_detection_during_partition_parks_instead_of_dead_lettering():
+    plan = FaultPlan(
+        partitions=[PartitionFault(group=(2, 5, 6), start=0.8, duration=1.2)]
+    )
+    sim, net = _overlay(plan, repair_after=0.3)
+    subscribers = _workload(net, events=120)
+    sim.run(until=7.0)
+    # The silence was detected, traffic parked, and the repair probe saw
+    # a live peer -- no surgery, no dead letters, full delivery after
+    # the heal.
+    assert net.rstats.failures_detected >= 1
+    assert net.rstats.parked > 0
+    assert net.rstats.parked_flushes > 0
+    assert net.rstats.dead_letters == 0
+    assert net.repair.false_alarms >= 1
+    assert net.repair.records == []
+    assert len(net.deliveries) == 120 * len(subscribers)
+
+
+def test_pure_latency_faults_cause_no_false_positives():
+    # A permanent 25ms latency spike on every link: acks come back late
+    # (forcing retransmissions) but heartbeat *spacing* is unchanged, so
+    # the detector must stay silent and nothing may be parked.
+    plan = FaultPlan(link_faults=[LinkFault(extra_latency=0.025)])
+    sim, net = _overlay(plan)
+    subscribers = _workload(net, events=120)
+    sim.run(until=6.0)
+    assert net.rstats.retries > 0  # latency did bite the ack timeout
+    assert net.rstats.failures_detected == 0
+    assert net.rstats.parked == 0
+    assert net.repair.records == []
+    assert net.repair.false_alarms == 0
+    # Hop-level dedup absorbed the spurious retransmits end to end.
+    assert len(net.deliveries) == 120 * len(subscribers)
+    keys = [(d.seq, d.subscriber_id) for d in net.deliveries]
+    assert len(keys) == len(set(keys))

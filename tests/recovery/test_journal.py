@@ -1,0 +1,120 @@
+"""The durable broker journal: WAL, snapshots, in-flight ring."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.recovery.journal import BrokerJournal, JournalStore
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+
+def _filters(n):
+    return [Filter.topic(f"t{i}") for i in range(n)]
+
+
+def test_replay_reconstructs_subscriptions_in_order():
+    journal = BrokerJournal("b1")
+    f1, f2, f3 = _filters(3)
+    journal.log_subscribe("sub0", f1)
+    journal.log_subscribe("child3", f2)
+    journal.log_subscribe("sub0", f3)
+    journal.log_unsubscribe("child3", f2)
+    state = journal.replay()
+    assert state.subscriptions == [("sub0", f1), ("sub0", f3)]
+    assert journal.replays == 1
+
+
+def test_replay_reconstructs_the_covering_set():
+    journal = BrokerJournal("b1")
+    f1, f2 = _filters(2)
+    journal.log_forwarded(f1)
+    journal.log_forwarded(f2)
+    journal.log_unforwarded(f1)
+    assert journal.replay().forwarded_upstream == [f2]
+
+
+def test_duplicate_records_fold_idempotently():
+    journal = BrokerJournal("b1")
+    (f1,) = _filters(1)
+    journal.log_subscribe("sub0", f1)
+    journal.log_subscribe("sub0", f1)
+    journal.log_unsubscribe("sub0", f1)
+    journal.log_unsubscribe("sub0", f1)
+    assert journal.replay().subscriptions == []
+
+
+def test_compaction_truncates_the_wal_without_losing_state():
+    journal = BrokerJournal("b1", snapshot_every=4)
+    filters = _filters(10)
+    for index, flt in enumerate(filters):
+        journal.log_subscribe(f"if{index}", flt)
+    assert journal.snapshots_taken >= 2
+    assert journal.wal_length < 4
+    state = journal.replay()
+    assert [flt for _, flt in state.subscriptions] == filters
+
+
+def test_unsubscribe_after_compaction_still_applies():
+    journal = BrokerJournal("b1", snapshot_every=2)
+    f1, f2, f3 = _filters(3)
+    journal.log_subscribe("a", f1)
+    journal.log_subscribe("a", f2)  # snapshot taken here
+    journal.log_unsubscribe("a", f1)
+    journal.log_subscribe("a", f3)
+    state = journal.replay()
+    assert state.subscriptions == [("a", f2), ("a", f3)]
+
+
+def test_inflight_ring_tracks_until_marked_done():
+    journal = BrokerJournal("b1")
+    e0, e1 = Event({"topic": "t", "k": 0}), Event({"topic": "t", "k": 1})
+    journal.log_event(0, e0)
+    journal.log_event(1, e1)
+    journal.mark_done(0)
+    assert journal.inflight_events() == [(1, e1)]
+    assert journal.replay().inflight == [(1, e1)]
+    journal.mark_done(1)
+    journal.mark_done(1)  # idempotent
+    assert journal.inflight_events() == []
+
+
+def test_inflight_ring_evicts_oldest_at_capacity():
+    journal = BrokerJournal("b1", inflight_capacity=3)
+    for seq in range(5):
+        journal.log_event(seq, Event({"topic": "t", "k": seq}))
+    assert journal.inflight_evicted == 2
+    assert [seq for seq, _ in journal.inflight_events()] == [2, 3, 4]
+
+
+def test_registry_counters_labelled_by_broker():
+    registry = MetricsRegistry()
+    journal = BrokerJournal("b7", snapshot_every=2, registry=registry)
+    f1, f2 = _filters(2)
+    journal.log_subscribe("a", f1)
+    journal.log_subscribe("a", f2)
+    journal.replay()
+    assert registry.total("journal_records_total") == 2
+    assert registry.total("journal_snapshots_total") == 1
+    assert registry.total("journal_replays_total") == 1
+    (series,) = registry.series("journal_records_total")
+    assert dict(series.labels)["broker"] == "b7"
+
+
+def test_store_creates_on_demand_and_aggregates():
+    store = JournalStore(snapshot_every=8)
+    assert "b1" not in store
+    journal = store.journal_for("b1")
+    assert journal is store.journal_for("b1")
+    assert "b1" in store and list(store) == ["b1"]
+    (f1,) = _filters(1)
+    journal.log_subscribe("a", f1)
+    store.journal_for("b2").log_forwarded(f1)
+    assert store.total_records() == 2
+
+
+@pytest.mark.parametrize(
+    "kwargs", [{"snapshot_every": 0}, {"inflight_capacity": 0}]
+)
+def test_degenerate_bounds_rejected(kwargs):
+    with pytest.raises(ValueError):
+        BrokerJournal("b", **kwargs)

@@ -90,6 +90,23 @@ def test_chaos_overlay_scenario_skips_kdc(capsys):
     assert "KDC chaos run" not in output
 
 
+def test_chaos_recovery_scenario_gates(capsys):
+    assert main(["chaos", "--scenario", "recovery", "--seed", "7",
+                 "--duration", "5", "--check"]) == 0
+    captured = capsys.readouterr()
+    assert "Recovery run: seed 7" in captured.out
+    assert "Tree repairs" in captured.out
+    assert "Metrics snapshot (recovery)" in captured.out
+    assert "recovery gates passed" in captured.err
+    assert "Chaos run" not in captured.out  # overlay experiments not run
+
+
+def test_chaos_recovery_scenario_rejects_bad_config(capsys):
+    assert main(["chaos", "--scenario", "recovery", "--seed", "7",
+                 "--brokers", "7"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
 def test_metrics_check_passes(capsys):
     assert main(["metrics", "--duration", "1", "--rate", "20",
                  "--check"]) == 0

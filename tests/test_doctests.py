@@ -11,6 +11,7 @@ import repro.core.publisher
 import repro.crypto.aes
 import repro.crypto.hashes
 import repro.engine.engine
+import repro.recovery.dedup
 import repro.siena.network
 import repro.siena.p2p
 import repro.workloads.zipf
@@ -23,6 +24,7 @@ MODULES = [
     repro.crypto.aes,
     repro.crypto.hashes,
     repro.engine.engine,
+    repro.recovery.dedup,
     repro.siena.network,
     repro.siena.p2p,
     repro.workloads.zipf,
