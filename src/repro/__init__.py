@@ -10,12 +10,25 @@ principals, and :class:`Observability` / :class:`MetricsRegistry` /
 its modules -- :mod:`repro.core` (key derivation, epochs, the
 replicated KDC), :mod:`repro.siena` (content-based routing),
 :mod:`repro.routing` (probabilistic multi-path), :mod:`repro.net`
-(the timed fault-injected overlay), :mod:`repro.obs` (instruments and
+(the timed fault-injected overlay), :mod:`repro.flow` (overload
+protection: bounded queues, credits, admission control -- its headline
+names are re-exported here too), :mod:`repro.obs` (instruments and
 exporters); ``docs/API.md`` holds a one-page tour and
 ``python -m repro`` a command-line interface.
 """
 
 from repro.api import System, SystemBuilder, connect
+from repro.flow import (
+    BEST_EFFORT,
+    HIGH,
+    NORMAL,
+    AdmissionController,
+    AIMDRateLimiter,
+    FlowControlPolicy,
+    RateLimited,
+    priority_of,
+    with_priority,
+)
 from repro.core import (
     KDC,
     AuthorizationGrant,
@@ -32,16 +45,23 @@ from repro.siena import BrokerTree, Event, Filter
 __version__ = "1.1.0"
 
 __all__ = [
+    "AdmissionController",
+    "AIMDRateLimiter",
     "AuthorizationGrant",
+    "BEST_EFFORT",
     "BrokerTree",
     "CompositeKeySpace",
     "Event",
     "Filter",
+    "FlowControlPolicy",
+    "HIGH",
     "KDC",
     "MetricsRegistry",
+    "NORMAL",
     "NumericKeySpace",
     "Observability",
     "Publisher",
+    "RateLimited",
     "SealedEvent",
     "StringKeySpace",
     "Subscriber",
@@ -49,5 +69,7 @@ __all__ = [
     "SystemBuilder",
     "Tracer",
     "connect",
+    "priority_of",
+    "with_priority",
     "__version__",
 ]

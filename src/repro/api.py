@@ -35,6 +35,7 @@ from repro.core.kdc import KDC
 from repro.core.nakt import NumericKeySpace
 from repro.core.publisher import Publisher
 from repro.core.subscriber import Subscriber
+from repro.flow import AdmissionController, priority_of
 from repro.obs import Observability
 from repro.siena.events import Event
 from repro.siena.filters import Filter
@@ -47,6 +48,8 @@ class SessionPublisher:
     def __init__(self, system: "System", publisher_id: str):
         self.system = system
         self.engine = Publisher(publisher_id, system.kdc)
+        #: Publications this session sealed but the admission gate shed.
+        self.shed = 0
 
     @property
     def publisher_id(self) -> str:
@@ -58,11 +61,19 @@ class SessionPublisher:
         secret_attributes: set[str] | None = None,
         at_time: float = 0.0,
     ) -> SealedEvent:
-        """Seal *event* and disseminate it through the broker tree."""
+        """Seal *event* and disseminate it through the broker tree.
+
+        With admission control configured on the system, a shed
+        publication still returns its sealed form (the caller may retry)
+        but reaches no subscriber; :attr:`shed` counts them.
+        """
         sealed = self.engine.publish(
             event, secret_attributes=secret_attributes, at_time=at_time
         )
+        before = self.system.shed_events
         self.system._disseminate(sealed, at_time)
+        if self.system.shed_events > before:
+            self.shed += 1
         return sealed
 
 
@@ -123,10 +134,21 @@ class System:
         kdc: KDC,
         tree: BrokerTree,
         obs: Observability,
+        admission: AdmissionController | None = None,
     ):
         self.kdc = kdc
         self.tree = tree
         self.obs = obs
+        #: Edge admission controller, or None when unconfigured.
+        self.admission = admission
+        if admission is not None:
+            # The facade is synchronous: the bucket's clock is the
+            # publication timeline (the at_time each publish carries).
+            tree.root.bind_flow(
+                lambda event: admission.admit(
+                    priority_of(event), self._current_time
+                )
+            )
         self.registry = obs.registry
         self.tracer = obs.tracer
         self.publishers: dict[str, SessionPublisher] = {}
@@ -169,6 +191,11 @@ class System:
     def schema_lookup(self, topic: str) -> CompositeKeySpace:
         """Topic schema resolver (schemas are public configuration)."""
         return self.kdc.config_for(topic).schema
+
+    @property
+    def shed_events(self) -> int:
+        """Publications refused by the root broker's admission gate."""
+        return self.tree.root.stats.events_shed
 
     # -- dissemination --------------------------------------------------------
 
@@ -218,6 +245,7 @@ class SystemBuilder:
         self._kdc: KDC | None = None
         self._obs: Observability | None = None
         self._topics: list[tuple[str, CompositeKeySpace, float, bool]] = []
+        self._admission: AdmissionController | dict | None = None
 
     def brokers(self, num_brokers: int, arity: int = 2) -> "SystemBuilder":
         """Size the dissemination tree."""
@@ -238,6 +266,33 @@ class SystemBuilder:
     def observability(self, obs: Observability) -> "SystemBuilder":
         """Share an existing metrics/tracing bundle."""
         self._obs = obs
+        return self
+
+    def admission(
+        self,
+        controller: AdmissionController | None = None,
+        *,
+        rate: float = 100.0,
+        burst: float | None = None,
+        reserve: float = 0.2,
+    ) -> "SystemBuilder":
+        """Gate locally injected publications at the root broker.
+
+        Pass a ready :class:`~repro.flow.AdmissionController`, or let
+        the builder make one: *rate* events/s sustained, bursts up to
+        *burst* (default ``2 x rate``), the last *reserve* fraction of
+        the bucket held for high-priority events.  Shed publications
+        reach no subscriber and count in ``System.shed_events`` (and in
+        ``flow_shed_total{stage="admission"}``).
+        """
+        if controller is not None:
+            self._admission = controller
+        else:
+            self._admission = {
+                "rate": rate,
+                "burst": burst if burst is not None else 2.0 * rate,
+                "reserve": reserve,
+            }
         return self
 
     def topic(
@@ -275,7 +330,12 @@ class SystemBuilder:
             arity=self._arity,
             registry=obs.registry,
         )
-        return System(kdc, tree, obs)
+        admission = self._admission
+        if isinstance(admission, dict):
+            admission = AdmissionController(
+                registry=obs.registry, **admission
+            )
+        return System(kdc, tree, obs, admission=admission)
 
 
 def connect(

@@ -1,6 +1,11 @@
-"""``repro.bench`` -- the load and regression driver for ``repro.engine``.
+"""``repro.bench`` -- the load and regression drivers.
 
-``repro bench`` on the command line; :func:`run_bench` programmatically.
+Two suites, selected with ``repro bench --suite``:
+
+- ``engine`` (:func:`run_bench`): wall-clock throughput of the batched
+  dissemination engine against the per-event path;
+- ``overload`` (:func:`run_overload_bench`): sustained-storm delivery,
+  shedding, and fairness on the simulated flow-controlled overlay.
 """
 
 from __future__ import annotations
@@ -14,13 +19,27 @@ from repro.bench.driver import (
     run_bench,
     write_report,
 )
+from repro.bench.overload import (
+    BENCH_OVERLOAD_SCHEMA,
+    OverloadBenchConfig,
+    check_overload_regression,
+    render_overload_report,
+    run_overload_bench,
+    write_overload_report,
+)
 
 __all__ = [
+    "BENCH_OVERLOAD_SCHEMA",
     "BENCH_SCHEMA",
     "BenchConfig",
+    "OverloadBenchConfig",
+    "check_overload_regression",
     "check_regression",
     "load_report",
+    "render_overload_report",
     "render_report",
     "run_bench",
+    "run_overload_bench",
+    "write_overload_report",
     "write_report",
 ]

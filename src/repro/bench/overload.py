@@ -1,0 +1,240 @@
+"""The ``repro bench --suite overload`` sustained-overload sweep.
+
+Where the engine suite measures *throughput* on real wall-clock time,
+this suite measures *behaviour under overload* on the deterministic
+simulator: a fixed-seed Zipf storm is driven through the flow-controlled
+overlay at a ladder of offered-rate factors, and each rung records the
+numbers the overload stack is accountable for -- high-priority delivery
+ratio, best-effort delivery against its analytic floor, shed counts by
+priority, shed *fairness* (the fraction of sheds that landed on the
+lowest priority class present -- 1.0 means no better-priority event was
+ever sacrificed), and peak queue depths against the bound.
+
+Every number derives from the seed, so the committed baseline
+(``benchmarks/baselines/BENCH_overload.json``) is exact on any machine;
+``check_overload_regression`` gates with a small tolerance anyway so
+intentional workload tweaks do not demand lockstep baseline edits.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass
+
+from repro.flow import BEST_EFFORT, priority_name
+from repro.harness.overload import OverloadConfig, _Workload
+from repro.obs import Observability
+
+BENCH_OVERLOAD_SCHEMA = "repro.bench/overload.v1"
+
+
+@dataclass(frozen=True)
+class OverloadBenchConfig:
+    """Workload shape for one overload bench run."""
+
+    seed: int = 7
+    #: Offered-rate ladder, as multiples of broker capacity.
+    factors: tuple[float, ...] = (0.8, 2.0, 4.0, 6.0)
+    duration: float = 0.5
+    drain: float = 1.5
+    high_fraction: float = 0.1
+    queue_capacity: int = 32
+    credit_window: int = 16
+    shed_policy: str = "drop-oldest"
+    broker_cost: float = 0.004
+    num_brokers: int = 7
+    arity: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.factors:
+            raise ValueError("need at least one offered-rate factor")
+        for factor in self.factors:
+            if factor <= 0:
+                raise ValueError("offered-rate factors must be positive")
+            if factor * self.high_fraction >= 1.0:
+                raise ValueError(
+                    f"factor {factor} puts the high-priority slice over "
+                    "capacity; nothing could protect it"
+                )
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    def overlay_config(self) -> OverloadConfig:
+        """The harness config describing the overlay under test."""
+        return OverloadConfig(
+            seed=self.seed,
+            num_brokers=self.num_brokers,
+            arity=self.arity,
+            broker_cost=self.broker_cost,
+            queue_capacity=self.queue_capacity,
+            credit_window=self.credit_window,
+            shed_policy=self.shed_policy,
+            high_fraction=self.high_fraction,
+        )
+
+
+def _run_rung(config: OverloadBenchConfig, factor: float) -> dict:
+    """One ladder rung: a fresh overlay at *factor* x capacity."""
+    load = _Workload(config.overlay_config(), Observability())
+    shed_by_priority: Counter = Counter()
+    load.net.on_shed(
+        lambda priority, _stage, _broker: shed_by_priority.update([priority])
+    )
+    load.schedule_phase("bench", 0.0, config.duration, factor)
+    load.sim.run(until=config.duration + config.drain)
+    high, best, overall = load.delivery_ratios("bench")
+    offered, high_offered = load.offered("bench")
+    total_shed = sum(shed_by_priority.values())
+    fairness = (
+        shed_by_priority[BEST_EFFORT] / total_shed if total_shed else 1.0
+    )
+    ideal = min(
+        1.0,
+        (1.0 - config.high_fraction * factor)
+        / ((1.0 - config.high_fraction) * factor),
+    )
+    return {
+        "factor": factor,
+        "offered": offered,
+        "high_offered": high_offered,
+        "high_delivery": high,
+        "best_effort_delivery": best,
+        "overall_delivery": overall,
+        "ideal_best_effort": ideal,
+        "shed_events": total_shed,
+        "shed_by_priority": {
+            priority_name(priority): count
+            for priority, count in sorted(shed_by_priority.items())
+        },
+        "shed_fairness": fairness,
+        "peak_ingress_depth": max(
+            load.net.flow_peak_depths().values(), default=0
+        ),
+        "peak_egress_depth": max(
+            load.net.flow_egress_peak_depths().values(), default=0
+        ),
+    }
+
+
+def run_overload_bench(
+    config: OverloadBenchConfig = OverloadBenchConfig(),
+) -> dict:
+    """Run the offered-rate ladder; returns the report document."""
+    sweep = [_run_rung(config, factor) for factor in config.factors]
+    overloaded = [rung for rung in sweep if rung["shed_events"] > 0]
+    headline = overloaded[-1] if overloaded else sweep[-1]
+    config_doc = asdict(config)
+    config_doc["factors"] = list(config.factors)  # JSON-stable
+    return {
+        "schema": BENCH_OVERLOAD_SCHEMA,
+        "config": config_doc,
+        "sweep": sweep,
+        "headline": {
+            "factor": headline["factor"],
+            "high_delivery": headline["high_delivery"],
+            "best_effort_delivery": headline["best_effort_delivery"],
+            "shed_fairness": headline["shed_fairness"],
+            "shed_events": headline["shed_events"],
+        },
+    }
+
+
+def check_overload_regression(
+    report: dict, baseline: dict, tolerance: float = 0.05
+) -> list[str]:
+    """Compare a fresh *report* against a committed *baseline* document.
+
+    Returns a list of human-readable problems (empty = pass):
+
+    - the schemas and offered-rate ladders must match;
+    - queue depths must respect the configured bound on every rung;
+    - per rung, the high-priority delivery ratio and the shed fairness
+      must not fall more than *tolerance* below the committed numbers --
+      these are the two headline guarantees of the overload stack;
+    - per rung, best-effort delivery must stay within *tolerance* of the
+      committed number (graceful degradation must not silently worsen).
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError("tolerance must be within [0, 1)")
+    problems: list[str] = []
+    if report.get("schema") != baseline.get("schema"):
+        problems.append(
+            f"schema mismatch: report {report.get('schema')!r} "
+            f"vs baseline {baseline.get('schema')!r}"
+        )
+        return problems
+    report_factors = [rung["factor"] for rung in report["sweep"]]
+    baseline_factors = [rung["factor"] for rung in baseline["sweep"]]
+    if report_factors != baseline_factors:
+        problems.append(
+            f"offered-rate ladder changed: {report_factors} vs committed "
+            f"{baseline_factors}; re-generate the baseline deliberately"
+        )
+        return problems
+    bound = report["config"]["queue_capacity"]
+    for rung, committed in zip(report["sweep"], baseline["sweep"]):
+        factor = rung["factor"]
+        if rung["peak_ingress_depth"] > bound:
+            problems.append(
+                f"factor {factor:g}: ingress queue peaked at "
+                f"{rung['peak_ingress_depth']}, over the {bound} bound"
+            )
+        if rung["high_delivery"] < committed["high_delivery"] - tolerance:
+            problems.append(
+                f"factor {factor:g}: high-priority delivery "
+                f"{rung['high_delivery']:.4f} below committed "
+                f"{committed['high_delivery']:.4f} - {tolerance:.0%}"
+            )
+        if rung["shed_fairness"] < committed["shed_fairness"] - tolerance:
+            problems.append(
+                f"factor {factor:g}: shed fairness "
+                f"{rung['shed_fairness']:.4f} below committed "
+                f"{committed['shed_fairness']:.4f} - {tolerance:.0%} "
+                "(better-priority events are being sacrificed)"
+            )
+        floor = committed["best_effort_delivery"] - tolerance
+        if rung["best_effort_delivery"] < floor:
+            problems.append(
+                f"factor {factor:g}: best-effort delivery "
+                f"{rung['best_effort_delivery']:.4f} below committed "
+                f"{committed['best_effort_delivery']:.4f} - {tolerance:.0%}"
+            )
+    return problems
+
+
+def render_overload_report(report: dict) -> str:
+    """Human-readable summary printed by ``repro bench --suite overload``."""
+    config = report["config"]
+    capacity = 1.0 / config["broker_cost"]
+    lines = [
+        "bench: sustained overload sweep "
+        f"(seed={config['seed']}, capacity={capacity:.0f} ev/s, "
+        f"{config['high_fraction']:.0%} high-priority, "
+        f"queues {config['queue_capacity']} deep, "
+        f"{config['shed_policy']})",
+    ]
+    for rung in report["sweep"]:
+        lines.append(
+            f"  {rung['factor']:4.1f}x : "
+            f"high {rung['high_delivery']:6.1%}   "
+            f"best-effort {rung['best_effort_delivery']:6.1%} "
+            f"(ideal {rung['ideal_best_effort']:6.1%})   "
+            f"shed {rung['shed_events']:4d} "
+            f"(fairness {rung['shed_fairness']:.2f})   "
+            f"peak {rung['peak_ingress_depth']}/"
+            f"{config['queue_capacity']}"
+        )
+    headline = report["headline"]
+    lines.append(
+        f"  headline : {headline['factor']:g}x storm holds "
+        f"{headline['high_delivery']:.1%} high-priority delivery, "
+        f"fairness {headline['shed_fairness']:.2f}"
+    )
+    return "\n".join(lines)
+
+
+def write_overload_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

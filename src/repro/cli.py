@@ -292,15 +292,34 @@ def _cmd_verify(_args: argparse.Namespace) -> int:
 
 # -- chaos --------------------------------------------------------------------
 
+#: The chaos scenario registry: name -> one-line description.  ``--list``
+#: prints it; ``--scenario`` choices derive from it, so adding a
+#: scenario means adding an entry here plus a branch in the handler.
+CHAOS_SCENARIOS: dict[str, str] = {
+    "overlay": "broker crashes + link loss: fire-and-forget vs the "
+    "reliable at-least-once stack",
+    "kdc": "key-service outage straddling an epoch boundary: replicated "
+    "KDC failover and decrypt success",
+    "recovery": "permanent broker kills + a partition: tree repair, "
+    "durable journals, exactly-once delivery",
+    "overload": "publisher storm at a multiple of sustainable rate: "
+    "bounded queues, priority protection, graceful degradation, "
+    "post-storm recovery",
+}
+
 
 def _chaos_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--scenario", choices=["all", "overlay", "kdc", "recovery"],
-        default="all",
+        "--scenario", choices=["all", *CHAOS_SCENARIOS], default="all",
         help="overlay = broker-crash delivery experiments, "
         "kdc = key-service outage across an epoch boundary, "
         "recovery = permanent kills + partition with tree repair, "
-        "durable journals and exactly-once delivery",
+        "durable journals and exactly-once delivery, "
+        "overload = publisher storm against the flow-controlled overlay",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the chaos scenarios with descriptions and exit",
     )
     add_seed_option(parser)
     parser.add_argument("--duration", type=float, default=5.0)
@@ -326,11 +345,28 @@ def _chaos_args(parser: argparse.ArgumentParser) -> None:
                         help="kdc scenario: post-expiry grace window")
     parser.add_argument("--outage", type=float, default=1.0,
                         help="kdc scenario: outage straddling the boundary")
+    parser.add_argument("--storm-factor", type=float, default=4.0,
+                        help="overload scenario: offered rate as a "
+                        "multiple of broker capacity")
+    parser.add_argument("--high-fraction", type=float, default=0.1,
+                        help="overload scenario: fraction of the storm "
+                        "published at high priority")
+    parser.add_argument("--queue-capacity", type=int, default=32,
+                        help="overload scenario: bounded queue depth")
+    parser.add_argument("--shed-policy", default="drop-oldest",
+                        choices=["drop-oldest", "drop-lowest-priority",
+                                 "reject-new"],
+                        help="overload scenario: load-shedding policy")
+    parser.add_argument("--snapshot", metavar="PATH",
+                        help="overload scenario: write the run's metrics "
+                        "snapshot (JSON) here")
     parser.add_argument(
         "--check", action="store_true",
-        help="recovery scenario: fail unless the recovery gates hold "
-        "(delivery >= 99%%, zero surfaced duplicates, every permanent "
-        "kill repaired)",
+        help="recovery/overload scenarios: fail unless the scenario's "
+        "gates hold (recovery: delivery >= 99%%, zero surfaced "
+        "duplicates, every permanent kill repaired; overload: bounded "
+        "queues, >= 99%% high-priority delivery, graceful degradation, "
+        "full post-storm recovery)",
     )
 
 
@@ -340,6 +376,11 @@ def _chaos_args(parser: argparse.ArgumentParser) -> None:
     configure=_chaos_args,
 )
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.list:
+        width = max(len(name) for name in CHAOS_SCENARIOS)
+        for name, description in CHAOS_SCENARIOS.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
     sections = []
     gate_problems: list[str] = []
     try:
@@ -401,19 +442,59 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 format_recovery_report(recovery_config, recovery_result)
             )
             if args.check:
-                gate_problems = check_recovery(
-                    recovery_config, recovery_result
+                gate_problems.extend(
+                    f"recovery gate violated: {problem}"
+                    for problem in check_recovery(
+                        recovery_config, recovery_result
+                    )
+                )
+        if args.scenario in ("all", "overload"):
+            import json
+
+            from repro.harness.overload import (
+                OverloadConfig,
+                check_overload,
+                format_overload_report,
+                run_overload,
+            )
+
+            overload_config = OverloadConfig(
+                seed=args.seed,
+                storm_factor=args.storm_factor,
+                high_fraction=args.high_fraction,
+                queue_capacity=args.queue_capacity,
+                shed_policy=args.shed_policy,
+            )
+            overload_result = run_overload(overload_config)
+            sections.append(
+                format_overload_report(overload_config, overload_result)
+            )
+            if args.snapshot:
+                with open(args.snapshot, "w", encoding="utf-8") as handle:
+                    json.dump(
+                        overload_result.obs.snapshot(), handle,
+                        indent=2, sort_keys=True,
+                    )
+                    handle.write("\n")
+                print(f"wrote metrics snapshot to {args.snapshot}",
+                      file=sys.stderr)
+            if args.check:
+                gate_problems.extend(
+                    f"overload gate violated: {problem}"
+                    for problem in check_overload(
+                        overload_config, overload_result
+                    )
                 )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print("\n\n".join(sections))
     for problem in gate_problems:
-        print(f"recovery gate violated: {problem}", file=sys.stderr)
+        print(problem, file=sys.stderr)
     if gate_problems:
         return 1
     if args.check:
-        print("recovery gates passed", file=sys.stderr)
+        print("chaos gates passed", file=sys.stderr)
     return 0
 
 
@@ -511,6 +592,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 def _bench_args(parser: argparse.ArgumentParser) -> None:
     add_seed_option(parser)
+    parser.add_argument(
+        "--suite", choices=["engine", "overload"], default="engine",
+        help="engine: batched-dissemination throughput (default); "
+        "overload: sustained-storm delivery/shedding sweep",
+    )
     parser.add_argument("--events", type=int, default=400,
                         help="publications per measured path")
     parser.add_argument("--brokers", type=int, default=15,
@@ -527,22 +613,63 @@ def _bench_args(parser: argparse.ArgumentParser) -> None:
         "--sweep", default="1,8,32,128", metavar="SIZES",
         help="comma-separated batch sizes for the sweep section",
     )
-    parser.add_argument("--output", metavar="PATH",
-                        default="BENCH_engine.json",
-                        help="machine-readable report destination")
+    parser.add_argument("--output", metavar="PATH", default=None,
+                        help="machine-readable report destination "
+                        "(default: BENCH_<suite>.json)")
     parser.add_argument(
         "--check", action="store_true",
         help="gate this run against a committed baseline report",
     )
     parser.add_argument(
-        "--baseline", metavar="PATH",
-        default="benchmarks/baselines/BENCH_engine.json",
-        help="baseline report for --check",
+        "--baseline", metavar="PATH", default=None,
+        help="baseline report for --check "
+        "(default: benchmarks/baselines/BENCH_<suite>.json)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.25,
         help="allowed fractional regression before --check fails",
     )
+
+
+def _cmd_bench_overload(args: argparse.Namespace) -> int:
+    """The ``--suite overload`` leg: sustained-storm delivery sweep."""
+    from repro.bench import (
+        OverloadBenchConfig,
+        check_overload_regression,
+        load_report,
+        render_overload_report,
+        run_overload_bench,
+        write_overload_report,
+    )
+
+    output = args.output or "BENCH_overload.json"
+    baseline_path = (
+        args.baseline or "benchmarks/baselines/BENCH_overload.json"
+    )
+    try:
+        report = run_overload_bench(OverloadBenchConfig(seed=args.seed))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    write_overload_report(report, output)
+    print(render_overload_report(report))
+    print(f"wrote report to {output}", file=sys.stderr)
+    if args.check:
+        try:
+            baseline = load_report(baseline_path)
+        except OSError as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        problems = check_overload_regression(
+            report, baseline, args.tolerance
+        )
+        for problem in problems:
+            print(f"regression: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("bench check passed: within tolerance of the baseline",
+              file=sys.stderr)
+    return 0
 
 
 @command(
@@ -560,6 +687,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_report,
     )
 
+    if args.suite == "overload":
+        return _cmd_bench_overload(args)
+    output = args.output or "BENCH_engine.json"
+    baseline_path = (
+        args.baseline or "benchmarks/baselines/BENCH_engine.json"
+    )
     try:
         sweep = tuple(
             int(size) for size in str(args.sweep).split(",") if size.strip()
@@ -579,16 +712,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    write_report(report, args.output)
+    write_report(report, output)
     print(render_report(report))
-    print(f"wrote report to {args.output}", file=sys.stderr)
+    print(f"wrote report to {output}", file=sys.stderr)
     if not report["equivalence"]["holds"]:
         print("error: engine deliveries diverge from the per-event path",
               file=sys.stderr)
         return 1
     if args.check:
         try:
-            baseline = load_report(args.baseline)
+            baseline = load_report(baseline_path)
         except OSError as exc:
             print(f"error: cannot read baseline: {exc}", file=sys.stderr)
             return 2

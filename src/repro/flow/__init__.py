@@ -1,0 +1,69 @@
+"""Backpressure, admission control, and graceful degradation.
+
+``repro.flow`` holds the transport-agnostic overload-protection
+primitives threaded through the dissemination path:
+
+- :mod:`repro.flow.policy` -- priority classes and the
+  :class:`FlowControlPolicy` knob bundle;
+- :mod:`repro.flow.queues` -- bounded priority-classed queues with
+  configurable load shedding;
+- :mod:`repro.flow.credit` -- credit-based hop-to-hop flow control;
+- :mod:`repro.flow.aimd` -- AIMD adaptive publisher rate limiting;
+- :mod:`repro.flow.breaker` -- broker-level overload circuit breaking;
+- :mod:`repro.flow.admission` -- edge admission (token bucket with a
+  high-priority reserve) and the :class:`RateLimited` signal.
+
+The timed overlay (:mod:`repro.net.simnet`) and the synchronous broker
+tree (:mod:`repro.api`) compose these pieces; everything here is plain
+data-structure code that unit tests and property tests can drive
+directly.
+"""
+
+from repro.flow.admission import AdmissionController, RateLimited, TokenBucket
+from repro.flow.aimd import AIMDRateLimiter
+from repro.flow.breaker import CLOSED, HALF_OPEN, OPEN, OverloadBreaker
+from repro.flow.credit import CreditGate
+from repro.flow.policy import (
+    BEST_EFFORT,
+    HIGH,
+    NORMAL,
+    PRIORITY_ATTRIBUTE,
+    FlowControlPolicy,
+    priority_name,
+    priority_of,
+    with_priority,
+)
+from repro.flow.queues import (
+    DROP_LOWEST_PRIORITY,
+    DROP_OLDEST,
+    REJECT_NEW,
+    SHED_POLICIES,
+    BoundedPriorityQueue,
+    Offer,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AIMDRateLimiter",
+    "BEST_EFFORT",
+    "BoundedPriorityQueue",
+    "CLOSED",
+    "CreditGate",
+    "DROP_LOWEST_PRIORITY",
+    "DROP_OLDEST",
+    "FlowControlPolicy",
+    "HALF_OPEN",
+    "HIGH",
+    "NORMAL",
+    "Offer",
+    "OPEN",
+    "OverloadBreaker",
+    "PRIORITY_ATTRIBUTE",
+    "priority_name",
+    "priority_of",
+    "RateLimited",
+    "REJECT_NEW",
+    "SHED_POLICIES",
+    "TokenBucket",
+    "with_priority",
+]

@@ -1,0 +1,133 @@
+"""Broker-level overload circuit breaking.
+
+An :class:`OverloadBreaker` watches one broker's bounded ingress queue
+and flips the broker into *degraded mode* when it saturates: while the
+breaker is open, traffic in priority classes worse than the policy's
+``degrade_floor`` is rejected at admission, preserving queue space (and
+hence service capacity) for high-priority events.  The classic
+three-state machine applies:
+
+- **closed** -- healthy; everything is admitted.  A shed event or the
+  queue crossing the high watermark trips the breaker open.
+- **open** -- degraded; only classes at or above the floor are
+  admitted.  After ``cooldown`` seconds the breaker moves to half-open.
+- **half-open** -- probing; best-effort traffic is admitted again.  A
+  relapse (shed or high-watermark) re-opens the breaker; the queue
+  draining to the low watermark closes it.
+
+The hysteresis between the two watermarks is what prevents flapping: a
+queue hovering near the bound would otherwise toggle degraded mode on
+every enqueue/dequeue pair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry
+
+CLOSED = 0
+OPEN = 1
+HALF_OPEN = 2
+
+_STATE_NAMES = {CLOSED: "closed", OPEN: "open", HALF_OPEN: "half-open"}
+
+
+class OverloadBreaker:
+    """Watermark- and shed-driven circuit breaker for one broker.
+
+    >>> b = OverloadBreaker(high_depth=4, low_depth=1, cooldown=1.0,
+    ...                     degrade_floor=1)
+    >>> b.admits(priority=2, now=0.0)
+    True
+    >>> b.record_shed(now=0.0)              # overflow trips it open
+    >>> b.admits(priority=2, now=0.5)       # best-effort degraded
+    False
+    >>> b.admits(priority=0, now=0.5)       # high still flows
+    True
+    >>> b.observe_depth(0, now=2.0)         # cooled down: probe first
+    >>> b.state_name
+    'half-open'
+    >>> b.observe_depth(0, now=2.0)         # drained below low watermark
+    >>> b.state_name
+    'closed'
+    """
+
+    def __init__(
+        self,
+        high_depth: int,
+        low_depth: int,
+        cooldown: float,
+        degrade_floor: int,
+        registry: MetricsRegistry | None = None,
+        clock: Callable[[], float] | None = None,
+        **labels: str,
+    ) -> None:
+        if not 0 <= low_depth < high_depth:
+            raise ValueError("watermarks must satisfy 0 <= low < high")
+        self.high_depth = high_depth
+        self.low_depth = low_depth
+        self.cooldown = cooldown
+        self.degrade_floor = degrade_floor
+        self.state = CLOSED
+        self.rejections = 0
+        self.opened_at = 0.0
+        self._registry = registry
+        self._labels = labels
+        self._state_gauge = None
+        self._rejections_counter = None
+        if registry is not None:
+            self._state_gauge = registry.gauge(
+                "flow_breaker_state", **labels
+            )
+            self._rejections_counter = registry.counter(
+                "flow_breaker_rejections_total", **labels
+            )
+
+    @property
+    def state_name(self) -> str:
+        return _STATE_NAMES[self.state]
+
+    def _transition(self, state: int, now: float) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        if state == OPEN:
+            self.opened_at = now
+        if self._state_gauge is not None:
+            self._state_gauge.set(state)
+        if self._registry is not None:
+            self._registry.counter(
+                "flow_breaker_transitions_total",
+                state=_STATE_NAMES[state],
+                **self._labels,
+            ).inc()
+
+    def record_shed(self, now: float) -> None:
+        """An overflow shed happened: the broker is overloaded."""
+        self._transition(OPEN, now)
+
+    def observe_depth(self, depth: int, now: float) -> None:
+        """Feed the current ingress depth through the state machine."""
+        if self.state == CLOSED:
+            if depth >= self.high_depth:
+                self._transition(OPEN, now)
+        elif self.state == OPEN:
+            if now - self.opened_at >= self.cooldown:
+                self._transition(HALF_OPEN, now)
+        elif self.state == HALF_OPEN:
+            if depth >= self.high_depth:
+                self._transition(OPEN, now)
+            elif depth <= self.low_depth:
+                self._transition(CLOSED, now)
+
+    def admits(self, priority: int, now: float) -> bool:
+        """Whether an event of *priority* may enter the broker at *now*."""
+        if self.state == OPEN and now - self.opened_at >= self.cooldown:
+            self._transition(HALF_OPEN, now)
+        if self.state != OPEN or priority <= self.degrade_floor:
+            return True
+        self.rejections += 1
+        if self._rejections_counter is not None:
+            self._rejections_counter.inc()
+        return False

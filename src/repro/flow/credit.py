@@ -1,0 +1,102 @@
+"""Credit-based hop-to-hop flow control.
+
+A :class:`CreditGate` guards one directed broker link.  The sender must
+acquire a credit before putting an event on the wire; the receiver
+returns the credit once it has *dequeued the event for service* (not
+merely buffered it).  With the credit window no larger than the
+receiver's bounded ingress queue, a sender can never overrun a slow
+downstream broker -- the backpressure propagates hop by hop up the tree
+instead of piling up as silent queue growth.
+
+When a sender wants to transmit but the window is exhausted it is
+*stalled*: the gate counts the stall (``flow_credit_stalls_total``) and
+times how long the sender waits for the next credit
+(``flow_credit_stall_seconds``).  ``flow_credits_available`` gauges the
+live window per link.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class CreditGate:
+    """Sender-side credit window for one directed link.
+
+    >>> gate = CreditGate(window=1)
+    >>> gate.try_acquire()
+    True
+    >>> gate.try_acquire()      # window exhausted -> stall
+    False
+    >>> gate.release()
+    >>> gate.try_acquire()
+    True
+    """
+
+    def __init__(
+        self,
+        window: int,
+        registry: MetricsRegistry | None = None,
+        clock: Callable[[], float] | None = None,
+        **labels: str,
+    ) -> None:
+        if window < 1:
+            raise ValueError("credit window must allow at least one event")
+        self.window = window
+        self.available = window
+        self.stalls = 0
+        self.stall_seconds = 0.0
+        self._stalled_since: float | None = None
+        self._clock = clock
+        self._registry = registry
+        self._labels = labels
+        self._gauge = None
+        self._stall_counter = None
+        self._stall_histogram = None
+        if registry is not None:
+            self._gauge = registry.gauge("flow_credits_available", **labels)
+            self._gauge.set(window)
+            self._stall_counter = registry.counter(
+                "flow_credit_stalls_total", **labels
+            )
+            self._stall_histogram = registry.histogram(
+                "flow_credit_stall_seconds"
+            )
+
+    def _now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    @property
+    def outstanding(self) -> int:
+        """Credits currently held by in-flight events."""
+        return self.window - self.available
+
+    def try_acquire(self) -> bool:
+        """Take one credit; on failure the gate starts a stall clock."""
+        if self.available == 0:
+            if self._stalled_since is None:
+                self._stalled_since = self._now()
+                self.stalls += 1
+                if self._stall_counter is not None:
+                    self._stall_counter.inc()
+            return False
+        if self._stalled_since is not None:
+            waited = self._now() - self._stalled_since
+            self._stalled_since = None
+            self.stall_seconds += waited
+            if self._stall_histogram is not None:
+                self._stall_histogram.observe(waited)
+        self.available -= 1
+        if self._gauge is not None:
+            self._gauge.set(self.available)
+        return True
+
+    def release(self) -> None:
+        """Return one credit (receiver dequeued an event for service)."""
+        if self.available >= self.window:
+            raise RuntimeError("credit released that was never acquired")
+        self.available += 1
+        if self._gauge is not None:
+            self._gauge.set(self.available)

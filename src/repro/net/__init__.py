@@ -20,6 +20,7 @@ with a discrete-event simulator:
 from repro.net.faults import (
     ANY,
     BrokerCrash,
+    BrokerSlowdown,
     FaultInjector,
     FaultPlan,
     LinkFault,
@@ -34,6 +35,7 @@ from repro.net.simnet import ReliabilityStats, RetryPolicy, SimulatedPubSub
 __all__ = [
     "ANY",
     "BrokerCrash",
+    "BrokerSlowdown",
     "FaultInjector",
     "FaultPlan",
     "Link",

@@ -80,6 +80,33 @@ class LinkFault:
 
 
 @dataclass(frozen=True)
+class BrokerSlowdown:
+    """Broker *broker* processes events ``factor``x slower for a while.
+
+    Models CPU contention, GC pauses, or a noisy neighbour: the broker
+    stays alive and keeps acking, but every unit of matching work costs
+    ``factor`` times as long on ``[start, start + duration)``.  This is
+    the overload-adjacent failure mode -- a slow broker whose bounded
+    queues must backpressure its parents instead of growing without
+    limit.
+    """
+
+    broker: Hashable
+    start: float = 0.0
+    duration: float = math.inf
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1 (1 = no-op)")
+        if self.duration < 0:
+            raise ValueError("fault duration must be non-negative")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.start + self.duration
+
+
+@dataclass(frozen=True)
 class PartitionFault:
     """A network partition isolating *group* from every other broker.
 
@@ -116,6 +143,7 @@ class FaultPlan:
     crashes: list[BrokerCrash] = field(default_factory=list)
     link_faults: list[LinkFault] = field(default_factory=list)
     partitions: list[PartitionFault] = field(default_factory=list)
+    slowdowns: list[BrokerSlowdown] = field(default_factory=list)
 
     @classmethod
     def random(
@@ -306,6 +334,19 @@ class FaultInjector:
         return sum(
             fault.extra_latency for fault in self._active_faults(a, b)
         )
+
+    def cost_factor(self, broker: Hashable) -> float:
+        """Processing-cost multiplier for *broker* right now (>= 1).
+
+        Active :class:`BrokerSlowdown`\\ s compound multiplicatively;
+        overlays multiply every unit of broker matching work by this.
+        """
+        factor = 1.0
+        now = self.sim.now
+        for slowdown in self.plan.slowdowns:
+            if slowdown.broker == broker and slowdown.active(now):
+                factor *= slowdown.factor
+        return factor
 
     def deliverable(self, a: Hashable, b: Hashable) -> bool:
         """Sample whether one transmission over ``a -- b`` survives.

@@ -28,14 +28,40 @@ With ``reliability=None`` (the default) the overlay is the original
 fire-and-forget transport -- under a fault plan that is the chaos
 baseline.  When the heartbeat loop is running the event queue never
 drains, so drive the simulator with ``sim.run(until=...)``.
+
+Passing a :class:`~repro.flow.FlowControlPolicy` activates the
+**overload-protection stack** on top of either transport:
+
+- every broker gets a bounded, priority-classed ingress queue
+  (:class:`~repro.flow.BoundedPriorityQueue`); a service pump feeds the
+  broker CPU one event at a time, so the unbounded ``ProcessingNode``
+  backlog of the unprotected overlay collapses to the explicit queue;
+- every directed broker link gets a :class:`~repro.flow.CreditGate`
+  plus a bounded egress buffer: data sends consume a credit, the
+  receiver returns it when it *dequeues* the message for service
+  (credit grants ride the instantaneous control plane, like
+  subscriptions), and senders without credits queue -- or shed -- at
+  egress instead of overrunning a slow peer;
+- overflow sheds follow the policy's shed discipline and always hit
+  the worst priority class present; every shed feeds the per-broker
+  :class:`~repro.flow.OverloadBreaker`, which degrades best-effort
+  admission at the root while open;
+- sheds are surfaced to publishers via :meth:`SimulatedPubSub.on_shed`
+  (the AIMD overload signal) and to operators via the ``flow_*``
+  metric families.
 """
 
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Hashable
 
+from repro.flow.breaker import OverloadBreaker
+from repro.flow.credit import CreditGate
+from repro.flow.policy import FlowControlPolicy, priority_name, priority_of
+from repro.flow.queues import BoundedPriorityQueue
 from repro.net.faults import FaultInjector
 from repro.net.links import Link
 from repro.net.node import ProcessingNode
@@ -194,6 +220,35 @@ def _zero_cost(_node: Hashable, _event: Event) -> float:
     return 0.0
 
 
+class _BrokerFlow:
+    """Per-broker overload-protection state: ingress queue + breaker.
+
+    ``busy`` is the service pump's one-job-in-flight latch: the pump
+    dequeues one ingress item, runs it on the broker CPU, and only takes
+    the next on completion -- so queueing is explicit (and bounded) in
+    the ingress queue rather than implicit in the CPU backlog.
+    """
+
+    __slots__ = ("ingress", "breaker", "busy")
+
+    def __init__(
+        self, ingress: BoundedPriorityQueue, breaker: OverloadBreaker
+    ):
+        self.ingress = ingress
+        self.breaker = breaker
+        self.busy = False
+
+
+class _LinkFlow:
+    """Per-directed-link flow state: credit gate + bounded egress buffer."""
+
+    __slots__ = ("gate", "egress")
+
+    def __init__(self, gate: CreditGate, egress: BoundedPriorityQueue):
+        self.gate = gate
+        self.egress = egress
+
+
 class SimulatedPubSub:
     """The timed broker overlay used by the Fig 9-11 experiments.
 
@@ -223,6 +278,7 @@ class SimulatedPubSub:
         repair: RepairPolicy | None = None,
         park_limit: int = 4096,
         dedup_window: int | None = None,
+        flow: FlowControlPolicy | None = None,
     ):
         if num_brokers < 1:
             raise ValueError("need at least the root broker")
@@ -304,7 +360,7 @@ class SimulatedPubSub:
         self._hop_queued: set[tuple[Hashable, Hashable, int]] = set()
         self._pending: dict[tuple[Hashable, Hashable, int], object] = {}
         self._parked: dict[
-            tuple[Hashable, Hashable], list[tuple[int, Event]]
+            tuple[Hashable, Hashable], deque[tuple[int, Event]]
         ] = {}
         self._neighbor_down: set[tuple[Hashable, Hashable]] = set()
         self._last_heard: dict[tuple[Hashable, Hashable], float] = {}
@@ -319,6 +375,18 @@ class SimulatedPubSub:
             "journal_replayed_events_total"
         )
 
+        # Overload-protection state (active only with a flow policy):
+        # per-broker bounded ingress + breaker, per-directed-link credit
+        # gate + bounded egress, and the credits currently held by
+        # in-flight hop sends (keyed like the ack machinery).
+        self.flow = flow
+        self._broker_flow: dict[Hashable, _BrokerFlow] = {}
+        self._link_flow: dict[tuple[Hashable, Hashable], _LinkFlow] = {}
+        self._credit_held: set[tuple] = set()
+        self._shed_listeners: list[Callable[[int, str, Hashable], None]] = []
+        self.shed_events = 0
+        self._h_delivery_prio: dict[int, object] = {}
+
         for index in range(num_brokers):
             self.brokers[index] = Broker(
                 index, match=match, registry=self.registry
@@ -329,6 +397,8 @@ class SimulatedPubSub:
                 )
             self.nodes[index] = ProcessingNode(sim, index)
             self._neighbors[index] = []
+            if flow is not None:
+                self._broker_flow[index] = self._make_broker_flow(index)
         for index in range(1, num_brokers):
             parent = (index - 1) // arity
             self._connect(parent, index)
@@ -392,6 +462,269 @@ class SimulatedPubSub:
 
         return send
 
+    # -- flow control --------------------------------------------------------
+
+    def _make_broker_flow(self, broker_id: Hashable) -> _BrokerFlow:
+        policy = self.flow
+        capacity = policy.queue_capacity
+        high = max(1, round(policy.high_watermark * capacity))
+        low = max(0, min(high - 1, int(policy.low_watermark * capacity)))
+        ingress = BoundedPriorityQueue(
+            capacity,
+            policy.shed_policy,
+            registry=self.registry,
+            broker=str(broker_id),
+            queue="ingress",
+        )
+        breaker = OverloadBreaker(
+            high_depth=high,
+            low_depth=low,
+            cooldown=policy.breaker_cooldown,
+            degrade_floor=policy.degrade_floor,
+            registry=self.registry,
+            broker=str(broker_id),
+        )
+        return _BrokerFlow(ingress, breaker)
+
+    def _link_flow_for(
+        self, from_id: Hashable, to_id: Hashable
+    ) -> _LinkFlow:
+        """The credit gate + egress buffer of one directed link (lazy,
+        so links grafted by tree repair are covered too)."""
+        lf = self._link_flow.get((from_id, to_id))
+        if lf is None:
+            policy = self.flow
+            link = f"{from_id}->{to_id}"
+            gate = CreditGate(
+                policy.credit_window,
+                registry=self.registry,
+                clock=lambda: self.sim.now,
+                link=link,
+            )
+            egress = BoundedPriorityQueue(
+                policy.queue_capacity,
+                policy.shed_policy,
+                registry=self.registry,
+                link=link,
+                queue="egress",
+            )
+            lf = _LinkFlow(gate, egress)
+            self._link_flow[(from_id, to_id)] = lf
+        return lf
+
+    def on_shed(
+        self, listener: Callable[[int, str, Hashable], None]
+    ) -> None:
+        """Call ``listener(priority, stage, broker_id)`` on every shed.
+
+        This is the explicit overload signal publishers feed their AIMD
+        limiters with; ``stage`` is ``"admission"``, ``"ingress"``, or
+        ``"egress"``.
+        """
+        self._shed_listeners.append(listener)
+
+    def _notify_shed(
+        self, priority: int, stage: str, broker_id: Hashable
+    ) -> None:
+        self.shed_events += 1
+        for listener in self._shed_listeners:
+            listener(priority, stage, broker_id)
+
+    def _acquire_or_queue(
+        self,
+        from_id: Hashable,
+        to_id: Hashable,
+        key: tuple,
+        priority: int,
+        item: tuple,
+    ) -> bool:
+        """Hold a hop credit for *key*, or buffer *item* at egress.
+
+        True means the caller owns a credit (retries already do) and may
+        put the message on the wire; False means the send was deferred
+        until a credit returns -- or shed, if the egress buffer was full.
+        """
+        if self.flow is None:
+            return True
+        if key in self._credit_held:
+            return True
+        lf = self._link_flow_for(from_id, to_id)
+        if lf.gate.try_acquire():
+            self._credit_held.add(key)
+            return True
+        result = lf.egress.offer(item, priority)
+        if result.shed is not None:
+            shed_item, shed_priority = result.shed
+            self._notify_shed(shed_priority, "egress", from_id)
+            if shed_item[0] == "rel":
+                # The hop send never happened and never will: that is
+                # this hop's delivery giving up, so it books as a dead
+                # letter exactly like an exhausted retry budget.
+                self.rstats.dead_letters += 1
+                self.dead_letters.append((shed_item[1], from_id, to_id))
+        return False
+
+    def _credit_release(self, key: tuple) -> None:
+        """Return the credit held for *key* (idempotent) and pump the
+        sender's egress buffer with the freed slot."""
+        if key not in self._credit_held:
+            return
+        self._credit_held.discard(key)
+        lf = self._link_flow.get((key[0], key[1]))
+        if lf is None:
+            return
+        lf.gate.release()
+        self._pump_egress(key[0], key[1])
+
+    def _pump_egress(self, from_id: Hashable, to_id: Hashable) -> None:
+        lf = self._link_flow[(from_id, to_id)]
+        while len(lf.egress) and lf.gate.available > 0:
+            item, _priority = lf.egress.take()
+            kind = item[0]
+            if kind == "ff":
+                self._transmit_once(from_id, to_id, item[1], item[2])
+            elif kind == "batch":
+                self._transmit_batch_once(from_id, to_id, item[1])
+            else:
+                self._transmit_reliable(from_id, to_id, item[1], item[2], 0)
+
+    def _flow_enqueue(
+        self, broker_id: Hashable, item: tuple, priority: int
+    ) -> bool:
+        """Offer *item* to a broker's bounded ingress; pump on accept."""
+        bf = self._broker_flow[broker_id]
+        result = bf.ingress.offer(item, priority)
+        now = self.sim.now
+        if result.shed is not None:
+            shed_item, shed_priority = result.shed
+            bf.breaker.record_shed(now)
+            self._on_ingress_shed(broker_id, shed_item, shed_priority)
+        bf.breaker.observe_depth(len(bf.ingress), now)
+        if result.accepted:
+            self._pump_broker(broker_id)
+        return result.accepted
+
+    def _on_ingress_shed(
+        self, broker_id: Hashable, item: tuple, priority: int
+    ) -> None:
+        self._notify_shed(priority, "ingress", broker_id)
+        kind = item[0]
+        if kind in ("ff", "ffbatch", "rel"):
+            # The shed message occupied a credit-reserved slot; free it
+            # so the upstream sender is not stalled by a dead event.
+            self._credit_release(item[1])
+            if kind == "rel":
+                # No ack will come; un-mark it so the sender's retry is
+                # not suppressed as an already-queued duplicate.
+                self._hop_queued.discard(item[1])
+
+    def _pump_broker(self, broker_id: Hashable) -> None:
+        """Feed the broker CPU one ingress item at a time."""
+        bf = self._broker_flow[broker_id]
+        if bf.busy:
+            return
+        entry = bf.ingress.take()
+        if entry is None:
+            return
+        item, _priority = entry
+        bf.breaker.observe_depth(len(bf.ingress), self.sim.now)
+        bf.busy = True
+        cost, work = self._flow_service(broker_id, item)
+
+        def done() -> None:
+            bf.busy = False
+            work()
+            self._pump_broker(broker_id)
+
+        self.nodes[broker_id].submit(cost, done)
+
+    def _flow_service(
+        self, broker_id: Hashable, item: tuple
+    ) -> tuple[float, Callable[[], None]]:
+        """(cost, completion work) for one dequeued ingress item.
+
+        Hop credits are returned here -- at dequeue-for-service time --
+        so the upstream sender can pipeline its next event while this
+        one occupies the CPU, without ever overrunning the ingress bound.
+        """
+        kind = item[0]
+        broker = self.brokers[broker_id]
+        if kind == "pub":
+            event = item[1]
+
+            def work() -> None:
+                if broker.alive:
+                    broker.publish(event, arrived_from=None)
+
+            return self._service_cost(broker_id, event), work
+        if kind == "pubbatch":
+            batch = item[1]
+
+            def work() -> None:
+                if broker.alive:
+                    broker.publish_batch(batch, arrived_from=None)
+
+            cost = sum(
+                self._service_cost(broker_id, event) for event in batch
+            )
+            return cost, work
+        if kind == "ff":
+            key, payload, from_id = item[1], item[2], item[3]
+            self._credit_release(key)
+
+            def work() -> None:
+                if broker.alive:
+                    broker.publish(payload, arrived_from=from_id)
+
+            return self._service_cost(broker_id, payload), work
+        if kind == "ffbatch":
+            key, batch, from_id = item[1], item[2], item[3]
+            self._credit_release(key)
+
+            def work() -> None:
+                if broker.alive:
+                    broker.publish_batch(batch, arrived_from=from_id)
+
+            cost = sum(
+                self._service_cost(broker_id, event) for event in batch
+            )
+            return cost, work
+        assert kind == "rel"
+        key, payload = item[1], item[2]
+        self._credit_release(key)
+
+        def work() -> None:
+            self._hop_queued.discard(key)
+            if not broker.alive:
+                return  # crashed while queued: sender retries
+            broker.publish(payload, arrived_from=key[0])
+            self._hop_seen.add(key)
+            self._send_ack(broker_id, key[0], key)
+
+        return self._service_cost(broker_id, payload), work
+
+    def _drop_broker_flow_state(self, broker_id: Hashable) -> None:
+        """A crashed broker loses its volatile ingress queue; free the
+        credits its queued events were holding."""
+        bf = self._broker_flow.get(broker_id)
+        if bf is None:
+            return
+        for item, _priority in bf.ingress.drain():
+            if item[0] in ("ff", "ffbatch", "rel"):
+                self._credit_release(item[1])
+                if item[0] == "rel":
+                    self._hop_queued.discard(item[1])
+        bf.busy = False
+
+    def _service_cost(self, broker_id: Hashable, event: Event) -> float:
+        """Broker matching cost, scaled by any active slowdown fault."""
+        cost = self.broker_cost(broker_id, event)
+        if self.faults is not None:
+            factor = self.faults.cost_factor(broker_id)
+            if factor != 1.0:
+                cost *= factor
+        return cost
+
     # -- transport -----------------------------------------------------------
 
     def _link_counter(
@@ -441,6 +774,11 @@ class SimulatedPubSub:
         self, from_id: Hashable, to_id: Hashable, seq: int, payload: Event
     ) -> None:
         """Fire-and-forget forwarding (the pre-fault-tolerance transport)."""
+        key = (from_id, to_id, seq)
+        if self.flow is not None and not self._acquire_or_queue(
+            from_id, to_id, key, priority_of(payload), ("ff", seq, payload)
+        ):
+            return
         self.rstats.data_sends += 1
         publication = self._inflight[seq]
         # Serialization work for this send occupies the sender's CPU;
@@ -457,8 +795,14 @@ class SimulatedPubSub:
                     link=f"{from_id}->{to_id}", attempt=0,
                 )
             if not self.brokers[to_id].alive:
+                self._credit_release(key)
                 return
-            cost = self.broker_cost(to_id, payload)
+            if self.flow is not None:
+                self._flow_enqueue(
+                    to_id, ("ff", key, payload, from_id), priority_of(payload)
+                )
+                return
+            cost = self._service_cost(to_id, payload)
             self.nodes[to_id].submit(
                 cost,
                 lambda: self.brokers[to_id].publish(
@@ -467,11 +811,13 @@ class SimulatedPubSub:
             )
 
         survived = self._hop_send(from_id, to_id, publication.size, on_arrival)
-        if not survived and self._tracer is not None:
-            self._tracer.span(
-                seq, "drop", to_id, sent_at,
-                link=f"{from_id}->{to_id}", attempt=0,
-            )
+        if not survived:
+            self._credit_release(key)
+            if self._tracer is not None:
+                self._tracer.span(
+                    seq, "drop", to_id, sent_at,
+                    link=f"{from_id}->{to_id}", attempt=0,
+                )
 
     def _transmit_batch_once(
         self, from_id: Hashable, to_id: Hashable, batch: list[Event]
@@ -485,9 +831,15 @@ class SimulatedPubSub:
         broker routes the batch with :meth:`Broker.publish_batch`, so
         per-subscriber delivery semantics equal the per-event path.
         """
+        seqs = [event.get(_SEQ_ATTRIBUTE) for event in batch]
+        key = (from_id, to_id, ("b", seqs[0]))
+        batch_priority = min(priority_of(event) for event in batch)
+        if self.flow is not None and not self._acquire_or_queue(
+            from_id, to_id, key, batch_priority, ("batch", batch)
+        ):
+            return
         self.rstats.data_sends += 1
         self.rstats.batch_sends += 1
-        seqs = [event.get(_SEQ_ATTRIBUTE) for event in batch]
         total_size = sum(self._inflight[seq].size for seq in seqs)
         if self.per_send_s > 0:
             self.nodes[from_id].submit(self.per_send_s, lambda: None)
@@ -501,8 +853,14 @@ class SimulatedPubSub:
                         link=f"{from_id}->{to_id}", attempt=0, batched=True,
                     )
             if not self.brokers[to_id].alive:
+                self._credit_release(key)
                 return
-            cost = sum(self.broker_cost(to_id, event) for event in batch)
+            if self.flow is not None:
+                self._flow_enqueue(
+                    to_id, ("ffbatch", key, batch, from_id), batch_priority
+                )
+                return
+            cost = sum(self._service_cost(to_id, event) for event in batch)
             self.nodes[to_id].submit(
                 cost,
                 lambda: self.brokers[to_id].publish_batch(
@@ -511,12 +869,14 @@ class SimulatedPubSub:
             )
 
         survived = self._hop_send(from_id, to_id, total_size, on_arrival)
-        if not survived and self._tracer is not None:
-            for seq in seqs:
-                self._tracer.span(
-                    seq, "drop", to_id, sent_at,
-                    link=f"{from_id}->{to_id}", attempt=0, batched=True,
-                )
+        if not survived:
+            self._credit_release(key)
+            if self._tracer is not None:
+                for seq in seqs:
+                    self._tracer.span(
+                        seq, "drop", to_id, sent_at,
+                        link=f"{from_id}->{to_id}", attempt=0, batched=True,
+                    )
 
     def _transmit_reliable(
         self,
@@ -536,6 +896,18 @@ class SimulatedPubSub:
             # The failure detector says the peer is dead: park instead of
             # burning the retry budget; flushed on detected recovery.
             self._park(from_id, to_id, seq, payload)
+            return
+        if (
+            self.flow is not None
+            and attempt == 0
+            and not self._acquire_or_queue(
+                from_id,
+                to_id,
+                (from_id, to_id, seq),
+                priority_of(payload),
+                ("rel", seq, payload),
+            )
+        ):
             return
         if self.journals is not None and attempt == 0:
             # Durable accept: the event hits the sender's WAL before the
@@ -600,8 +972,16 @@ class SimulatedPubSub:
             # event dies in the wiped CPU queue with the retry already
             # cancelled.
             self._hop_queued.add(key)
+            if self.flow is not None:
+                # Bounded ingress instead of the raw CPU queue; a shed
+                # here clears _hop_queued and the credit so the sender's
+                # retry (or dead-letter) accounting takes over.
+                self._flow_enqueue(
+                    to_id, ("rel", key, payload), priority_of(payload)
+                )
+                return
             self.nodes[to_id].submit(
-                self.broker_cost(to_id, payload), on_processed
+                self._service_cost(to_id, payload), on_processed
             )
 
         survived = self._hop_send(from_id, to_id, publication.size, on_arrival)
@@ -630,6 +1010,7 @@ class SimulatedPubSub:
             if handle is not None:
                 handle.cancel()
             self._note_hop_settled(key)
+            self._credit_release(key)
 
         self._hop_send(from_id, to_id, _ACK_SIZE, on_ack)
 
@@ -660,6 +1041,7 @@ class SimulatedPubSub:
             self.rstats.dead_letters += 1
             self.dead_letters.append((seq, from_id, to_id))
             self._note_hop_settled(key)
+            self._credit_release(key)
             return
         self._transmit_reliable(from_id, to_id, seq, payload, attempt + 1)
 
@@ -679,13 +1061,14 @@ class SimulatedPubSub:
         self, from_id: Hashable, to_id: Hashable, seq: int, payload: Event
     ) -> None:
         """Queue an event for a down peer, bounded oldest-first."""
-        queue = self._parked.setdefault((from_id, to_id), [])
+        self._credit_release((from_id, to_id, seq))
+        queue = self._parked.setdefault((from_id, to_id), deque())
         queue.append((seq, payload))
         self.rstats.parked += 1
         if len(queue) > self._park_limit:
             # A long-parked peer cannot grow memory without limit: shed
             # the oldest event.  With journals it survives on the WAL.
-            queue.pop(0)
+            queue.popleft()
             self.rstats.retx_evicted += 1
 
     def _note_hop_settled(
@@ -708,6 +1091,7 @@ class SimulatedPubSub:
         self, from_id: Hashable, dead: Hashable, seq: int, payload: Event
     ) -> None:
         """Route traffic aimed at an excised broker through its adopter."""
+        self._credit_release((from_id, dead, seq))
         target = self._reroute.get(dead)
         hops = 0
         while target in self._reroute and hops <= len(self._reroute):
@@ -735,7 +1119,7 @@ class SimulatedPubSub:
                 broker.publish(event, arrived_from=broker.parent)
 
         self.nodes[broker_id].submit(
-            self.broker_cost(broker_id, event), route
+            self._service_cost(broker_id, event), route
         )
 
     def _replay_inflight(
@@ -848,6 +1232,8 @@ class SimulatedPubSub:
         if kind == "crash":
             broker.crash()
             self._last_crash_at[broker_id] = self.sim.now
+            if self.flow is not None:
+                self._drop_broker_flow_state(broker_id)
             return
         broker.restart()
         self._last_restart_at[broker_id] = self.sim.now
@@ -1098,6 +1484,18 @@ class SimulatedPubSub:
             )
         )
         self._h_delivery.observe(self.sim.now - publication.published_at)
+        if self.flow is not None:
+            # Per-priority delivery quantiles: the graceful-degradation
+            # gates compare the high-priority tail to best-effort's.
+            priority = priority_of(publication.routable)
+            histogram = self._h_delivery_prio.get(priority)
+            if histogram is None:
+                histogram = self.registry.histogram(
+                    "net_delivery_latency_seconds",
+                    priority=priority_name(priority),
+                )
+                self._h_delivery_prio[priority] = histogram
+            histogram.observe(self.sim.now - publication.published_at)
         if self._tracer is not None:
             self._tracer.span(
                 seq,
@@ -1149,13 +1547,35 @@ class SimulatedPubSub:
             )
 
         def inject() -> None:
-            cost = self.broker_cost(0, tagged)
+            if self.flow is not None:
+                self._admit(("pub", tagged), priority_of(tagged))
+                return
+            cost = self._service_cost(0, tagged)
             self.nodes[0].submit(
                 cost, lambda: self.brokers[0].publish(tagged, arrived_from=None)
             )
 
         self.sim.schedule(delay, inject)
         return seq
+
+    def _admit(self, item: tuple, priority: int) -> bool:
+        """Admission control at the root: breaker first, then ingress.
+
+        A breaker rejection is counted as an admission-stage shed (the
+        queue counts its own overflow sheds); both reach the registered
+        shed listeners, which is how publishers learn to slow down.
+        """
+        bf = self._broker_flow[0]
+        if not bf.breaker.admits(priority, self.sim.now):
+            self.registry.counter(
+                "flow_shed_total",
+                broker="0",
+                queue="admission",
+                priority=priority_name(priority),
+            ).inc()
+            self._notify_shed(priority, "admission", 0)
+            return False
+        return self._flow_enqueue(0, item, priority)
 
     def publish_batch(
         self,
@@ -1201,7 +1621,13 @@ class SimulatedPubSub:
                 )
 
         def inject() -> None:
-            cost = sum(self.broker_cost(0, event) for event in tagged_batch)
+            if self.flow is not None:
+                priority = min(
+                    priority_of(event) for event in tagged_batch
+                )
+                self._admit(("pubbatch", tagged_batch), priority)
+                return
+            cost = sum(self._service_cost(0, event) for event in tagged_batch)
             self.nodes[0].submit(
                 cost,
                 lambda: self.brokers[0].publish_batch(
@@ -1230,6 +1656,41 @@ class SimulatedPubSub:
             self.sim.schedule(interval, sample)
 
         self.sim.schedule(interval, sample)
+
+    def flow_depths(self) -> dict[Hashable, int]:
+        """Current bounded-ingress depth per broker (empty without flow)."""
+        return {
+            broker_id: len(bf.ingress)
+            for broker_id, bf in self._broker_flow.items()
+        }
+
+    def flow_peak_depths(self) -> dict[Hashable, int]:
+        """Peak bounded-ingress depth per broker (empty without flow)."""
+        return {
+            broker_id: bf.ingress.peak_depth
+            for broker_id, bf in self._broker_flow.items()
+        }
+
+    def flow_egress_peak_depths(self) -> dict[tuple, int]:
+        """Peak bounded-egress depth per directed link (empty without flow)."""
+        return {
+            pair: lf.egress.peak_depth
+            for pair, lf in self._link_flow.items()
+        }
+
+    def flow_credit_stalls(self) -> tuple[int, float]:
+        """(stall count, total stalled seconds) across all credit gates."""
+        stalls = 0
+        seconds = 0.0
+        for lf in self._link_flow.values():
+            stalls += lf.gate.stalls
+            seconds += lf.gate.stall_seconds
+        return stalls, seconds
+
+    def breaker_state(self, broker_id: Hashable) -> str | None:
+        """The overload breaker state of *broker_id* (None without flow)."""
+        bf = self._broker_flow.get(broker_id)
+        return bf.breaker.state_name if bf is not None else None
 
     def any_saturated(self, window: int = 5) -> bool:
         """Whether any node met the paper's saturation criterion.

@@ -74,6 +74,9 @@ class BrokerStats(RegistryBackedStats):
         "dropped_while_down",
         "batches_received",
         "batches_forwarded",
+        # Locally injected events refused by the admission gate
+        # (:meth:`Broker.bind_flow`): overload protection, not failure.
+        "events_shed",
     )
     _metric_prefix = "broker_"
 
@@ -127,6 +130,9 @@ class Broker:
         #: Optional durable write-ahead log of the routing state; bound by
         #: the overlay via :meth:`bind_journal`.
         self.journal: "BrokerJournal | None" = None
+        #: Optional admission gate for locally injected events; bound via
+        #: :meth:`bind_flow`.
+        self._admission: Callable[[Event], bool] | None = None
         self.stats = BrokerStats(registry, broker=str(broker_id))
         # Optional counting-algorithm index (sublinear matching; only
         # valid with the default plaintext match predicate).
@@ -169,6 +175,18 @@ class Broker:
     def bind_journal(self, journal: "BrokerJournal") -> None:
         """Journal every routing-table mutation to a durable log."""
         self.journal = journal
+
+    def bind_flow(self, admission: Callable[[Event], bool]) -> None:
+        """Gate *locally injected* publications through *admission*.
+
+        The synchronous tree has no queues to bound, so its overload
+        protection is admission control at the edge: events arriving
+        with ``arrived_from=None`` (publisher injections) that the gate
+        refuses are shed (``events_shed``) instead of fanning out.
+        Broker-to-broker forwarding is never gated -- an event admitted
+        once must not be dropped halfway down the tree.
+        """
+        self._admission = admission
 
     def detach_child(self, child_id: Hashable) -> None:
         """Remove a (dead) child link and every filter registered on it."""
@@ -489,6 +507,13 @@ class Broker:
         if not self.alive:
             self.stats.dropped_while_down += 1
             return 0
+        if (
+            self._admission is not None
+            and arrived_from is None
+            and not self._admission(event)
+        ):
+            self.stats.events_shed += 1
+            return 0
         self.stats.events_received += 1
         forwarded_to: set[Interface] = set()
         for interface in self._matched_interfaces(event, arrived_from):
@@ -524,6 +549,14 @@ class Broker:
         if not self.alive:
             self.stats.dropped_while_down += len(events)
             return 0
+        if self._admission is not None and arrived_from is None:
+            admitted = [
+                event for event in events if self._admission(event)
+            ]
+            self.stats.events_shed += len(events) - len(admitted)
+            events = admitted
+            if not events:
+                return 0
         self.stats.batches_received += 1
         self.stats.events_received += len(events)
         sub_batches: dict[Interface, list[Event]] = {}

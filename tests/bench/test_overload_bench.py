@@ -1,0 +1,134 @@
+"""The sustained-overload bench suite and its regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_OVERLOAD_SCHEMA,
+    OverloadBenchConfig,
+    check_overload_regression,
+    render_overload_report,
+    run_overload_bench,
+    write_overload_report,
+)
+
+_CONFIG = OverloadBenchConfig(seed=7, factors=(0.8, 3.0), duration=0.3)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_overload_bench(_CONFIG)
+
+
+def test_report_shape_and_schema(report):
+    assert report["schema"] == BENCH_OVERLOAD_SCHEMA
+    assert [rung["factor"] for rung in report["sweep"]] == [0.8, 3.0]
+    assert report["config"]["seed"] == 7
+    assert set(report["headline"]) == {
+        "factor", "high_delivery", "best_effort_delivery",
+        "shed_fairness", "shed_events",
+    }
+
+
+def test_sustainable_rung_sheds_nothing(report):
+    calm = report["sweep"][0]
+    assert calm["shed_events"] == 0
+    assert calm["high_delivery"] == 1.0
+    assert calm["best_effort_delivery"] == 1.0
+    assert calm["shed_fairness"] == 1.0  # vacuously fair
+
+
+def test_overloaded_rung_protects_high_priority(report):
+    storm = report["sweep"][1]
+    assert storm["shed_events"] > 0
+    assert storm["high_delivery"] >= 0.99
+    assert storm["best_effort_delivery"] < 0.7
+    # Every shed landed on the best-effort class.
+    assert storm["shed_fairness"] == 1.0
+    assert storm["shed_by_priority"] == {
+        "best-effort": storm["shed_events"]
+    }
+    assert storm["peak_ingress_depth"] <= _CONFIG.queue_capacity
+
+
+def test_headline_picks_the_worst_overloaded_rung(report):
+    assert report["headline"]["factor"] == 3.0
+    assert report["headline"]["shed_events"] > 0
+
+
+def test_runs_are_deterministic(report):
+    assert run_overload_bench(_CONFIG) == report
+
+
+def test_check_passes_against_itself(report):
+    assert check_overload_regression(report, report) == []
+
+
+def test_check_flags_high_priority_regression(report):
+    regressed = copy.deepcopy(report)
+    regressed["sweep"][1]["high_delivery"] -= 0.2
+    problems = check_overload_regression(regressed, report, 0.05)
+    assert any("high-priority" in p for p in problems)
+
+
+def test_check_flags_unfair_shedding(report):
+    regressed = copy.deepcopy(report)
+    regressed["sweep"][1]["shed_fairness"] = 0.5
+    problems = check_overload_regression(regressed, report, 0.05)
+    assert any("fairness" in p for p in problems)
+
+
+def test_check_flags_queue_bound_violation(report):
+    broken = copy.deepcopy(report)
+    broken["sweep"][1]["peak_ingress_depth"] = (
+        _CONFIG.queue_capacity + 1
+    )
+    problems = check_overload_regression(broken, report, 0.05)
+    assert any("bound" in p for p in problems)
+
+
+def test_check_rejects_mismatched_ladder(report):
+    other = run_overload_bench(
+        OverloadBenchConfig(seed=7, factors=(2.0,), duration=0.3)
+    )
+    problems = check_overload_regression(report, other)
+    assert any("ladder" in p for p in problems)
+
+
+def test_check_rejects_foreign_schema(report):
+    problems = check_overload_regression(report, {"schema": "other"})
+    assert any("schema" in p for p in problems)
+    with pytest.raises(ValueError):
+        check_overload_regression(report, report, tolerance=1.5)
+
+
+def test_report_renders_and_round_trips(report, tmp_path):
+    text = render_overload_report(report)
+    assert "sustained overload sweep" in text
+    assert "headline" in text
+    target = tmp_path / "BENCH_overload.json"
+    write_overload_report(report, str(target))
+    assert json.loads(target.read_text()) == report
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        OverloadBenchConfig(factors=())
+    with pytest.raises(ValueError):
+        OverloadBenchConfig(factors=(0.5, -1.0))
+    with pytest.raises(ValueError):
+        # 12x storm puts the high slice alone over capacity.
+        OverloadBenchConfig(factors=(12.0,))
+    with pytest.raises(ValueError):
+        OverloadBenchConfig(duration=0.0)
+
+
+def test_committed_baseline_matches_default_config():
+    """The repo baseline must gate a fresh default run cleanly."""
+    with open("benchmarks/baselines/BENCH_overload.json",
+              encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    fresh = run_overload_bench(OverloadBenchConfig(seed=7))
+    assert check_overload_regression(fresh, baseline, 0.05) == []

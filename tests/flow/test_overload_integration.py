@@ -1,0 +1,213 @@
+"""Overload feedback above the overlay: engine, publisher, and facade.
+
+The flow primitives bound *network* behaviour; these tests cover the
+producer side of the loop -- AIMD pacing in the publisher, adaptive
+batching in the dissemination engine, and edge admission control wired
+through the ``System`` facade.
+"""
+
+import pytest
+
+from repro.api import System
+from repro.core.composite import CompositeKeySpace
+from repro.core.kdc import KDC
+from repro.core.publisher import Publisher
+from repro.engine import DisseminationEngine, EngineConfig
+from repro.flow import (
+    BEST_EFFORT,
+    HIGH,
+    AdmissionController,
+    AIMDRateLimiter,
+    RateLimited,
+    with_priority,
+)
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+
+class _Transport:
+    def __init__(self):
+        self.batches = []
+
+    def publish_batch(self, events):
+        self.batches.append(list(events))
+
+
+class TestEngineOverload:
+    def _engine(self, limiter=None, **config):
+        transport = _Transport()
+        engine = DisseminationEngine(
+            transport,
+            EngineConfig(batch_size=4, **config),
+            clock=lambda: 0.0,
+            limiter=limiter,
+        )
+        return engine, transport
+
+    def test_signal_doubles_batch_size_up_to_ceiling(self):
+        engine, _ = self._engine(max_batch_size=12)
+        engine.signal_overload(now=0.0)
+        assert engine.accumulator.batch_size == 8
+        engine.signal_overload(now=1.0)
+        assert engine.accumulator.batch_size == 12  # capped, not 16
+        assert engine.overload_signals == 2
+        assert engine.registry.get("engine_batch_size").value == 12
+
+    def test_signal_backs_off_limiter_once_per_cooldown(self):
+        limiter = AIMDRateLimiter(rate=100.0, cooldown=1.0)
+        engine, _ = self._engine(limiter=limiter)
+        engine.signal_overload(now=0.0)
+        engine.signal_overload(now=0.5)  # within cooldown: no double cut
+        assert limiter.rate == pytest.approx(50.0)
+        assert engine.publish_interval() == pytest.approx(1 / 50.0)
+
+    def test_dispatch_recovers_batch_size_and_rate(self):
+        limiter = AIMDRateLimiter(rate=100.0, cooldown=0.0)
+        engine, transport = self._engine(limiter=limiter)
+        engine.signal_overload(now=0.0)
+        assert engine.accumulator.batch_size == 8
+        rate_after_cut = limiter.rate
+        for k in range(8):
+            engine.publish(Event({"topic": "t", "k": k}))
+        assert len(transport.batches) == 1
+        assert engine.accumulator.batch_size == 7  # slow shrink
+        assert limiter.rate > rate_after_cut  # additive recovery
+
+    def test_batch_size_never_shrinks_below_configured(self):
+        engine, _ = self._engine()
+        for k in range(16):
+            engine.publish(Event({"topic": "t", "k": k}))
+        assert engine.accumulator.batch_size == 4
+
+    def test_publish_interval_zero_without_limiter(self):
+        engine, _ = self._engine()
+        assert engine.publish_interval() == 0.0
+
+    def test_max_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            EngineConfig(batch_size=8, max_batch_size=4)
+
+
+class TestPublisherRateLimit:
+    def _publisher(self, limiter):
+        kdc = KDC(master_key=bytes(16))
+        kdc.register_topic("news", CompositeKeySpace({}))
+        return Publisher("P", kdc, limiter=limiter)
+
+    def test_over_rate_publishes_raise_before_sealing(self):
+        publisher = self._publisher(AIMDRateLimiter(rate=10.0))
+        publisher.publish(Event({"topic": "news", "body": "a"}), at_time=0.0)
+        with pytest.raises(RateLimited):
+            publisher.publish(
+                Event({"topic": "news", "body": "b"}), at_time=0.0
+            )
+        assert publisher.stats.events_rate_limited == 1
+        assert publisher.stats.events_sealed == 1  # refusal cost no crypto
+        # The next pacing slot admits again.
+        publisher.publish(Event({"topic": "news", "body": "c"}), at_time=0.1)
+        assert publisher.stats.events_sealed == 2
+
+    def test_on_overload_halves_rate(self):
+        limiter = AIMDRateLimiter(rate=40.0, cooldown=0.0)
+        publisher = self._publisher(limiter)
+        publisher.on_overload(at_time=0.0)
+        assert limiter.rate == pytest.approx(20.0)
+
+    def test_unlimited_publisher_never_rate_limits(self):
+        kdc = KDC(master_key=bytes(16))
+        kdc.register_topic("news", CompositeKeySpace({}))
+        publisher = Publisher("P", kdc)
+        for _ in range(50):
+            publisher.publish(Event({"topic": "news", "body": "x"}))
+        assert publisher.stats.events_rate_limited == 0
+
+
+class TestFacadeAdmission:
+    def _system(self, **admission):
+        return (
+            System.builder()
+            .topic("news", numeric={"price": 128})
+            .admission(**admission)
+            .build()
+        )
+
+    def test_storm_is_shed_at_the_edge(self):
+        system = self._system(rate=10.0, burst=5.0, reserve=0.0)
+        watcher = system.subscribe(
+            "w", Filter.numeric_range("news", "price", 0, 127)
+        )
+        feed = system.publisher("feed")
+        for k in range(20):
+            feed.publish(
+                Event({"topic": "news", "price": k % 128, "body": "x"},
+                      publisher="feed"),
+                at_time=0.0,
+            )
+        assert len(watcher.opened) == 5  # burst capacity
+        assert system.shed_events == 15
+        assert feed.shed == 15
+        assert system.admission.rejected == 15
+        shed_metric = system.registry.get(
+            "flow_shed_total", stage="admission", priority="normal"
+        )
+        assert shed_metric is not None and shed_metric.value == 15
+
+    def test_reserve_protects_high_priority(self):
+        system = self._system(rate=10.0, burst=10.0, reserve=0.5)
+        watcher = system.subscribe(
+            "w", Filter.numeric_range("news", "price", 0, 127)
+        )
+        feed = system.publisher("feed")
+        for k in range(10):
+            feed.publish(
+                with_priority(
+                    Event({"topic": "news", "price": 1, "body": "x"},
+                          publisher="feed"),
+                    BEST_EFFORT,
+                ),
+                at_time=0.0,
+            )
+        # Best effort may only drain half the bucket...
+        assert system.shed_events == 5
+        for _ in range(5):
+            feed.publish(
+                with_priority(
+                    Event({"topic": "news", "price": 2, "body": "x"},
+                          publisher="feed"),
+                    HIGH,
+                ),
+                at_time=0.0,
+            )
+        # ...while the reserved half admits every high-priority event.
+        assert system.shed_events == 5
+        assert len(watcher.opened) == 10
+
+    def test_admission_refills_over_publication_time(self):
+        system = self._system(rate=10.0, burst=1.0, reserve=0.0)
+        watcher = system.subscribe(
+            "w", Filter.numeric_range("news", "price", 0, 127)
+        )
+        feed = system.publisher("feed")
+        for k in range(10):
+            feed.publish(
+                Event({"topic": "news", "price": 3, "body": "x"},
+                      publisher="feed"),
+                at_time=k * 0.1,
+            )
+        assert system.shed_events == 0
+        assert len(watcher.opened) == 10
+
+    def test_prebuilt_controller_is_used_verbatim(self):
+        controller = AdmissionController(rate=5.0, burst=1.0, reserve=0.0)
+        system = (
+            System.builder()
+            .topic("news", numeric={})
+            .admission(controller)
+            .build()
+        )
+        assert system.admission is controller
+
+    def test_unconfigured_system_has_no_gate(self):
+        system = System.builder().topic("news", numeric={}).build()
+        assert system.admission is None
+        assert system.shed_events == 0

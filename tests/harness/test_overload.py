@@ -1,0 +1,119 @@
+"""Acceptance criteria for the overload harness.
+
+Under the issue's headline scenario -- a Zipf publisher storm at 4x the
+sustainable rate with 10% high-priority traffic -- the flow-controlled
+overlay must keep every queue inside its bound, deliver 99%+ of
+high-priority events, degrade best-effort delivery gracefully (tracking
+the analytic floor, no cliff), recover fully after the storm, stall on
+credits behind a slow broker, and shed less when the publisher paces
+itself with AIMD.  All numbers are seeded, so the bounds are exact.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.overload import (
+    OverloadConfig,
+    check_overload,
+    format_overload_report,
+    run_overload,
+)
+
+_CONFIG = OverloadConfig(seed=7)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_overload(_CONFIG)
+
+
+def test_queues_stayed_bounded(result):
+    assert 0 < result.peak_ingress_depth <= _CONFIG.queue_capacity
+    assert result.peak_egress_depth <= _CONFIG.queue_capacity
+    # The service pump keeps the raw CPU backlog O(1) -- the unbounded
+    # hop queue is gone from the flow-controlled path.
+    assert result.max_node_backlog <= 4
+
+
+def test_high_priority_rides_out_the_storm(result):
+    storm = result.storm_phase
+    assert storm.high_delivery >= _CONFIG.min_high_delivery
+    # The storm genuinely overloaded the overlay.
+    assert result.shed_events > 0
+    assert storm.best_effort_delivery < 0.5
+
+
+def test_degradation_is_graceful_not_a_cliff(result):
+    ratios = [point.best_effort_delivery for point in result.sweep]
+    assert ratios == sorted(ratios, reverse=True)
+    for point in result.sweep:
+        floor = _CONFIG.degradation_floor * point.ideal_best_effort
+        assert point.best_effort_delivery >= floor
+        assert point.high_delivery >= _CONFIG.min_high_delivery
+    # At sustainable load nothing is shed at all.
+    assert result.sweep[0].shed_events == 0
+
+
+def test_post_storm_recovery_is_complete(result):
+    recovery = result.recovery_phase
+    assert recovery.overall_delivery >= _CONFIG.min_recovery_delivery
+    assert result.queues_drained
+    assert result.breaker_final == "closed"
+
+
+def test_slow_broker_backpressures_on_credits(result):
+    assert result.credit_stalls > 0
+    assert result.credit_stall_seconds > 0.0
+    assert result.slowdown_peak_depth <= _CONFIG.queue_capacity
+    assert result.slowdown_high_delivery >= _CONFIG.min_high_delivery
+
+
+def test_aimd_pacing_sheds_less_than_fixed_rate(result):
+    assert result.static_shed_fraction > 0.0
+    assert result.adaptive_shed_fraction < result.static_shed_fraction
+    assert result.adaptive_offered < result.static_offered
+    # The limiter converged below the storm rate.
+    assert (
+        result.adaptive_final_rate
+        < _CONFIG.storm_factor * _CONFIG.capacity
+    )
+
+
+def test_gates_pass_and_catch_violations(result):
+    assert check_overload(_CONFIG, result) == []
+    broken = dataclasses.replace(_CONFIG, min_high_delivery=1.01)
+    problems = check_overload(broken, result)
+    assert any("high-priority" in problem for problem in problems)
+    strict = dataclasses.replace(_CONFIG, degradation_floor=2.0)
+    problems = check_overload(strict, result)
+    assert any("cliff" in problem for problem in problems)
+
+
+def test_seeded_runs_are_identical(result):
+    again = run_overload(OverloadConfig(seed=7))
+    assert dataclasses.asdict(again) == dataclasses.asdict(result)
+
+
+def test_report_renders_the_gated_numbers(result):
+    report = format_overload_report(_CONFIG, result)
+    assert "Overload run: seed 7" in report
+    assert "Storm timeline" in report
+    assert "Graceful degradation sweep" in report
+    assert "Backpressure and adaptation" in report
+    assert "Metrics snapshot (overload)" in report
+
+
+def test_config_validation_rejects_broken_scenarios():
+    with pytest.raises(ValueError):
+        OverloadConfig(storm_factor=20.0).validate()  # high slice > capacity
+    with pytest.raises(ValueError):
+        OverloadConfig(storm_factor=0.5).validate()  # not a storm
+    with pytest.raises(ValueError):
+        OverloadConfig(high_fraction=0.0).validate()
+    with pytest.raises(ValueError):
+        OverloadConfig(steady_factor=1.2, storm_factor=4.0).validate()
+    with pytest.raises(ValueError):
+        OverloadConfig(
+            num_topics=4, topics_per_subscriber=8
+        ).validate()

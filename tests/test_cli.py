@@ -97,13 +97,47 @@ def test_chaos_recovery_scenario_gates(capsys):
     assert "Recovery run: seed 7" in captured.out
     assert "Tree repairs" in captured.out
     assert "Metrics snapshot (recovery)" in captured.out
-    assert "recovery gates passed" in captured.err
+    assert "chaos gates passed" in captured.err
     assert "Chaos run" not in captured.out  # overlay experiments not run
 
 
 def test_chaos_recovery_scenario_rejects_bad_config(capsys):
     assert main(["chaos", "--scenario", "recovery", "--seed", "7",
                  "--brokers", "7"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_chaos_list_enumerates_scenarios(capsys):
+    assert main(["chaos", "--list"]) == 0
+    output = capsys.readouterr().out
+    from repro.cli import CHAOS_SCENARIOS
+
+    for name, description in CHAOS_SCENARIOS.items():
+        assert name in output
+        assert description.split(":")[0] in output
+    assert "overload" in output
+
+
+def test_chaos_overload_scenario_gates(tmp_path, capsys):
+    snapshot = tmp_path / "overload.json"
+    assert main(["chaos", "--scenario", "overload", "--seed", "7",
+                 "--check", "--snapshot", str(snapshot)]) == 0
+    captured = capsys.readouterr()
+    assert "Overload run: seed 7" in captured.out
+    assert "Storm timeline" in captured.out
+    assert "Graceful degradation sweep" in captured.out
+    assert "Metrics snapshot (overload)" in captured.out
+    assert "chaos gates passed" in captured.err
+    assert "Chaos run" not in captured.out  # overlay experiments not run
+    import json
+
+    document = json.loads(snapshot.read_text())
+    assert "counters" in document
+
+
+def test_chaos_overload_rejects_bad_config(capsys):
+    assert main(["chaos", "--scenario", "overload",
+                 "--storm-factor", "20"]) == 2
     assert "error:" in capsys.readouterr().err
 
 
@@ -214,6 +248,30 @@ def test_bench_check_missing_baseline_is_config_error(tmp_path, capsys):
         "--check", "--baseline", str(tmp_path / "nope.json"),
     ]) == 2
     assert "cannot read baseline" in capsys.readouterr().err
+
+
+def test_bench_overload_suite_writes_report(tmp_path, capsys):
+    target = tmp_path / "BENCH_overload.json"
+    assert main(["bench", "--suite", "overload", "--seed", "7",
+                 "--output", str(target)]) == 0
+    captured = capsys.readouterr()
+    assert "sustained overload sweep" in captured.out
+    assert "headline" in captured.out
+
+    import json
+
+    document = json.loads(target.read_text())
+    assert document["schema"] == "repro.bench/overload.v1"
+    assert document["headline"]["high_delivery"] >= 0.99
+
+
+def test_bench_overload_check_against_committed_baseline(tmp_path, capsys):
+    assert main([
+        "bench", "--suite", "overload", "--seed", "7",
+        "--output", str(tmp_path / "fresh.json"),
+        "--check", "--tolerance", "0.05",
+    ]) == 0
+    assert "bench check passed" in capsys.readouterr().err
 
 
 def test_bench_rejects_bad_workload(tmp_path, capsys):

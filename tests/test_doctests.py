@@ -11,6 +11,11 @@ import repro.core.publisher
 import repro.crypto.aes
 import repro.crypto.hashes
 import repro.engine.engine
+import repro.flow.admission
+import repro.flow.aimd
+import repro.flow.breaker
+import repro.flow.credit
+import repro.flow.queues
 import repro.recovery.dedup
 import repro.siena.network
 import repro.siena.p2p
@@ -24,6 +29,11 @@ MODULES = [
     repro.crypto.aes,
     repro.crypto.hashes,
     repro.engine.engine,
+    repro.flow.admission,
+    repro.flow.aimd,
+    repro.flow.breaker,
+    repro.flow.credit,
+    repro.flow.queues,
     repro.recovery.dedup,
     repro.siena.network,
     repro.siena.p2p,
