@@ -12,7 +12,9 @@ replicated KDC), :mod:`repro.siena` (content-based routing),
 :mod:`repro.routing` (probabilistic multi-path), :mod:`repro.net`
 (the timed fault-injected overlay), :mod:`repro.flow` (overload
 protection: bounded queues, credits, admission control -- its headline
-names are re-exported here too), :mod:`repro.obs` (instruments and
+names are re-exported here too), :mod:`repro.parallel` (process-pool
+sharded matching and crypto offload; :class:`ParallelPolicy` is
+re-exported here), :mod:`repro.obs` (instruments and
 exporters); ``docs/API.md`` holds a one-page tour and
 ``python -m repro`` a command-line interface.
 """
@@ -40,6 +42,7 @@ from repro.core import (
     Subscriber,
 )
 from repro.obs import MetricsRegistry, Observability, Tracer
+from repro.parallel import ParallelPolicy
 from repro.siena import BrokerTree, Event, Filter
 
 __version__ = "1.1.0"
@@ -60,6 +63,7 @@ __all__ = [
     "NORMAL",
     "NumericKeySpace",
     "Observability",
+    "ParallelPolicy",
     "Publisher",
     "RateLimited",
     "SealedEvent",

@@ -27,7 +27,7 @@ the same observability substrate.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from typing import TYPE_CHECKING, Hashable, Iterable
 
 from repro.core.composite import CompositeKeySpace
 from repro.core.envelope import OpenResult, SealedEvent
@@ -40,6 +40,9 @@ from repro.obs import Observability
 from repro.siena.events import Event
 from repro.siena.filters import Filter
 from repro.siena.network import BrokerTree
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.executor import ShardedMatcher
 
 
 class SessionPublisher:
@@ -70,9 +73,8 @@ class SessionPublisher:
         sealed = self.engine.publish(
             event, secret_attributes=secret_attributes, at_time=at_time
         )
-        before = self.system.shed_events
-        self.system._disseminate(sealed, at_time)
-        if self.system.shed_events > before:
+        _fanout, shed = self.system._disseminate(sealed, at_time)
+        if shed:
             self.shed += 1
         return sealed
 
@@ -135,20 +137,20 @@ class System:
         tree: BrokerTree,
         obs: Observability,
         admission: AdmissionController | None = None,
+        parallel: "ShardedMatcher | None" = None,
     ):
         self.kdc = kdc
         self.tree = tree
         self.obs = obs
         #: Edge admission controller, or None when unconfigured.
+        #: Checked by the facade itself before an event enters the tree
+        #: (:meth:`_disseminate` reports the verdict explicitly), so
+        #: publisher sessions never have to infer sheds from counter
+        #: diffs.
         self.admission = admission
-        if admission is not None:
-            # The facade is synchronous: the bucket's clock is the
-            # publication timeline (the at_time each publish carries).
-            tree.root.bind_flow(
-                lambda event: admission.admit(
-                    priority_of(event), self._current_time
-                )
-            )
+        #: Sharded parallel matcher bound to the tree, or None.
+        self.parallel = parallel
+        self._shed_events = 0
         self.registry = obs.registry
         self.tracer = obs.tracer
         self.publishers: dict[str, SessionPublisher] = {}
@@ -194,8 +196,12 @@ class System:
 
     @property
     def shed_events(self) -> int:
-        """Publications refused by the root broker's admission gate."""
-        return self.tree.root.stats.events_shed
+        """Publications refused by the facade's admission gate."""
+        return self._shed_events
+
+    def parallel_stats(self) -> dict:
+        """Utilization snapshot of the bound parallel matcher ({} if none)."""
+        return self.parallel.stats() if self.parallel is not None else {}
 
     # -- dissemination --------------------------------------------------------
 
@@ -205,16 +211,31 @@ class System:
         self._leaf_cursor += 1
         return leaf
 
-    def _disseminate(self, sealed: SealedEvent, at_time: float) -> int:
+    def _disseminate(
+        self, sealed: SealedEvent, at_time: float
+    ) -> tuple[int, bool]:
+        """Push one sealed publication into the tree.
+
+        Returns ``(fanout, shed)``: *shed* is True when the admission
+        gate refused the event (it then reached no subscriber), so
+        callers learn the verdict directly instead of diffing counters.
+        The facade is synchronous -- the bucket's clock is the
+        publication timeline (the ``at_time`` each publish carries).
+        """
+        self._current_time = at_time
+        if self.admission is not None and not self.admission.admit(
+            priority_of(sealed.routable), at_time
+        ):
+            self._shed_events += 1
+            return 0, True
         seq = self._next_seq
         self._next_seq += 1
         self.tracer.start_trace(("api", seq), at=at_time)
         self.tracer.span(("api", seq), "publish", 0, at_time)
         self._current_sealed = sealed
         self._current_seq = ("api", seq)
-        self._current_time = at_time
         try:
-            return self.tree.publish(sealed.routable)
+            return self.tree.publish(sealed.routable), False
         finally:
             self._current_sealed = None
             self._current_seq = None
@@ -246,6 +267,7 @@ class SystemBuilder:
         self._obs: Observability | None = None
         self._topics: list[tuple[str, CompositeKeySpace, float, bool]] = []
         self._admission: AdmissionController | dict | None = None
+        self._parallel: dict | None = None
 
     def brokers(self, num_brokers: int, arity: int = 2) -> "SystemBuilder":
         """Size the dissemination tree."""
@@ -295,6 +317,22 @@ class SystemBuilder:
             }
         return self
 
+    def parallel(
+        self, workers: int, chunk_size: int = 64
+    ) -> "SystemBuilder":
+        """Shard batch matching across *workers* processes.
+
+        The built system carries a shared match-result cache and a
+        :class:`~repro.parallel.ShardedMatcher` bound to its tree
+        (``system.parallel``); batch publishes through ``system.tree``
+        prime the cache in parallel before the serial walk, and
+        ``system.parallel_stats()`` exposes worker utilization.  With
+        ``workers <= 1`` the matcher stays in serial-fallback mode, so
+        the knob is safe to set unconditionally.
+        """
+        self._parallel = {"workers": workers, "chunk_size": chunk_size}
+        return self
+
     def topic(
         self,
         name: str,
@@ -325,17 +363,33 @@ class SystemBuilder:
             )
         for name, schema, epoch_length, per_publisher in self._topics:
             kdc.register_topic(name, schema, epoch_length, per_publisher)
+        matcher = None
+        match_cache = None
+        if self._parallel is not None:
+            from repro.parallel.executor import ShardedMatcher
+            from repro.parallel.policy import ParallelPolicy
+            from repro.siena.index import MatchResultCache
+
+            match_cache = MatchResultCache(registry=obs.registry)
+            matcher = ShardedMatcher(
+                ParallelPolicy(**self._parallel),
+                match="plain",
+                registry=obs.registry,
+            )
         tree = BrokerTree(
             num_brokers=self._num_brokers,
             arity=self._arity,
             registry=obs.registry,
+            match_cache=match_cache,
         )
+        if matcher is not None:
+            tree.bind_parallel(matcher)
         admission = self._admission
         if isinstance(admission, dict):
             admission = AdmissionController(
                 registry=obs.registry, **admission
             )
-        return System(kdc, tree, obs, admission=admission)
+        return System(kdc, tree, obs, admission=admission, parallel=matcher)
 
 
 def connect(

@@ -1,11 +1,13 @@
 """``repro.bench`` -- the load and regression drivers.
 
-Two suites, selected with ``repro bench --suite``:
+Three suites, selected with ``repro bench --suite``:
 
 - ``engine`` (:func:`run_bench`): wall-clock throughput of the batched
   dissemination engine against the per-event path;
 - ``overload`` (:func:`run_overload_bench`): sustained-storm delivery,
-  shedding, and fairness on the simulated flow-controlled overlay.
+  shedding, and fairness on the simulated flow-controlled overlay;
+- ``parallel`` (:func:`run_parallel_bench`): the sharded
+  matcher/crypto-pool worker ladder against the serial path.
 """
 
 from __future__ import annotations
@@ -27,19 +29,31 @@ from repro.bench.overload import (
     run_overload_bench,
     write_overload_report,
 )
+from repro.bench.parallel import (
+    BENCH_PARALLEL_SCHEMA,
+    ParallelBenchConfig,
+    check_parallel_regression,
+    render_parallel_report,
+    run_parallel_bench,
+)
 
 __all__ = [
     "BENCH_OVERLOAD_SCHEMA",
+    "BENCH_PARALLEL_SCHEMA",
     "BENCH_SCHEMA",
     "BenchConfig",
     "OverloadBenchConfig",
+    "ParallelBenchConfig",
     "check_overload_regression",
+    "check_parallel_regression",
     "check_regression",
     "load_report",
     "render_overload_report",
+    "render_parallel_report",
     "render_report",
     "run_bench",
     "run_overload_bench",
+    "run_parallel_bench",
     "write_overload_report",
     "write_report",
 ]

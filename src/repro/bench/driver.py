@@ -219,6 +219,39 @@ class _BenchSubscriber:
             stream.append((seq, "unreadable"))
 
 
+def _wire_subscribers(
+    tree: BrokerTree,
+    fixture: _BenchFixture,
+    authority: TokenAuthority,
+    result: _PathResult,
+    sealed_by_seq: dict,
+    clock: Callable[[], float],
+) -> dict[str, _BenchSubscriber]:
+    """Attach every fixture subscriber and register its tokenized filters."""
+    leaves = tree.leaf_ids()
+    endpoints: dict[str, _BenchSubscriber] = {}
+    registered: dict[str, set[Filter]] = {}
+    for subscriber_id, subscription, grant in fixture.interests:
+        endpoint = endpoints.get(subscriber_id)
+        if endpoint is None:
+            endpoint = _BenchSubscriber(
+                subscriber_id, fixture, sealed_by_seq, result, clock
+            )
+            endpoints[subscriber_id] = endpoint
+            home = leaves[len(endpoints) % len(leaves)]
+            tree.attach_subscriber(subscriber_id, home, endpoint.deliver)
+            result.streams[subscriber_id] = []
+        endpoint.engine.add_grant(grant)
+        issued = registered.setdefault(subscriber_id, set())
+        for routing_filter in fixture.tokenized_filters(
+            authority, subscription, grant
+        ):
+            if routing_filter not in issued:
+                issued.add(routing_filter)
+                tree.subscribe(subscriber_id, routing_filter)
+    return endpoints
+
+
 def _run_path(
     fixture: _BenchFixture,
     label: str,
@@ -250,27 +283,9 @@ def _run_path(
     )
     result = _PathResult(label, 0.0, len(fixture.events), 0, 0, 0, [], {})
     sealed_by_seq: dict[int, tuple] = {}
-    leaves = tree.leaf_ids()
-    endpoints: dict[str, _BenchSubscriber] = {}
-    registered: dict[str, set[Filter]] = {}
-    for subscriber_id, subscription, grant in fixture.interests:
-        endpoint = endpoints.get(subscriber_id)
-        if endpoint is None:
-            endpoint = _BenchSubscriber(
-                subscriber_id, fixture, sealed_by_seq, result, clock
-            )
-            endpoints[subscriber_id] = endpoint
-            home = leaves[len(endpoints) % len(leaves)]
-            tree.attach_subscriber(subscriber_id, home, endpoint.deliver)
-            result.streams[subscriber_id] = []
-        endpoint.engine.add_grant(grant)
-        issued = registered.setdefault(subscriber_id, set())
-        for routing_filter in fixture.tokenized_filters(
-            authority, subscription, grant
-        ):
-            if routing_filter not in issued:
-                issued.add(routing_filter)
-                tree.subscribe(subscriber_id, routing_filter)
+    endpoints = _wire_subscribers(
+        tree, fixture, authority, result, sealed_by_seq, clock
+    )
 
     publisher = Publisher(f"bench-{label}", fixture.kdc)
     engine = None

@@ -54,7 +54,12 @@ from repro.siena.index import MatchResultCache
 
 
 class BatchTransport(Protocol):
-    """Anything that can disseminate a batch (BrokerTree, SimulatedPubSub)."""
+    """Anything that can disseminate a batch (BrokerTree, SimulatedPubSub).
+
+    Modern transports expose the unified ``publish(events, *,
+    parallel=...)`` surface; the engine prefers it when present and
+    falls back to the legacy ``publish_batch`` method otherwise.
+    """
 
     def publish_batch(self, events: list[Event]) -> object: ...
 
@@ -158,9 +163,14 @@ class DisseminationEngine:
         registry: MetricsRegistry | None = None,
         clock: Callable[[], float] = time.monotonic,
         limiter: AIMDRateLimiter | None = None,
+        parallel: object | None = None,
     ):
         self.transport = transport
         self.config = config
+        #: Optional :class:`~repro.parallel.ShardedMatcher` threaded into
+        #: every batch dispatch (transports without the unified ``publish``
+        #: surface cannot accept it and fall back to the serial path).
+        self.parallel = parallel
         self.registry = registry if registry is not None else MetricsRegistry()
         self.accumulator = BatchAccumulator(
             batch_size=config.batch_size,
@@ -246,7 +256,15 @@ class DisseminationEngine:
         if counter is not None:
             counter.inc()
         self._h_batch_events.observe(len(batch))
-        self.transport.publish_batch(list(batch.events))
+        events = list(batch.events)
+        publish = getattr(self.transport, "publish", None)
+        if publish is not None:
+            if self.parallel is not None:
+                publish(events, parallel=self.parallel)
+            else:
+                publish(events)
+        else:
+            self.transport.publish_batch(events)
         # A dispatched batch is evidence of headroom: additively recover
         # the rate and relax the batch size back toward its configured
         # value one event at a time (slow-shrink avoids oscillation).

@@ -30,7 +30,12 @@ from repro.net.links import Link
 from repro.net.node import ProcessingNode
 from repro.net.service import ServiceNetwork, ServiceStats
 from repro.net.sim import Simulator
-from repro.net.simnet import ReliabilityStats, RetryPolicy, SimulatedPubSub
+from repro.net.simnet import (
+    ReliabilityStats,
+    RetryPolicy,
+    SimulatedPubSub,
+    TimedBrokerTree,
+)
 
 __all__ = [
     "ANY",
@@ -48,4 +53,5 @@ __all__ = [
     "ServiceStats",
     "SimulatedPubSub",
     "Simulator",
+    "TimedBrokerTree",
 ]

@@ -54,6 +54,7 @@ Passing a :class:`~repro.flow.FlowControlPolicy` activates the
 from __future__ import annotations
 
 import random
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Hashable
@@ -662,7 +663,7 @@ class SimulatedPubSub:
 
             def work() -> None:
                 if broker.alive:
-                    broker.publish_batch(batch, arrived_from=None)
+                    broker.publish(batch, arrived_from=None)
 
             cost = sum(
                 self._service_cost(broker_id, event) for event in batch
@@ -683,7 +684,7 @@ class SimulatedPubSub:
 
             def work() -> None:
                 if broker.alive:
-                    broker.publish_batch(batch, arrived_from=from_id)
+                    broker.publish(batch, arrived_from=from_id)
 
             cost = sum(
                 self._service_cost(broker_id, event) for event in batch
@@ -863,7 +864,7 @@ class SimulatedPubSub:
             cost = sum(self._service_cost(to_id, event) for event in batch)
             self.nodes[to_id].submit(
                 cost,
-                lambda: self.brokers[to_id].publish_batch(
+                lambda: self.brokers[to_id].publish(
                     batch, arrived_from=from_id
                 ),
             )
@@ -1517,16 +1518,42 @@ class SimulatedPubSub:
 
     def publish(
         self,
-        routable: Event,
+        events: "Event | list[Event]",
         carrier: object = None,
-        size: int | None = None,
+        size: "int | list[int] | None" = None,
         delay: float = 0.0,
-    ) -> int:
-        """Inject a publication at the root after *delay*; returns its seq.
+        *,
+        at_time: float | None = None,
+        parallel=None,
+    ) -> "int | list[int]":
+        """Inject one event or a batch at the root -- unified surface.
 
-        *carrier* is the full (sealed) message riding along for subscriber-
-        side cost accounting; *size* its wire size in bytes.
+        A single :class:`Event` schedules one publication after *delay*
+        and returns its sequence number; a list schedules the whole batch
+        as ONE simulator event (root routes it as one batch call) and
+        returns the list of sequence numbers.  *carrier* rides along for
+        subscriber-side cost accounting (a parallel list for batches);
+        *size* overrides the wire size the same way.
+
+        *at_time* is an absolute simulator time equivalent of *delay*
+        (``max(0, at_time - sim.now)``); passing both is an error.
+        *parallel* is accepted for signature uniformity and ignored: the
+        timed overlay's brokers run inside the single-threaded simulator
+        and have no shared match cache, so priming has nothing to seed --
+        the documented serial fallback.
         """
+        if at_time is not None:
+            if delay:
+                raise ValueError("pass either delay or at_time, not both")
+            delay = max(0.0, at_time - self.sim.now)
+        if not isinstance(events, Event):
+            return self._publish_many(
+                list(events),
+                carriers=carrier,
+                sizes=size,
+                delay=delay,
+            )
+        routable = events
         seq = self._next_seq
         self._next_seq += 1
         tagged = routable.with_attributes(**{_SEQ_ATTRIBUTE: seq})
@@ -1584,10 +1611,28 @@ class SimulatedPubSub:
         sizes: list[int] | None = None,
         delay: float = 0.0,
     ) -> list[int]:
+        """Deprecated alias for :meth:`publish` with a list of events."""
+        warnings.warn(
+            "SimulatedPubSub.publish_batch is deprecated; pass the batch "
+            "to SimulatedPubSub.publish instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._publish_many(
+            list(routables), carriers=carriers, sizes=sizes, delay=delay
+        )
+
+    def _publish_many(
+        self,
+        routables: list[Event],
+        carriers: list[object] | None = None,
+        sizes: list[int] | None = None,
+        delay: float = 0.0,
+    ) -> list[int]:
         """Inject a whole batch at the root after *delay*; returns its seqs.
 
         The batch is scheduled as ONE simulator event and processed by the
-        root as one :meth:`Broker.publish_batch` call (per-event broker
+        root as one batched :meth:`Broker.publish` call (per-event broker
         costs still accrue); downstream hops carry batch messages on the
         fire-and-forget transport and split per event when the reliable
         stack is active.
@@ -1630,7 +1675,7 @@ class SimulatedPubSub:
             cost = sum(self._service_cost(0, event) for event in tagged_batch)
             self.nodes[0].submit(
                 cost,
-                lambda: self.brokers[0].publish_batch(
+                lambda: self.brokers[0].publish(
                     tagged_batch, arrived_from=None
                 ),
             )
@@ -1707,3 +1752,9 @@ class SimulatedPubSub:
         if not self.deliveries:
             return float("nan")
         return sum(d.latency for d in self.deliveries) / len(self.deliveries)
+
+
+#: The timed broker tree, under the name the public API docs use for it:
+#: the overlay above IS the tree topology of :class:`BrokerTree` with a
+#: clock, links, and (optionally) the reliable/flow-controlled stacks.
+TimedBrokerTree = SimulatedPubSub

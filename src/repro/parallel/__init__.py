@@ -1,0 +1,40 @@
+"""``repro.parallel`` -- the process-pool execution layer.
+
+Shards dissemination work across CPU cores behind three pieces:
+
+- :class:`ParallelPolicy` -- the knobs (worker count, chunk size);
+- :class:`ShardedMatcher` -- partitions the subscription table across
+  workers and primes the shared match cache with batch verdicts
+  (``prime()``), leaving the serial broker walk untouched so delivery
+  semantics stay bit-exact;
+- :class:`CryptoPool` -- offloads batch seal/open and token-PRF
+  evaluation.
+
+Every piece degrades to the serial path (``workers <= 1``, pool failure,
+unwireable payloads) and counts the fallback, so code can thread a
+policy through unconditionally.  See DESIGN.md ("Parallel execution").
+"""
+
+from __future__ import annotations
+
+from repro.parallel.crypto import CryptoPool
+from repro.parallel.executor import ShardedMatcher
+from repro.parallel.policy import ParallelPolicy
+from repro.parallel.wire import (
+    decode_events,
+    decode_filters,
+    encode_events,
+    encode_filters,
+    shard_of,
+)
+
+__all__ = [
+    "CryptoPool",
+    "ParallelPolicy",
+    "ShardedMatcher",
+    "decode_events",
+    "decode_filters",
+    "encode_events",
+    "encode_filters",
+    "shard_of",
+]

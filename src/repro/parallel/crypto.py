@@ -1,0 +1,198 @@
+"""The :class:`CryptoPool`: batch crypto offload to worker processes.
+
+Sealing, opening, and token-PRF evaluation are pure per-item functions
+(modulo fresh randomness, which is semantically free to move between
+processes), so whole batches offload cleanly: the pool chunks a batch by
+``policy.chunk_size``, fans the chunks across workers, and reassembles
+results in order.  Sealed events cross the boundary in their compact
+wire form (:meth:`SealedEvent.to_bytes`) rather than as pickled object
+graphs.
+
+With a serial policy (``workers <= 1``), or when the pool cannot start
+or breaks, every method computes in-process with identical results --
+the same serial-fallback contract as
+:class:`~repro.parallel.executor.ShardedMatcher`, counted under the same
+``parallel_serial_fallbacks_total`` metric.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.crypto.prf import F
+from repro.core.envelope import OpenResult, SealedEvent, open_event, seal_event
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import worker as _worker
+from repro.parallel.policy import ParallelPolicy
+
+#: One seal job: (event, schema, topic_key, secret_attributes, extra_locks).
+SealJob = tuple
+#: One open job: (sealed, schema, component_keys, hash_operations).
+OpenJob = tuple
+
+
+class CryptoPool:
+    """Offloads batch seal/open/PRF work across worker processes."""
+
+    def __init__(
+        self,
+        policy: ParallelPolicy,
+        registry: MetricsRegistry | None = None,
+        mp_context=None,
+    ):
+        self.policy = policy
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+        self.tasks = 0
+        self.offloaded = 0
+        self.serial_fallbacks = 0
+        self.busy_seconds = 0.0
+        self._c_offloaded = self.registry.counter("parallel_prf_offloaded_total")
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_pool(self) -> bool:
+        if self._closed or not self.policy.parallel:
+            return False
+        if self._pool is not None:
+            return True
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.policy.workers,
+                mp_context=self._mp_context,
+            )
+        except (OSError, ValueError):
+            self._pool = None
+        return self._pool is not None
+
+    def _note_fallback(self, reason: str) -> None:
+        self.serial_fallbacks += 1
+        self.registry.counter(
+            "parallel_serial_fallbacks_total", reason=reason
+        ).inc()
+
+    def close(self) -> None:
+        """Release the worker pool; further batches compute in-process."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "CryptoPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _run_chunks(self, task, jobs: list, kind: str):
+        """Fan *jobs* across the pool in order-preserving chunks.
+
+        Returns the concatenated per-chunk results, or None when the
+        batch must compute serially (policy, pool failure).
+        """
+        if not jobs:
+            return []
+        if not self._ensure_pool():
+            if self.policy.parallel and not self._closed:
+                self._note_fallback("pool_unavailable")
+            else:
+                self._note_fallback("serial_policy")
+            return None
+        chunks = [
+            jobs[start: start + self.policy.chunk_size]
+            for start in range(0, len(jobs), self.policy.chunk_size)
+        ]
+        try:
+            futures = [self._pool.submit(task, chunk) for chunk in chunks]
+            results = []
+            for shard, future in enumerate(futures):
+                busy, chunk_results = future.result()
+                self.tasks += 1
+                self.busy_seconds += busy
+                self.registry.counter(
+                    "parallel_tasks_total", kind=kind
+                ).inc()
+                self.registry.counter(
+                    "parallel_worker_busy_seconds_total",
+                    shard=str(shard % max(1, self.policy.workers)),
+                ).inc(busy)
+                results.extend(chunk_results)
+            return results
+        except Exception:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+            self._note_fallback("pool_broken")
+            return None
+
+    # -- batch operations --------------------------------------------------
+
+    def prf_batch(self, pairs: list[tuple[bytes, bytes]]) -> list[bytes]:
+        """``F(token, nonce)`` for each pair, offloaded when parallel."""
+        results = self._run_chunks(_worker.prf_chunk, list(pairs), "prf")
+        if results is None:
+            return [F(token, nonce) for token, nonce in pairs]
+        self.offloaded += len(pairs)
+        self._c_offloaded.inc(len(pairs))
+        return results
+
+    def seal_batch(self, jobs: list[SealJob]) -> list[SealedEvent]:
+        """Seal a batch of events; same contract as per-item ``seal_event``.
+
+        Each job is ``(event, schema, topic_key, secret_attributes)`` with
+        an optional fifth ``extra_lock_subsets`` member.
+        """
+        normalized = [
+            job if len(job) == 5 else (*job, None) for job in jobs
+        ]
+        results = self._run_chunks(_worker.seal_chunk, normalized, "seal")
+        if results is None:
+            return [
+                seal_event(event, schema, topic_key, set(secret), extra)
+                for event, schema, topic_key, secret, extra in normalized
+            ]
+        return [SealedEvent.from_bytes(wire) for wire in results]
+
+    def open_batch(self, jobs: list[OpenJob]) -> list[OpenResult | None]:
+        """Open a batch of sealed events; unsatisfiable slots are None.
+
+        Each job is ``(sealed, schema, component_keys)`` with an optional
+        fourth ``hash_operations`` member.
+        """
+        normalized = [
+            job if len(job) == 4 else (*job, 0) for job in jobs
+        ]
+        wire_jobs = [
+            (sealed.to_bytes(), schema, component_keys, hash_operations)
+            for sealed, schema, component_keys, hash_operations in normalized
+        ]
+        results = self._run_chunks(_worker.open_chunk, wire_jobs, "open")
+        if results is not None:
+            return results
+        opened: list[OpenResult | None] = []
+        for sealed, schema, component_keys, hash_operations in normalized:
+            try:
+                opened.append(
+                    open_event(sealed, schema, component_keys, hash_operations)
+                )
+            except ValueError:
+                opened.append(None)
+        return opened
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-able utilization summary."""
+        return {
+            "workers": self.policy.workers,
+            "chunk_size": self.policy.chunk_size,
+            "tasks": self.tasks,
+            "offloaded": self.offloaded,
+            "serial_fallbacks": self.serial_fallbacks,
+            "busy_seconds": self.busy_seconds,
+            "pool_live": self._pool is not None,
+        }

@@ -1,0 +1,38 @@
+"""The :class:`ParallelPolicy` knobs for multi-core dissemination.
+
+One small frozen dataclass shared by every parallel component
+(:class:`~repro.parallel.executor.ShardedMatcher`,
+:class:`~repro.parallel.crypto.CryptoPool`) and by the surfaces that
+accept a ``parallel=`` argument.  ``workers`` counts worker *processes*:
+``0`` and ``1`` both mean "stay serial" (the policy exists so callers can
+thread one object through without branching), anything above one arms the
+process pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParallelPolicy:
+    """Tuning knobs for the process-pool execution layer.
+
+    ``workers``: worker processes to shard across (``<= 1``: serial).
+    ``chunk_size``: events per dispatched task; larger chunks amortize
+    IPC overhead, smaller ones balance better across workers.
+    """
+
+    workers: int = 0
+    chunk_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be at least one event")
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this policy arms a worker pool at all."""
+        return self.workers > 1

@@ -1,0 +1,74 @@
+"""Compact wire forms for batches crossing the worker-process boundary.
+
+Worker tasks ship events and filters as concatenated length-prefixed
+frames of the canonical per-object codecs (:meth:`Event.to_bytes`,
+:meth:`Filter.to_bytes`) instead of pickled object graphs: the frames are
+smaller, versioned by the codecs themselves, and -- critically for shard
+assignment -- *canonical*, so a hash of the bytes agrees across processes
+(Python's ``hash()`` does not: ``PYTHONHASHSEED`` differs per process).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+
+def encode_events(events: list[Event]) -> bytes:
+    """Frame a batch of events for one worker task."""
+    parts = [struct.pack(">I", len(events))]
+    for event in events:
+        payload = event.to_bytes()
+        parts.append(struct.pack(">I", len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def decode_events(data: bytes) -> list[Event]:
+    """Inverse of :func:`encode_events`."""
+    (count,) = struct.unpack_from(">I", data, 0)
+    offset = 4
+    events = []
+    for _ in range(count):
+        (length,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        events.append(Event.from_bytes(data[offset: offset + length]))
+        offset += length
+    return events
+
+
+def encode_filters(filters: list[Filter]) -> bytes:
+    """Frame a filter table for worker initialization."""
+    parts = [struct.pack(">I", len(filters))]
+    for subscription_filter in filters:
+        payload = subscription_filter.to_bytes()
+        parts.append(struct.pack(">I", len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def decode_filters(data: bytes) -> list[Filter]:
+    """Inverse of :func:`encode_filters`."""
+    (count,) = struct.unpack_from(">I", data, 0)
+    offset = 4
+    filters = []
+    for _ in range(count):
+        (length,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        filters.append(Filter.from_bytes(data[offset: offset + length]))
+        offset += length
+    return filters
+
+
+def shard_of(key: str | bytes, shards: int) -> int:
+    """Deterministic shard assignment, stable across processes.
+
+    CRC32 over the canonical bytes -- NOT ``hash()``, whose string seeds
+    differ between the parent and its workers.
+    """
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    return zlib.crc32(key) % shards

@@ -1,0 +1,182 @@
+"""Worker-process entry points for the parallel execution layer.
+
+Everything here runs inside :class:`concurrent.futures.ProcessPoolExecutor`
+workers.  The matcher protocol is *initializer + stateless tasks*: a pool
+cannot route a task to a chosen worker, so every worker is initialized
+with the FULL filter table (one decode per pool build, amortized over
+every subsequent chunk) and each task names the *shard* it evaluates --
+the subset of topic-token groups and residual filters that
+:func:`repro.parallel.wire.shard_of` assigns to that shard index.  Any
+worker can serve any shard; the parent fans one task out per
+``(shard, chunk)`` pair and unions the results.
+
+Workers return *verdicts*, not routing decisions: which topic-token group
+an event verified against, which groups tested false, and the full-filter
+match verdicts for the verified group's members plus the shard's
+ungrouped filters.  The parent seeds the shared
+:class:`~repro.siena.index.MatchResultCache` with them, and the normal
+(serial, semantics-bearing) broker walk then runs entirely on cache hits
+-- which is how the parallel path stays bit-exact with the serial one:
+the dissemination code path never changes, only where the pure match
+verdicts get computed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.crypto.prf import F
+from repro.core.envelope import SealedEvent, open_event, seal_event
+from repro.parallel.wire import decode_events, decode_filters, shard_of
+from repro.routing.tokens import TokenPRFCache, cached_tokenized_match
+from repro.siena.broker import _TOPIC_TOKEN_ATTRIBUTE, _group_value
+from repro.siena.events import Event
+from repro.siena.filters import Constraint, Filter
+from repro.siena.operators import Op
+
+#: One verdict bundle per event: (verified group or None,
+#: [(group, stand-in verdict)] tested, [(filter index, verdict)]).
+MatchVerdicts = tuple[
+    "str | None", list[tuple[str, bool]], list[tuple[int, bool]]
+]
+
+
+def group_stand_in(group: str) -> Filter:
+    """The single-constraint filter standing in for a topic-token group."""
+    return Filter.of(Constraint(_TOPIC_TOKEN_ATTRIBUTE, Op.EQ, group))
+
+
+class _WorkerState:
+    """Per-process matcher state built once by :func:`init_matcher`."""
+
+    def __init__(self, filters: list[Filter], shards: int, match_mode: str):
+        self.filters = filters
+        self.shards = shards
+        #: shard -> topic-token group values it owns, in table order
+        self.groups: dict[int, list[str]] = {}
+        #: group value -> indexes of its member filters
+        self.group_members: dict[str, list[int]] = {}
+        #: shard -> indexes of ungrouped (residual) filters it owns
+        self.residuals: dict[int, list[int]] = {}
+        self.group_filters: dict[str, Filter] = {}
+        for index, subscription_filter in enumerate(filters):
+            group = _group_value(subscription_filter)
+            if group is not None:
+                members = self.group_members.get(group)
+                if members is None:
+                    members = self.group_members[group] = []
+                    shard = shard_of(group, shards)
+                    self.groups.setdefault(shard, []).append(group)
+                    self.group_filters[group] = group_stand_in(group)
+                members.append(index)
+            else:
+                shard = shard_of(subscription_filter.to_bytes(), shards)
+                self.residuals.setdefault(shard, []).append(index)
+        if match_mode == "tokenized":
+            self.match: Callable[[Filter, Event], bool] = (
+                cached_tokenized_match(TokenPRFCache())
+            )
+        elif match_mode == "plain":
+            self.match = lambda f, e: f.matches(e)
+        else:
+            raise ValueError(f"unknown match mode {match_mode!r}")
+
+
+_STATE: _WorkerState | None = None
+
+
+def init_matcher(filters_wire: bytes, shards: int, match_mode: str) -> None:
+    """Pool initializer: decode the filter table, derive shard ownership."""
+    global _STATE
+    _STATE = _WorkerState(decode_filters(filters_wire), shards, match_mode)
+
+
+def match_chunk(
+    shard: int, events_wire: bytes
+) -> tuple[float, list[MatchVerdicts]]:
+    """Evaluate one shard's filters against one chunk of events.
+
+    Per event: test the shard's topic-token group stand-ins (stopping at
+    the first verified one -- an event routable verifies against exactly
+    one token, and the parent's topic-group memo makes the untested rest
+    unreachable), then full verdicts for the verified group's members and
+    for every residual filter the shard owns.  Returns worker busy
+    seconds plus the per-event verdict bundles.
+    """
+    state = _STATE
+    if state is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker used before init_matcher")
+    started = time.perf_counter()
+    events = decode_events(events_wire)
+    owned_groups = state.groups.get(shard, ())
+    owned_residuals = state.residuals.get(shard, ())
+    results: list[MatchVerdicts] = []
+    for event in events:
+        verified: str | None = None
+        tested: list[tuple[str, bool]] = []
+        verdicts: list[tuple[int, bool]] = []
+        for group in owned_groups:
+            ok = state.match(state.group_filters[group], event)
+            tested.append((group, ok))
+            if ok:
+                verified = group
+                for index in state.group_members[group]:
+                    verdicts.append(
+                        (index, state.match(state.filters[index], event))
+                    )
+                break
+        for index in owned_residuals:
+            verdicts.append(
+                (index, state.match(state.filters[index], event))
+            )
+        results.append((verified, tested, verdicts))
+    return time.perf_counter() - started, results
+
+
+# -- crypto offload tasks -------------------------------------------------------
+
+def prf_chunk(
+    pairs: list[tuple[bytes, bytes]]
+) -> tuple[float, list[bytes]]:
+    """``F(token, nonce)`` for each pair (token-proof evaluation)."""
+    started = time.perf_counter()
+    proofs = [F(token, nonce) for token, nonce in pairs]
+    return time.perf_counter() - started, proofs
+
+
+def seal_chunk(jobs: list[tuple]) -> tuple[float, list[bytes]]:
+    """Seal a chunk of events; results travel back in wire form.
+
+    Each job is ``(event, schema, topic_key, secret_attributes,
+    extra_lock_subsets)`` exactly as :func:`repro.core.envelope.seal_event`
+    takes them.
+    """
+    started = time.perf_counter()
+    sealed_wire = []
+    for event, schema, topic_key, secret_attributes, extra in jobs:
+        sealed = seal_event(
+            event, schema, topic_key, set(secret_attributes), extra
+        )
+        sealed_wire.append(sealed.to_bytes())
+    return time.perf_counter() - started, sealed_wire
+
+
+def open_chunk(jobs: list[tuple]) -> tuple[float, list]:
+    """Open a chunk of sealed events (wire form in, OpenResult out).
+
+    Each job is ``(sealed_wire, schema, component_keys, hash_operations)``;
+    an unsatisfiable or corrupt envelope yields ``None`` in its slot
+    instead of failing the whole chunk.
+    """
+    started = time.perf_counter()
+    results = []
+    for sealed_wire, schema, component_keys, hash_operations in jobs:
+        try:
+            sealed = SealedEvent.from_bytes(sealed_wire)
+            results.append(
+                open_event(sealed, schema, component_keys, hash_operations)
+            )
+        except ValueError:
+            results.append(None)
+    return time.perf_counter() - started, results

@@ -128,6 +128,29 @@ class ProbabilisticRouter:
         self._h_path_hops.observe(len(chosen))
         return chosen
 
+    def publish(
+        self,
+        events: object | list[object],
+        token: Hashable,
+        subscriber: SubscriberId,
+        *,
+        at_time: float = 0.0,
+        parallel: object | None = None,
+    ) -> list[Hashable]:
+        """Unified publish surface: route one event or a batch of them.
+
+        A single event delegates to :meth:`route`; a list makes one
+        uniform path draw for the whole batch via :meth:`route_batch`.
+        *at_time* and *parallel* are accepted for signature uniformity
+        with the broker surfaces and ignored -- path selection is
+        timeless and already O(1) per batch, so there is nothing for a
+        process pool to offload (a serial fallback by construction).
+        """
+        del at_time, parallel
+        if isinstance(events, list):
+            return self.route_batch(token, subscriber, len(events))
+        return self.route(token, subscriber)
+
     def expected_apparent_frequency(self, token: Hashable) -> float:
         """``lambda_t / ind_t`` -- a single on-path node's expectation."""
         return self.frequencies[token] / self.paths_per_token[token]

@@ -10,6 +10,7 @@ the root unconditionally and down every interface with a matching filter
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Optional
 
@@ -498,12 +499,52 @@ class Broker:
                 matched.append(interface)
         return matched
 
-    def publish(self, event: Event, arrived_from: Interface | None = None) -> int:
-        """Route *event*: up to the parent, down every matching interface.
+    def publish(
+        self,
+        events: "Event | list[Event]",
+        arrived_from: Interface | None = None,
+        *,
+        at_time: float = 0.0,
+        parallel=None,
+    ) -> int:
+        """Route one event or a whole batch -- the unified publish surface.
 
-        Returns the number of interfaces the event was forwarded or
-        delivered on (the broker's fan-out for this event).
+        A single :class:`Event` routes up to the parent and down every
+        matching interface, returning the broker's fan-out.  A list
+        routes as a batch -- identical per-subscriber semantics, one
+        message per outgoing interface -- returning the number of
+        distinct interfaces the batch went out on.
+
+        *at_time* is accepted for signature uniformity with the timed
+        overlay and ignored here (the synchronous tree has no clock).
+        *parallel* -- a :class:`~repro.parallel.ShardedMatcher` -- primes
+        the broker's match cache with batch verdicts computed across the
+        worker pool before the (serial, semantics-bearing) routing walk;
+        it only applies to locally injected batches on a broker with a
+        match cache, and silently degrades to the plain serial walk
+        otherwise.
         """
+        if isinstance(events, Event):
+            return self._publish_one(events, arrived_from)
+        return self._publish_many(
+            list(events), arrived_from, parallel=parallel
+        )
+
+    def publish_batch(
+        self, events: list[Event], arrived_from: Interface | None = None
+    ) -> int:
+        """Deprecated alias for :meth:`publish` with a list of events."""
+        warnings.warn(
+            "Broker.publish_batch is deprecated; pass the batch to "
+            "Broker.publish instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.publish(list(events), arrived_from=arrived_from)
+
+    def _publish_one(
+        self, event: Event, arrived_from: Interface | None
+    ) -> int:
         if not self.alive:
             self.stats.dropped_while_down += 1
             return 0
@@ -534,8 +575,11 @@ class Broker:
             forwarded_to.add(self.parent)
         return len(forwarded_to)
 
-    def publish_batch(
-        self, events: list[Event], arrived_from: Interface | None = None
+    def _publish_many(
+        self,
+        events: list[Event],
+        arrived_from: Interface | None,
+        parallel=None,
     ) -> int:
         """Route a whole batch with one message per outgoing interface.
 
@@ -557,6 +601,16 @@ class Broker:
             events = admitted
             if not events:
                 return 0
+        if (
+            parallel is not None
+            and arrived_from is None
+            and self.match_cache is not None
+        ):
+            # Pool workers compute the batch's match verdicts into the
+            # shared cache; the routing walk below (and every downstream
+            # broker sharing the cache) then runs on hits.  Pure memo
+            # seeding -- dissemination order and verdicts are unchanged.
+            parallel.prime(events, self.match_cache)
         self.stats.batches_received += 1
         self.stats.events_received += len(events)
         sub_batches: dict[Interface, list[Event]] = {}

@@ -9,12 +9,14 @@ the timed variant used by the throughput/latency experiments).
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Callable, Hashable, Iterable
 
 from repro.siena.broker import Broker, MatchPredicate, _plain_match
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.metrics import MetricsRegistry
+    from repro.parallel.executor import ShardedMatcher
     from repro.siena.index import MatchResultCache
 from repro.siena.events import Event
 from repro.siena.filters import Filter
@@ -48,6 +50,8 @@ class BrokerTree:
         self.arity = arity
         self.registry = registry
         self.match_cache = match_cache
+        #: Optional sharded parallel matcher; bound via :meth:`bind_parallel`.
+        self._parallel: "ShardedMatcher | None" = None
         self.brokers: dict[Hashable, Broker] = {}
         self._subscriber_home: dict[Hashable, Hashable] = {}
         self._client_filters: dict[Hashable, list[Filter]] = {}
@@ -86,7 +90,7 @@ class BrokerTree:
                 target.publish(payload, arrived_from=from_id)
             elif kind == "publish_batch":
                 assert isinstance(payload, list)
-                target.publish_batch(payload, arrived_from=from_id)
+                target.publish(payload, arrived_from=from_id)
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown message kind {kind!r}")
 
@@ -145,6 +149,8 @@ class BrokerTree:
         self._client_filters.setdefault(subscriber_id, []).append(
             subscription_filter
         )
+        if self._parallel is not None:
+            self._parallel.register_filter(subscription_filter)
         self.brokers[broker_id].subscribe(subscriber_id, subscription_filter)
 
     def unsubscribe(
@@ -157,20 +163,54 @@ class BrokerTree:
         issued = self._client_filters.get(subscriber_id, [])
         if subscription_filter in issued:
             issued.remove(subscription_filter)
+            if self._parallel is not None:
+                self._parallel.unregister_filter(subscription_filter)
         self.brokers[broker_id].unsubscribe(subscriber_id, subscription_filter)
 
-    def publish(self, event: Event) -> int:
-        """Inject *event* at the root; returns the root's fan-out."""
-        return self.root.publish(event, arrived_from=None)
+    def bind_parallel(self, matcher: "ShardedMatcher") -> None:
+        """Arm the tree with a sharded parallel matcher.
+
+        Every already-issued and future client filter registers with
+        *matcher* (unsubscriptions unregister), the tree's shared match
+        cache becomes its default verdict sink, and batch publishes prime
+        through it unless a call overrides ``parallel=``.
+        """
+        self._parallel = matcher
+        matcher.attach_cache(self.match_cache)
+        for filters in self._client_filters.values():
+            for subscription_filter in filters:
+                matcher.register_filter(subscription_filter)
+
+    def publish(
+        self,
+        events: "Event | list[Event]",
+        *,
+        at_time: float = 0.0,
+        parallel: "ShardedMatcher | None" = None,
+    ) -> int:
+        """Inject one event or a batch at the root; returns root fan-out.
+
+        Batch deliveries are identical to publishing each event in order;
+        broker-to-broker hops carry one batch message per interface.
+        *at_time* is accepted for signature uniformity and ignored (the
+        tree is synchronous).  *parallel* overrides the matcher bound via
+        :meth:`bind_parallel` for this call; batches prime the shared
+        match cache through it before routing.
+        """
+        chosen = parallel if parallel is not None else self._parallel
+        return self.root.publish(
+            events, arrived_from=None, at_time=at_time, parallel=chosen
+        )
 
     def publish_batch(self, events: list[Event]) -> int:
-        """Inject a whole batch at the root; returns the root's fan-out.
-
-        Per-subscriber deliveries are identical to calling :meth:`publish`
-        on each event in order; broker-to-broker hops carry one batch
-        message per interface instead of one message per event.
-        """
-        return self.root.publish_batch(list(events), arrived_from=None)
+        """Deprecated alias for :meth:`publish` with a list of events."""
+        warnings.warn(
+            "BrokerTree.publish_batch is deprecated; pass the batch to "
+            "BrokerTree.publish instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.publish(list(events))
 
     # -- failure lifecycle ---------------------------------------------------
 

@@ -1,0 +1,98 @@
+"""The parallel bench suite: report shape, equivalence, regression gate."""
+
+import copy
+
+import pytest
+
+from repro.bench import (
+    BENCH_PARALLEL_SCHEMA,
+    ParallelBenchConfig,
+    check_parallel_regression,
+    render_parallel_report,
+    run_parallel_bench,
+)
+
+SMALL = ParallelBenchConfig(
+    events=60, num_brokers=7, num_subscribers=8,
+    topics_per_subscriber=4, batch_size=16, chunk_size=16,
+    worker_ladder=(1, 2),
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_parallel_bench(SMALL)
+
+
+def test_report_shape(report):
+    assert report["schema"] == BENCH_PARALLEL_SCHEMA
+    assert len(report["ladder"]) == 2
+    for rung in report["ladder"]:
+        assert {"workers", "events_per_sec", "speedup", "equivalent",
+                "parallel", "crypto_pool"} <= set(rung)
+    assert report["serial"]["events_per_sec"] > 0
+    assert report["headline"]["workers"] == 2  # no w=4 rung: last wins
+
+
+def test_every_rung_is_equivalent(report):
+    assert report["equivalence"]["holds"]
+    assert all(rung["equivalent"] for rung in report["ladder"])
+    assert report["equivalence"]["deliveries"] > 0
+
+
+def test_one_worker_rung_runs_serial_fallback(report):
+    rung = report["ladder"][0]
+    assert rung["workers"] == 1
+    assert rung["parallel"]["primed_verdicts"] == 0
+    assert rung["parallel"]["serial_fallbacks"] > 0
+
+
+def test_multi_worker_rung_primes(report):
+    rung = report["ladder"][1]
+    assert rung["workers"] == 2
+    assert rung["parallel"]["primed_verdicts"] > 0
+    assert rung["parallel"]["serial_fallbacks"] == 0
+    assert rung["crypto_pool"]["offloaded"] > 0
+
+
+def test_self_check_passes(report):
+    assert check_parallel_regression(report, report) == []
+
+
+def test_speedup_regression_detected(report):
+    inflated = copy.deepcopy(report)
+    for rung in inflated["ladder"]:
+        rung["speedup"] *= 10
+    problems = check_parallel_regression(report, inflated)
+    assert problems
+    assert any("speedup regression" in p for p in problems)
+
+
+def test_throughput_collapse_detected(report):
+    inflated = copy.deepcopy(report)
+    inflated["headline"]["events_per_sec"] *= 1000
+    problems = check_parallel_regression(report, inflated)
+    assert any("throughput regression" in p for p in problems)
+
+
+def test_schema_mismatch_detected(report):
+    other = copy.deepcopy(report)
+    other["schema"] = "repro.bench/parallel.v999"
+    problems = check_parallel_regression(report, other)
+    assert problems and "schema mismatch" in problems[0]
+
+
+def test_render_mentions_every_rung(report):
+    rendered = render_parallel_report(report)
+    assert "serial" in rendered
+    assert "w=1" in rendered and "w=2" in rendered
+    assert "equivalence: ok" in rendered
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        ParallelBenchConfig(worker_ladder=())
+    with pytest.raises(ValueError):
+        ParallelBenchConfig(worker_ladder=(0,))
+    with pytest.raises(ValueError):
+        ParallelBenchConfig(chunk_size=0)

@@ -1,0 +1,126 @@
+"""CryptoPool: batch seal/open/PRF offload equals the serial path."""
+
+from repro.core.composite import CompositeKeySpace
+from repro.core.nakt import NumericKeySpace
+from repro.core.envelope import open_event, seal_event
+from repro.crypto.prf import F
+from repro.parallel import CryptoPool, ParallelPolicy
+from repro.siena.events import Event
+
+TOPIC_KEY = bytes(range(16))
+
+
+def _schema():
+    return CompositeKeySpace({"age": NumericKeySpace("age", 128)})
+
+
+def _leaf_key(schema, value):
+    return schema.space_for("age").encryption_key(TOPIC_KEY, value)[1]
+
+
+class TestPRFBatch:
+    def test_offloaded_proofs_equal_serial(self):
+        pairs = [
+            (bytes([i]) * 20, bytes([255 - i]) * 16) for i in range(10)
+        ]
+        with CryptoPool(ParallelPolicy(workers=2, chunk_size=3)) as pool:
+            proofs = pool.prf_batch(pairs)
+            assert proofs == [F(token, nonce) for token, nonce in pairs]
+            assert pool.offloaded == len(pairs)
+            assert pool.tasks == 4  # ceil(10 / 3) chunks
+
+    def test_serial_policy_computes_in_process(self):
+        pairs = [(b"t" * 20, b"n" * 16)]
+        pool = CryptoPool(ParallelPolicy(workers=1))
+        assert pool.prf_batch(pairs) == [F(b"t" * 20, b"n" * 16)]
+        assert pool.offloaded == 0
+        assert pool.serial_fallbacks == 1
+        assert not pool.stats()["pool_live"]
+
+    def test_empty_batch(self):
+        with CryptoPool(ParallelPolicy(workers=2)) as pool:
+            assert pool.prf_batch([]) == []
+            assert pool.tasks == 0
+
+
+class TestSealBatch:
+    def test_sealed_batch_opens_like_serial_seals(self):
+        schema = _schema()
+        events = [
+            Event({"topic": "trial", "age": 20 + n, "record": f"r{n}"},
+                  publisher="P")
+            for n in range(4)
+        ]
+        jobs = [(event, schema, TOPIC_KEY, {"record"}) for event in events]
+        with CryptoPool(ParallelPolicy(workers=2, chunk_size=2)) as pool:
+            sealed_batch = pool.seal_batch(jobs)
+        assert len(sealed_batch) == len(events)
+        for n, sealed in enumerate(sealed_batch):
+            assert "record" not in sealed.routable
+            result = open_event(
+                sealed, schema, {"age": _leaf_key(schema, 20 + n)}
+            )
+            assert result.event["record"] == f"r{n}"
+
+    def test_serial_fallback_seals_identically(self):
+        schema = _schema()
+        event = Event({"topic": "trial", "age": 25, "record": "r"},
+                      publisher="P")
+        pool = CryptoPool(ParallelPolicy(workers=0))
+        [sealed] = pool.seal_batch([(event, schema, TOPIC_KEY, {"record"})])
+        result = open_event(sealed, schema, {"age": _leaf_key(schema, 25)})
+        assert result.event["record"] == "r"
+
+
+class TestOpenBatch:
+    def test_open_batch_matches_per_item_open(self):
+        schema = _schema()
+        sealed = [
+            seal_event(
+                Event({"topic": "trial", "age": 20 + n, "record": f"r{n}"}),
+                schema, TOPIC_KEY, {"record"},
+            )
+            for n in range(3)
+        ]
+        jobs = [
+            (s, schema, {"age": _leaf_key(schema, 20 + n)})
+            for n, s in enumerate(sealed)
+        ]
+        with CryptoPool(ParallelPolicy(workers=2, chunk_size=2)) as pool:
+            opened = pool.open_batch(jobs)
+        for n, result in enumerate(opened):
+            assert result is not None
+            assert result.event["record"] == f"r{n}"
+
+    def test_unsatisfiable_slot_is_none_not_an_exception(self):
+        schema = _schema()
+        sealed = seal_event(
+            Event({"topic": "trial", "age": 25, "record": "r"}),
+            schema, TOPIC_KEY, {"record"},
+        )
+        wrong_key = _leaf_key(schema, 26)
+        good_key = _leaf_key(schema, 25)
+        jobs = [
+            (sealed, schema, {"age": wrong_key}),
+            (sealed, schema, {"age": good_key}),
+            (sealed, schema, {}),
+        ]
+        with CryptoPool(ParallelPolicy(workers=2, chunk_size=2)) as pool:
+            opened = pool.open_batch(jobs)
+        assert opened[0] is None
+        assert opened[1] is not None and opened[1].event["record"] == "r"
+        assert opened[2] is None
+
+    def test_serial_fallback_open(self):
+        schema = _schema()
+        sealed = seal_event(
+            Event({"topic": "trial", "age": 25, "record": "r"}),
+            schema, TOPIC_KEY, {"record"},
+        )
+        pool = CryptoPool(ParallelPolicy(workers=1))
+        opened = pool.open_batch([
+            (sealed, schema, {"age": _leaf_key(schema, 25)}),
+            (sealed, schema, {}),
+        ])
+        assert opened[0] is not None
+        assert opened[1] is None

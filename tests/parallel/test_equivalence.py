@@ -1,0 +1,254 @@
+"""Property: parallel priming never changes what subscribers receive.
+
+The sharded matcher only *seeds a cache of pure match verdicts*; the
+serial broker walk stays the semantics-bearing code path.  These tests
+pin the consequence: per-subscriber delivery streams through a
+parallel-primed tree are bit-identical to a serial tree -- under random
+topologies and subscription tables (hypothesis), under tokenized
+matching with shared ciphertexts, under flow-control shedding, and
+across broker crash/recovery.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import ParallelPolicy, ShardedMatcher
+from repro.routing.tokens import (
+    TokenAuthority,
+    tokenize_event,
+    tokenized_match,
+    tokenized_subscription,
+)
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+from repro.siena.index import MatchResultCache
+from repro.siena.network import BrokerTree
+
+MASTER = bytes(range(16))
+TOPICS = ("alpha", "beta", "gamma")
+POLICY = ParallelPolicy(workers=2, chunk_size=3)
+
+
+def _attach_all(tree, subscriptions, streams):
+    leaves = tree.leaf_ids()
+    attached = {}
+    for subscriber, leaf_index, subscription_filter in subscriptions:
+        if subscriber not in attached:
+            streams[subscriber] = []
+            stream = streams[subscriber]
+            tree.attach_subscriber(
+                subscriber, leaves[leaf_index % len(leaves)], stream.append
+            )
+            attached[subscriber] = set()
+        if subscription_filter not in attached[subscriber]:
+            attached[subscriber].add(subscription_filter)
+            tree.subscribe(subscriber, subscription_filter)
+
+
+def _serial_streams(num_brokers, arity, subscriptions, events, match=None):
+    tree = BrokerTree(
+        num_brokers=num_brokers, arity=arity,
+        **({"match": match} if match is not None else {}),
+    )
+    streams = {}
+    _attach_all(tree, subscriptions, streams)
+    for event in events:
+        tree.publish(event)
+    return streams
+
+
+def _parallel_streams(
+    num_brokers, arity, subscriptions, events, batch_size,
+    match=None, match_mode="plain",
+):
+    cache = MatchResultCache()
+    tree = BrokerTree(
+        num_brokers=num_brokers, arity=arity, match_cache=cache,
+        **({"match": match} if match is not None else {}),
+    )
+    streams = {}
+    with ShardedMatcher(POLICY, match=match_mode) as matcher:
+        tree.bind_parallel(matcher)
+        _attach_all(tree, subscriptions, streams)
+        for start in range(0, len(events), batch_size):
+            tree.publish(events[start: start + batch_size])
+        assert matcher.serial_fallbacks == 0
+    return streams
+
+
+@st.composite
+def scenario(draw):
+    num_brokers = draw(st.integers(min_value=1, max_value=15))
+    arity = draw(st.integers(min_value=1, max_value=3))
+    subscriptions = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["s0", "s1", "s2", "s3"]),
+                st.integers(min_value=0, max_value=7),
+                st.one_of(
+                    st.sampled_from(TOPICS).map(Filter.topic),
+                    st.tuples(
+                        st.sampled_from(TOPICS),
+                        st.integers(min_value=0, max_value=40),
+                        st.integers(min_value=0, max_value=40),
+                    ).map(
+                        lambda t: Filter.numeric_range(
+                            t[0], "v", min(t[1], t[2]), max(t[1], t[2])
+                        )
+                    ),
+                ),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(TOPICS),
+                st.integers(min_value=0, max_value=40),
+            ).map(lambda t: Event({"topic": t[0], "v": t[1]})),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    batch_size = draw(st.integers(min_value=1, max_value=8))
+    return num_brokers, arity, subscriptions, events, batch_size
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenario())
+def test_parallel_priming_equivalence(drawn):
+    num_brokers, arity, subscriptions, events, batch_size = drawn
+    serial = _serial_streams(num_brokers, arity, subscriptions, events)
+    parallel = _parallel_streams(
+        num_brokers, arity, subscriptions, events, batch_size
+    )
+    assert serial == parallel
+
+
+def test_tokenized_equivalence_same_ciphertext_bits():
+    """Pre-tokenized events through both paths: bit-identical streams."""
+    authority = TokenAuthority(MASTER)
+    subscriptions = []
+    for index, topic in enumerate(TOPICS + TOPICS[:1]):
+        subscriptions.append(
+            (f"s{index % 3}", index,
+             tokenized_subscription(authority, topic))
+        )
+    events = [
+        tokenize_event(
+            authority,
+            Event({"_seq": seq}),
+            {},
+            TOPICS[seq % len(TOPICS)],
+        )
+        for seq in range(12)
+    ]
+    serial = _serial_streams(7, 2, subscriptions, events,
+                             match=tokenized_match)
+    parallel = _parallel_streams(
+        7, 2, subscriptions, events, batch_size=5,
+        match=tokenized_match, match_mode="tokenized",
+    )
+    assert serial == parallel
+    assert sum(len(s) for s in serial.values()) > 0
+
+
+def test_equivalence_under_flow_shedding():
+    """Admission shedding filters the batch BEFORE priming: same sheds,
+    same deliveries, on both paths."""
+
+    def shed_odd(event):
+        return event.get("n", 0) % 2 == 0
+
+    events = [Event({"topic": "news", "n": n}) for n in range(10)]
+    streams = []
+    for parallel in (False, True):
+        cache = MatchResultCache() if parallel else None
+        tree = BrokerTree(num_brokers=3, match_cache=cache)
+        tree.root.bind_flow(shed_odd)
+        got = []
+        tree.attach_subscriber("s", tree.leaf_ids()[0], got.append)
+        tree.subscribe("s", Filter.topic("news"))
+        if parallel:
+            with ShardedMatcher(POLICY, match="plain") as matcher:
+                tree.bind_parallel(matcher)
+                tree.publish(events)
+        else:
+            for event in events:
+                tree.publish(event)
+        streams.append([e.get("n") for e in got])
+        assert tree.root.stats.events_shed == 5
+    assert streams[0] == streams[1] == [0, 2, 4, 6, 8]
+
+
+def test_equivalence_across_crash_and_recovery():
+    """Crash a mid-tree broker, restart with replay, then batch publish
+    through the parallel path: deliveries equal the serial path's."""
+    subscriptions = [
+        ("s0", 0, Filter.topic("alpha")),
+        ("s1", 1, Filter.topic("beta")),
+        ("s2", 2, Filter.topic("alpha")),
+    ]
+    events = [Event({"topic": TOPICS[n % 2], "n": n}) for n in range(8)]
+
+    def run(parallel):
+        cache = MatchResultCache() if parallel else None
+        tree = BrokerTree(num_brokers=7, match_cache=cache)
+        streams = {}
+        matcher = None
+        if parallel:
+            matcher = ShardedMatcher(POLICY, match="plain")
+            tree.bind_parallel(matcher)
+        try:
+            _attach_all(tree, subscriptions, streams)
+            tree.crash_broker(1)
+            tree.restart_broker(1, replay=True)
+            if parallel:
+                tree.publish(events)
+                assert matcher.serial_fallbacks == 0
+            else:
+                for event in events:
+                    tree.publish(event)
+        finally:
+            if matcher is not None:
+                matcher.close()
+        return streams
+
+    assert run(parallel=False) == run(parallel=True)
+
+
+def test_unsubscribe_keeps_equivalence():
+    """The matcher's table shrinks with unsubscription; verdicts for the
+    departed filter stop being primed and deliveries still match."""
+    events = [Event({"topic": t, "n": n})
+              for n, t in enumerate(("alpha", "beta") * 4)]
+
+    def run(parallel):
+        cache = MatchResultCache() if parallel else None
+        tree = BrokerTree(num_brokers=3, match_cache=cache)
+        got = []
+        tree.attach_subscriber("s", tree.leaf_ids()[0], got.append)
+        tree.subscribe("s", Filter.topic("alpha"))
+        tree.subscribe("s", Filter.topic("beta"))
+        matcher = None
+        if parallel:
+            matcher = ShardedMatcher(POLICY, match="plain")
+            tree.bind_parallel(matcher)
+        try:
+            publish = (
+                (lambda batch: tree.publish(batch))
+                if parallel
+                else (lambda batch: [tree.publish(e) for e in batch])
+            )
+            publish(events[:4])
+            tree.unsubscribe("s", Filter.topic("beta"))
+            publish(events[4:])
+            if parallel:
+                assert matcher.filter_count == 1
+        finally:
+            if matcher is not None:
+                matcher.close()
+        return [e.get("n") for e in got]
+
+    assert run(parallel=False) == run(parallel=True)

@@ -1,0 +1,115 @@
+"""Facade integration: builder.parallel(), parallel_stats(), and the
+explicit shed verdict from System._disseminate."""
+
+from repro.api import System
+from repro.flow import AdmissionController
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+
+def _system(**extra):
+    builder = System.builder().topic("news", numeric={"price": 128})
+    for name, kwargs in extra.items():
+        getattr(builder, name)(**kwargs)
+    return builder.build()
+
+
+class TestBuilderParallel:
+    def test_parallel_wires_matcher_and_cache(self):
+        system = _system(parallel={"workers": 2, "chunk_size": 8})
+        try:
+            assert system.parallel is not None
+            assert system.tree.match_cache is not None
+            assert system.parallel.policy.workers == 2
+            assert system.parallel.policy.chunk_size == 8
+        finally:
+            system.parallel.close()
+
+    def test_subscriptions_register_with_the_matcher(self):
+        system = _system(parallel={"workers": 2})
+        try:
+            system.subscribe(
+                "w", Filter.numeric_range("news", "price", 0, 63)
+            )
+            assert system.parallel.filter_count == 1
+        finally:
+            system.parallel.close()
+
+    def test_parallel_stats_shape(self):
+        system = _system(parallel={"workers": 2})
+        try:
+            stats = system.parallel_stats()
+            assert stats["workers"] == 2
+            assert stats["tasks"] == 0
+            assert "primed_verdicts" in stats
+        finally:
+            system.parallel.close()
+
+    def test_without_parallel_stats_is_empty(self):
+        system = _system()
+        assert system.parallel is None
+        assert system.parallel_stats() == {}
+
+    def test_publishing_still_works_with_parallel_armed(self):
+        system = _system(parallel={"workers": 2})
+        try:
+            watcher = system.subscribe(
+                "w", Filter.numeric_range("news", "price", 0, 63)
+            )
+            feed = system.publisher("feed")
+            feed.publish(
+                Event({"topic": "news", "price": 10, "body": "hi"},
+                      publisher="feed")
+            )
+            assert len(watcher.opened) == 1
+            assert watcher.opened[0].event["body"] == "hi"
+        finally:
+            system.parallel.close()
+
+
+class TestExplicitShedVerdict:
+    def test_disseminate_returns_fanout_and_shed(self):
+        system = _system(admission={"rate": 10.0, "burst": 1.0,
+                                    "reserve": 0.0})
+        system.subscribe("w", Filter.numeric_range("news", "price", 0, 127))
+        feed = system.publisher("feed")
+        sealed = feed.engine.publish(
+            Event({"topic": "news", "price": 1, "b": "x"}, publisher="feed")
+        )
+        fanout, shed = system._disseminate(sealed, 0.0)
+        assert fanout >= 1 and shed is False
+        fanout, shed = system._disseminate(sealed, 0.0)  # bucket drained
+        assert fanout == 0 and shed is True
+        assert system.shed_events == 1
+
+    def test_session_shed_count_needs_no_counter_diff(self):
+        system = _system(admission={"rate": 10.0, "burst": 2.0,
+                                    "reserve": 0.0})
+        system.subscribe("w", Filter.numeric_range("news", "price", 0, 127))
+        feed = system.publisher("feed")
+        for k in range(6):
+            feed.publish(
+                Event({"topic": "news", "price": k, "b": "x"},
+                      publisher="feed"),
+                at_time=0.0,
+            )
+        assert feed.shed == 4
+        assert system.shed_events == 4
+        assert system.admission.rejected == 4
+
+    def test_prebuilt_controller_still_counts_metric(self):
+        controller = AdmissionController(rate=5.0, burst=1.0, reserve=0.0)
+        system = (
+            System.builder()
+            .topic("news", numeric={})
+            .admission(controller)
+            .build()
+        )
+        feed = system.publisher("feed")
+        for _ in range(3):
+            feed.publish(
+                Event({"topic": "news", "b": "x"}, publisher="feed"),
+                at_time=0.0,
+            )
+        assert system.shed_events == 2
+        assert controller.rejected == 2

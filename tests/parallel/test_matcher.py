@@ -1,0 +1,191 @@
+"""ShardedMatcher: priming, fallbacks, and pool lifecycle."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import ParallelPolicy, ShardedMatcher
+from repro.routing.tokens import (
+    TokenAuthority,
+    tokenize_event,
+    tokenized_match,
+    tokenized_subscription,
+)
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+from repro.siena.index import MatchResultCache
+from repro.siena.network import BrokerTree
+
+MASTER = bytes(range(16))
+
+
+def _plain_matcher(workers=2, **kwargs):
+    return ShardedMatcher(
+        ParallelPolicy(workers=workers, chunk_size=4), match="plain", **kwargs
+    )
+
+
+def _fallback_count(matcher, reason):
+    counter = matcher.registry.get(
+        "parallel_serial_fallbacks_total", reason=reason
+    )
+    return counter.value if counter is not None else 0
+
+
+class TestFallbacks:
+    def test_serial_policy_never_spawns_a_pool(self):
+        matcher = _plain_matcher(workers=1)
+        matcher.register_filter(Filter.topic("a"))
+        cache = MatchResultCache()
+        assert matcher.prime([Event({"topic": "a"})], cache) == 0
+        assert matcher.serial_fallbacks == 1
+        assert _fallback_count(matcher, "serial_policy") == 1
+        assert not matcher.stats()["pool_live"]
+
+    def test_no_cache_falls_back(self):
+        with _plain_matcher() as matcher:
+            matcher.register_filter(Filter.topic("a"))
+            assert matcher.prime([Event({"topic": "a"})]) == 0
+            assert _fallback_count(matcher, "no_cache") == 1
+
+    def test_unwireable_events_fall_back(self):
+        with _plain_matcher() as matcher:
+            matcher.register_filter(Filter.topic("a"))
+            cache = MatchResultCache()
+            bad = [Event({"topic": "a", "flag": True})]  # bool: no wire tag
+            assert matcher.prime(bad, cache) == 0
+            assert _fallback_count(matcher, "unwireable_events") == 1
+
+    def test_closed_matcher_falls_back(self):
+        matcher = _plain_matcher()
+        matcher.register_filter(Filter.topic("a"))
+        matcher.close()
+        cache = MatchResultCache()
+        assert matcher.prime([Event({"topic": "a"})], cache) == 0
+        assert _fallback_count(matcher, "closed") == 1
+
+    def test_empty_batch_and_empty_table_are_silent_noops(self):
+        with _plain_matcher() as matcher:
+            cache = MatchResultCache()
+            assert matcher.prime([], cache) == 0
+            assert matcher.prime([Event({"topic": "a"})], cache) == 0
+            assert matcher.serial_fallbacks == 0
+
+
+class TestPriming:
+    def test_primed_verdicts_match_direct_evaluation(self):
+        with _plain_matcher() as matcher:
+            filters = [Filter.topic(t) for t in ("a", "b", "c")]
+            for subscription_filter in filters:
+                matcher.register_filter(subscription_filter)
+            cache = MatchResultCache()
+            events = [Event({"topic": t, "n": n})
+                      for n, t in enumerate(("a", "b", "a", "d"))]
+            primed = matcher.prime(events, cache)
+            assert primed == len(filters) * len(events)
+            for event in events:
+                for subscription_filter in filters:
+                    assert cache.lookup(subscription_filter, event) == (
+                        subscription_filter.matches(event)
+                    )
+
+    def test_attached_cache_is_default_sink(self):
+        with _plain_matcher() as matcher:
+            matcher.register_filter(Filter.topic("a"))
+            cache = MatchResultCache()
+            matcher.attach_cache(cache)
+            assert matcher.prime([Event({"topic": "a"})]) > 0
+            assert cache.lookup(Filter.topic("a"), Event({"topic": "a"}))
+
+    def test_tokenized_priming_seeds_topic_group_memo(self):
+        authority = TokenAuthority(MASTER)
+        subscription = tokenized_subscription(authority, "news")
+        [token_constraint] = subscription.constraints
+        group = token_constraint.value
+        with ShardedMatcher(
+            ParallelPolicy(workers=2, chunk_size=4), match="tokenized"
+        ) as matcher:
+            matcher.register_filter(subscription)
+            cache = MatchResultCache()
+            event = tokenize_event(authority, Event({}), {}, "news")
+            assert matcher.prime([event], cache) > 0
+            from repro.routing.tokens import TOPIC_TOKEN_ATTRIBUTE
+
+            assert cache.topic_group(event.get(TOPIC_TOKEN_ATTRIBUTE)) == group
+            assert cache.lookup(subscription, event) is True
+
+    def test_task_and_busy_accounting(self):
+        with _plain_matcher() as matcher:
+            matcher.register_filter(Filter.topic("a"))
+            cache = MatchResultCache()
+            matcher.prime(
+                [Event({"topic": "a", "n": n}) for n in range(10)], cache
+            )
+            # 10 events / chunk 4 = 3 chunks x 2 shards = 6 tasks.
+            assert matcher.tasks == 6
+            assert matcher.busy_seconds >= 0.0
+            stats = matcher.stats()
+            assert stats["tasks"] == 6
+            assert stats["pool_live"]
+
+
+class TestPoolLifecycle:
+    def test_filter_change_rebuilds_pool(self):
+        with _plain_matcher() as matcher:
+            matcher.register_filter(Filter.topic("a"))
+            cache = MatchResultCache()
+            matcher.prime([Event({"topic": "a"})], cache)
+            assert matcher.rebuilds == 0
+            matcher.register_filter(Filter.topic("b"))
+            matcher.prime([Event({"topic": "b"})], cache)
+            assert matcher.rebuilds == 1
+            assert cache.lookup(Filter.topic("b"), Event({"topic": "b"}))
+
+    def test_refcounted_unregister(self):
+        matcher = _plain_matcher()
+        subscription = Filter.topic("a")
+        matcher.register_filter(subscription)
+        matcher.register_filter(subscription)
+        matcher.unregister_filter(subscription)
+        assert matcher.filter_count == 1
+        matcher.unregister_filter(subscription)
+        assert matcher.filter_count == 0
+        matcher.unregister_filter(subscription)  # over-unregister: no-op
+        assert matcher.filter_count == 0
+
+    def test_invalid_match_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedMatcher(ParallelPolicy(workers=2), match="wrong")
+
+
+class TestTreeBinding:
+    def test_bind_parallel_registers_existing_and_future_filters(self):
+        registry = MetricsRegistry()
+        cache = MatchResultCache(registry=registry)
+        tree = BrokerTree(
+            num_brokers=3, registry=registry, match_cache=cache
+        )
+        tree.attach_subscriber("s", tree.leaf_ids()[0], lambda _e: None)
+        tree.subscribe("s", Filter.topic("pre"))
+        with _plain_matcher(registry=registry) as matcher:
+            tree.bind_parallel(matcher)
+            assert matcher.filter_count == 1
+            tree.subscribe("s", Filter.topic("post"))
+            assert matcher.filter_count == 2
+            tree.unsubscribe("s", Filter.topic("pre"))
+            assert matcher.filter_count == 1
+
+    def test_batch_publish_primes_through_bound_matcher(self):
+        registry = MetricsRegistry()
+        cache = MatchResultCache(registry=registry)
+        tree = BrokerTree(
+            num_brokers=3, registry=registry, match_cache=cache
+        )
+        got = []
+        tree.attach_subscriber("s", tree.leaf_ids()[0], got.append)
+        tree.subscribe("s", Filter.topic("news"))
+        with _plain_matcher(registry=registry) as matcher:
+            tree.bind_parallel(matcher)
+            events = [Event({"topic": "news", "n": n}) for n in range(6)]
+            tree.publish(events)
+            assert [e.get("n") for e in got] == list(range(6))
+            assert matcher.primed_verdicts > 0

@@ -1,0 +1,46 @@
+"""ParallelPolicy validation and the serial/parallel boundary."""
+
+import pytest
+
+from repro.parallel import ParallelPolicy
+
+
+def test_defaults_are_serial():
+    policy = ParallelPolicy()
+    assert policy.workers == 0
+    assert policy.chunk_size == 64
+    assert not policy.parallel
+
+
+@pytest.mark.parametrize("workers", [0, 1])
+def test_one_or_zero_workers_stays_serial(workers):
+    assert not ParallelPolicy(workers=workers).parallel
+
+
+@pytest.mark.parametrize("workers", [2, 4, 8])
+def test_two_plus_workers_arms_the_pool(workers):
+    assert ParallelPolicy(workers=workers).parallel
+
+
+def test_negative_workers_rejected():
+    with pytest.raises(ValueError):
+        ParallelPolicy(workers=-1)
+
+
+def test_zero_chunk_size_rejected():
+    with pytest.raises(ValueError):
+        ParallelPolicy(workers=2, chunk_size=0)
+
+
+def test_policy_is_frozen_and_hashable():
+    policy = ParallelPolicy(workers=4, chunk_size=16)
+    with pytest.raises(Exception):
+        policy.workers = 8
+    assert hash(policy) == hash(ParallelPolicy(workers=4, chunk_size=16))
+
+
+def test_reexported_from_top_level():
+    import repro
+
+    assert repro.ParallelPolicy is ParallelPolicy
+    assert "ParallelPolicy" in repro.__all__

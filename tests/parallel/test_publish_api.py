@@ -1,0 +1,196 @@
+"""The unified ``publish`` surface across every dissemination layer.
+
+One method, one shape -- ``publish(events, *, at_time=..., parallel=...)``
+accepting a single event or a batch -- on ``Broker``, ``BrokerTree``,
+``SimulatedPubSub`` (= ``TimedBrokerTree``), and the multipath router,
+with ``publish_batch`` demoted to a warning deprecated alias everywhere.
+"""
+
+import pytest
+
+from repro.net import SimulatedPubSub, TimedBrokerTree
+from repro.net.sim import Simulator
+from repro.routing.multipath import ProbabilisticRouter
+from repro.siena.broker import Broker
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+from repro.siena.network import BrokerTree
+from repro.topology.multipath import MultipathNetwork
+
+
+class TestBrokerUnifiedPublish:
+    def test_single_event(self):
+        broker = Broker("b")
+        got = []
+        broker.attach_client("s", got.append)
+        broker.subscribe("s", Filter.topic("news"))
+        assert broker.publish(Event({"topic": "news"})) == 1
+        assert len(got) == 1
+
+    def test_batch(self):
+        broker = Broker("b")
+        got = []
+        broker.attach_client("s", got.append)
+        broker.subscribe("s", Filter.topic("news"))
+        events = [Event({"topic": "news", "n": n}) for n in range(3)]
+        # Batch return counts outgoing interfaces, not deliveries.
+        assert broker.publish(events) == 1
+        assert broker.stats.deliveries == 3
+        assert [e.get("n") for e in got] == [0, 1, 2]
+
+    def test_publish_batch_is_deprecated_alias(self):
+        broker = Broker("b")
+        got = []
+        broker.attach_client("s", got.append)
+        broker.subscribe("s", Filter.topic("news"))
+        with pytest.deprecated_call():
+            broker.publish_batch([Event({"topic": "news"})])
+        assert len(got) == 1
+
+
+class TestBrokerTreeUnifiedPublish:
+    def _tree(self):
+        tree = BrokerTree(num_brokers=3)
+        got = []
+        tree.attach_subscriber("s", tree.leaf_ids()[0], got.append)
+        tree.subscribe("s", Filter.topic("news"))
+        return tree, got
+
+    def test_single_and_batch_same_surface(self):
+        tree, got = self._tree()
+        tree.publish(Event({"topic": "news", "n": 0}))
+        tree.publish([Event({"topic": "news", "n": n}) for n in (1, 2)])
+        assert [e.get("n") for e in got] == [0, 1, 2]
+
+    def test_at_time_accepted(self):
+        tree, got = self._tree()
+        tree.publish(Event({"topic": "news"}), at_time=5.0)
+        assert len(got) == 1
+
+    def test_publish_batch_is_deprecated_alias(self):
+        tree, got = self._tree()
+        with pytest.deprecated_call():
+            tree.publish_batch([Event({"topic": "news"})])
+        assert len(got) == 1
+
+
+class TestTimedOverlayUnifiedPublish:
+    def test_timed_broker_tree_is_the_simulated_pubsub(self):
+        assert TimedBrokerTree is SimulatedPubSub
+
+    def _net(self):
+        sim = Simulator()
+        net = SimulatedPubSub(sim, num_brokers=3)
+        net.attach_subscriber("s", net.leaf_ids()[0])
+        net.subscribe("s", Filter.topic("news"))
+        return sim, net
+
+    def test_single_event_returns_seq(self):
+        sim, net = self._net()
+        seq = net.publish(Event({"topic": "news"}))
+        assert isinstance(seq, int)
+        sim.run(until=1.0)
+        assert len(net.deliveries) == 1
+
+    def test_batch_returns_seq_list(self):
+        sim, net = self._net()
+        seqs = net.publish([Event({"topic": "news", "n": n})
+                            for n in range(3)])
+        assert isinstance(seqs, list) and len(seqs) == 3
+        sim.run(until=1.0)
+        assert len(net.deliveries) == 3
+
+    def test_at_time_schedules_absolute(self):
+        sim, net = self._net()
+        net.publish(Event({"topic": "news"}), at_time=1.5)
+        sim.run(until=3.0)
+        assert len(net.deliveries) == 1
+        assert net.deliveries[0].published_at >= 1.5
+
+    def test_delay_and_at_time_conflict(self):
+        _sim, net = self._net()
+        with pytest.raises(ValueError):
+            net.publish(Event({"topic": "news"}), delay=1.0, at_time=2.0)
+
+    def test_parallel_accepted_and_ignored(self):
+        sim, net = self._net()
+        net.publish([Event({"topic": "news"})], parallel=object())
+        sim.run(until=1.0)
+        assert len(net.deliveries) == 1
+
+    def test_publish_batch_is_deprecated_alias(self):
+        sim, net = self._net()
+        with pytest.deprecated_call():
+            net.publish_batch([Event({"topic": "news"})])
+        sim.run(until=1.0)
+        assert len(net.deliveries) == 1
+
+
+class TestMultipathUnifiedPublish:
+    def _router(self):
+        network = MultipathNetwork(depth=3, arity=2, ind=2)
+        return network, ProbabilisticRouter(network, {"t": 2.0}, seed=3)
+
+    def test_single_event_routes_one_path(self):
+        network, router = self._router()
+        path = router.publish(
+            Event({"topic": "t"}), "t", network.subscribers()[0]
+        )
+        assert path
+        assert router.registry.get("multipath_routes_total").value == 1
+
+    def test_batch_routes_once_counts_all(self):
+        network, router = self._router()
+        events = [Event({"topic": "t", "n": n}) for n in range(4)]
+        path = router.publish(events, "t", network.subscribers()[0])
+        assert path
+        assert router.registry.get("multipath_routes_total").value == 4
+        assert router.registry.get("multipath_batch_routes_total").value == 1
+
+    def test_at_time_and_parallel_ignored(self):
+        network, router = self._router()
+        path = router.publish(
+            Event({"topic": "t"}), "t", network.subscribers()[0],
+            at_time=9.0, parallel=object(),
+        )
+        assert path
+
+
+class TestEngineTransportDispatch:
+    def test_engine_prefers_unified_publish(self):
+        calls = []
+
+        class ModernTransport:
+            def publish(self, events, parallel=None):
+                calls.append(("publish", list(events), parallel))
+
+            def publish_batch(self, events):  # pragma: no cover
+                calls.append(("publish_batch", list(events), None))
+
+        from repro.engine import DisseminationEngine, EngineConfig
+
+        sentinel = object()
+        engine = DisseminationEngine(
+            ModernTransport(), EngineConfig(batch_size=2), parallel=sentinel
+        )
+        engine.publish(Event({"topic": "t", "n": 1}))
+        engine.publish(Event({"topic": "t", "n": 2}))
+        assert len(calls) == 1
+        kind, events, parallel = calls[0]
+        assert kind == "publish" and len(events) == 2
+        assert parallel is sentinel
+
+    def test_engine_falls_back_to_legacy_publish_batch(self):
+        calls = []
+
+        class LegacyTransport:
+            def publish_batch(self, events):
+                calls.append(list(events))
+
+        from repro.engine import DisseminationEngine, EngineConfig
+
+        engine = DisseminationEngine(LegacyTransport(),
+                                     EngineConfig(batch_size=2))
+        engine.publish(Event({"topic": "t", "n": 1}))
+        engine.publish(Event({"topic": "t", "n": 2}))
+        assert len(calls) == 1 and len(calls[0]) == 2

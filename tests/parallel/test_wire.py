@@ -1,0 +1,154 @@
+"""Compact wire forms crossing the worker-process boundary.
+
+The parallel layer ships events, filters, and sealed envelopes between
+processes as canonical bytes rather than pickled object graphs; these
+tests pin down round-trip fidelity, canonicality (equal objects encode
+to equal bytes regardless of construction order), picklability of the
+wire forms, and cross-process-stable shard assignment.
+"""
+
+import pickle
+import zlib
+
+import pytest
+
+from repro.core.composite import CompositeKeySpace
+from repro.core.envelope import SealedEvent, open_event, seal_event
+from repro.core.nakt import NumericKeySpace
+from repro.parallel import (
+    decode_events,
+    decode_filters,
+    encode_events,
+    encode_filters,
+    shard_of,
+)
+from repro.siena.events import Event
+from repro.siena.filters import Constraint, Filter
+from repro.siena.operators import Op
+
+TOPIC_KEY = bytes(range(16))
+
+
+class TestEventWire:
+    def test_round_trip_all_value_types(self):
+        event = Event(
+            {"topic": "news", "price": 42, "weight": 2.5, "blob": b"\x00\xff"},
+            publisher="P",
+        )
+        assert Event.from_bytes(event.to_bytes()) == event
+
+    def test_round_trip_without_publisher(self):
+        event = Event({"topic": "t", "v": 1})
+        decoded = Event.from_bytes(event.to_bytes())
+        assert decoded == event
+        assert decoded.publisher is None
+
+    def test_bool_values_rejected(self):
+        with pytest.raises(TypeError):
+            Event({"topic": "t", "flag": True}).to_bytes()
+
+    def test_batch_round_trip(self):
+        events = [Event({"topic": "t", "n": n}) for n in range(5)]
+        assert decode_events(encode_events(events)) == events
+
+    def test_empty_batch(self):
+        assert decode_events(encode_events([])) == []
+
+    def test_wire_form_pickles(self):
+        events = [Event({"topic": "t", "n": n}, publisher="P")
+                  for n in range(3)]
+        wire = encode_events(events)
+        assert decode_events(pickle.loads(pickle.dumps(wire))) == events
+
+
+class TestFilterWire:
+    def test_round_trip(self):
+        subscription = Filter.of(
+            Constraint("topic", Op.EQ, "news"),
+            Constraint("price", Op.LT, 100),
+            Constraint("tag", Op.PREFIX, "a"),
+        )
+        assert Filter.from_bytes(subscription.to_bytes()) == subscription
+
+    def test_presence_constraint_round_trips(self):
+        subscription = Filter.of(Constraint("price", Op.ANY, None))
+        assert Filter.from_bytes(subscription.to_bytes()) == subscription
+
+    def test_encoding_is_canonical(self):
+        # Equal filters built with constraints in different order must
+        # encode identically -- shard assignment hashes these bytes.
+        a = Filter.of(
+            Constraint("x", Op.EQ, 1), Constraint("y", Op.EQ, 2)
+        )
+        b = Filter.of(
+            Constraint("y", Op.EQ, 2), Constraint("x", Op.EQ, 1)
+        )
+        assert a == b
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_table_round_trip(self):
+        filters = [Filter.topic(f"t{i}") for i in range(4)]
+        assert decode_filters(encode_filters(filters)) == filters
+
+    def test_wire_form_pickles(self):
+        filters = [Filter.topic("a"), Filter.topic("b")]
+        wire = encode_filters(filters)
+        assert decode_filters(pickle.loads(pickle.dumps(wire))) == filters
+
+
+class TestSealedEventWire:
+    def _sealed(self):
+        schema = CompositeKeySpace({"age": NumericKeySpace("age", 128)})
+        event = Event(
+            {"topic": "trial", "age": 25, "record": "r-17"}, publisher="P"
+        )
+        return schema, seal_event(event, schema, TOPIC_KEY, {"record"})
+
+    def test_round_trip_preserves_everything(self):
+        _schema, sealed = self._sealed()
+        decoded = SealedEvent.from_bytes(sealed.to_bytes())
+        assert decoded == sealed
+
+    def test_decoded_envelope_still_opens(self):
+        schema, sealed = self._sealed()
+        decoded = SealedEvent.from_bytes(sealed.to_bytes())
+        leaf_key = schema.space_for("age").encryption_key(TOPIC_KEY, 25)[1]
+        result = open_event(decoded, schema, {"age": leaf_key})
+        assert result.event["record"] == "r-17"
+
+    def test_origin_and_sequence_round_trip(self):
+        schema = CompositeKeySpace({})
+        sealed = seal_event(
+            Event({"topic": "t", "m": "x"}), schema, TOPIC_KEY, {"m"}
+        )
+        stamped = SealedEvent(
+            routable=sealed.routable,
+            elements=sealed.elements,
+            locks=sealed.locks,
+            ciphertext=sealed.ciphertext,
+            direct=sealed.direct,
+            origin="pub-1",
+            sequence=42,
+        )
+        decoded = SealedEvent.from_bytes(stamped.to_bytes())
+        assert decoded.origin == "pub-1"
+        assert decoded.sequence == 42
+
+    def test_wire_form_pickles(self):
+        _schema, sealed = self._sealed()
+        wire = pickle.loads(pickle.dumps(sealed.to_bytes()))
+        assert SealedEvent.from_bytes(wire) == sealed
+
+
+class TestShardAssignment:
+    def test_crc32_based_not_hash_based(self):
+        # hash() is salted per process; crc32 over canonical bytes isn't.
+        assert shard_of("group", 4) == zlib.crc32(b"group") % 4
+        assert shard_of(b"group", 4) == zlib.crc32(b"group") % 4
+
+    def test_every_shard_in_range(self):
+        for i in range(64):
+            assert 0 <= shard_of(f"key-{i}", 5) < 5
+
+    def test_single_shard_degenerates(self):
+        assert shard_of("anything", 1) == 0
