@@ -43,6 +43,7 @@ from repro.siena.network import BrokerTree
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.parallel.executor import ShardedMatcher
+    from repro.rtnet.live import LiveSystem
 
 
 class SessionPublisher:
@@ -268,6 +269,7 @@ class SystemBuilder:
         self._topics: list[tuple[str, CompositeKeySpace, float, bool]] = []
         self._admission: AdmissionController | dict | None = None
         self._parallel: dict | None = None
+        self._transport = "inproc"
 
     def brokers(self, num_brokers: int, arity: int = 2) -> "SystemBuilder":
         """Size the dissemination tree."""
@@ -333,6 +335,17 @@ class SystemBuilder:
         self._parallel = {"workers": workers, "chunk_size": chunk_size}
         return self
 
+    def transport(self, kind: str) -> "SystemBuilder":
+        """Choose how events move: ``"inproc"`` (default) keeps the
+        synchronous in-process :class:`~repro.siena.network.BrokerTree`;
+        ``"tcp"`` deploys the same broker tree as a localhost TCP
+        cluster (:class:`repro.rtnet.LiveSystem`) -- real sockets,
+        framed PSE2 events, tokenized in-network matching."""
+        if kind not in ("inproc", "tcp"):
+            raise ValueError(f"unknown transport {kind!r}")
+        self._transport = kind
+        return self
+
     def topic(
         self,
         name: str,
@@ -352,7 +365,7 @@ class SystemBuilder:
         self._topics.append((name, schema, epoch_length, per_publisher))
         return self
 
-    def build(self) -> System:
+    def build(self) -> "System | LiveSystem":
         obs = self._obs if self._obs is not None else Observability()
         kdc = self._kdc
         if kdc is None:
@@ -363,6 +376,17 @@ class SystemBuilder:
             )
         for name, schema, epoch_length, per_publisher in self._topics:
             kdc.register_topic(name, schema, epoch_length, per_publisher)
+        if self._transport == "tcp":
+            if self._admission is not None or self._parallel is not None:
+                raise ValueError(
+                    "admission control and parallel matching are not yet "
+                    "wired through the tcp transport"
+                )
+            from repro.rtnet.live import LiveSystem
+
+            return LiveSystem(
+                kdc, obs, num_brokers=self._num_brokers, arity=self._arity
+            )
         matcher = None
         match_cache = None
         if self._parallel is not None:

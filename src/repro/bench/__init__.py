@@ -8,6 +8,11 @@ Three suites, selected with ``repro bench --suite``:
   shedding, and fairness on the simulated flow-controlled overlay;
 - ``parallel`` (:func:`run_parallel_bench`): the sharded
   matcher/crypto-pool worker ladder against the serial path.
+
+``repro livebench`` (:func:`run_rtnet_bench`) is the fourth, socket-path
+suite: the same Zipf workload through a real localhost TCP broker tree
+(:mod:`repro.rtnet`), gated on stream equivalence with an in-process
+reference run.
 """
 
 from __future__ import annotations
@@ -36,24 +41,36 @@ from repro.bench.parallel import (
     render_parallel_report,
     run_parallel_bench,
 )
+from repro.bench.rtnet import (
+    BENCH_RTNET_SCHEMA,
+    RtnetBenchConfig,
+    check_rtnet_regression,
+    render_rtnet_report,
+    run_rtnet_bench,
+)
 
 __all__ = [
     "BENCH_OVERLOAD_SCHEMA",
     "BENCH_PARALLEL_SCHEMA",
+    "BENCH_RTNET_SCHEMA",
     "BENCH_SCHEMA",
     "BenchConfig",
     "OverloadBenchConfig",
     "ParallelBenchConfig",
+    "RtnetBenchConfig",
     "check_overload_regression",
     "check_parallel_regression",
     "check_regression",
+    "check_rtnet_regression",
     "load_report",
     "render_overload_report",
     "render_parallel_report",
     "render_report",
+    "render_rtnet_report",
     "run_bench",
     "run_overload_bench",
     "run_parallel_bench",
+    "run_rtnet_bench",
     "write_overload_report",
     "write_report",
 ]

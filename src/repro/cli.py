@@ -27,6 +27,13 @@ new harness scenario only writes its own handler; ``build_parser`` and
 - ``bench``          -- drive the same Zipf workload through the legacy
                         per-event path and the batched ``repro.engine``,
                         write ``BENCH_engine.json``, and optionally gate
+                        against a committed baseline (``--check``);
+- ``serve``          -- run one rtnet broker server on a TCP socket,
+                        optionally dialing a parent broker (a cluster is
+                        N ``serve`` processes, or ``livebench`` in one);
+- ``livebench``      -- push a Zipf workload through a localhost TCP
+                        broker tree (:mod:`repro.rtnet`), write
+                        ``BENCH_rtnet.json``, and optionally gate
                         against a committed baseline (``--check``).
 
 Randomized commands share one ``--seed`` option (:func:`add_seed_option`)
@@ -809,7 +816,156 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- serve --------------------------------------------------------------------
+
+
+def _serve_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--broker-id", default="b0",
+                        help="this broker's overlay identifier")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="listen port (0 picks a free one)")
+    parser.add_argument("--parent", metavar="HOST:PORT", default=None,
+                        help="dial this parent broker after binding")
+    parser.add_argument("--egress-capacity", type=int, default=512,
+                        help="per-peer bounded egress queue depth")
+
+
+@command(
+    "serve",
+    "run one rtnet broker server on a TCP socket",
+    configure=_serve_args,
+)
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.rtnet import BrokerServer
+
+    async def serve() -> None:
+        server = BrokerServer(
+            args.broker_id,
+            host=args.host,
+            port=args.port,
+            egress_capacity=args.egress_capacity,
+        )
+        await server.start()
+        print(f"broker {args.broker_id} listening on "
+              f"{server.host}:{server.port}", file=sys.stderr)
+        if args.parent:
+            host, _, port = args.parent.rpartition(":")
+            await server.connect_parent(host, int(port))
+            print(f"attached to parent at {args.parent}", file=sys.stderr)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+# -- livebench ----------------------------------------------------------------
+
+
+def _livebench_args(parser: argparse.ArgumentParser) -> None:
+    add_seed_option(parser)
+    parser.add_argument("--events", type=int, default=200,
+                        help="publications pushed through the cluster")
+    parser.add_argument("--brokers", type=int, default=7,
+                        help="loopback TCP tree size")
+    parser.add_argument("--arity", type=int, default=2)
+    parser.add_argument("--subscribers", type=int, default=8)
+    parser.add_argument("--topics", type=int, default=16,
+                        help="topic population (multiple of 4)")
+    parser.add_argument("--topics-per-subscriber", type=int, default=4)
+    parser.add_argument("--output", metavar="PATH",
+                        default="BENCH_rtnet.json",
+                        help="machine-readable report destination")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate this run against a committed baseline report",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        default="benchmarks/baselines/BENCH_rtnet.json",
+        help="baseline report for --check",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional regression before --check fails",
+    )
+
+
+@command(
+    "livebench",
+    "benchmark dissemination over a localhost TCP broker tree",
+    configure=_livebench_args,
+)
+def _cmd_livebench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        RtnetBenchConfig,
+        check_rtnet_regression,
+        load_report,
+        render_rtnet_report,
+        run_rtnet_bench,
+        write_report,
+    )
+
+    try:
+        config = RtnetBenchConfig(
+            seed=args.seed,
+            events=args.events,
+            num_brokers=args.brokers,
+            arity=args.arity,
+            num_subscribers=args.subscribers,
+            num_topics=args.topics,
+            topics_per_subscriber=args.topics_per_subscriber,
+        )
+        report = run_rtnet_bench(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    write_report(report, args.output)
+    print(render_rtnet_report(report))
+    print(f"wrote report to {args.output}", file=sys.stderr)
+    if not report["equivalence"]["holds"]:
+        print("error: socket-path deliveries diverge from the in-process "
+              "reference", file=sys.stderr)
+        return 1
+    if args.check:
+        try:
+            baseline = load_report(args.baseline)
+        except OSError as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        problems = check_rtnet_regression(report, baseline, args.tolerance)
+        for problem in problems:
+            print(f"regression: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("livebench check passed: within tolerance of the baseline",
+              file=sys.stderr)
+    return 0
+
+
 # -- parser / entry point -----------------------------------------------------
+
+
+def _distribution_version() -> str:
+    """The running build's version, for ``repro --version``."""
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        # Source checkouts run uninstalled (PYTHONPATH=src); fall back
+        # to the package's own notion of its version.
+        import repro
+
+        return getattr(repro, "__version__", "0.0.0+unknown")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -818,6 +974,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PSGuard: secure event dissemination in pub-sub "
         "networks (ICDCS 2007 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {_distribution_version()}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for entry in commands():

@@ -15,6 +15,7 @@ whole point.
 from __future__ import annotations
 
 import struct
+from contextlib import contextmanager
 
 from repro.core.composite import AuthorizationComponent
 from repro.core.envelope import Lock, SealedEvent
@@ -35,6 +36,28 @@ _EVENT_FLAG_ENVELOPE = 0x01
 
 _ELEMENT_KTID = 0
 _ELEMENT_TEXT = 1
+
+
+@contextmanager
+def _decoding(what: str):
+    """Normalize low-level decode failures into :class:`ValueError`.
+
+    Framed network input must never crash a broker with an unexpected
+    exception type: a short buffer raises ``struct.error`` (or
+    ``IndexError`` on a direct byte read), corrupt text raises
+    ``UnicodeDecodeError``, and an unknown operator name raises
+    ``KeyError``.  All of them mean the same thing to a receiver --
+    "this buffer is not a valid <what>" -- so they all surface as
+    ``ValueError``.
+    """
+    try:
+        yield
+    except (struct.error, IndexError) as exc:
+        raise ValueError(f"truncated {what}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise ValueError(f"corrupt text in {what}: {exc}") from exc
+    except KeyError as exc:
+        raise ValueError(f"unknown name in {what}: {exc}") from exc
 
 
 def _pack_bytes(data: bytes) -> bytes:
@@ -129,6 +152,25 @@ def _unpack_filter(data: bytes, offset: int) -> tuple[Filter, int]:
     return Filter(constraints), offset
 
 
+def encode_filter(subscription: Filter) -> bytes:
+    """Serialize one :class:`~repro.siena.filters.Filter`.
+
+    The encoding is the same one grants embed per clause; exposed on its
+    own so network control frames (SUBSCRIBE/UNSUBSCRIBE in
+    :mod:`repro.rtnet.frames`) can carry filters as byte strings.
+    """
+    return _pack_filter(subscription)
+
+
+def decode_filter(data: bytes) -> Filter:
+    """Inverse of :func:`encode_filter`; rejects trailing bytes."""
+    with _decoding("filter"):
+        subscription, offset = _unpack_filter(data, 0)
+    if offset != len(data):
+        raise ValueError("trailing bytes after filter")
+    return subscription
+
+
 # -- grants --------------------------------------------------------------------
 
 
@@ -156,29 +198,34 @@ def decode_grant(data: bytes) -> AuthorizationGrant:
     """Inverse of :func:`encode_grant`."""
     if data[:4] != _MAGIC_GRANT:
         raise ValueError("not a serialized grant")
-    offset = 4
-    subscriber, offset = _unpack_text(data, offset)
-    topic, offset = _unpack_text(data, offset)
-    epoch, expires_at, hash_operations = struct.unpack_from(
-        ">qdI", data, offset
-    )
-    offset += 20
-    (clause_count,) = struct.unpack_from(">H", data, offset)
-    offset += 2
-    clauses = []
-    for _ in range(clause_count):
-        clause_filter, offset = _unpack_filter(data, offset)
-        (component_count,) = struct.unpack_from(">H", data, offset)
+    with _decoding("grant"):
+        offset = 4
+        subscriber, offset = _unpack_text(data, offset)
+        topic, offset = _unpack_text(data, offset)
+        epoch, expires_at, hash_operations = struct.unpack_from(
+            ">qdI", data, offset
+        )
+        offset += 20
+        (clause_count,) = struct.unpack_from(">H", data, offset)
         offset += 2
-        components = []
-        for _ in range(component_count):
-            attribute, offset = _unpack_text(data, offset)
-            element, offset = _unpack_element(data, offset)
-            key, offset = _unpack_bytes(data, offset)
-            components.append(
-                AuthorizationComponent(attribute, element, key)
+        clauses = []
+        for _ in range(clause_count):
+            clause_filter, offset = _unpack_filter(data, offset)
+            (component_count,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            components = []
+            for _ in range(component_count):
+                attribute, offset = _unpack_text(data, offset)
+                element, offset = _unpack_element(data, offset)
+                key, offset = _unpack_bytes(data, offset)
+                components.append(
+                    AuthorizationComponent(attribute, element, key)
+                )
+            clauses.append(
+                ClauseGrant(clause_filter, topic, tuple(components))
             )
-        clauses.append(ClauseGrant(clause_filter, topic, tuple(components)))
+    if offset != len(data):
+        raise ValueError("trailing bytes after grant")
     return AuthorizationGrant(
         subscriber=subscriber,
         topic=topic,
@@ -224,43 +271,44 @@ def decode_sealed_event(data: bytes) -> SealedEvent:
     """Inverse of :func:`encode_sealed_event` (``PSE1`` still accepted)."""
     origin: str | None = None
     sequence: int | None = None
-    if data[:4] == _MAGIC_EVENT:
-        offset = 4
-        flags = data[offset]
+    with _decoding("sealed event"):
+        if data[:4] == _MAGIC_EVENT:
+            offset = 4
+            flags = data[offset]
+            offset += 1
+            if flags & ~_EVENT_FLAG_ENVELOPE:
+                raise ValueError(f"unknown sealed-event flags {flags:#x}")
+            if flags & _EVENT_FLAG_ENVELOPE:
+                origin, offset = _unpack_text(data, offset)
+                (sequence,) = struct.unpack_from(">q", data, offset)
+                offset += 8
+        elif data[:4] == _MAGIC_EVENT_V1:
+            offset = 4  # legacy frame: no flags, no envelope metadata
+        else:
+            raise ValueError("not a serialized sealed event")
+        direct = bool(data[offset])
         offset += 1
-        if flags & ~_EVENT_FLAG_ENVELOPE:
-            raise ValueError(f"unknown sealed-event flags {flags:#x}")
-        if flags & _EVENT_FLAG_ENVELOPE:
-            origin, offset = _unpack_text(data, offset)
-            (sequence,) = struct.unpack_from(">q", data, offset)
-            offset += 8
-    elif data[:4] == _MAGIC_EVENT_V1:
-        offset = 4  # legacy frame: no flags, no envelope metadata
-    else:
-        raise ValueError("not a serialized sealed event")
-    direct = bool(data[offset])
-    offset += 1
-    routable_raw, offset = _unpack_bytes(data, offset)
-    routable = Event.from_bytes(routable_raw)
-    (element_count,) = struct.unpack_from(">H", data, offset)
-    offset += 2
-    elements = {}
-    for _ in range(element_count):
-        name, offset = _unpack_text(data, offset)
-        elements[name], offset = _unpack_element(data, offset)
-    (lock_count,) = struct.unpack_from(">H", data, offset)
-    offset += 2
-    locks = []
-    for _ in range(lock_count):
-        (attribute_count,) = struct.unpack_from(">H", data, offset)
+        routable_raw, offset = _unpack_bytes(data, offset)
+        routable = Event.from_bytes(routable_raw)
+        (element_count,) = struct.unpack_from(">H", data, offset)
         offset += 2
-        attributes = []
-        for _ in range(attribute_count):
-            attribute, offset = _unpack_text(data, offset)
-            attributes.append(attribute)
-        wrapped, offset = _unpack_bytes(data, offset)
-        locks.append(Lock(tuple(attributes), wrapped))
-    ciphertext, offset = _unpack_bytes(data, offset)
+        elements = {}
+        for _ in range(element_count):
+            name, offset = _unpack_text(data, offset)
+            elements[name], offset = _unpack_element(data, offset)
+        (lock_count,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        locks = []
+        for _ in range(lock_count):
+            (attribute_count,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            attributes = []
+            for _ in range(attribute_count):
+                attribute, offset = _unpack_text(data, offset)
+                attributes.append(attribute)
+            wrapped, offset = _unpack_bytes(data, offset)
+            locks.append(Lock(tuple(attributes), wrapped))
+        ciphertext, offset = _unpack_bytes(data, offset)
     if offset != len(data):
         raise ValueError("trailing bytes after sealed event")
     return SealedEvent(

@@ -34,6 +34,7 @@ from repro.siena.filters import Constraint, Filter
 from repro.siena.operators import Op
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kdc import AuthorizationGrant
     from repro.obs.metrics import MetricsRegistry
 
 _NONCE_BYTES = 16
@@ -279,6 +280,37 @@ def tokenized_subscription(
             name = f"{ELEMENT_TOKEN_ATTRIBUTE}:{attribute}"
         constraints.append(Constraint(name, Op.EQ, token.hex()))
     return Filter(constraints)
+
+
+def grant_routing_filters(
+    authority: TokenAuthority, grant: "AuthorizationGrant"
+) -> list[Filter]:
+    """The tokenized routing filters one authorization grant implies.
+
+    Numeric clauses route on their KTID cover elements (prefix
+    containment becomes token equality at the cover's level, one filter
+    per element); grants without KTID covers route on the topic token
+    alone -- their fine-grained access control stays where it
+    cryptographically lives, in the grant's component keys.  This is the
+    subscription-side bridge from "what the KDC authorized" to "what the
+    broker network routes on", used by the real-network clients
+    (:mod:`repro.rtnet`) and the benchmark drivers.
+    """
+    filters: list[Filter] = []
+    seen: set[Filter] = set()
+    for clause_grant in grant.clauses:
+        for component in clause_grant.components:
+            if not isinstance(component.element, KTID):
+                continue
+            routing_filter = tokenized_subscription(
+                authority, grant.topic, {component.attribute: component.element}
+            )
+            if routing_filter not in seen:
+                seen.add(routing_filter)
+                filters.append(routing_filter)
+    if not filters:
+        filters.append(tokenized_subscription(authority, grant.topic))
+    return filters
 
 
 def _tokenized_match(

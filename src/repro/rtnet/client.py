@@ -1,0 +1,475 @@
+"""Publisher and subscriber endpoints for the TCP runtime.
+
+Both endpoints share one connection core (:class:`RtEndpoint`): dial,
+HELLO/HELLO_ACK version negotiation, a reader task dispatching inbound
+frames, and automatic reconnection with exponential backoff + jitter.
+What differs is what rides on top:
+
+- :class:`RtPublisher` seals and tokenizes events locally (the broker
+  network never sees plaintext routing attributes), numbers each EVENT
+  frame, and keeps the unacked tail for resend after a reconnect --
+  at-least-once to its home broker;
+- :class:`RtSubscriber` re-registers every filter after a reconnect,
+  resolves each arriving event's topic from its held topic tokens, and
+  opens events through the standard :class:`~repro.core.subscriber.
+  Subscriber` engine, whose
+  :class:`~repro.recovery.dedup.DedupWindow` turns the publisher's
+  at-least-once resends into exactly-once processing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import time
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.core.envelope import OpenResult
+from repro.core.kdc import KDC, AuthorizationGrant
+from repro.core.ktid import KTID
+from repro.core.publisher import Publisher
+from repro.core.subscriber import Subscriber
+from repro.core.wire import decode_sealed_event, encode_sealed_event
+from repro.obs.metrics import MetricsRegistry
+from repro.routing.tokens import (
+    TOPIC_TOKEN_ATTRIBUTE,
+    RoutableToken,
+    TokenAuthority,
+    grant_routing_filters,
+    routable_matches,
+    tokenize_event,
+)
+from repro.rtnet.frames import (
+    PROTOCOL_VERSION,
+    Ack,
+    EventFrame,
+    Frame,
+    Heartbeat,
+    Hello,
+    HelloAck,
+    Ping,
+    Pong,
+    Subscribe,
+    Unsubscribe,
+    encode_frame,
+    read_frame,
+)
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+
+class HandshakeError(ConnectionError):
+    """The server rejected our HELLO (version mismatch); do not retry."""
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with jitter for reconnection attempts.
+
+    Delay for attempt ``n`` (0-based) is ``base * factor**n`` capped at
+    *max_delay*, scaled down by up to *jitter* uniformly at random so a
+    herd of clients does not redial in lockstep.
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    max_attempts: int | None = None
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        raw = min(self.max_delay, self.base * self.factor ** attempt)
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+@dataclass
+class EndpointStats:
+    """Connection-lifecycle counters an endpoint keeps."""
+
+    connects: int = 0
+    reconnects: int = 0
+    frames_sent: int = 0
+    frames_received: int = 0
+
+
+class RtEndpoint:
+    """The connection core shared by publisher and subscriber endpoints."""
+
+    role = "client"
+
+    def __init__(
+        self,
+        peer_id: str,
+        host: str,
+        port: int,
+        backoff: BackoffPolicy | None = None,
+        registry: MetricsRegistry | None = None,
+        rng: random.Random | None = None,
+    ):
+        self.peer_id = peer_id
+        self.host = host
+        self.port = port
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.registry = registry
+        self.rng = rng if rng is not None else random.Random()
+        self.broker_id: str | None = None
+        self.stats = EndpointStats()
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._recv_task: asyncio.Task | None = None
+        self._write_lock = asyncio.Lock()
+        self._connected = asyncio.Event()
+        self._closed = False
+        self._pongs: dict[bytes, asyncio.Future] = {}
+
+    # -- connection lifecycle ----------------------------------------------
+
+    async def connect(self) -> None:
+        """Dial the broker, shake hands, and start the receive loop."""
+        await self._establish()
+        self._recv_task = asyncio.ensure_future(self._recv_loop())
+
+    async def _establish(self) -> None:
+        attempt = 0
+        while True:
+            if self._closed:
+                raise ConnectionError("endpoint closed")
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                break
+            except OSError:
+                if (
+                    self.backoff.max_attempts is not None
+                    and attempt + 1 >= self.backoff.max_attempts
+                ):
+                    raise
+                await asyncio.sleep(self.backoff.delay(attempt, self.rng))
+                attempt += 1
+        writer.write(
+            encode_frame(Hello(self.peer_id, self.role, PROTOCOL_VERSION))
+        )
+        await writer.drain()
+        ack = await read_frame(reader)
+        if not isinstance(ack, HelloAck) or ack.version != PROTOCOL_VERSION:
+            writer.close()
+            raise HandshakeError(
+                f"broker rejected handshake: {ack!r}"
+            )
+        self.broker_id = ack.peer_id
+        self._reader, self._writer = reader, writer
+        self.stats.connects += 1
+        self._count("rtnet_client_connects_total")
+        self._connected.set()
+        await self._on_connected()
+
+    async def _on_connected(self) -> None:
+        """Hook run after every successful (re)connection."""
+
+    async def _recv_loop(self) -> None:
+        while not self._closed:
+            try:
+                frame = await read_frame(self._reader)
+            except (ValueError, OSError, asyncio.IncompleteReadError):
+                frame = None
+            if frame is None:
+                if self._closed:
+                    return
+                self._connected.clear()
+                self.stats.reconnects += 1
+                self._count("rtnet_client_reconnects_total")
+                try:
+                    await self._establish()
+                except HandshakeError:
+                    self._closed = True
+                    return
+                except ConnectionError:
+                    return
+                continue
+            self.stats.frames_received += 1
+            await self._handle(frame)
+
+    async def _handle(self, frame: Frame) -> None:
+        if isinstance(frame, Pong) and not frame.path:
+            waiter = self._pongs.pop(frame.token, None)
+            if waiter is not None and not waiter.done():
+                waiter.set_result(None)
+
+    async def close(self) -> None:
+        """Tear the connection down; no reconnection afterwards."""
+        self._closed = True
+        if self._recv_task is not None:
+            self._recv_task.cancel()
+            try:
+                await self._recv_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    # -- sending -------------------------------------------------------------
+
+    async def send(self, frame: Frame) -> None:
+        """Write one frame, honouring transport backpressure."""
+        async with self._write_lock:
+            await self._connected.wait()
+            self._writer.write(encode_frame(frame))
+            await self._writer.drain()
+        self.stats.frames_sent += 1
+        self._count("rtnet_client_frames_sent_total")
+
+    async def heartbeat(self) -> None:
+        await self.send(Heartbeat(time.time()))
+
+    async def settle(self, timeout: float = 10.0) -> None:
+        """Flush the broker path: returns once a PING has round-tripped
+        to the tree root and back, proving every frame sent before it
+        (same priority class, FIFO per link) has been processed."""
+        token = os.urandom(8)
+        waiter = asyncio.get_event_loop().create_future()
+        self._pongs[token] = waiter
+        try:
+            await self.send(Ping(token))
+            await asyncio.wait_for(waiter, timeout)
+        finally:
+            self._pongs.pop(token, None)
+
+    def _count(self, name: str, **labels: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(
+                name, peer=self.peer_id, **labels
+            ).inc()
+
+
+class RtPublisher(RtEndpoint):
+    """A publishing principal speaking rtnet to its home broker.
+
+    Seals with the standard :class:`~repro.core.publisher.Publisher`
+    engine, tokenizes the routable part so brokers match without
+    learning attribute values, and resends the unacked tail after every
+    reconnect (the subscriber-side dedup window absorbs the duplicates).
+    """
+
+    role = "publisher"
+
+    def __init__(
+        self,
+        publisher_id: str,
+        host: str,
+        port: int,
+        kdc: KDC,
+        authority: TokenAuthority | None = None,
+        **kwargs,
+    ):
+        super().__init__(publisher_id, host, port, **kwargs)
+        self.engine = Publisher(publisher_id, kdc)
+        self.authority = (
+            authority
+            if authority is not None
+            else TokenAuthority(kdc.master_key)
+        )
+        self._next_seq = 0
+        self._unacked: dict[int, EventFrame] = {}
+
+    async def publish(
+        self,
+        event: Event,
+        secret_attributes: set[str] | None = None,
+        at_time: float = 0.0,
+    ) -> None:
+        """Seal, tokenize, frame and send one publication."""
+        topic = event.get("topic")
+        sealed = self.engine.publish(
+            event, secret_attributes=secret_attributes, at_time=at_time
+        )
+        elements = {
+            attribute: element
+            for attribute, element in sealed.elements.items()
+            if isinstance(element, KTID)
+        }
+        tokenized = tokenize_event(
+            self.authority, sealed.routable, elements, topic
+        )
+        payload = encode_sealed_event(replace(sealed, routable=tokenized))
+        frame = EventFrame(self._next_seq, time.time(), payload)
+        self._next_seq += 1
+        self._unacked[frame.seq] = frame
+        await self.send(frame)
+
+    @property
+    def unacked(self) -> int:
+        """EVENT frames not yet receipted by the home broker."""
+        return len(self._unacked)
+
+    async def _on_connected(self) -> None:
+        # At-least-once: replay the unacked tail in order; subscribers
+        # suppress any double delivery through their dedup windows.
+        for seq in sorted(self._unacked):
+            frame = self._unacked[seq]
+            self._writer.write(encode_frame(frame))
+        if self._unacked:
+            await self._writer.drain()
+
+    async def _handle(self, frame: Frame) -> None:
+        if isinstance(frame, Ack):
+            self._unacked.pop(frame.seq, None)
+            return
+        await super()._handle(frame)
+
+
+class RtSubscriber(RtEndpoint):
+    """A subscribing principal speaking rtnet to its home broker.
+
+    Holds KDC grants; each grant is turned into its tokenized routing
+    filters (:func:`~repro.routing.tokens.grant_routing_filters`) and
+    registered with the broker.  Arriving events carry only token pairs,
+    so the subscriber first resolves the topic by matching the event's
+    topic token against the tokens of its granted topics, then opens the
+    event with the standard engine -- an unauthorized subscriber resolves
+    nothing (no token held) or fails cryptographically (no matching
+    grant keys), and only :attr:`unreadable` moves.
+    """
+
+    role = "subscriber"
+
+    def __init__(
+        self,
+        subscriber_id: str,
+        host: str,
+        port: int,
+        schema_lookup: Callable,
+        authority: TokenAuthority,
+        grace_period: float = 0.0,
+        dedup_window: int = 1024,
+        on_open: Callable[[OpenResult], None] | None = None,
+        clock: Callable[[], float] = lambda: 0.0,
+        **kwargs,
+    ):
+        super().__init__(subscriber_id, host, port, **kwargs)
+        self.engine = Subscriber(
+            subscriber_id,
+            grace_period=grace_period,
+            dedup_window=dedup_window,
+        )
+        self.schema_lookup = schema_lookup
+        self.authority = authority
+        self.on_open = on_open
+        self.clock = clock
+        self.opened: list[OpenResult] = []
+        self.unreadable = 0
+        self.duplicates = 0
+        #: Delivery log: one ``(origin, sequence, verdict)`` triple per
+        #: arriving event, with verdict ``open``/``unreadable``/
+        #: ``duplicate`` -- the benchmark compares this stream against an
+        #: in-process reference run for end-to-end equivalence.
+        self.log: list[tuple[object, object, str]] = []
+        #: end-to-end publish->open latencies (seconds), one per opened
+        #: event, measured against the EVENT frame's sent_at stamp.
+        self.latencies_s: list[float] = []
+        self._filters: list[Filter] = []
+        #: topic-token material for topic resolution: (token, topic).
+        self._topic_tokens: list[tuple[bytes, str]] = []
+
+    # -- subscriptions -------------------------------------------------------
+
+    async def add_grant(self, grant: AuthorizationGrant) -> None:
+        """Install a grant and register its routing filters."""
+        self.engine.add_grant(grant)
+        if all(topic != grant.topic for _, topic in self._topic_tokens):
+            self._topic_tokens.append(
+                (self.authority.topic_token(grant.topic), grant.topic)
+            )
+        for routing_filter in grant_routing_filters(self.authority, grant):
+            await self.subscribe(routing_filter)
+
+    async def subscribe(self, routing_filter: Filter) -> None:
+        """Register one (tokenized) filter with the home broker."""
+        if routing_filter in self._filters:
+            return
+        self._filters.append(routing_filter)
+        await self.send(Subscribe(routing_filter))
+
+    async def unsubscribe(self, routing_filter: Filter) -> None:
+        if routing_filter in self._filters:
+            self._filters.remove(routing_filter)
+            await self.send(Unsubscribe(routing_filter))
+
+    async def _on_connected(self) -> None:
+        # Resubscribe-on-reconnect: the broker dropped this interface's
+        # registrations when the connection died.
+        for routing_filter in self._filters:
+            self._writer.write(encode_frame(Subscribe(routing_filter)))
+        if self._filters:
+            await self._writer.drain()
+
+    # -- delivery ------------------------------------------------------------
+
+    def _resolve_topic(self, routable: Event) -> str | None:
+        """Recover the topic from the event's topic token, if granted."""
+        value = routable.get(TOPIC_TOKEN_ATTRIBUTE)
+        if not isinstance(value, str):
+            # Mixed deployments may route plaintext events.
+            topic = routable.get("topic")
+            return topic if isinstance(topic, str) else None
+        try:
+            token_pair = RoutableToken.decode(value)
+        except ValueError:
+            return None
+        for token, topic in self._topic_tokens:
+            if routable_matches(token, token_pair):
+                return topic
+        return None
+
+    async def _handle(self, frame: Frame) -> None:
+        if not isinstance(frame, EventFrame):
+            await super()._handle(frame)
+            return
+        try:
+            sealed = decode_sealed_event(frame.payload)
+        except ValueError:
+            self.unreadable += 1
+            self.log.append((None, None, "corrupt"))
+            return
+        topic = self._resolve_topic(sealed.routable)
+        if topic is not None and sealed.routable.get("topic") is None:
+            sealed = replace(
+                sealed,
+                routable=sealed.routable.with_attributes(topic=topic),
+            )
+        duplicates_before = self.engine.stats.duplicates_suppressed
+        result = (
+            self.engine.receive(
+                sealed, self.schema_lookup, at_time=self.clock()
+            )
+            if topic is not None
+            else None
+        )
+        if self.engine.stats.duplicates_suppressed > duplicates_before:
+            self.duplicates += 1
+            self.log.append((sealed.origin, sealed.sequence, "duplicate"))
+            return
+        self.log.append(
+            (
+                sealed.origin,
+                sealed.sequence,
+                "open" if result is not None else "unreadable",
+            )
+        )
+        if result is not None:
+            self.opened.append(result)
+            self.latencies_s.append(time.time() - frame.sent_at)
+            if self.registry is not None:
+                self.registry.histogram(
+                    "rtnet_e2e_latency_seconds", peer=self.peer_id
+                ).observe(self.latencies_s[-1])
+            if self.on_open is not None:
+                self.on_open(result)
+        else:
+            self.unreadable += 1

@@ -1,0 +1,346 @@
+"""The rtnet wire protocol: length-prefixed frames over TCP.
+
+Every message on an rtnet connection is one *frame*::
+
+    +----------------+------------+------------------+
+    | length (4, BE) | type (1)   | body (length - 1) |
+    +----------------+------------+------------------+
+
+The length covers the type byte plus the body and must lie in
+``[1, FRAME_MAX]``; anything else is a protocol violation surfaced as
+:class:`ValueError` (never a hang, never a crash with an unexpected
+exception type).  Bodies reuse the existing PSGuard codecs: EVENT
+carries :func:`repro.core.wire.encode_sealed_event` bytes verbatim,
+SUBSCRIBE/UNSUBSCRIBE carry :func:`repro.core.wire.encode_filter`
+bytes, so the framing layer adds no second serialization of the
+security-bearing payloads.
+
+Connections open with a HELLO / HELLO_ACK exchange negotiating the
+protocol version (a ``HELLO_ACK`` with version 0 is a rejection); PING /
+PONG implement the source-routed settle barrier brokers and clients use
+to flush in-flight control traffic (see :mod:`repro.rtnet.server`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.core.wire import decode_filter, encode_filter
+from repro.siena.filters import Filter
+
+#: Version carried in HELLO; bumped on incompatible frame changes.
+PROTOCOL_VERSION = 1
+#: Hard cap on one frame's (type + body) size: 4 MiB.
+FRAME_MAX = 1 << 22
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameType(enum.IntEnum):
+    """The one-byte frame discriminator."""
+
+    HELLO = 1
+    HELLO_ACK = 2
+    SUBSCRIBE = 3
+    UNSUBSCRIBE = 4
+    EVENT = 5
+    ACK = 6
+    HEARTBEAT = 7
+    PING = 8
+    PONG = 9
+
+
+def _pack_text(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack(">H", len(raw)) + raw
+
+
+def _unpack_text(data: bytes, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    raw = data[offset: offset + length]
+    if len(raw) != length:
+        raise ValueError("truncated text field")
+    return raw.decode("utf-8"), offset + length
+
+
+def _pack_path(path: tuple[str, ...]) -> bytes:
+    return struct.pack(">H", len(path)) + b"".join(
+        _pack_text(hop) for hop in path
+    )
+
+
+def _unpack_path(data: bytes, offset: int) -> tuple[tuple[str, ...], int]:
+    (count,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    hops = []
+    for _ in range(count):
+        hop, offset = _unpack_text(data, offset)
+        hops.append(hop)
+    return tuple(hops), offset
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Connection opener: who is dialing, as what, speaking which version."""
+
+    peer_id: str
+    role: str  # "broker" | "publisher" | "subscriber"
+    version: int = PROTOCOL_VERSION
+
+    type = FrameType.HELLO
+
+    def encode_body(self) -> bytes:
+        return (
+            struct.pack(">H", self.version)
+            + _pack_text(self.peer_id)
+            + _pack_text(self.role)
+        )
+
+
+@dataclass(frozen=True)
+class HelloAck:
+    """Server's answer: its id and the accepted version (0 = rejected)."""
+
+    peer_id: str
+    version: int = PROTOCOL_VERSION
+
+    type = FrameType.HELLO_ACK
+
+    def encode_body(self) -> bytes:
+        return struct.pack(">H", self.version) + _pack_text(self.peer_id)
+
+
+@dataclass(frozen=True)
+class Subscribe:
+    """Register *filter* for the sending peer at the receiving broker."""
+
+    filter: Filter
+
+    type = FrameType.SUBSCRIBE
+
+    def encode_body(self) -> bytes:
+        return encode_filter(self.filter)
+
+
+@dataclass(frozen=True)
+class Unsubscribe:
+    """Withdraw *filter* for the sending peer."""
+
+    filter: Filter
+
+    type = FrameType.UNSUBSCRIBE
+
+    def encode_body(self) -> bytes:
+        return encode_filter(self.filter)
+
+
+@dataclass(frozen=True)
+class EventFrame:
+    """One sealed event in flight.
+
+    *payload* is the PSE2 encoding of the (tokenized) sealed event,
+    forwarded verbatim hop to hop -- brokers re-frame but never re-seal.
+    *seq* numbers the frame on its link (acked on publisher links);
+    *sent_at* is the publisher's wall-clock send time, for end-to-end
+    latency measurement on a shared clock.
+    """
+
+    seq: int
+    sent_at: float
+    payload: bytes
+
+    type = FrameType.EVENT
+
+    def encode_body(self) -> bytes:
+        return struct.pack(">qd", self.seq, self.sent_at) + self.payload
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Broker's receipt for EVENT *seq* on a publisher link."""
+
+    seq: int
+
+    type = FrameType.ACK
+
+    def encode_body(self) -> bytes:
+        return struct.pack(">q", self.seq)
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Liveness beacon; carries the sender's wall-clock send time."""
+
+    sent_at: float
+
+    type = FrameType.HEARTBEAT
+
+    def encode_body(self) -> bytes:
+        return struct.pack(">d", self.sent_at)
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Settle probe, source-routed to the tree root.
+
+    Each broker forwarding a PING toward its parent appends the peer it
+    arrived from to *path*; the root answers with a PONG carrying the
+    accumulated path, which unwinds hop by hop back to the prober.
+    PING/PONG travel in the same priority class as events, so a returned
+    PONG proves every frame queued ahead of it on the round trip has
+    been transmitted -- a deterministic flush barrier with no sleeps.
+    """
+
+    token: bytes
+    path: tuple[str, ...] = ()
+
+    type = FrameType.PING
+
+    def encode_body(self) -> bytes:
+        return _pack_text(self.token.hex()) + _pack_path(self.path)
+
+
+@dataclass(frozen=True)
+class Pong:
+    """The root's answer to a PING, unwinding *path* back to the prober."""
+
+    token: bytes
+    path: tuple[str, ...] = ()
+
+    type = FrameType.PONG
+
+    def encode_body(self) -> bytes:
+        return _pack_text(self.token.hex()) + _pack_path(self.path)
+
+
+Frame = (
+    Hello | HelloAck | Subscribe | Unsubscribe
+    | EventFrame | Ack | Heartbeat | Ping | Pong
+)
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize *frame* with its length prefix."""
+    payload = bytes([frame.type]) + frame.encode_body()
+    if len(payload) > FRAME_MAX:
+        raise ValueError(
+            f"frame of {len(payload)} bytes exceeds FRAME_MAX ({FRAME_MAX})"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode_token_path(body: bytes) -> tuple[bytes, tuple[str, ...], int]:
+    text, offset = _unpack_text(body, 0)
+    token = bytes.fromhex(text)
+    path, offset = _unpack_path(body, offset)
+    return token, path, offset
+
+
+def decode_payload(payload: bytes) -> Frame:
+    """Decode one frame payload (type byte + body); raises ValueError."""
+    if not payload:
+        raise ValueError("empty frame payload")
+    try:
+        frame_type = FrameType(payload[0])
+    except ValueError:
+        raise ValueError(f"unknown frame type {payload[0]}") from None
+    body = payload[1:]
+    try:
+        if frame_type is FrameType.HELLO:
+            (version,) = struct.unpack_from(">H", body, 0)
+            peer_id, offset = _unpack_text(body, 2)
+            role, offset = _unpack_text(body, offset)
+            frame: Frame = Hello(peer_id, role, version)
+        elif frame_type is FrameType.HELLO_ACK:
+            (version,) = struct.unpack_from(">H", body, 0)
+            peer_id, offset = _unpack_text(body, 2)
+            frame = HelloAck(peer_id, version)
+        elif frame_type is FrameType.SUBSCRIBE:
+            return Subscribe(decode_filter(body))
+        elif frame_type is FrameType.UNSUBSCRIBE:
+            return Unsubscribe(decode_filter(body))
+        elif frame_type is FrameType.EVENT:
+            if len(body) < 16:
+                raise ValueError("truncated event frame")
+            seq, sent_at = struct.unpack_from(">qd", body, 0)
+            return EventFrame(seq, sent_at, body[16:])
+        elif frame_type is FrameType.ACK:
+            (seq,) = struct.unpack(">q", body)
+            return Ack(seq)
+        elif frame_type is FrameType.HEARTBEAT:
+            (sent_at,) = struct.unpack(">d", body)
+            return Heartbeat(sent_at)
+        elif frame_type is FrameType.PING:
+            token, path, offset = _decode_token_path(body)
+            frame = Ping(token, path)
+        else:
+            token, path, offset = _decode_token_path(body)
+            frame = Pong(token, path)
+    except struct.error as exc:
+        raise ValueError(f"truncated {frame_type.name} frame: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise ValueError(f"corrupt text in {frame_type.name} frame") from exc
+    if offset != len(body):
+        raise ValueError(f"trailing bytes after {frame_type.name} frame")
+    return frame
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte-chunk stream.
+
+    Feed it whatever the transport hands you; it returns every complete
+    frame and buffers the remainder.  Oversized or zero-length prefixes
+    raise :class:`ValueError` immediately -- a malicious length prefix
+    must never make the receiver buffer unbounded input.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[Frame]:
+        self._buffer.extend(data)
+        frames: list[Frame] = []
+        while len(self._buffer) >= 4:
+            (length,) = _HEADER.unpack_from(self._buffer, 0)
+            if not 1 <= length <= FRAME_MAX:
+                raise ValueError(f"invalid frame length {length}")
+            if len(self._buffer) < 4 + length:
+                break
+            payload = bytes(self._buffer[4: 4 + length])
+            del self._buffer[: 4 + length]
+            frames.append(decode_payload(payload))
+        return frames
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buffer)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
+    """Read one frame from *reader*; ``None`` on clean EOF.
+
+    EOF mid-frame and malformed prefixes raise :class:`ValueError`, so
+    connection loops need exactly two exit paths: ``None`` (peer closed)
+    and ``ValueError``/``OSError`` (broken peer).
+    """
+    header = await reader.read(4)
+    if not header:
+        return None
+    while len(header) < 4:
+        more = await reader.read(4 - len(header))
+        if not more:
+            raise ValueError("connection closed mid frame header")
+        header += more
+    (length,) = _HEADER.unpack(header)
+    if not 1 <= length <= FRAME_MAX:
+        raise ValueError(f"invalid frame length {length}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ValueError("connection closed mid frame body") from exc
+    return decode_payload(payload)

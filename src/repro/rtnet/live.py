@@ -1,0 +1,203 @@
+"""A synchronous facade over a live TCP cluster.
+
+:class:`LiveSystem` mirrors the :class:`repro.api.System` surface --
+``publisher()``, ``subscribe()``, ``snapshot()`` -- but the events flow
+over real sockets: an asyncio loop runs in a daemon thread hosting a
+:class:`~repro.rtnet.cluster.ClusterLauncher`, and every facade call is
+submitted to it with ``run_coroutine_threadsafe``.  It is what
+``System.builder().transport("tcp").build()`` returns, so switching a
+session from the in-process tree to a localhost TCP deployment is a
+one-line change.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.core.envelope import OpenResult
+from repro.core.kdc import KDC
+from repro.obs import Observability
+from repro.routing.tokens import TokenAuthority
+from repro.rtnet.client import RtPublisher, RtSubscriber
+from repro.rtnet.cluster import ClusterLauncher
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+_CALL_TIMEOUT = 30.0
+
+
+class LivePublisher:
+    """Synchronous wrapper over one :class:`RtPublisher`."""
+
+    def __init__(self, system: "LiveSystem", endpoint: RtPublisher):
+        self._system = system
+        self.endpoint = endpoint
+
+    @property
+    def publisher_id(self) -> str:
+        return self.endpoint.peer_id
+
+    def publish(
+        self,
+        event: Event,
+        secret_attributes: set[str] | None = None,
+        at_time: float = 0.0,
+    ) -> None:
+        self._system._call(
+            self.endpoint.publish(
+                event, secret_attributes=secret_attributes, at_time=at_time
+            )
+        )
+
+    def settle(self, timeout: float = 10.0) -> None:
+        """Block until everything published so far reached the root."""
+        self._system._call(self.endpoint.settle(timeout=timeout))
+
+
+class LiveSubscriber:
+    """Synchronous wrapper over one :class:`RtSubscriber`."""
+
+    def __init__(self, system: "LiveSystem", endpoint: RtSubscriber):
+        self._system = system
+        self.endpoint = endpoint
+
+    @property
+    def subscriber_id(self) -> str:
+        return self.endpoint.peer_id
+
+    @property
+    def opened(self) -> list[OpenResult]:
+        return self.endpoint.opened
+
+    @property
+    def unreadable(self) -> int:
+        return self.endpoint.unreadable
+
+    def settle(self, timeout: float = 10.0) -> None:
+        """Block until everything in flight toward this subscriber's
+        leaf (as of the barrier's round trip) has been delivered."""
+        self._system._call(self.endpoint.settle(timeout=timeout))
+
+
+class LiveSystem:
+    """A PSGuard deployment over localhost TCP, driven synchronously."""
+
+    def __init__(
+        self,
+        kdc: KDC,
+        obs: Observability,
+        num_brokers: int = 7,
+        arity: int = 2,
+        host: str = "127.0.0.1",
+    ):
+        self.kdc = kdc
+        self.obs = obs
+        self.registry = obs.registry
+        self.authority = TokenAuthority(kdc.master_key)
+        self.cluster = ClusterLauncher(
+            num_brokers=num_brokers,
+            arity=arity,
+            host=host,
+            registry=obs.registry,
+        )
+        self.publishers: dict[str, LivePublisher] = {}
+        self.subscribers: dict[str, LiveSubscriber] = {}
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="rtnet-live", daemon=True
+        )
+        self._thread.start()
+        self._call(self.cluster.start())
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def _call(self, coroutine, timeout: float = _CALL_TIMEOUT):
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(timeout=timeout)
+
+    # -- principals -----------------------------------------------------------
+
+    def schema_lookup(self, topic: str):
+        return self.kdc.config_for(topic).schema
+
+    def publisher(self, publisher_id: str) -> LivePublisher:
+        """Get or create a publishing session attached at the root."""
+        session = self.publishers.get(publisher_id)
+        if session is None:
+            host, port = self.cluster.publisher_address()
+            endpoint = RtPublisher(
+                publisher_id,
+                host,
+                port,
+                self.kdc,
+                authority=self.authority,
+                registry=self.registry,
+            )
+            self._call(endpoint.connect())
+            session = LivePublisher(self, endpoint)
+            self.publishers[publisher_id] = session
+        return session
+
+    def subscribe(
+        self, subscriber_id: str, *filters: Filter, grace_period: float = 0.0
+    ) -> LiveSubscriber:
+        """Authorize *filters* at the KDC and attach a live subscriber."""
+        if subscriber_id in self.subscribers:
+            raise ValueError(f"subscriber {subscriber_id!r} already attached")
+        host, port = self.cluster.subscriber_address()
+        endpoint = RtSubscriber(
+            subscriber_id,
+            host,
+            port,
+            schema_lookup=self.schema_lookup,
+            authority=self.authority,
+            grace_period=grace_period,
+            registry=self.registry,
+        )
+        self._call(endpoint.connect())
+        for subscription_filter in filters:
+            grant = self.kdc.authorize(subscriber_id, subscription_filter)
+            self._call(endpoint.add_grant(grant))
+        session = LiveSubscriber(self, endpoint)
+        self.subscribers[subscriber_id] = session
+        return session
+
+    def settle(self, timeout: float = 10.0) -> None:
+        """Flush the whole system: publishers first (events reach the
+        root), then subscribers (the fan-out drains to the edges)."""
+        for publisher in self.publishers.values():
+            publisher.settle(timeout=timeout)
+        for subscriber in self.subscribers.values():
+            subscriber.settle(timeout=timeout)
+
+    # -- observability --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return self.obs.snapshot()
+
+    def to_prometheus(self) -> str:
+        return self.obs.to_prometheus()
+
+    def broker_stats(self) -> dict:
+        return self.cluster.stats()
+
+    # -- teardown -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Disconnect every endpoint and stop the cluster and loop."""
+        for session in list(self.subscribers.values()):
+            self._call(session.endpoint.close())
+        for session in list(self.publishers.values()):
+            self._call(session.endpoint.close())
+        self._call(self.cluster.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "LiveSystem":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()

@@ -1,0 +1,96 @@
+"""The socket-path benchmark: equivalence gate, report, regression check."""
+
+import copy
+
+import pytest
+
+from repro.bench import (
+    BENCH_RTNET_SCHEMA,
+    RtnetBenchConfig,
+    check_rtnet_regression,
+    render_rtnet_report,
+    run_rtnet_bench,
+)
+
+_SMALL = RtnetBenchConfig(
+    seed=11, events=20, num_brokers=3, arity=2,
+    num_subscribers=3, num_topics=8, topics_per_subscriber=2,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_rtnet_bench(_SMALL)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="at least one event"):
+        RtnetBenchConfig(events=0)
+    with pytest.raises(ValueError, match="at least one broker"):
+        RtnetBenchConfig(num_brokers=0)
+
+
+def test_report_shape_and_gates(report):
+    assert report["schema"] == BENCH_RTNET_SCHEMA
+    assert report["config"]["events"] == 20
+    assert report["equivalence"]["checked"] is True
+    assert report["equivalence"]["holds"] is True
+    assert report["security"]["unauthorized_opens"] == 0
+    live = report["live"]
+    assert live["publisher_unacked"] == 0
+    assert live["duplicates"] == 0
+    assert live["events_per_sec"] > 0
+    assert live["deliveries"] == live["opened"] + live["unreadable"]
+    # Token covers filter in-network: the live path delivered exactly
+    # what the in-process reference delivered.
+    assert live["deliveries"] == report["reference"]["deliveries"]
+    assert live["opened"] == report["reference"]["opened"]
+    for quantile in ("p50", "p95", "p99"):
+        assert quantile in live["latency_s"]["quantiles"]
+
+
+def test_render_mentions_the_verdict(report):
+    rendered = render_rtnet_report(report)
+    assert "equivalence: ok" in rendered
+    assert "unauthorized opens: 0" in rendered
+    assert "ev/s" in rendered
+
+
+def test_self_check_passes(report):
+    assert check_rtnet_regression(report, report, tolerance=0.25) == []
+
+
+def test_regression_check_catches_a_throughput_collapse(report):
+    slow = copy.deepcopy(report)
+    slow["live"]["events_per_sec"] = (
+        report["live"]["events_per_sec"] / 100
+    )
+    problems = check_rtnet_regression(slow, report, tolerance=0.1)
+    assert any("throughput regression" in problem for problem in problems)
+
+
+def test_regression_check_catches_structural_failures(report):
+    broken = copy.deepcopy(report)
+    broken["equivalence"]["holds"] = False
+    broken["security"]["unauthorized_opens"] = 2
+    broken["live"]["publisher_unacked"] = 1
+    del broken["live"]["latency_s"]["quantiles"]["p99"]
+    problems = check_rtnet_regression(broken, report)
+    assert any("diverge" in problem for problem in problems)
+    assert any("unauthorized" in problem for problem in problems)
+    assert any("never acked" in problem for problem in problems)
+    assert any("p99" in problem for problem in problems)
+
+
+def test_regression_check_rejects_schema_mismatch(report):
+    foreign = {"schema": "repro.bench/engine.v1"}
+    problems = check_rtnet_regression(report, foreign)
+    assert problems == [
+        "schema mismatch: report 'repro.bench/rtnet.v1' "
+        "vs baseline 'repro.bench/engine.v1'"
+    ]
+
+
+def test_regression_check_rejects_bad_tolerance(report):
+    with pytest.raises(ValueError, match="tolerance"):
+        check_rtnet_regression(report, report, tolerance=1.5)

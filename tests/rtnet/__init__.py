@@ -1,0 +1,1 @@
+"""The TCP runtime: frame codec, broker server, clients, cluster."""

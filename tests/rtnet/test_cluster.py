@@ -1,0 +1,66 @@
+"""The cluster launcher: topology shape, attach points, lifecycle."""
+
+import asyncio
+
+import pytest
+
+from repro.rtnet import ClusterLauncher
+
+
+def test_rejects_degenerate_shapes():
+    with pytest.raises(ValueError, match="at least one broker"):
+        ClusterLauncher(num_brokers=0)
+    with pytest.raises(ValueError, match="arity"):
+        ClusterLauncher(num_brokers=3, arity=0)
+
+
+def test_leaf_indices_match_the_broker_tree_shape():
+    assert ClusterLauncher(num_brokers=1).leaf_indices() == [0]
+    assert ClusterLauncher(num_brokers=3, arity=2).leaf_indices() == [1, 2]
+    assert ClusterLauncher(num_brokers=7, arity=2).leaf_indices() == (
+        [3, 4, 5, 6]
+    )
+    assert ClusterLauncher(num_brokers=13, arity=3).leaf_indices() == (
+        [4, 5, 6, 7, 8, 9, 10, 11, 12]
+    )
+
+
+def test_subscriber_addresses_round_robin_across_leaves():
+    async def scenario():
+        async with ClusterLauncher(num_brokers=3, arity=2) as cluster:
+            first = cluster.subscriber_address()
+            second = cluster.subscriber_address()
+            third = cluster.subscriber_address()
+            return (
+                cluster.publisher_address(),
+                cluster.servers[0].address,
+                first, second, third,
+                cluster.servers[1].address,
+                cluster.servers[2].address,
+            )
+
+    publisher_addr, root_addr, first, second, third, b1, b2 = (
+        asyncio.run(scenario())
+    )
+    assert publisher_addr == root_addr
+    assert first == b1
+    assert second == b2
+    assert third == first  # wrapped around
+
+
+def test_start_binds_every_listener_on_distinct_ports():
+    async def scenario():
+        async with ClusterLauncher(num_brokers=5, arity=2) as cluster:
+            ports = [server.port for server in cluster.servers]
+            stats = cluster.stats()
+            return ports, stats
+
+    ports, stats = asyncio.run(scenario())
+    assert all(port > 0 for port in ports)
+    assert len(set(ports)) == 5
+    assert sorted(stats) == ["b0", "b1", "b2", "b3", "b4"]
+    for entry in stats.values():
+        assert set(entry) == {
+            "events_received", "events_forwarded",
+            "deliveries", "subscriptions_received",
+        }

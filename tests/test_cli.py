@@ -320,3 +320,78 @@ def test_bench_parallel_rejects_bad_ladder(tmp_path, capsys):
         "--output", str(tmp_path / "out.json"),
     ]) == 2
     assert "error" in capsys.readouterr().err
+
+
+def test_version_flag_reports_the_package_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    output = capsys.readouterr().out
+    assert output.startswith("repro ")
+    import repro
+
+    assert repro.__version__ in output
+
+
+def test_serve_registered_with_parent_option():
+    from repro.cli import build_parser, commands
+
+    assert "serve" in {entry.name for entry in commands()}
+    args = build_parser().parse_args(
+        ["serve", "--broker-id", "b3", "--port", "7001",
+         "--parent", "127.0.0.1:7000"]
+    )
+    assert args.broker_id == "b3"
+    assert args.port == 7001
+    assert args.parent == "127.0.0.1:7000"
+
+
+_LIVEBENCH_SMOKE = [
+    "--seed", "11", "--events", "15", "--brokers", "3",
+    "--subscribers", "3", "--topics", "8", "--topics-per-subscriber", "2",
+]
+
+
+def test_livebench_smoke_writes_report(tmp_path, capsys):
+    target = tmp_path / "BENCH_rtnet.json"
+    assert main(["livebench", *_LIVEBENCH_SMOKE,
+                 "--output", str(target)]) == 0
+    captured = capsys.readouterr()
+    assert "equivalence: ok" in captured.out
+    assert "loopback TCP tree" in captured.out
+    assert "unauthorized opens: 0" in captured.out
+
+    import json
+
+    document = json.loads(target.read_text())
+    assert document["schema"] == "repro.bench/rtnet.v1"
+    assert document["equivalence"]["holds"] is True
+    assert document["security"]["unauthorized_opens"] == 0
+
+
+def test_livebench_check_against_own_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["livebench", *_LIVEBENCH_SMOKE,
+                 "--output", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main([
+        "livebench", *_LIVEBENCH_SMOKE,
+        "--output", str(tmp_path / "fresh.json"),
+        "--check", "--baseline", str(baseline), "--tolerance", "0.6",
+    ]) == 0
+    assert "livebench check passed" in capsys.readouterr().err
+
+
+def test_livebench_check_missing_baseline_is_config_error(tmp_path, capsys):
+    assert main([
+        "livebench", *_LIVEBENCH_SMOKE,
+        "--output", str(tmp_path / "out.json"),
+        "--check", "--baseline", str(tmp_path / "nope.json"),
+    ]) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
+def test_livebench_rejects_bad_workload(tmp_path, capsys):
+    assert main(["livebench", "--events", "0",
+                 "--output", str(tmp_path / "out.json")]) == 2
+    assert "error" in capsys.readouterr().err
