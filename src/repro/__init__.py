@@ -14,12 +14,29 @@ replicated KDC), :mod:`repro.siena` (content-based routing),
 protection: bounded queues, credits, admission control -- its headline
 names are re-exported here too), :mod:`repro.parallel` (process-pool
 sharded matching and crypto offload; :class:`ParallelPolicy` is
-re-exported here), :mod:`repro.obs` (instruments and
-exporters); ``docs/API.md`` holds a one-page tour and
+re-exported here), :mod:`repro.rekey` (the live key-lifecycle plane:
+GRANT/REKEY over sockets; its :class:`~repro.core.renewal.
+RenewalPolicy` knob is re-exported here), :mod:`repro.obs`
+(instruments and exporters); ``docs/API.md`` holds a one-page tour and
 ``python -m repro`` a command-line interface.
+
+Failures raise exceptions from the :mod:`repro.errors` hierarchy --
+every package-specific error derives from :class:`ReproError` (and,
+where one replaced a stdlib type, still from the original:
+:class:`GrantDenied` is a ``PermissionError``, :class:`FrameError` a
+``ValueError``), so ``except ReproError`` catches everything PSGuard
+raises deliberately.
 """
 
-from repro.api import System, SystemBuilder, connect
+from repro.api import System, SystemBuilder, SystemOptions, connect
+from repro.core.renewal import RenewalPolicy
+from repro.errors import (
+    FrameError,
+    GrantDenied,
+    GrantExpired,
+    KDCUnavailable,
+    ReproError,
+)
 from repro.flow import (
     BEST_EFFORT,
     HIGH,
@@ -45,7 +62,7 @@ from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.parallel import ParallelPolicy
 from repro.siena import BrokerTree, Event, Filter
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdmissionController",
@@ -57,8 +74,12 @@ __all__ = [
     "Event",
     "Filter",
     "FlowControlPolicy",
+    "FrameError",
+    "GrantDenied",
+    "GrantExpired",
     "HIGH",
     "KDC",
+    "KDCUnavailable",
     "MetricsRegistry",
     "NORMAL",
     "NumericKeySpace",
@@ -66,11 +87,14 @@ __all__ = [
     "ParallelPolicy",
     "Publisher",
     "RateLimited",
+    "RenewalPolicy",
+    "ReproError",
     "SealedEvent",
     "StringKeySpace",
     "Subscriber",
     "System",
     "SystemBuilder",
+    "SystemOptions",
     "Tracer",
     "connect",
     "priority_of",

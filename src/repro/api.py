@@ -27,6 +27,7 @@ the same observability substrate.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Hashable, Iterable
 
 from repro.core.composite import CompositeKeySpace
@@ -34,6 +35,7 @@ from repro.core.envelope import OpenResult, SealedEvent
 from repro.core.kdc import KDC
 from repro.core.nakt import NumericKeySpace
 from repro.core.publisher import Publisher
+from repro.core.renewal import RenewalManager, RenewalPolicy
 from repro.core.subscriber import Subscriber
 from repro.flow import AdmissionController, priority_of
 from repro.obs import Observability
@@ -44,6 +46,49 @@ from repro.siena.network import BrokerTree
 if TYPE_CHECKING:  # pragma: no cover
     from repro.parallel.executor import ShardedMatcher
     from repro.rtnet.live import LiveSystem
+
+
+@dataclass(frozen=True)
+class SystemOptions:
+    """Every construction knob, as one value.
+
+    Both entry points -- the fluent :meth:`System.builder` and the
+    one-call :func:`connect` -- resolve to a ``SystemOptions`` before
+    building, so the two surfaces can never drift apart: a knob exists
+    here or it does not exist.  An options value can also be built
+    directly and handed to either entry point
+    (``connect(options=...)`` / ``builder().options(...)``).
+
+    - ``transport``: ``"inproc"`` (synchronous broker tree) or ``"tcp"``
+      (a localhost cluster, :class:`repro.rtnet.LiveSystem`);
+    - ``num_brokers`` / ``arity``: dissemination tree shape;
+    - ``master_key``: fix ``rk(KDC)`` for reproducible key material;
+    - ``admission``: an :class:`~repro.flow.AdmissionController` or a
+      ``{"rate", "burst", "reserve"}`` spec for the edge gate;
+    - ``parallel``: a ``{"workers", "chunk_size"}`` spec for the
+      sharded matcher (``None`` keeps the serial path);
+    - ``renewal``: a :class:`~repro.core.renewal.RenewalPolicy`; when
+      set, subscribers hold *standing* subscriptions whose grants renew
+      across epoch boundaries (inproc: driven by
+      :meth:`System.advance`; tcp: driven in-band by REKEY broadcasts
+      through the hosted KDC endpoint).
+    """
+
+    transport: str = "inproc"
+    num_brokers: int = 3
+    arity: int = 2
+    master_key: bytes | None = None
+    admission: "AdmissionController | dict | None" = None
+    parallel: dict | None = None
+    renewal: RenewalPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("inproc", "tcp"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.num_brokers < 1:
+            raise ValueError("a system needs at least one broker")
+        if self.arity < 1:
+            raise ValueError("arity must be positive")
 
 
 class SessionPublisher:
@@ -94,18 +139,42 @@ class SessionSubscriber:
         subscriber_id: str,
         filters: Iterable[Filter],
         grace_period: float = 0.0,
+        at_time: float = 0.0,
     ):
         self.system = system
+        policy = system.renewal
+        if policy is not None:
+            grace_period = max(grace_period, policy.grace)
         self.engine = Subscriber(subscriber_id, grace_period=grace_period)
+        #: Standing-subscription manager, or None without a renewal
+        #: policy (grants are then one-shot, anchored at *at_time*).
+        self.renewal: RenewalManager | None = None
+        if policy is not None:
+            self.renewal = RenewalManager(
+                self.engine, system.kdc, renew_lead_time=policy.lead
+            )
         self.opened: list[OpenResult] = []
         self.unreadable = 0
         self.home = system._next_leaf()
         system.tree.attach_subscriber(subscriber_id, self.home, self._deliver)
         for subscription_filter in filters:
-            self.engine.add_grant(
-                system.kdc.authorize(subscriber_id, subscription_filter)
-            )
+            if self.renewal is not None:
+                self.renewal.add_subscription(
+                    subscription_filter, at_time=at_time
+                )
+            else:
+                self.engine.add_grant(
+                    system.kdc.authorize(
+                        subscriber_id, subscription_filter, at_time=at_time
+                    )
+                )
             system.tree.subscribe(subscriber_id, subscription_filter)
+
+    @property
+    def renewal_stats(self):
+        """The session's :class:`~repro.core.renewal.RenewalStats`,
+        or ``None`` without a renewal policy."""
+        return self.renewal.stats if self.renewal is not None else None
 
     @property
     def subscriber_id(self) -> str:
@@ -139,10 +208,18 @@ class System:
         obs: Observability,
         admission: AdmissionController | None = None,
         parallel: "ShardedMatcher | None" = None,
+        renewal: RenewalPolicy | None = None,
     ):
         self.kdc = kdc
         self.tree = tree
         self.obs = obs
+        #: Default key-lifecycle policy for subscribers; when set,
+        #: ``subscribe()`` opens standing subscriptions and
+        #: :meth:`advance` renews them across epoch boundaries.
+        self.renewal = renewal
+        #: The publication timeline's current instant (the facade is
+        #: synchronous; time only moves via publishes and `advance`).
+        self.clock = 0.0
         #: Edge admission controller, or None when unconfigured.
         #: Checked by the facade itself before an event enters the tree
         #: (:meth:`_disseminate` reports the verdict explicitly), so
@@ -181,15 +258,40 @@ class System:
         subscriber_id: str,
         *filters: Filter,
         grace_period: float = 0.0,
+        at_time: float | None = None,
     ) -> SessionSubscriber:
-        """Authorize and attach a subscriber in one call."""
+        """Authorize and attach a subscriber in one call.
+
+        With a renewal policy on the system this opens *standing*
+        subscriptions: the session holds a
+        :class:`~repro.core.renewal.RenewalManager` and
+        :meth:`advance` keeps its grants fresh across epoch
+        boundaries.  Without one, grants are one-shot, anchored at
+        *at_time* (default: the system clock).
+        """
         if subscriber_id in self.subscribers:
             raise ValueError(f"subscriber {subscriber_id!r} already attached")
         session = SessionSubscriber(
-            self, subscriber_id, filters, grace_period=grace_period
+            self,
+            subscriber_id,
+            filters,
+            grace_period=grace_period,
+            at_time=at_time if at_time is not None else self.clock,
         )
         self.subscribers[subscriber_id] = session
         return session
+
+    def advance(self, at_time: float) -> int:
+        """Move the publication timeline to *at_time* and run every
+        session's renewal tick (renew due grants, drop expired ones).
+        Returns how many renewals completed.  The in-process analogue
+        of the REKEY broadcast on the tcp transport."""
+        self.clock = max(self.clock, at_time)
+        renewed = 0
+        for session in self.subscribers.values():
+            if session.renewal is not None:
+                renewed += session.renewal.tick(self.clock)
+        return renewed
 
     def schema_lookup(self, topic: str) -> CompositeKeySpace:
         """Topic schema resolver (schemas are public configuration)."""
@@ -257,29 +359,33 @@ class SystemBuilder:
     """Fluent construction of a :class:`System`.
 
     Defaults give a working three-broker tree with an in-process KDC;
-    every knob is optional.
+    every knob is optional.  The knobs accumulate into one
+    :class:`SystemOptions` value (``self._options``), the same dataclass
+    :func:`connect` resolves its keyword arguments into.
     """
 
     def __init__(self):
-        self._num_brokers = 3
-        self._arity = 2
-        self._master_key: bytes | None = None
+        self._options = SystemOptions()
         self._kdc: KDC | None = None
         self._obs: Observability | None = None
         self._topics: list[tuple[str, CompositeKeySpace, float, bool]] = []
-        self._admission: AdmissionController | dict | None = None
-        self._parallel: dict | None = None
-        self._transport = "inproc"
+
+    def options(self, options: SystemOptions) -> "SystemBuilder":
+        """Replace every construction knob at once with *options*
+        (live objects -- the KDC, observability, topics -- persist)."""
+        self._options = options
+        return self
 
     def brokers(self, num_brokers: int, arity: int = 2) -> "SystemBuilder":
         """Size the dissemination tree."""
-        self._num_brokers = num_brokers
-        self._arity = arity
+        self._options = replace(
+            self._options, num_brokers=num_brokers, arity=arity
+        )
         return self
 
     def master_key(self, key: bytes) -> "SystemBuilder":
         """Fix ``rk(KDC)`` (reproducible key material)."""
-        self._master_key = key
+        self._options = replace(self._options, master_key=key)
         return self
 
     def kdc(self, kdc: KDC) -> "SystemBuilder":
@@ -310,13 +416,16 @@ class SystemBuilder:
         ``flow_shed_total{stage="admission"}``).
         """
         if controller is not None:
-            self._admission = controller
+            self._options = replace(self._options, admission=controller)
         else:
-            self._admission = {
-                "rate": rate,
-                "burst": burst if burst is not None else 2.0 * rate,
-                "reserve": reserve,
-            }
+            self._options = replace(
+                self._options,
+                admission={
+                    "rate": rate,
+                    "burst": burst if burst is not None else 2.0 * rate,
+                    "reserve": reserve,
+                },
+            )
         return self
 
     def parallel(
@@ -332,7 +441,10 @@ class SystemBuilder:
         ``workers <= 1`` the matcher stays in serial-fallback mode, so
         the knob is safe to set unconditionally.
         """
-        self._parallel = {"workers": workers, "chunk_size": chunk_size}
+        self._options = replace(
+            self._options,
+            parallel={"workers": workers, "chunk_size": chunk_size},
+        )
         return self
 
     def transport(self, kind: str) -> "SystemBuilder":
@@ -341,9 +453,30 @@ class SystemBuilder:
         ``"tcp"`` deploys the same broker tree as a localhost TCP
         cluster (:class:`repro.rtnet.LiveSystem`) -- real sockets,
         framed PSE2 events, tokenized in-network matching."""
-        if kind not in ("inproc", "tcp"):
-            raise ValueError(f"unknown transport {kind!r}")
-        self._transport = kind
+        self._options = replace(self._options, transport=kind)
+        return self
+
+    def renewal(
+        self,
+        policy: RenewalPolicy | None = None,
+        *,
+        lead: float = 0.0,
+        grace: float = 0.0,
+    ) -> "SystemBuilder":
+        """Keep subscriber grants fresh across epoch boundaries.
+
+        Pass a ready :class:`~repro.core.renewal.RenewalPolicy`, or let
+        the builder make one from *lead* (renew this many seconds before
+        a grant's epoch expires) and *grace* (keep an expired grant
+        usable this long after the boundary).  On the inproc transport
+        renewals run from :meth:`System.advance`; on tcp the built
+        :class:`~repro.rtnet.LiveSystem` hosts a KDC endpoint beside the
+        broker tree and subscribers renew in-band over GRANT/GRANT_ACK,
+        driven by REKEY broadcasts.
+        """
+        if policy is None:
+            policy = RenewalPolicy(lead=lead, grace=grace)
+        self._options = replace(self._options, renewal=policy)
         return self
 
     def topic(
@@ -366,18 +499,19 @@ class SystemBuilder:
         return self
 
     def build(self) -> "System | LiveSystem":
+        options = self._options
         obs = self._obs if self._obs is not None else Observability()
         kdc = self._kdc
         if kdc is None:
             kdc = (
-                KDC(master_key=self._master_key)
-                if self._master_key is not None
+                KDC(master_key=options.master_key)
+                if options.master_key is not None
                 else KDC()
             )
         for name, schema, epoch_length, per_publisher in self._topics:
             kdc.register_topic(name, schema, epoch_length, per_publisher)
-        if self._transport == "tcp":
-            if self._admission is not None or self._parallel is not None:
+        if options.transport == "tcp":
+            if options.admission is not None or options.parallel is not None:
                 raise ValueError(
                     "admission control and parallel matching are not yet "
                     "wired through the tcp transport"
@@ -385,45 +519,94 @@ class SystemBuilder:
             from repro.rtnet.live import LiveSystem
 
             return LiveSystem(
-                kdc, obs, num_brokers=self._num_brokers, arity=self._arity
+                kdc,
+                obs,
+                num_brokers=options.num_brokers,
+                arity=options.arity,
+                renewal=options.renewal,
             )
         matcher = None
         match_cache = None
-        if self._parallel is not None:
+        if options.parallel is not None:
             from repro.parallel.executor import ShardedMatcher
             from repro.parallel.policy import ParallelPolicy
             from repro.siena.index import MatchResultCache
 
             match_cache = MatchResultCache(registry=obs.registry)
             matcher = ShardedMatcher(
-                ParallelPolicy(**self._parallel),
+                ParallelPolicy(**options.parallel),
                 match="plain",
                 registry=obs.registry,
             )
         tree = BrokerTree(
-            num_brokers=self._num_brokers,
-            arity=self._arity,
+            num_brokers=options.num_brokers,
+            arity=options.arity,
             registry=obs.registry,
             match_cache=match_cache,
         )
         if matcher is not None:
             tree.bind_parallel(matcher)
-        admission = self._admission
+        admission = options.admission
         if isinstance(admission, dict):
             admission = AdmissionController(
                 registry=obs.registry, **admission
             )
-        return System(kdc, tree, obs, admission=admission, parallel=matcher)
+        return System(
+            kdc,
+            tree,
+            obs,
+            admission=admission,
+            parallel=matcher,
+            renewal=options.renewal,
+        )
 
 
 def connect(
     topic: str | None = None,
     numeric: dict[str, int] | None = None,
-    brokers: int = 3,
+    brokers: int | None = None,
+    *,
+    arity: int | None = None,
+    transport: str | None = None,
+    parallel: int | dict | None = None,
+    admission: "AdmissionController | dict | None" = None,
+    renewal: RenewalPolicy | None = None,
+    master_key: bytes | None = None,
+    options: SystemOptions | None = None,
     **topic_kwargs,
-) -> System:
-    """One-call convenience: ``connect(topic="news", numeric={...})``."""
-    builder = System.builder().brokers(brokers)
+) -> "System | LiveSystem":
+    """One-call convenience: ``connect(topic="news", numeric={...})``.
+
+    Every builder knob is reachable here too -- both surfaces resolve
+    to the same :class:`SystemOptions` before building.  Pass a ready
+    *options* value as the base; explicit keyword arguments override
+    its fields.  *parallel* accepts a worker count or a full
+    ``{"workers", "chunk_size"}`` spec; *admission* accepts a ready
+    controller or a ``{"rate", "burst", "reserve"}`` spec.
+    """
+    resolved = options if options is not None else SystemOptions()
+    overrides: dict = {}
+    if brokers is not None:
+        overrides["num_brokers"] = brokers
+    if arity is not None:
+        overrides["arity"] = arity
+    if transport is not None:
+        overrides["transport"] = transport
+    if parallel is not None:
+        overrides["parallel"] = (
+            parallel
+            if isinstance(parallel, dict)
+            else {"workers": parallel, "chunk_size": 64}
+        )
+    if admission is not None:
+        overrides["admission"] = admission
+    if renewal is not None:
+        overrides["renewal"] = renewal
+    if master_key is not None:
+        overrides["master_key"] = master_key
+    if overrides:
+        resolved = replace(resolved, **overrides)
+    builder = System.builder().options(resolved)
     if topic is not None:
         builder.topic(topic, numeric=numeric, **topic_kwargs)
     return builder.build()

@@ -1,0 +1,221 @@
+"""The ``repro bench --suite rekey`` churn ladder.
+
+Each rung runs the full live-rekey choreography of
+:mod:`repro.harness.rekey` -- a loopback TCP cluster with the KDC
+endpoint hosted beside the broker tree, survivors renewing in-band
+across epoch rollovers, a victim revoked lazily, a joiner and a leaver
+churning mid-stream -- at an increasing membership scale.  Per rung the
+report records rekey latency quantiles (REKEY broadcast to grant plane
+settled), grant request->install latency quantiles, and delivery
+completeness for the surviving population.
+
+The report (``BENCH_rekey.json``; schema ``repro.bench/rekey.v1``) is
+gated by :func:`check_rekey_regression`: the security and completeness
+gates are absolute (zero unauthorized opens, survivor delivery >= 0.99,
+every choreography gate green on every rung), while the latency gates
+allow *tolerance* plus a 2x hardware-variance band against the
+committed baseline, matching the other suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.bench.driver import load_report, write_report  # noqa: F401
+from repro.harness.rekey import (
+    RekeyChaosConfig,
+    check_rekey,
+    run_rekey_chaos,
+)
+from repro.obs.metrics import Histogram
+
+BENCH_REKEY_SCHEMA = "repro.bench/rekey.v1"
+
+
+@dataclass(frozen=True)
+class RekeyBenchConfig:
+    """Shape of the churn ladder."""
+
+    seed: int = 7
+    num_brokers: int = 3
+    arity: int = 2
+    epoch_length: float = 10.0
+    rollovers: int = 3
+    events_per_epoch: int = 8
+    #: Survivor population per rung; each rung reruns the whole
+    #: choreography (so churn per rollover grows with the rung).
+    rungs: tuple[int, ...] = (1, 3, 6)
+    renew_lead: float = 2.0
+    grace: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.rungs:
+            raise ValueError("the ladder needs at least one rung")
+        if any(rung < 1 for rung in self.rungs):
+            raise ValueError("every rung needs at least one survivor")
+        if self.rollovers < 3:
+            raise ValueError("the churn ladder crosses >= 3 rollovers")
+
+
+def _quantiles(name: str, samples: list[float]) -> dict:
+    histogram = Histogram(name)
+    for value in samples:
+        histogram.observe(value)
+    return histogram.snapshot()
+
+
+def run_rekey_bench(config: RekeyBenchConfig = RekeyBenchConfig()) -> dict:
+    """Climb the ladder; returns the report document."""
+    rungs = []
+    for rung_index, survivors in enumerate(config.rungs):
+        chaos = RekeyChaosConfig(
+            seed=config.seed + rung_index,
+            num_brokers=config.num_brokers,
+            arity=config.arity,
+            epoch_length=config.epoch_length,
+            rollovers=config.rollovers,
+            events_per_epoch=config.events_per_epoch,
+            survivors=survivors,
+            renew_lead=config.renew_lead,
+            grace=config.grace,
+        )
+        result = run_rekey_chaos(chaos)
+        problems = check_rekey(chaos, result)
+        rungs.append(
+            {
+                "survivors": survivors,
+                "subscribers": survivors + 3,  # + victim, joiner, leaver
+                "rollovers": result.rollovers_completed,
+                "events_published": result.events_published,
+                "grants_issued": len(result.grant_latencies_s),
+                "survivor_delivery_ratio": result.survivor_delivery_ratio(),
+                "unauthorized_opens": result.unauthorized_opens(),
+                "unacked_publications": result.unacked_publications,
+                "rekey_latency_s": _quantiles(
+                    "rekey_rollover_latency_seconds",
+                    result.rollover_latencies_s,
+                ),
+                "grant_latency_s": _quantiles(
+                    "rekey_grant_latency_seconds",
+                    result.grant_latencies_s,
+                ),
+                "gates": problems,
+            }
+        )
+    return {
+        "schema": BENCH_REKEY_SCHEMA,
+        "config": asdict(config),
+        "rungs": rungs,
+        "totals": {
+            "rollovers": sum(rung["rollovers"] for rung in rungs),
+            "grants_issued": sum(rung["grants_issued"] for rung in rungs),
+            "unauthorized_opens": sum(
+                rung["unauthorized_opens"] for rung in rungs
+            ),
+            "min_survivor_delivery_ratio": min(
+                rung["survivor_delivery_ratio"] for rung in rungs
+            ),
+        },
+    }
+
+
+def check_rekey_regression(
+    report: dict, baseline: dict, tolerance: float = 0.25
+) -> list[str]:
+    """Gate a fresh churn ladder against a committed baseline.
+
+    Absolute gates: schema and ladder shape match, every rung's
+    choreography gates are green, zero unauthorized opens anywhere,
+    survivor delivery >= 0.99 on every rung, zero unacked publications,
+    and the latency quantiles are present.  The relative gates bound
+    rekey p95 and grant p95 per rung to the baseline's value times
+    ``(1 + tolerance) * 2`` (the 2x is the hardware-variance allowance
+    the other socket-path suites use).
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError("tolerance must be within [0, 1)")
+    problems: list[str] = []
+    if report.get("schema") != baseline.get("schema"):
+        problems.append(
+            f"schema mismatch: report {report.get('schema')!r} "
+            f"vs baseline {baseline.get('schema')!r}"
+        )
+        return problems
+    if len(report["rungs"]) != len(baseline["rungs"]):
+        problems.append(
+            f"ladder shape changed: {len(report['rungs'])} rungs "
+            f"vs baseline {len(baseline['rungs'])}"
+        )
+        return problems
+    for rung, reference in zip(report["rungs"], baseline["rungs"]):
+        label = f"rung(survivors={rung['survivors']})"
+        if rung["gates"]:
+            problems.extend(
+                f"{label}: {problem}" for problem in rung["gates"]
+            )
+        if rung["unauthorized_opens"]:
+            problems.append(
+                f"{label}: {rung['unauthorized_opens']} unauthorized "
+                "post-revocation opens"
+            )
+        if rung["survivor_delivery_ratio"] < 0.99:
+            problems.append(
+                f"{label}: survivor delivery "
+                f"{rung['survivor_delivery_ratio']:.4f} < 0.99"
+            )
+        if rung["unacked_publications"]:
+            problems.append(
+                f"{label}: {rung['unacked_publications']} publications "
+                "never acked"
+            )
+        for plane in ("rekey_latency_s", "grant_latency_s"):
+            quantiles = rung.get(plane, {}).get("quantiles", {})
+            for quantile in ("p50", "p95", "p99"):
+                if quantile not in quantiles:
+                    problems.append(
+                        f"{label}: missing {plane} quantile {quantile}"
+                    )
+            baseline_p95 = (
+                reference.get(plane, {}).get("quantiles", {}).get("p95")
+            )
+            observed_p95 = quantiles.get("p95")
+            if baseline_p95 and observed_p95 is not None:
+                ceiling = baseline_p95 * (1 + tolerance) * 2
+                if observed_p95 > ceiling:
+                    problems.append(
+                        f"{label}: {plane} p95 regression: "
+                        f"{observed_p95 * 1e3:.2f} ms > "
+                        f"{ceiling * 1e3:.2f} ms (baseline "
+                        f"{baseline_p95 * 1e3:.2f} ms + {tolerance:.0%}, "
+                        "x2 hardware allowance)"
+                    )
+    return problems
+
+
+def render_rekey_report(report: dict) -> str:
+    """Human-readable ladder summary printed by the bench CLI."""
+    config = report["config"]
+    lines = [
+        "rekey bench: membership-churn ladder over live epoch rollovers "
+        f"(seed={config['seed']}, brokers={config['num_brokers']}, "
+        f"rollovers/rung={config['rollovers']})",
+    ]
+    for rung in report["rungs"]:
+        rekey = rung["rekey_latency_s"]["quantiles"]
+        grant = rung["grant_latency_s"]["quantiles"]
+        lines.append(
+            f"  {rung['subscribers']:2d} subscribers: "
+            f"rekey p95 {rekey['p95'] * 1e3:6.1f} ms   "
+            f"grant p95 {grant['p95'] * 1e3:6.1f} ms   "
+            f"delivery {rung['survivor_delivery_ratio']:.4f}   "
+            f"grants {rung['grants_issued']:3d}   "
+            + ("ok" if not rung["gates"] else "GATES FAILED")
+        )
+    totals = report["totals"]
+    lines.append(
+        f"  totals: {totals['rollovers']} rollovers, "
+        f"{totals['grants_issued']} grants, "
+        f"{totals['unauthorized_opens']} unauthorized opens, "
+        f"min delivery {totals['min_survivor_delivery_ratio']:.4f}"
+    )
+    return "\n".join(lines)

@@ -21,7 +21,10 @@ new harness scenario only writes its own handler; ``build_parser`` and
                         an epoch boundary and measures decrypt success;
                         the ``recovery`` scenario kills brokers
                         permanently and gates (``--check``) on tree
-                        repair plus exactly-once delivery;
+                        repair plus exactly-once delivery; the ``rekey``
+                        scenario churns membership across live epoch
+                        rollovers on real sockets and gates on zero
+                        unauthorized opens plus survivor delivery;
 - ``metrics``        -- run an instrumented workload and export the
                         metrics/tracing snapshot (JSON or Prometheus);
 - ``bench``          -- drive the same Zipf workload through the legacy
@@ -312,6 +315,8 @@ CHAOS_SCENARIOS: dict[str, str] = {
     "overload": "publisher storm at a multiple of sustainable rate: "
     "bounded queues, priority protection, graceful degradation, "
     "post-storm recovery",
+    "rekey": "live membership churn over real sockets: epoch rollovers, "
+    "in-band grant renewal, lazy revocation, mid-stream join/leave",
 }
 
 
@@ -322,7 +327,8 @@ def _chaos_args(parser: argparse.ArgumentParser) -> None:
         "kdc = key-service outage across an epoch boundary, "
         "recovery = permanent kills + partition with tree repair, "
         "durable journals and exactly-once delivery, "
-        "overload = publisher storm against the flow-controlled overlay",
+        "overload = publisher storm against the flow-controlled overlay, "
+        "rekey = live epoch rollover and membership churn over TCP",
     )
     parser.add_argument(
         "--list", action="store_true",
@@ -364,16 +370,21 @@ def _chaos_args(parser: argparse.ArgumentParser) -> None:
                         choices=["drop-oldest", "drop-lowest-priority",
                                  "reject-new"],
                         help="overload scenario: load-shedding policy")
+    parser.add_argument("--rollovers", type=int, default=3,
+                        help="rekey scenario: live epoch boundaries to "
+                        "cross (minimum 3)")
     parser.add_argument("--snapshot", metavar="PATH",
-                        help="overload scenario: write the run's metrics "
-                        "snapshot (JSON) here")
+                        help="overload/rekey scenarios: write the run's "
+                        "metrics snapshot (JSON) here")
     parser.add_argument(
         "--check", action="store_true",
-        help="recovery/overload scenarios: fail unless the scenario's "
-        "gates hold (recovery: delivery >= 99%%, zero surfaced "
-        "duplicates, every permanent kill repaired; overload: bounded "
-        "queues, >= 99%% high-priority delivery, graceful degradation, "
-        "full post-storm recovery)",
+        help="recovery/overload/rekey scenarios: fail unless the "
+        "scenario's gates hold (recovery: delivery >= 99%%, zero "
+        "surfaced duplicates, every permanent kill repaired; overload: "
+        "bounded queues, >= 99%% high-priority delivery, graceful "
+        "degradation, full post-storm recovery; rekey: >= 3 live "
+        "rollovers, zero unauthorized post-revocation opens, >= 99%% "
+        "survivor delivery)",
     )
 
 
@@ -492,6 +503,39 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                         overload_config, overload_result
                     )
                 )
+        if args.scenario in ("all", "rekey"):
+            import json
+
+            from repro.harness.rekey import (
+                RekeyChaosConfig,
+                check_rekey,
+                format_rekey_report,
+                run_rekey_chaos,
+            )
+
+            rekey_config = RekeyChaosConfig(
+                seed=args.seed,
+                rollovers=args.rollovers,
+                grace=args.grace,
+            )
+            rekey_result = run_rekey_chaos(rekey_config)
+            sections.append(
+                format_rekey_report(rekey_config, rekey_result)
+            )
+            if args.snapshot and args.scenario == "rekey":
+                with open(args.snapshot, "w", encoding="utf-8") as handle:
+                    json.dump(
+                        rekey_result.registry.snapshot(), handle,
+                        indent=2, sort_keys=True,
+                    )
+                    handle.write("\n")
+                print(f"wrote metrics snapshot to {args.snapshot}",
+                      file=sys.stderr)
+            if args.check:
+                gate_problems.extend(
+                    f"rekey gate violated: {problem}"
+                    for problem in check_rekey(rekey_config, rekey_result)
+                )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -600,11 +644,12 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 def _bench_args(parser: argparse.ArgumentParser) -> None:
     add_seed_option(parser)
     parser.add_argument(
-        "--suite", choices=["engine", "overload", "parallel"],
+        "--suite", choices=["engine", "overload", "parallel", "rekey"],
         default="engine",
         help="engine: batched-dissemination throughput (default); "
         "overload: sustained-storm delivery/shedding sweep; "
-        "parallel: sharded-matcher worker-ladder speedups",
+        "parallel: sharded-matcher worker-ladder speedups; "
+        "rekey: live membership-churn ladder over epoch rollovers",
     )
     parser.add_argument("--events", type=int, default=400,
                         help="publications per measured path")
@@ -629,6 +674,10 @@ def _bench_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--chunk-size", type=int, default=64,
         help="events per parallel matcher task (--suite parallel)",
+    )
+    parser.add_argument(
+        "--rungs", default="1,3,6", metavar="SURVIVORS",
+        help="comma-separated survivor populations for --suite rekey",
     )
     parser.add_argument("--output", metavar="PATH", default=None,
                         help="machine-readable report destination "
@@ -751,6 +800,59 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_rekey(args: argparse.Namespace) -> int:
+    """The ``--suite rekey`` leg: membership-churn ladder."""
+    from repro.bench import (
+        RekeyBenchConfig,
+        check_rekey_regression,
+        load_report,
+        render_rekey_report,
+        run_rekey_bench,
+        write_report,
+    )
+
+    output = args.output or "BENCH_rekey.json"
+    baseline_path = (
+        args.baseline or "benchmarks/baselines/BENCH_rekey.json"
+    )
+    try:
+        rungs = tuple(
+            int(survivors)
+            for survivors in str(args.rungs).split(",")
+            if survivors.strip()
+        )
+        report = run_rekey_bench(
+            RekeyBenchConfig(seed=args.seed, rungs=rungs)
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    write_report(report, output)
+    print(render_rekey_report(report))
+    print(f"wrote report to {output}", file=sys.stderr)
+    failed = [
+        problem for rung in report["rungs"] for problem in rung["gates"]
+    ]
+    if failed:
+        for problem in failed:
+            print(f"error: churn gate violated: {problem}", file=sys.stderr)
+        return 1
+    if args.check:
+        try:
+            baseline = load_report(baseline_path)
+        except OSError as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        problems = check_rekey_regression(report, baseline, args.tolerance)
+        for problem in problems:
+            print(f"regression: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("bench check passed: within tolerance of the baseline",
+              file=sys.stderr)
+    return 0
+
+
 @command(
     "bench",
     "benchmark the batched engine against the per-event path",
@@ -770,6 +872,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_overload(args)
     if args.suite == "parallel":
         return _cmd_bench_parallel(args)
+    if args.suite == "rekey":
+        return _cmd_bench_rekey(args)
     output = args.output or "BENCH_engine.json"
     baseline_path = (
         args.baseline or "benchmarks/baselines/BENCH_engine.json"

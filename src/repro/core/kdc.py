@@ -20,6 +20,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.errors import GrantDenied, KDCUnavailable
 from repro.crypto.hashes import KEY_BYTES
 from repro.crypto.prf import F, KH
 from repro.core.composite import (
@@ -38,22 +39,12 @@ from repro.siena.operators import Op
 TOPIC_COMPONENT = "topic"
 
 
-class KDCUnavailableError(RuntimeError):
-    """No KDC (replica) could serve the request.
-
-    Retryable: the caller may try again later.  The networked client
-    raises it only after exhausting replicas, retries, and breakers; a
-    direct in-process binding raises it to model an unreachable KDC.
-    """
-
-
-class AuthorizationDenied(PermissionError):
-    """The KDC refuses to authorize a revoked (subscriber, topic) pair.
-
-    Lazy revocation (Section 3.1): existing grants lapse at their epoch's
-    end, and the denial takes effect at the next renewal attempt.  This
-    error is *terminal* -- clients must not retry it against a replica.
-    """
+# Historical names for the exceptions now defined in ``repro.errors``.
+# ``KDCUnavailableError`` still subclasses RuntimeError and
+# ``AuthorizationDenied`` still subclasses PermissionError (through the
+# hierarchy), so every pre-existing handler keeps working.
+KDCUnavailableError = KDCUnavailable
+AuthorizationDenied = GrantDenied
 
 
 @dataclass

@@ -43,6 +43,37 @@ from repro.core.subscriber import Subscriber
 from repro.siena.filters import Filter
 
 
+@dataclass(frozen=True)
+class RenewalPolicy:
+    """How a subscriber keeps its grants fresh across epoch boundaries.
+
+    One shared knob for every surface that owns a
+    :class:`RenewalManager` -- the in-process :class:`repro.api.System`,
+    the live :class:`repro.rtnet.LiveSystem`, and the raw
+    :class:`repro.rtnet.RtSubscriber`:
+
+    - ``lead``: renew this many seconds *before* a grant's epoch
+      expires, so in-flight events spanning the boundary stay readable
+      (maps to ``RenewalManager.renew_lead_time``);
+    - ``grace``: keep an expired grant usable for this many seconds
+      *after* its epoch ends, covering events sealed just before the
+      boundary that arrive just after (maps to
+      ``Subscriber.grace_period``).
+
+    Both default to zero: renew exactly at the boundary, drop exactly at
+    the boundary -- the strict reading of the paper's epoch model.
+    """
+
+    lead: float = 0.0
+    grace: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lead < 0:
+            raise ValueError("renewal lead must be non-negative")
+        if self.grace < 0:
+            raise ValueError("renewal grace must be non-negative")
+
+
 @dataclass
 class _StandingSubscription:
     filters: Filter | list[Filter]

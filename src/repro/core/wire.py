@@ -17,6 +17,7 @@ from __future__ import annotations
 import struct
 from contextlib import contextmanager
 
+from repro.errors import FrameError
 from repro.core.composite import AuthorizationComponent
 from repro.core.envelope import Lock, SealedEvent
 from repro.core.kdc import AuthorizationGrant, ClauseGrant
@@ -40,7 +41,7 @@ _ELEMENT_TEXT = 1
 
 @contextmanager
 def _decoding(what: str):
-    """Normalize low-level decode failures into :class:`ValueError`.
+    """Normalize low-level decode failures into :class:`FrameError`.
 
     Framed network input must never crash a broker with an unexpected
     exception type: a short buffer raises ``struct.error`` (or
@@ -48,16 +49,17 @@ def _decoding(what: str):
     ``UnicodeDecodeError``, and an unknown operator name raises
     ``KeyError``.  All of them mean the same thing to a receiver --
     "this buffer is not a valid <what>" -- so they all surface as
-    ``ValueError``.
+    :class:`~repro.errors.FrameError` (a :class:`ValueError` subclass,
+    so handlers written before the hierarchy existed keep catching it).
     """
     try:
         yield
     except (struct.error, IndexError) as exc:
-        raise ValueError(f"truncated {what}: {exc}") from exc
+        raise FrameError(f"truncated {what}: {exc}") from exc
     except UnicodeDecodeError as exc:
-        raise ValueError(f"corrupt text in {what}: {exc}") from exc
+        raise FrameError(f"corrupt text in {what}: {exc}") from exc
     except KeyError as exc:
-        raise ValueError(f"unknown name in {what}: {exc}") from exc
+        raise FrameError(f"unknown name in {what}: {exc}") from exc
 
 
 def _pack_bytes(data: bytes) -> bytes:
@@ -69,7 +71,7 @@ def _unpack_bytes(data: bytes, offset: int) -> tuple[bytes, int]:
     start = offset + 4
     chunk = data[start: start + length]
     if len(chunk) != length:
-        raise ValueError("truncated field")
+        raise FrameError("truncated field")
     return chunk, start + length
 
 
@@ -98,7 +100,7 @@ def _unpack_element(data: bytes, offset: int) -> tuple[object, int]:
         return KTID.from_bytes(raw), offset
     if tag == _ELEMENT_TEXT:
         return _unpack_text(data, offset)
-    raise ValueError(f"unknown element tag {tag}")
+    raise FrameError(f"unknown element tag {tag}")
 
 
 # -- filters -------------------------------------------------------------------
@@ -147,7 +149,7 @@ def _unpack_filter(data: bytes, offset: int) -> tuple[Filter, int]:
         elif tag == 3:
             value, offset = _unpack_text(data, offset)
         else:
-            raise ValueError(f"unknown value tag {tag}")
+            raise FrameError(f"unknown value tag {tag}")
         constraints.append(Constraint(name, Op[op_name], value))
     return Filter(constraints), offset
 
@@ -167,7 +169,7 @@ def decode_filter(data: bytes) -> Filter:
     with _decoding("filter"):
         subscription, offset = _unpack_filter(data, 0)
     if offset != len(data):
-        raise ValueError("trailing bytes after filter")
+        raise FrameError("trailing bytes after filter")
     return subscription
 
 
@@ -197,7 +199,7 @@ def encode_grant(grant: AuthorizationGrant) -> bytes:
 def decode_grant(data: bytes) -> AuthorizationGrant:
     """Inverse of :func:`encode_grant`."""
     if data[:4] != _MAGIC_GRANT:
-        raise ValueError("not a serialized grant")
+        raise FrameError("not a serialized grant")
     with _decoding("grant"):
         offset = 4
         subscriber, offset = _unpack_text(data, offset)
@@ -225,7 +227,7 @@ def decode_grant(data: bytes) -> AuthorizationGrant:
                 ClauseGrant(clause_filter, topic, tuple(components))
             )
     if offset != len(data):
-        raise ValueError("trailing bytes after grant")
+        raise FrameError("trailing bytes after grant")
     return AuthorizationGrant(
         subscriber=subscriber,
         topic=topic,
@@ -277,7 +279,7 @@ def decode_sealed_event(data: bytes) -> SealedEvent:
             flags = data[offset]
             offset += 1
             if flags & ~_EVENT_FLAG_ENVELOPE:
-                raise ValueError(f"unknown sealed-event flags {flags:#x}")
+                raise FrameError(f"unknown sealed-event flags {flags:#x}")
             if flags & _EVENT_FLAG_ENVELOPE:
                 origin, offset = _unpack_text(data, offset)
                 (sequence,) = struct.unpack_from(">q", data, offset)
@@ -285,7 +287,7 @@ def decode_sealed_event(data: bytes) -> SealedEvent:
         elif data[:4] == _MAGIC_EVENT_V1:
             offset = 4  # legacy frame: no flags, no envelope metadata
         else:
-            raise ValueError("not a serialized sealed event")
+            raise FrameError("not a serialized sealed event")
         direct = bool(data[offset])
         offset += 1
         routable_raw, offset = _unpack_bytes(data, offset)
@@ -310,7 +312,7 @@ def decode_sealed_event(data: bytes) -> SealedEvent:
             locks.append(Lock(tuple(attributes), wrapped))
         ciphertext, offset = _unpack_bytes(data, offset)
     if offset != len(data):
-        raise ValueError("trailing bytes after sealed event")
+        raise FrameError("trailing bytes after sealed event")
     return SealedEvent(
         routable,
         elements,

@@ -56,12 +56,13 @@ from repro.siena.index import MatchResultCache
 class BatchTransport(Protocol):
     """Anything that can disseminate a batch (BrokerTree, SimulatedPubSub).
 
-    Modern transports expose the unified ``publish(events, *,
-    parallel=...)`` surface; the engine prefers it when present and
-    falls back to the legacy ``publish_batch`` method otherwise.
+    The unified surface is ``publish(events)`` (optionally with
+    ``parallel=``); the engine still falls back at runtime to the
+    legacy ``publish_batch`` method for third-party transports that
+    predate the unification (deprecated, removed in repro 2.0).
     """
 
-    def publish_batch(self, events: list[Event]) -> object: ...
+    def publish(self, events: list[Event]) -> object: ...
 
 
 @dataclass(frozen=True)

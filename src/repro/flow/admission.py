@@ -17,12 +17,11 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.errors import RateLimited
 from repro.flow.policy import HIGH, priority_name
 from repro.obs.metrics import MetricsRegistry
 
-
-class RateLimited(Exception):
-    """Raised when a publish is refused by rate limiting or admission."""
+__all__ = ["AdmissionController", "RateLimited", "TokenBucket"]
 
 
 class TokenBucket:

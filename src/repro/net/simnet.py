@@ -1613,8 +1613,9 @@ class SimulatedPubSub:
     ) -> list[int]:
         """Deprecated alias for :meth:`publish` with a list of events."""
         warnings.warn(
-            "SimulatedPubSub.publish_batch is deprecated; pass the batch "
-            "to SimulatedPubSub.publish instead",
+            "SimulatedPubSub.publish_batch is deprecated and will be "
+            "removed in repro 2.0; pass the batch to "
+            "SimulatedPubSub.publish instead",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -1,0 +1,24 @@
+"""``repro.rekey`` -- the live key-lifecycle subsystem.
+
+The paper's epoch model makes every authorization a lease; this package
+is the machinery that serves, renews, and revokes those leases while
+events are flowing over real sockets:
+
+- :class:`~repro.rekey.service.KdcServer` hosts a
+  :class:`~repro.core.kdc.KDC` behind an rtnet TCP listener beside the
+  broker tree, answering GRANT requests, accepting REVOKEs, and
+  broadcasting REKEY on epoch rollover;
+- :class:`~repro.rekey.client.KdcChannel` is the subscriber's side: an
+  async grant client pluggable into
+  :class:`~repro.core.renewal.RenewalManager`, plus the logical clock
+  REKEY broadcasts advance.
+
+:class:`~repro.rtnet.client.RtSubscriber` composes the two (pass it a
+``kdc_channel``); :class:`~repro.rtnet.live.LiveSystem` wires the whole
+choreography behind the synchronous facade.
+"""
+
+from repro.rekey.client import ChannelStats, KdcChannel
+from repro.rekey.service import KdcServer
+
+__all__ = ["ChannelStats", "KdcChannel", "KdcServer"]

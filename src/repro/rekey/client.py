@@ -1,0 +1,286 @@
+"""The subscriber's side of the key-lifecycle plane.
+
+:class:`KdcChannel` is an :class:`~repro.rtnet.client.RtEndpoint` dialed
+at a :class:`~repro.rekey.service.KdcServer`.  It exposes the *async
+client* protocol :class:`~repro.core.renewal.RenewalManager` expects
+(``is_async_client = True``: ``authorize(...)`` registers completion
+callbacks and returns immediately; the grant installs when the GRANT_ACK
+arrives), so the same renewal engine that drives the simulations drives
+live TCP rekeying without modification.
+
+The channel also owns the subscriber's **logical clock**: PSGuard
+epochs are a function of event time, not wall time, so the harness can
+drive ≥3 rollovers deterministically.  Every REKEY broadcast advances
+the clock to the frame's ``at_time`` before the registered hooks (the
+renewal tick) run; ``now()`` is what the renewal manager stamps
+installed grants with.
+
+``settle_grants()`` is the grant-plane flush barrier: it returns once
+every initiated request has been answered -- combined with the server
+answering PINGs itself, a join/renew/revoke choreography needs no
+sleeps anywhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import GrantDenied, GrantExpired, KDCUnavailable
+from repro.core.kdc import AuthorizationGrant
+from repro.obs.metrics import MetricsRegistry
+from repro.rtnet.client import RtEndpoint
+from repro.rtnet.frames import (
+    GRANT_DENIED,
+    GRANT_DONE,
+    GRANT_OK,
+    Frame,
+    GrantAck,
+    GrantRequest,
+    Rekey,
+    Revoke,
+    encode_frame,
+)
+from repro.siena.filters import Filter
+
+
+@dataclass
+class _PendingRequest:
+    """One in-flight GRANT or REVOKE awaiting its GRANT_ACK."""
+
+    frame: GrantRequest | Revoke
+    on_grant: Callable[[AuthorizationGrant], None] | None
+    on_error: Callable[[Exception], None] | None
+    started: float
+    future: asyncio.Future | None = None
+
+
+@dataclass
+class ChannelStats:
+    """Key-lifecycle counters the chaos gates and benches read."""
+
+    requests: int = 0
+    grants_installed: int = 0
+    grants_denied: int = 0
+    grants_failed: int = 0
+    #: Grants that arrived already past expiry + grace -- installed
+    #: nothing; the renewal retries on the next tick.
+    grants_expired: int = 0
+    rekeys_seen: int = 0
+    revokes_sent: int = 0
+
+
+class KdcChannel(RtEndpoint):
+    """A live connection to the KDC endpoint, usable as a renewal source."""
+
+    role = "kdc-client"
+    #: RenewalManager protocol switch: ``authorize`` completes via
+    #: callbacks, possibly a reconnect later.
+    is_async_client = True
+
+    def __init__(
+        self,
+        peer_id: str,
+        host: str,
+        port: int,
+        grace_period: float = 0.0,
+        registry: MetricsRegistry | None = None,
+        **kwargs,
+    ):
+        super().__init__(peer_id, host, port, registry=registry, **kwargs)
+        #: Post-expiry slack a late grant is still worth installing for;
+        #: mirror of the subscriber engine's grace window.
+        self.grace_period = grace_period
+        #: Key-lifecycle counters; ``stats`` stays the link-level
+        #: :class:`~repro.rtnet.client.EndpointStats` of the base class.
+        self.rekey_stats = ChannelStats()
+        #: Called with each Rekey frame after the clock has advanced.
+        self.on_rekey: list[Callable[[Rekey], None]] = []
+        #: Called with each installed grant after its on_grant callback.
+        self.on_install: list[Callable[[AuthorizationGrant], None]] = []
+        #: Wall-clock request->install latency per granted renewal.
+        self.grant_latencies_s: list[float] = []
+        self._time = 0.0
+        self._next_request = 0
+        self._pending: dict[int, _PendingRequest] = {}
+        self._send_tasks: set[asyncio.Task] = set()
+        self._idle: asyncio.Future | None = None
+
+    # -- logical clock -------------------------------------------------------
+
+    def now(self) -> float:
+        """The channel's logical time (monotone, REKEY-advanced)."""
+        return self._time
+
+    def advance(self, at_time: float) -> float:
+        """Advance the logical clock; never moves backwards."""
+        self._time = max(self._time, at_time)
+        return self._time
+
+    # -- the RenewalManager async-client protocol -----------------------------
+
+    def authorize(
+        self,
+        subscriber: str,
+        filters: Filter | list[Filter],
+        at_time: float = 0.0,
+        publisher: str | None = None,
+        min_epoch: int | None = None,
+        on_grant: Callable[[AuthorizationGrant], None] | None = None,
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> None:
+        """Initiate one grant request; completion arrives via callbacks.
+
+        Synchronous on purpose -- :class:`RenewalManager` calls it from
+        plain code -- but must run on the endpoint's event loop thread
+        (ticks are driven from REKEY handlers, which always are).
+        """
+        if isinstance(filters, Filter):
+            filters = [filters]
+        request_id = self._next_request
+        self._next_request += 1
+        frame = GrantRequest(
+            request_id,
+            subscriber,
+            tuple(filters),
+            at_time=at_time,
+            publisher=publisher,
+            min_epoch=min_epoch,
+        )
+        self._pending[request_id] = _PendingRequest(
+            frame, on_grant, on_error, time.perf_counter()
+        )
+        self.rekey_stats.requests += 1
+        self._track(asyncio.ensure_future(self.send(frame)))
+
+    async def revoke(
+        self, subscriber: str, topic: str, timeout: float = 10.0
+    ) -> None:
+        """Revoke (subscriber, topic) at the KDC; returns on its ack."""
+        request_id = self._next_request
+        self._next_request += 1
+        frame = Revoke(request_id, subscriber, topic)
+        future = asyncio.get_event_loop().create_future()
+        self._pending[request_id] = _PendingRequest(
+            frame, None, None, time.perf_counter(), future
+        )
+        self.rekey_stats.revokes_sent += 1
+        await self.send(frame)
+        try:
+            await asyncio.wait_for(future, timeout)
+        finally:
+            self._pending.pop(request_id, None)
+            self._notify_if_idle()
+
+    async def settle_grants(self, timeout: float = 10.0) -> None:
+        """Return once every initiated request has been answered."""
+
+        async def drain() -> None:
+            while self._send_tasks or self._pending:
+                if self._send_tasks:
+                    await asyncio.gather(
+                        *list(self._send_tasks), return_exceptions=True
+                    )
+                    continue
+                self._idle = asyncio.get_event_loop().create_future()
+                try:
+                    await self._idle
+                finally:
+                    self._idle = None
+
+        await asyncio.wait_for(drain(), timeout)
+
+    # -- frame handling ------------------------------------------------------
+
+    async def _handle(self, frame: Frame) -> None:
+        if isinstance(frame, GrantAck):
+            self._on_grant_ack(frame)
+            return
+        if isinstance(frame, Rekey):
+            self.rekey_stats.rekeys_seen += 1
+            self.advance(frame.at_time)
+            self._count("rekey_rekeys_received_total")
+            for hook in list(self.on_rekey):
+                hook(frame)
+            return
+        await super()._handle(frame)
+
+    def _on_grant_ack(self, ack: GrantAck) -> None:
+        pending = self._pending.pop(ack.request_id, None)
+        if pending is None:
+            self._notify_if_idle()
+            return
+        try:
+            if ack.status == GRANT_OK and ack.grant is not None:
+                self._install(pending, ack.grant)
+            elif ack.status == GRANT_DONE:
+                if pending.future is not None and not pending.future.done():
+                    pending.future.set_result(None)
+            elif ack.status == GRANT_DENIED:
+                self.rekey_stats.grants_denied += 1
+                self._count("rekey_grants_denied_total")
+                self._fail(pending, GrantDenied(ack.detail or "revoked"))
+            else:
+                self.rekey_stats.grants_failed += 1
+                self._count("rekey_grants_failed_total")
+                self._fail(
+                    pending, KDCUnavailable(ack.detail or "unavailable")
+                )
+        finally:
+            self._notify_if_idle()
+
+    def _install(
+        self, pending: _PendingRequest, grant: AuthorizationGrant
+    ) -> None:
+        if self.now() >= grant.expires_at + self.grace_period:
+            # Too late to be worth anything: the epoch (plus grace) it
+            # covers has already lapsed at this subscriber.
+            self.rekey_stats.grants_expired += 1
+            self._count("rekey_grants_expired_total")
+            self._fail(
+                pending,
+                GrantExpired(
+                    f"grant for {grant.topic!r} epoch {grant.epoch} expired "
+                    f"at {grant.expires_at}, now {self.now()}"
+                ),
+            )
+            return
+        elapsed = time.perf_counter() - pending.started
+        self.grant_latencies_s.append(elapsed)
+        if self.registry is not None:
+            self.registry.histogram(
+                "rekey_grant_latency_seconds", peer=self.peer_id
+            ).observe(elapsed)
+        self.rekey_stats.grants_installed += 1
+        self._count("rekey_grants_installed_total")
+        if pending.on_grant is not None:
+            pending.on_grant(grant)
+        for hook in list(self.on_install):
+            hook(grant)
+
+    def _fail(self, pending: _PendingRequest, error: Exception) -> None:
+        if pending.future is not None and not pending.future.done():
+            pending.future.set_exception(error)
+        elif pending.on_error is not None:
+            pending.on_error(error)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _track(self, task: asyncio.Task) -> None:
+        self._send_tasks.add(task)
+        task.add_done_callback(self._send_tasks.discard)
+
+    def _notify_if_idle(self) -> None:
+        if not self._pending and self._idle is not None:
+            if not self._idle.done():
+                self._idle.set_result(None)
+
+    async def _on_connected(self) -> None:
+        # The server is stateless, so reconnect recovery is simply
+        # re-asking every unanswered question.
+        for pending in self._pending.values():
+            self._writer.write(encode_frame(pending.frame))
+        if self._pending:
+            await self._writer.drain()

@@ -6,7 +6,9 @@ bounded priority queues -- deployed over a real transport:
 
 - :mod:`repro.rtnet.frames` -- the length-prefixed frame protocol
   (HELLO version negotiation, SUBSCRIBE/UNSUBSCRIBE, EVENT, ACK,
-  HEARTBEAT, and the PING/PONG settle barrier);
+  HEARTBEAT, the PING/PONG settle barrier, and the
+  GRANT/GRANT_ACK/REKEY/REVOKE key-lifecycle plane of
+  :mod:`repro.rekey`);
 - :mod:`repro.rtnet.server` -- :class:`BrokerServer`, one broker behind
   an asyncio TCP listener with per-peer egress queues and hop-by-hop
   backpressure;
@@ -29,17 +31,25 @@ from repro.rtnet.client import (
 from repro.rtnet.cluster import ClusterLauncher, settle_cluster
 from repro.rtnet.frames import (
     FRAME_MAX,
+    GRANT_DENIED,
+    GRANT_DONE,
+    GRANT_OK,
+    GRANT_UNAVAILABLE,
     PROTOCOL_VERSION,
     Ack,
     EventFrame,
     Frame,
     FrameDecoder,
     FrameType,
+    GrantAck,
+    GrantRequest,
     Heartbeat,
     Hello,
     HelloAck,
     Ping,
     Pong,
+    Rekey,
+    Revoke,
     Subscribe,
     Unsubscribe,
     decode_payload,
@@ -60,6 +70,12 @@ __all__ = [
     "Frame",
     "FrameDecoder",
     "FrameType",
+    "GRANT_DENIED",
+    "GRANT_DONE",
+    "GRANT_OK",
+    "GRANT_UNAVAILABLE",
+    "GrantAck",
+    "GrantRequest",
     "HandshakeError",
     "Heartbeat",
     "Hello",
@@ -70,6 +86,8 @@ __all__ = [
     "PROTOCOL_VERSION",
     "Ping",
     "Pong",
+    "Rekey",
+    "Revoke",
     "RtEndpoint",
     "RtPublisher",
     "RtSubscriber",

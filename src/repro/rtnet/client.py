@@ -30,6 +30,7 @@ from repro.core.envelope import OpenResult
 from repro.core.kdc import KDC, AuthorizationGrant
 from repro.core.ktid import KTID
 from repro.core.publisher import Publisher
+from repro.core.renewal import RenewalManager, RenewalPolicy
 from repro.core.subscriber import Subscriber
 from repro.core.wire import decode_sealed_event, encode_sealed_event
 from repro.obs.metrics import MetricsRegistry
@@ -349,9 +350,15 @@ class RtSubscriber(RtEndpoint):
         grace_period: float = 0.0,
         dedup_window: int = 1024,
         on_open: Callable[[OpenResult], None] | None = None,
-        clock: Callable[[], float] = lambda: 0.0,
+        clock: Callable[[], float] | None = None,
+        kdc_channel=None,
+        renewal: "RenewalPolicy | None" = None,
         **kwargs,
     ):
+        if renewal is not None and kdc_channel is None:
+            raise ValueError("a renewal policy needs a kdc_channel")
+        if renewal is not None:
+            grace_period = renewal.grace
         super().__init__(subscriber_id, host, port, **kwargs)
         self.engine = Subscriber(
             subscriber_id,
@@ -361,7 +368,25 @@ class RtSubscriber(RtEndpoint):
         self.schema_lookup = schema_lookup
         self.authority = authority
         self.on_open = on_open
+        #: Events are opened at this logical time; with a KDC channel
+        #: attached it defaults to the channel's REKEY-advanced clock.
+        if clock is None:
+            clock = kdc_channel.now if kdc_channel is not None else lambda: 0.0
         self.clock = clock
+        #: The live key-lifecycle plane, when attached (see repro.rekey).
+        self.kdc_channel = kdc_channel
+        self.renewal: RenewalManager | None = None
+        if kdc_channel is not None:
+            policy = renewal if renewal is not None else RenewalPolicy()
+            kdc_channel.grace_period = max(
+                kdc_channel.grace_period, policy.grace
+            )
+            self.renewal = RenewalManager(
+                self.engine, kdc_channel, renew_lead_time=policy.lead
+            )
+            kdc_channel.on_rekey.append(self._on_rekey)
+            kdc_channel.on_install.append(self._on_grant_installed)
+        self._grant_tasks: set[asyncio.Task] = set()
         self.opened: list[OpenResult] = []
         self.unreadable = 0
         self.duplicates = 0
@@ -380,14 +405,10 @@ class RtSubscriber(RtEndpoint):
     # -- subscriptions -------------------------------------------------------
 
     async def add_grant(self, grant: AuthorizationGrant) -> None:
-        """Install a grant and register its routing filters."""
+        """Install a pre-provisioned grant and register its routing
+        filters (the out-of-band path; live deployments use :meth:`join`)."""
         self.engine.add_grant(grant)
-        if all(topic != grant.topic for _, topic in self._topic_tokens):
-            self._topic_tokens.append(
-                (self.authority.topic_token(grant.topic), grant.topic)
-            )
-        for routing_filter in grant_routing_filters(self.authority, grant):
-            await self.subscribe(routing_filter)
+        await self._register_grant(grant)
 
     async def subscribe(self, routing_filter: Filter) -> None:
         """Register one (tokenized) filter with the home broker."""
@@ -400,6 +421,88 @@ class RtSubscriber(RtEndpoint):
         if routing_filter in self._filters:
             self._filters.remove(routing_filter)
             await self.send(Unsubscribe(routing_filter))
+
+    # -- live key lifecycle (requires a kdc_channel) -------------------------
+
+    async def join(
+        self,
+        filters: Filter | list[Filter],
+        at_time: float | None = None,
+        publisher: str | None = None,
+        timeout: float = 10.0,
+    ) -> None:
+        """Fetch a grant for *filters* in-band and keep it renewed.
+
+        Registers a standing subscription with the renewal manager (the
+        first grant is requested immediately over the KDC channel) and
+        returns once the grant round trip and the resulting routing-
+        filter registrations have settled -- after ``join`` returns, the
+        next matching publication will be delivered and opened.
+        """
+        if self.renewal is None:
+            raise ValueError("join() needs a kdc_channel")
+        if at_time is None:
+            at_time = self.kdc_channel.now()
+        self.renewal.add_subscription(
+            filters, at_time=at_time, publisher=publisher
+        )
+        await self.settle_rekey(timeout=timeout)
+
+    async def leave(self, at_time: float | None = None) -> None:
+        """Stop renewing and withdraw every registered routing filter.
+
+        Lazy semantics on the key plane (held grants simply lapse) but
+        eager on the routing plane: the broker stops forwarding to this
+        subscriber as soon as the unsubscriptions flush.
+        """
+        if self.renewal is not None:
+            if at_time is None:
+                at_time = self.kdc_channel.now()
+            self.renewal.cancel_all(at_time)
+        for routing_filter in list(self._filters):
+            await self.unsubscribe(routing_filter)
+        await self.settle()
+
+    async def settle_rekey(self, timeout: float = 10.0) -> None:
+        """Flush the grant plane: every initiated grant request has been
+        answered, every resulting routing registration has been sent,
+        and the home-broker path has settled behind them."""
+        if self.kdc_channel is not None:
+            await self.kdc_channel.settle_grants(timeout=timeout)
+        while self._grant_tasks:
+            await asyncio.gather(
+                *list(self._grant_tasks), return_exceptions=True
+            )
+        await self.settle(timeout=timeout)
+
+    def _on_rekey(self, frame) -> None:
+        """REKEY broadcast: tick the renewal engine at the new time.
+
+        The channel has already advanced the logical clock; due grants
+        (inside their pre-expiry lead of the announced time) start
+        renewing here, pinned to ``min_epoch = old + 1``.
+        """
+        if self.renewal is not None:
+            self.renewal.tick(frame.at_time)
+
+    def _on_grant_installed(self, grant: AuthorizationGrant) -> None:
+        """A renewal landed: register its routing state with the broker.
+
+        Routing tokens are epoch-independent -- they drive routing, not
+        decryption -- so a renewed grant dedupes to zero new SUBSCRIBE
+        frames; only a genuinely new subscription registers filters.
+        """
+        task = asyncio.ensure_future(self._register_grant(grant))
+        self._grant_tasks.add(task)
+        task.add_done_callback(self._grant_tasks.discard)
+
+    async def _register_grant(self, grant: AuthorizationGrant) -> None:
+        if all(topic != grant.topic for _, topic in self._topic_tokens):
+            self._topic_tokens.append(
+                (self.authority.topic_token(grant.topic), grant.topic)
+            )
+        for routing_filter in grant_routing_filters(self.authority, grant):
+            await self.subscribe(routing_filter)
 
     async def _on_connected(self) -> None:
         # Resubscribe-on-reconnect: the broker dropped this interface's

@@ -33,6 +33,7 @@ class ClusterLauncher:
         match: MatchPredicate = tokenized_match,
         registry: MetricsRegistry | None = None,
         egress_capacity: int = 512,
+        kdc=None,
     ):
         if num_brokers < 1:
             raise ValueError("a cluster needs at least one broker")
@@ -52,12 +53,22 @@ class ClusterLauncher:
             )
             for index in range(num_brokers)
         ]
+        #: The KDC endpoint hosted beside the tree, when a
+        #: :class:`~repro.core.kdc.KDC` is handed in.
+        self.kdc_server = None
+        if kdc is not None:
+            # Local import: repro.rekey sits on top of rtnet.client.
+            from repro.rekey.service import KdcServer
+
+            self.kdc_server = KdcServer(kdc, host=host, registry=registry)
         self._subscriber_cursor = 0
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
         """Bind every listener, then wire children to parents."""
+        if self.kdc_server is not None:
+            await self.kdc_server.start()
         for server in self.servers:
             await server.start()
         for index in range(1, self.num_brokers):
@@ -70,6 +81,8 @@ class ClusterLauncher:
         # Children first, so parents never see mid-shutdown redials.
         for server in reversed(self.servers):
             await server.stop()
+        if self.kdc_server is not None:
+            await self.kdc_server.stop()
 
     async def __aenter__(self) -> "ClusterLauncher":
         await self.start()
@@ -103,6 +116,12 @@ class ClusterLauncher:
         index = leaves[self._subscriber_cursor % len(leaves)]
         self._subscriber_cursor += 1
         return self.servers[index].address
+
+    def kdc_address(self) -> tuple[str, int]:
+        """Where :class:`~repro.rekey.KdcChannel` clients dial in."""
+        if self.kdc_server is None:
+            raise ValueError("cluster launched without a kdc")
+        return self.kdc_server.address
 
     # -- introspection -------------------------------------------------------
 

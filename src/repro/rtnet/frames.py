@@ -8,17 +8,20 @@ Every message on an rtnet connection is one *frame*::
 
 The length covers the type byte plus the body and must lie in
 ``[1, FRAME_MAX]``; anything else is a protocol violation surfaced as
-:class:`ValueError` (never a hang, never a crash with an unexpected
-exception type).  Bodies reuse the existing PSGuard codecs: EVENT
-carries :func:`repro.core.wire.encode_sealed_event` bytes verbatim,
-SUBSCRIBE/UNSUBSCRIBE carry :func:`repro.core.wire.encode_filter`
-bytes, so the framing layer adds no second serialization of the
-security-bearing payloads.
+:class:`~repro.errors.FrameError` (never a hang, never a crash with an
+unexpected exception type).  Bodies reuse the existing PSGuard codecs:
+EVENT carries :func:`repro.core.wire.encode_sealed_event` bytes
+verbatim, SUBSCRIBE/UNSUBSCRIBE carry
+:func:`repro.core.wire.encode_filter` bytes, and GRANT_ACK carries
+:func:`repro.core.wire.encode_grant` bytes, so the framing layer adds
+no second serialization of the security-bearing payloads.
 
 Connections open with a HELLO / HELLO_ACK exchange negotiating the
 protocol version (a ``HELLO_ACK`` with version 0 is a rejection); PING /
 PONG implement the source-routed settle barrier brokers and clients use
 to flush in-flight control traffic (see :mod:`repro.rtnet.server`).
+The key-lifecycle plane (see :mod:`repro.rekey`) speaks GRANT /
+GRANT_ACK request-reply plus the REKEY and REVOKE control broadcasts.
 """
 
 from __future__ import annotations
@@ -28,7 +31,14 @@ import enum
 import struct
 from dataclasses import dataclass
 
-from repro.core.wire import decode_filter, encode_filter
+from repro.errors import FrameError
+from repro.core.kdc import AuthorizationGrant
+from repro.core.wire import (
+    decode_filter,
+    decode_grant,
+    encode_filter,
+    encode_grant,
+)
 from repro.siena.filters import Filter
 
 #: Version carried in HELLO; bumped on incompatible frame changes.
@@ -51,6 +61,10 @@ class FrameType(enum.IntEnum):
     HEARTBEAT = 7
     PING = 8
     PONG = 9
+    GRANT = 10
+    GRANT_ACK = 11
+    REKEY = 12
+    REVOKE = 13
 
 
 def _pack_text(text: str) -> bytes:
@@ -63,7 +77,7 @@ def _unpack_text(data: bytes, offset: int) -> tuple[str, int]:
     offset += 2
     raw = data[offset: offset + length]
     if len(raw) != length:
-        raise ValueError("truncated text field")
+        raise FrameError("truncated text field")
     return raw.decode("utf-8"), offset + length
 
 
@@ -217,9 +231,131 @@ class Pong:
         return _pack_text(self.token.hex()) + _pack_path(self.path)
 
 
+@dataclass(frozen=True)
+class GrantRequest:
+    """Ask the KDC endpoint to authorize *filters* for *subscriber*.
+
+    *request_id* correlates the GRANT_ACK reply on the same connection.
+    *at_time* anchors the grant's epoch; *min_epoch* (optional) asks for
+    a grant no older than that epoch -- the renewal path's way of
+    requesting next-epoch keys before the boundary.  Filters travel as
+    :func:`repro.core.wire.encode_filter` blobs.
+    """
+
+    request_id: int
+    subscriber: str
+    filters: tuple[Filter, ...]
+    at_time: float = 0.0
+    publisher: str | None = None
+    min_epoch: int | None = None
+
+    type = FrameType.GRANT
+
+    def encode_body(self) -> bytes:
+        parts = [
+            struct.pack(">q", self.request_id),
+            _pack_text(self.subscriber),
+            _pack_text(self.publisher or ""),
+            struct.pack(">d", self.at_time),
+        ]
+        if self.min_epoch is None:
+            parts.append(bytes([0]))
+        else:
+            parts.append(bytes([1]) + struct.pack(">q", self.min_epoch))
+        parts.append(struct.pack(">H", len(self.filters)))
+        for subscription in self.filters:
+            raw = encode_filter(subscription)
+            parts.append(struct.pack(">I", len(raw)) + raw)
+        return b"".join(parts)
+
+
+#: GRANT_ACK statuses: OK carries a grant; DENIED is terminal (revoked);
+#: UNAVAILABLE is retryable; DONE acknowledges a grant-less operation
+#: (e.g. a REVOKE) that completed.
+GRANT_OK = 0
+GRANT_DENIED = 1
+GRANT_UNAVAILABLE = 2
+GRANT_DONE = 3
+
+
+@dataclass(frozen=True)
+class GrantAck:
+    """The KDC endpoint's reply to a GRANT or REVOKE request.
+
+    *status* is one of ``GRANT_OK`` (the body carries an
+    :func:`repro.core.wire.encode_grant` blob), ``GRANT_DENIED``
+    (authorization refused -- terminal), ``GRANT_UNAVAILABLE`` (the KDC
+    could not serve the request -- retryable), or ``GRANT_DONE`` (a
+    grant-less operation completed).  *detail* is a human-readable
+    reason for non-OK statuses.
+    """
+
+    request_id: int
+    status: int
+    detail: str = ""
+    grant: AuthorizationGrant | None = None
+
+    type = FrameType.GRANT_ACK
+
+    def encode_body(self) -> bytes:
+        raw = b"" if self.grant is None else encode_grant(self.grant)
+        return (
+            struct.pack(">qB", self.request_id, self.status)
+            + _pack_text(self.detail)
+            + struct.pack(">I", len(raw))
+            + raw
+        )
+
+
+@dataclass(frozen=True)
+class Rekey:
+    """Epoch-rollover broadcast: *topic* is now in *epoch* as of *at_time*.
+
+    The KDC endpoint pushes this to every connected client when an epoch
+    boundary is crossed; subscribers treat it as a logical-clock
+    advancement and run their renewal tick against the new time, which
+    fetches next-epoch grants inside the pre-expiry lead window.
+    """
+
+    topic: str
+    epoch: int
+    at_time: float
+
+    type = FrameType.REKEY
+
+    def encode_body(self) -> bytes:
+        return _pack_text(self.topic) + struct.pack(
+            ">qd", self.epoch, self.at_time
+        )
+
+
+@dataclass(frozen=True)
+class Revoke:
+    """Administrative request: revoke *subscriber* on *topic* at the KDC.
+
+    Lazy revocation -- the subscriber's current-epoch grant keeps
+    working until its epoch lapses, but every later renewal is denied.
+    Acknowledged with a ``GRANT_DONE`` GrantAck carrying *request_id*.
+    """
+
+    request_id: int
+    subscriber: str
+    topic: str
+
+    type = FrameType.REVOKE
+
+    def encode_body(self) -> bytes:
+        return (
+            struct.pack(">q", self.request_id)
+            + _pack_text(self.subscriber)
+            + _pack_text(self.topic)
+        )
+
+
 Frame = (
     Hello | HelloAck | Subscribe | Unsubscribe
     | EventFrame | Ack | Heartbeat | Ping | Pong
+    | GrantRequest | GrantAck | Rekey | Revoke
 )
 
 
@@ -227,7 +363,7 @@ def encode_frame(frame: Frame) -> bytes:
     """Serialize *frame* with its length prefix."""
     payload = bytes([frame.type]) + frame.encode_body()
     if len(payload) > FRAME_MAX:
-        raise ValueError(
+        raise FrameError(
             f"frame of {len(payload)} bytes exceeds FRAME_MAX ({FRAME_MAX})"
         )
     return _HEADER.pack(len(payload)) + payload
@@ -240,14 +376,23 @@ def _decode_token_path(body: bytes) -> tuple[bytes, tuple[str, ...], int]:
     return token, path, offset
 
 
+def _unpack_length_prefixed(data: bytes, offset: int) -> tuple[bytes, int]:
+    (length,) = struct.unpack_from(">I", data, offset)
+    offset += 4
+    raw = data[offset: offset + length]
+    if len(raw) != length:
+        raise FrameError("truncated length-prefixed field")
+    return raw, offset + length
+
+
 def decode_payload(payload: bytes) -> Frame:
-    """Decode one frame payload (type byte + body); raises ValueError."""
+    """Decode one frame payload (type byte + body); raises FrameError."""
     if not payload:
-        raise ValueError("empty frame payload")
+        raise FrameError("empty frame payload")
     try:
         frame_type = FrameType(payload[0])
     except ValueError:
-        raise ValueError(f"unknown frame type {payload[0]}") from None
+        raise FrameError(f"unknown frame type {payload[0]}") from None
     body = payload[1:]
     try:
         if frame_type is FrameType.HELLO:
@@ -265,7 +410,7 @@ def decode_payload(payload: bytes) -> Frame:
             return Unsubscribe(decode_filter(body))
         elif frame_type is FrameType.EVENT:
             if len(body) < 16:
-                raise ValueError("truncated event frame")
+                raise FrameError("truncated event frame")
             seq, sent_at = struct.unpack_from(">qd", body, 0)
             return EventFrame(seq, sent_at, body[16:])
         elif frame_type is FrameType.ACK:
@@ -277,15 +422,55 @@ def decode_payload(payload: bytes) -> Frame:
         elif frame_type is FrameType.PING:
             token, path, offset = _decode_token_path(body)
             frame = Ping(token, path)
-        else:
+        elif frame_type is FrameType.PONG:
             token, path, offset = _decode_token_path(body)
             frame = Pong(token, path)
+        elif frame_type is FrameType.GRANT:
+            (request_id,) = struct.unpack_from(">q", body, 0)
+            subscriber, offset = _unpack_text(body, 8)
+            publisher, offset = _unpack_text(body, offset)
+            (at_time,) = struct.unpack_from(">d", body, offset)
+            offset += 8
+            min_epoch: int | None = None
+            flag = body[offset]
+            offset += 1
+            if flag:
+                (min_epoch,) = struct.unpack_from(">q", body, offset)
+                offset += 8
+            (count,) = struct.unpack_from(">H", body, offset)
+            offset += 2
+            filters = []
+            for _ in range(count):
+                raw, offset = _unpack_length_prefixed(body, offset)
+                filters.append(decode_filter(raw))
+            frame = GrantRequest(
+                request_id, subscriber, tuple(filters), at_time,
+                publisher or None, min_epoch,
+            )
+        elif frame_type is FrameType.GRANT_ACK:
+            request_id, status = struct.unpack_from(">qB", body, 0)
+            detail, offset = _unpack_text(body, 9)
+            raw, offset = _unpack_length_prefixed(body, offset)
+            grant = decode_grant(raw) if raw else None
+            frame = GrantAck(request_id, status, detail, grant)
+        elif frame_type is FrameType.REKEY:
+            topic, offset = _unpack_text(body, 0)
+            epoch, at_time = struct.unpack_from(">qd", body, offset)
+            offset += 16
+            frame = Rekey(topic, epoch, at_time)
+        else:
+            (request_id,) = struct.unpack_from(">q", body, 0)
+            subscriber, offset = _unpack_text(body, 8)
+            topic, offset = _unpack_text(body, offset)
+            frame = Revoke(request_id, subscriber, topic)
     except struct.error as exc:
-        raise ValueError(f"truncated {frame_type.name} frame: {exc}") from exc
+        raise FrameError(f"truncated {frame_type.name} frame: {exc}") from exc
+    except IndexError as exc:
+        raise FrameError(f"truncated {frame_type.name} frame") from exc
     except UnicodeDecodeError as exc:
-        raise ValueError(f"corrupt text in {frame_type.name} frame") from exc
+        raise FrameError(f"corrupt text in {frame_type.name} frame") from exc
     if offset != len(body):
-        raise ValueError(f"trailing bytes after {frame_type.name} frame")
+        raise FrameError(f"trailing bytes after {frame_type.name} frame")
     return frame
 
 
@@ -294,7 +479,8 @@ class FrameDecoder:
 
     Feed it whatever the transport hands you; it returns every complete
     frame and buffers the remainder.  Oversized or zero-length prefixes
-    raise :class:`ValueError` immediately -- a malicious length prefix
+    raise :class:`~repro.errors.FrameError` immediately -- a malicious
+    length prefix
     must never make the receiver buffer unbounded input.
     """
 
@@ -307,7 +493,7 @@ class FrameDecoder:
         while len(self._buffer) >= 4:
             (length,) = _HEADER.unpack_from(self._buffer, 0)
             if not 1 <= length <= FRAME_MAX:
-                raise ValueError(f"invalid frame length {length}")
+                raise FrameError(f"invalid frame length {length}")
             if len(self._buffer) < 4 + length:
                 break
             payload = bytes(self._buffer[4: 4 + length])
@@ -324,9 +510,10 @@ class FrameDecoder:
 async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
     """Read one frame from *reader*; ``None`` on clean EOF.
 
-    EOF mid-frame and malformed prefixes raise :class:`ValueError`, so
-    connection loops need exactly two exit paths: ``None`` (peer closed)
-    and ``ValueError``/``OSError`` (broken peer).
+    EOF mid-frame and malformed prefixes raise
+    :class:`~repro.errors.FrameError` (a :class:`ValueError` subclass),
+    so connection loops need exactly two exit paths: ``None`` (peer
+    closed) and ``ValueError``/``OSError`` (broken peer).
     """
     header = await reader.read(4)
     if not header:
@@ -334,13 +521,13 @@ async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
     while len(header) < 4:
         more = await reader.read(4 - len(header))
         if not more:
-            raise ValueError("connection closed mid frame header")
+            raise FrameError("connection closed mid frame header")
         header += more
     (length,) = _HEADER.unpack(header)
     if not 1 <= length <= FRAME_MAX:
-        raise ValueError(f"invalid frame length {length}")
+        raise FrameError(f"invalid frame length {length}")
     try:
         payload = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
-        raise ValueError("connection closed mid frame body") from exc
+        raise FrameError("connection closed mid frame body") from exc
     return decode_payload(payload)

@@ -17,6 +17,7 @@ import threading
 
 from repro.core.envelope import OpenResult
 from repro.core.kdc import KDC
+from repro.core.renewal import RenewalPolicy
 from repro.obs import Observability
 from repro.routing.tokens import TokenAuthority
 from repro.rtnet.client import RtPublisher, RtSubscriber
@@ -74,6 +75,13 @@ class LiveSubscriber:
     def unreadable(self) -> int:
         return self.endpoint.unreadable
 
+    @property
+    def renewal_stats(self):
+        """The endpoint's :class:`~repro.core.renewal.RenewalStats`,
+        or ``None`` when the subscriber was provisioned out-of-band."""
+        renewal = self.endpoint.renewal
+        return renewal.stats if renewal is not None else None
+
     def settle(self, timeout: float = 10.0) -> None:
         """Block until everything in flight toward this subscriber's
         leaf (as of the barrier's round trip) has been delivered."""
@@ -90,16 +98,22 @@ class LiveSystem:
         num_brokers: int = 7,
         arity: int = 2,
         host: str = "127.0.0.1",
+        renewal: RenewalPolicy | None = None,
     ):
         self.kdc = kdc
         self.obs = obs
         self.registry = obs.registry
         self.authority = TokenAuthority(kdc.master_key)
+        #: Default key-lifecycle policy for live subscribers; when set,
+        #: ``subscribe()`` provisions grants in-band through the hosted
+        #: KDC endpoint and keeps them renewed across epoch rollovers.
+        self.renewal = renewal
         self.cluster = ClusterLauncher(
             num_brokers=num_brokers,
             arity=arity,
             host=host,
             registry=obs.registry,
+            kdc=kdc if renewal is not None else None,
         )
         self.publishers: dict[str, LivePublisher] = {}
         self.subscribers: dict[str, LiveSubscriber] = {}
@@ -142,28 +156,98 @@ class LiveSystem:
         return session
 
     def subscribe(
-        self, subscriber_id: str, *filters: Filter, grace_period: float = 0.0
+        self,
+        subscriber_id: str,
+        *filters: Filter,
+        grace_period: float = 0.0,
+        at_time: float | None = None,
     ) -> LiveSubscriber:
-        """Authorize *filters* at the KDC and attach a live subscriber."""
+        """Authorize *filters* and attach a live subscriber.
+
+        Without a renewal policy this provisions grants out-of-band
+        (directly against the KDC object, anchored at time 0).  With one
+        (``builder().renewal(...)`` or the ``LiveSystem(renewal=...)``
+        knob), the subscriber *joins*: it dials the hosted KDC endpoint,
+        fetches its grants in-band over GRANT/GRANT_ACK, and keeps them
+        renewed across every epoch rollover.
+        """
         if subscriber_id in self.subscribers:
             raise ValueError(f"subscriber {subscriber_id!r} already attached")
         host, port = self.cluster.subscriber_address()
-        endpoint = RtSubscriber(
-            subscriber_id,
-            host,
-            port,
-            schema_lookup=self.schema_lookup,
-            authority=self.authority,
-            grace_period=grace_period,
-            registry=self.registry,
-        )
-        self._call(endpoint.connect())
-        for subscription_filter in filters:
-            grant = self.kdc.authorize(subscriber_id, subscription_filter)
-            self._call(endpoint.add_grant(grant))
+        if self.renewal is not None:
+            from repro.rekey.client import KdcChannel
+
+            channel = KdcChannel(
+                f"{subscriber_id}-kdc",
+                *self.cluster.kdc_address(),
+                registry=self.registry,
+            )
+            self._call(channel.connect())
+            endpoint = RtSubscriber(
+                subscriber_id,
+                host,
+                port,
+                schema_lookup=self.schema_lookup,
+                authority=self.authority,
+                registry=self.registry,
+                kdc_channel=channel,
+                renewal=self.renewal,
+            )
+            self._call(endpoint.connect())
+            for subscription_filter in filters:
+                self._call(endpoint.join(subscription_filter, at_time=at_time))
+        else:
+            endpoint = RtSubscriber(
+                subscriber_id,
+                host,
+                port,
+                schema_lookup=self.schema_lookup,
+                authority=self.authority,
+                grace_period=grace_period,
+                registry=self.registry,
+            )
+            self._call(endpoint.connect())
+            for subscription_filter in filters:
+                grant = self.kdc.authorize(
+                    subscriber_id,
+                    subscription_filter,
+                    at_time=at_time if at_time is not None else 0.0,
+                )
+                self._call(endpoint.add_grant(grant))
         session = LiveSubscriber(self, endpoint)
         self.subscribers[subscriber_id] = session
         return session
+
+    # -- membership churn ------------------------------------------------------
+
+    def leave(self, subscriber_id: str) -> LiveSubscriber:
+        """Detach *subscriber_id* mid-stream: stop renewing, withdraw
+        its routing filters, and close its endpoints."""
+        session = self.subscribers.pop(subscriber_id)
+        self._call(session.endpoint.leave())
+        if session.endpoint.kdc_channel is not None:
+            self._call(session.endpoint.kdc_channel.close())
+        self._call(session.endpoint.close())
+        return session
+
+    def revoke(self, subscriber_id: str, topic: str) -> None:
+        """Revoke (subscriber, topic) at the KDC -- lazily: the victim's
+        current-epoch grant keeps working until the epoch lapses, and
+        its next renewal is denied."""
+        self.kdc.revoke(subscriber_id, topic)
+
+    def roll_epoch(self, topic: str, at_time: float) -> int:
+        """Advance *topic* to its epoch at *at_time* and broadcast REKEY
+        to every joined subscriber; requires a renewal policy (the KDC
+        endpoint carries the broadcast)."""
+        if self.cluster.kdc_server is None:
+            raise ValueError("roll_epoch() needs a renewal policy")
+        epoch = self._call(
+            self.cluster.kdc_server.roll_epoch(topic, at_time)
+        )
+        for session in self.subscribers.values():
+            self._call(session.endpoint.settle_rekey())
+        return epoch
 
     def settle(self, timeout: float = 10.0) -> None:
         """Flush the whole system: publishers first (events reach the
@@ -189,6 +273,8 @@ class LiveSystem:
     def close(self) -> None:
         """Disconnect every endpoint and stop the cluster and loop."""
         for session in list(self.subscribers.values()):
+            if session.endpoint.kdc_channel is not None:
+                self._call(session.endpoint.kdc_channel.close())
             self._call(session.endpoint.close())
         for session in list(self.publishers.values()):
             self._call(session.endpoint.close())

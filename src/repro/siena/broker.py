@@ -535,8 +535,8 @@ class Broker:
     ) -> int:
         """Deprecated alias for :meth:`publish` with a list of events."""
         warnings.warn(
-            "Broker.publish_batch is deprecated; pass the batch to "
-            "Broker.publish instead",
+            "Broker.publish_batch is deprecated and will be removed in "
+            "repro 2.0; pass the batch to Broker.publish instead",
             DeprecationWarning,
             stacklevel=2,
         )

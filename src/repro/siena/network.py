@@ -205,8 +205,8 @@ class BrokerTree:
     def publish_batch(self, events: list[Event]) -> int:
         """Deprecated alias for :meth:`publish` with a list of events."""
         warnings.warn(
-            "BrokerTree.publish_batch is deprecated; pass the batch to "
-            "BrokerTree.publish instead",
+            "BrokerTree.publish_batch is deprecated and will be removed "
+            "in repro 2.0; pass the batch to BrokerTree.publish instead",
             DeprecationWarning,
             stacklevel=2,
         )

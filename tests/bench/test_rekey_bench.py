@@ -1,0 +1,107 @@
+"""The rekey churn-ladder bench: report shape and regression gating."""
+
+import copy
+
+import pytest
+
+from repro.bench import (
+    BENCH_REKEY_SCHEMA,
+    RekeyBenchConfig,
+    check_rekey_regression,
+    render_rekey_report,
+    run_rekey_bench,
+)
+
+#: One-rung ladder small enough for CI; still crosses three rollovers
+#: with the full join/leave/revoke choreography.
+_TINY = RekeyBenchConfig(seed=11, rungs=(1,), events_per_epoch=4)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_rekey_bench(_TINY)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="at least one rung"):
+        RekeyBenchConfig(rungs=())
+    with pytest.raises(ValueError, match="at least one survivor"):
+        RekeyBenchConfig(rungs=(1, 0))
+    with pytest.raises(ValueError, match=">= 3 rollovers"):
+        RekeyBenchConfig(rollovers=2)
+
+
+def test_report_shape_and_gates(report):
+    assert report["schema"] == BENCH_REKEY_SCHEMA
+    assert list(report["config"]["rungs"]) == [1]
+    assert len(report["rungs"]) == 1
+    rung = report["rungs"][0]
+    assert rung["survivors"] == 1
+    assert rung["subscribers"] == 4  # + victim, joiner, leaver
+    assert rung["rollovers"] == 3
+    assert rung["gates"] == []
+    assert rung["unauthorized_opens"] == 0
+    assert rung["unacked_publications"] == 0
+    assert rung["survivor_delivery_ratio"] == 1.0
+    assert rung["grants_issued"] > 0
+    for plane in ("rekey_latency_s", "grant_latency_s"):
+        quantiles = rung[plane]["quantiles"]
+        assert set(quantiles) >= {"p50", "p95", "p99"}
+    totals = report["totals"]
+    assert totals["rollovers"] == 3
+    assert totals["unauthorized_opens"] == 0
+    assert totals["min_survivor_delivery_ratio"] == 1.0
+
+
+def test_render_mentions_the_ladder(report):
+    rendered = render_rekey_report(report)
+    assert "membership-churn ladder" in rendered
+    assert "rekey p95" in rendered
+    assert "ok" in rendered
+    assert "totals:" in rendered
+
+
+def test_self_check_passes(report):
+    assert check_rekey_regression(report, report, tolerance=0.25) == []
+
+
+def test_regression_check_catches_a_latency_collapse(report):
+    slow = copy.deepcopy(report)
+    slow["rungs"][0]["rekey_latency_s"]["quantiles"]["p95"] = (
+        report["rungs"][0]["rekey_latency_s"]["quantiles"]["p95"] * 100
+    )
+    problems = check_rekey_regression(slow, report, tolerance=0.1)
+    assert any("rekey_latency_s p95 regression" in p for p in problems)
+
+
+def test_regression_check_catches_structural_failures(report):
+    broken = copy.deepcopy(report)
+    rung = broken["rungs"][0]
+    rung["gates"] = ["victim renewed after revocation"]
+    rung["unauthorized_opens"] = 2
+    rung["survivor_delivery_ratio"] = 0.5
+    rung["unacked_publications"] = 1
+    del rung["grant_latency_s"]["quantiles"]["p99"]
+    problems = check_rekey_regression(broken, report)
+    assert any("victim renewed" in p for p in problems)
+    assert any("unauthorized post-revocation opens" in p for p in problems)
+    assert any("survivor delivery" in p for p in problems)
+    assert any("never acked" in p for p in problems)
+    assert any("missing grant_latency_s quantile p99" in p for p in problems)
+
+
+def test_regression_check_rejects_shape_and_schema_drift(report):
+    foreign = {"schema": "repro.bench/engine.v1"}
+    assert check_rekey_regression(report, foreign) == [
+        "schema mismatch: report 'repro.bench/rekey.v1' "
+        "vs baseline 'repro.bench/engine.v1'"
+    ]
+    reshaped = copy.deepcopy(report)
+    reshaped["rungs"] = reshaped["rungs"] * 2
+    problems = check_rekey_regression(reshaped, report)
+    assert any("ladder shape changed" in p for p in problems)
+
+
+def test_regression_check_rejects_bad_tolerance(report):
+    with pytest.raises(ValueError, match="tolerance"):
+        check_rekey_regression(report, report, tolerance=1.5)

@@ -21,7 +21,7 @@ class RecordingTransport:
     def __init__(self):
         self.batches: list[list[Event]] = []
 
-    def publish_batch(self, events):
+    def publish(self, events):
         self.batches.append(list(events))
 
 

@@ -29,7 +29,7 @@ class _Transport:
     def __init__(self):
         self.batches = []
 
-    def publish_batch(self, events):
+    def publish(self, events):
         self.batches.append(list(events))
 
 

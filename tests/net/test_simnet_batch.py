@@ -36,7 +36,7 @@ def test_batch_delivers_same_events_as_per_event_publishing():
         net.subscribe("no", Filter.topic("other"))
         events = _events(5)
         if batched:
-            net.publish_batch(events)
+            net.publish(events)
         else:
             for event in events:
                 net.publish(event)
@@ -52,7 +52,7 @@ def test_batch_hop_is_one_wire_message():
     sim, net = _network(3)
     net.attach_subscriber("s", net.leaf_ids()[0])
     net.subscribe("s", Filter.topic("t"))
-    net.publish_batch(_events(8))
+    net.publish(_events(8))
     sim.run(until=1.0)
     assert len(net.deliveries) == 8
     # One batched send root->leaf instead of eight per-event sends.
@@ -68,7 +68,7 @@ def test_batch_uses_fewer_sends_than_per_event():
             net.attach_subscriber(f"s{index}", leaf)
             net.subscribe(f"s{index}", Filter.topic("t"))
         if batched:
-            net.publish_batch(_events(10))
+            net.publish(_events(10))
         else:
             for event in _events(10):
                 net.publish(event)
@@ -82,7 +82,7 @@ def test_batch_latency_matches_link_budget():
     sim, net = _network(3, link_latency=0.050, client_latency=0.005)
     net.attach_subscriber("s", net.leaf_ids()[0])
     net.subscribe("s", Filter.topic("t"))
-    net.publish_batch(_events(3), delay=0.25)
+    net.publish(_events(3), delay=0.25)
     sim.run(until=1.0)
     assert len(net.deliveries) == 3
     for record in net.deliveries:
@@ -95,7 +95,7 @@ def test_reliable_overlay_splits_batches_per_event():
     sim, net = _network(3, reliability=RetryPolicy())
     net.attach_subscriber("s", net.leaf_ids()[0])
     net.subscribe("s", Filter.topic("t"))
-    net.publish_batch(_events(4))
+    net.publish(_events(4))
     sim.run(until=2.0)
     assert len(net.deliveries) == 4
     # Acks are per sequence number, so no batched wire messages appear.
@@ -117,7 +117,7 @@ def test_reliable_batch_survives_lossy_link():
     )
     net.attach_subscriber("s", 1)
     net.subscribe("s", Filter.topic("t"))
-    net.publish_batch(_events(6))
+    net.publish(_events(6))
     sim.run(until=5.0)
     delivered = {d.seq for d in net.deliveries}
     assert len(delivered) == 6
@@ -129,13 +129,13 @@ def test_batch_carriers_ride_along():
     net.attach_subscriber("s", 0)
     net.subscribe("s", Filter.topic("t"))
     carriers = [{"sealed": n} for n in range(3)]
-    seqs = net.publish_batch(_events(3), carriers=carriers)
+    seqs = net.publish(_events(3), carrier=carriers)
     assert [net.carrier_of(seq) for seq in seqs] == carriers
 
 
 def test_batch_rejects_mismatched_parallel_lists():
     _, net = _network(1)
     with pytest.raises(ValueError):
-        net.publish_batch(_events(2), carriers=[None])
+        net.publish(_events(2), carrier=[None])
     with pytest.raises(ValueError):
-        net.publish_batch(_events(2), sizes=[10])
+        net.publish(_events(2), size=[10])

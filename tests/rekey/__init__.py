@@ -1,0 +1,1 @@
+"""Tests for the live key-lifecycle plane (:mod:`repro.rekey`)."""

@@ -1,0 +1,114 @@
+"""Property: a revoked subscriber never opens post-revocation epochs.
+
+Lazy revocation's safety half, stated over randomized shapes: whatever
+the filter range, epoch length, revocation instant, and event stream, a
+subscriber whose renewal was denied cannot open any event sealed in an
+epoch after the last one it was authorized for.  (The liveness half --
+pre-revocation epochs stay readable through the grace window -- is
+asserted alongside.)
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import KDC, CompositeKeySpace, NumericKeySpace, Publisher
+from repro.core.renewal import RenewalManager, RenewalPolicy
+from repro.core.subscriber import Subscriber
+from repro.siena.events import Event
+from repro.siena.filters import Filter
+
+TOPIC = "t"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    epoch_length=st.floats(min_value=1.0, max_value=3600.0),
+    low=st.integers(0, 15),
+    span=st.integers(0, 15),
+    revoke_after=st.integers(0, 2),
+    extra_epochs=st.integers(1, 4),
+    values=st.lists(st.integers(0, 15), min_size=1, max_size=8),
+    lead_fraction=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(0, 2 ** 32 - 1),
+)
+def test_revoked_subscriber_never_opens_later_epochs(
+    epoch_length,
+    low,
+    span,
+    revoke_after,
+    extra_epochs,
+    values,
+    lead_fraction,
+    seed,
+):
+    high = min(15, low + span)
+    kdc = KDC(master_key=seed.to_bytes(16, "big"))
+    kdc.register_topic(
+        TOPIC,
+        CompositeKeySpace({"v": NumericKeySpace("v", 16)}),
+        epoch_length=epoch_length,
+    )
+    publisher = Publisher("press", kdc)
+    victim = Subscriber("victim")
+    manager = RenewalManager(
+        victim, kdc,
+        renew_lead_time=RenewalPolicy(
+            lead=lead_fraction * epoch_length
+        ).lead,
+    )
+
+    base = kdc.epoch_of(TOPIC, 0.0) + 1
+    start = kdc.epoch_start(TOPIC, base) + epoch_length / 2
+    manager.add_subscription(
+        Filter.numeric_range(TOPIC, "v", low, high), at_time=start
+    )
+
+    def seal(value, at_time):
+        return publisher.publish(
+            Event(
+                {"topic": TOPIC, "v": value, "rec": "x"},
+                publisher="press",
+            ),
+            secret_attributes={"rec"},
+            at_time=at_time,
+        )
+
+    schema = kdc.config_for(TOPIC).schema
+
+    # Authorized epochs flow: renew across revoke_after boundaries.
+    for index in range(revoke_after):
+        boundary = kdc.epoch_start(TOPIC, base + index + 1)
+        manager.tick(boundary - manager.renew_lead_time)
+    last_authorized_epoch = base + revoke_after
+
+    kdc.revoke("victim", TOPIC)
+
+    # Liveness half of lazy revocation: the current epoch's grant keeps
+    # working until the boundary -- matching events still open.
+    mid = kdc.epoch_start(TOPIC, last_authorized_epoch) + epoch_length / 2
+    for value in values:
+        sealed = seal(value, mid)
+        opened = victim.receive(sealed, lambda _topic: schema, at_time=mid)
+        if low <= value <= high:
+            assert opened is not None
+            assert opened.event["rec"] == "x"
+        else:
+            assert opened is None
+
+    # Safety half: every later boundary's renewal is denied (exactly
+    # once, then the subscription is cancelled); events sealed in any
+    # epoch past the last authorized one must be unreadable.
+    for index in range(extra_epochs):
+        epoch = last_authorized_epoch + 1 + index
+        boundary = kdc.epoch_start(TOPIC, epoch)
+        manager.tick(boundary - manager.renew_lead_time)
+        mid = boundary + epoch_length / 2
+        for value in values:
+            sealed = seal(value, mid)
+            opened = victim.receive(
+                sealed, lambda _topic: schema, at_time=mid
+            )
+            assert opened is None, (
+                f"revoked subscriber opened an event sealed in epoch "
+                f"{epoch} (authorized through {last_authorized_epoch})"
+            )
+    assert manager.stats.renewals_denied == 1

@@ -8,16 +8,22 @@ from hypothesis import given, settings, strategies as st
 
 from repro.rtnet.frames import (
     FRAME_MAX,
+    GRANT_DENIED,
+    GRANT_OK,
     PROTOCOL_VERSION,
     Ack,
     EventFrame,
     FrameDecoder,
     FrameType,
+    GrantAck,
+    GrantRequest,
     Heartbeat,
     Hello,
     HelloAck,
     Ping,
     Pong,
+    Rekey,
+    Revoke,
     Subscribe,
     Unsubscribe,
     decode_payload,
@@ -89,6 +95,62 @@ def test_subscribe_unsubscribe_roundtrip():
     assert _roundtrip(Unsubscribe(subscription)).filter == subscription
 
 
+@settings(max_examples=50, deadline=None)
+@given(
+    request_id=_INT64,
+    subscriber=_TEXT,
+    at_time=_FLOATS,
+    min_epoch=st.none() | st.integers(0, 2 ** 62),
+    publisher=st.none() | _TEXT.filter(bool),
+)
+def test_grant_request_roundtrip(
+    request_id, subscriber, at_time, min_epoch, publisher
+):
+    frame = GrantRequest(
+        request_id,
+        subscriber,
+        (Filter.topic("t"), Filter.numeric_range("t", "v", 1, 9)),
+        at_time,
+        publisher,
+        min_epoch,
+    )
+    assert _roundtrip(frame) == frame
+
+
+@settings(max_examples=50, deadline=None)
+@given(request_id=_INT64, status=st.integers(0, 255), detail=_TEXT)
+def test_grant_ack_roundtrip(request_id, status, detail):
+    frame = GrantAck(request_id, status, detail)
+    assert _roundtrip(frame) == frame
+
+
+def test_grant_ack_carries_a_real_grant():
+    from repro.core import KDC, CompositeKeySpace, NumericKeySpace
+
+    kdc = KDC(master_key=bytes(range(16)))
+    kdc.register_topic(
+        "t", CompositeKeySpace({"v": NumericKeySpace("v", 16)})
+    )
+    grant = kdc.authorize("alice", Filter.numeric_range("t", "v", 0, 15))
+    decoded = _roundtrip(GrantAck(3, GRANT_OK, grant=grant))
+    assert decoded.status == GRANT_OK
+    assert decoded.grant == grant
+
+
+@settings(max_examples=50, deadline=None)
+@given(topic=_TEXT, epoch=_INT64, at_time=_FLOATS)
+def test_rekey_roundtrip(topic, epoch, at_time):
+    frame = Rekey(topic, epoch, at_time)
+    assert _roundtrip(frame) == frame
+
+
+@settings(max_examples=50, deadline=None)
+@given(request_id=_INT64, subscriber=_TEXT, topic=_TEXT)
+def test_revoke_roundtrip(request_id, subscriber, topic):
+    frame = Revoke(request_id, subscriber, topic)
+    assert _roundtrip(frame) == frame
+
+
 # -- corruption never hangs, always ValueError ---------------------------------
 
 
@@ -102,12 +164,16 @@ def _frame_corpus():
         Heartbeat(2.0),
         Ping(b"\x01\x02", ("b3", "b1")),
         Pong(b"\x01\x02", ("b3",)),
+        GrantRequest(5, "alice", (Filter.topic("t"),), 12.5, "pub", 3),
+        GrantAck(5, GRANT_DENIED, "revoked"),
+        Rekey("t", 4, 99.0),
+        Revoke(9, "alice", "t"),
     ]
 
 
 @settings(max_examples=120, deadline=None)
 @given(
-    index=st.integers(0, 7),
+    index=st.integers(0, 11),
     cut=st.integers(min_value=1, max_value=30),
 )
 def test_truncated_payloads_rejected(index, cut):
@@ -128,7 +194,7 @@ def test_truncated_payloads_rejected(index, cut):
 
 @settings(max_examples=150, deadline=None)
 @given(
-    index=st.integers(0, 7),
+    index=st.integers(0, 11),
     position=st.integers(min_value=0, max_value=10 ** 6),
     bit=st.integers(0, 7),
 )

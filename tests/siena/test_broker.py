@@ -192,11 +192,11 @@ def test_admission_gate_filters_local_batches():
     broker.subscribe("c", Filter.topic("news"))
     broker.bind_flow(lambda event: event.get("k", 0) % 2 == 0)
     events = [Event({"topic": "news", "k": k}) for k in range(4)]
-    broker.publish_batch(events)
+    broker.publish(events)
     assert broker.stats.events_shed == 2
     assert broker.stats.events_received == 2
     assert len(received) == 2
     # A fully refused batch is not counted as received at all.
     before = broker.stats.batches_received
-    assert broker.publish_batch([Event({"topic": "news", "k": 1})]) == 0
+    assert broker.publish([Event({"topic": "news", "k": 1})]) == 0
     assert broker.stats.batches_received == before

@@ -31,7 +31,7 @@ def test_batch_deliveries_match_sequential_publishes():
             tree.subscribe(f"s{index}", Filter.topic("news"))
         events = _events(5) + [Event({"topic": "other"})]
         if batched:
-            tree.publish_batch(events)
+            tree.publish(events)
         else:
             for event in events:
                 tree.publish(event)
@@ -49,7 +49,7 @@ def test_batch_transports_one_message_per_hop():
     events = _events(10)
     for event in events:
         tree_single.publish(event)
-    tree_batched.publish_batch(events)
+    tree_batched.publish(events)
     assert tree_batched.message_count < tree_single.message_count
     root = tree_batched.root
     assert root.stats.batches_received == 1
@@ -59,7 +59,7 @@ def test_batch_transports_one_message_per_hop():
 def test_dead_broker_drops_whole_batch():
     broker = Broker("b")
     broker.crash()
-    assert broker.publish_batch(_events(4)) == 0
+    assert broker.publish(_events(4)) == 0
     assert broker.stats.dropped_while_down == 4
 
 
@@ -68,7 +68,7 @@ def test_batch_does_not_return_to_sender():
     upstream = []
     broker = Broker("b")
     broker.attach_parent("p", lambda kind, payload: upstream.append(kind))
-    broker.publish_batch(_events(3), arrived_from="p")
+    broker.publish(_events(3), arrived_from="p")
     assert upstream == []
 
 
@@ -139,7 +139,7 @@ def test_batch_stats_counters():
     leaf = tree.leaf_ids()[0]
     tree.attach_subscriber("s", leaf, lambda _e: None)
     tree.subscribe("s", Filter.topic("news"))
-    tree.publish_batch(_events(4))
+    tree.publish(_events(4))
     assert tree.root.stats.batches_received == 1
     assert tree.root.stats.batches_forwarded == 1
     child = tree.brokers[leaf]
